@@ -1,0 +1,63 @@
+//! E14 — scheduler overhead of the §4.4 concurrency extension: the same
+//! total work run sequentially, under the thread scheduler with one
+//! thread, and split across four threads communicating through an MVar.
+//!
+//! Expected shape: the scheduler costs a small constant per IO action; the
+//! machine and semantics are untouched.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use urk::Session;
+use urk_io::IoResult;
+
+fn session(src: &str) -> Session {
+    let mut s = Session::new();
+    s.load(src).expect("loads");
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrency_overhead");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+
+    let sequential = session(
+        "work n acc = if n == 0 then return acc else work (n - 1) (acc + n)\n\
+         main = work 2000 0",
+    );
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let out = sequential.run_main("").expect("runs");
+            assert!(matches!(out.result, IoResult::Done(_)));
+        })
+    });
+
+    let single_thread = session(
+        "work n acc = if n == 0 then return acc else work (n - 1) (acc + n)\n\
+         main = work 2000 0",
+    );
+    group.bench_function("scheduler-one-thread", |b| {
+        b.iter(|| {
+            let out = single_thread.run_main_concurrent("").expect("runs");
+            assert!(matches!(out.main, IoResult::Done(_)));
+        })
+    });
+
+    let four_threads = session(
+        "work m n acc = if n == 0 then putMVar m acc else work m (n - 1) (acc + n)\n\
+         collect m k acc = if k == 0 then return acc\n                   else takeMVar m >>= \\v -> collect m (k - 1) (acc + v)\n\
+         main = do\n  m <- newEmptyMVar\n  forkIO (work m 500 0)\n  forkIO (work m 500 0)\n  forkIO (work m 500 0)\n  forkIO (work m 500 0)\n  collect m 4 0",
+    );
+    group.bench_function("four-threads-mvar", |b| {
+        b.iter(|| {
+            let out = four_threads.run_main_concurrent("").expect("runs");
+            assert!(matches!(out.main, IoResult::Done(_)));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

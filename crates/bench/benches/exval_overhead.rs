@@ -1,0 +1,39 @@
+//! E5 — §2.2/§2.3/§3.3: programs that don't raise run at full speed under
+//! the imprecise design (a catch mark costs one frame), while the explicit
+//! `ExVal` encoding pays test-and-propagate at every call site.
+//!
+//! Expected shape (the paper's claim): `native` ≈ `native+catch`, and
+//! `encoded` slower by a substantial constant factor (ours: ~2–3×).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urk_bench::{compile, encode, run, run_caught, workloads};
+use urk_machine::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exval_overhead");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+
+    for w in workloads() {
+        let compiled = compile(&w);
+        let encoded = encode(&compiled);
+
+        group.bench_with_input(BenchmarkId::new("native", w.name), &compiled, |b, c| {
+            b.iter(|| run(c, MachineConfig::default()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("native+catch", w.name),
+            &compiled,
+            |b, c| b.iter(|| run_caught(c, MachineConfig::default())),
+        );
+        group.bench_with_input(BenchmarkId::new("encoded", w.name), &encoded, |b, c| {
+            b.iter(|| run(c, MachineConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E7 — §3.5: the evaluation-order policy (the machine's stand-in for
+//! "compiler optimisation settings") affects which exception surfaces but
+//! neither results nor, materially, cost.
+//!
+//! Expected shape: all three policies within noise of each other on every
+//! workload (the seeded policy pays one RNG draw per binary primitive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urk_bench::{compile, run, workloads};
+use urk_machine::{MachineConfig, OrderPolicy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_policies");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+
+    let policies = [
+        ("left-to-right", OrderPolicy::LeftToRight),
+        ("right-to-left", OrderPolicy::RightToLeft),
+        ("seeded", OrderPolicy::Seeded(0xC0FFEE)),
+    ];
+
+    for w in workloads() {
+        let compiled = compile(&w);
+        for (name, policy) in policies {
+            group.bench_with_input(
+                BenchmarkId::new(name, w.name),
+                &compiled,
+                |b, c| {
+                    b.iter(|| {
+                        run(
+                            c,
+                            MachineConfig {
+                                order: policy,
+                                ..MachineConfig::default()
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

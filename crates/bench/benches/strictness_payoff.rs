@@ -1,0 +1,36 @@
+//! E9 — §3.4: strictness analysis turns call-by-need into call-by-value,
+//! the "crucial transformation" that only the imprecise semantics
+//! licenses.
+//!
+//! Expected shape: the transformed workloads allocate fewer thunks and
+//! perform (orders of magnitude) fewer updates; wall-clock improves on the
+//! thunk-heavy workloads (accumulating loops most of all).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urk_bench::{apply_cbv, compile, run, workloads};
+use urk_machine::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strictness_payoff");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+
+    for w in workloads() {
+        let lazy = compile(&w);
+        let (cbv, rewrites) = apply_cbv(&lazy);
+        assert!(rewrites > 0, "cbv should fire on {}", w.name);
+
+        group.bench_with_input(BenchmarkId::new("call-by-need", w.name), &lazy, |b, c| {
+            b.iter(|| run(c, MachineConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("call-by-value", w.name), &cbv, |b, c| {
+            b.iter(|| run(c, MachineConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,249 @@
+//! # urk-bench
+//!
+//! Shared workloads and measurement helpers for the benchmark harness.
+//!
+//! The paper's evaluation is a set of performance *claims* rather than
+//! numeric tables (§2.2, §2.3, §3.3); each claim is regenerated twice:
+//!
+//! * deterministically, as machine step/allocation counts, by the
+//!   `experiment_report` binary (`cargo run -p urk-bench --bin
+//!   experiment_report`), whose output is recorded in `EXPERIMENTS.md`;
+//! * as wall-clock timings, by the Criterion benches in `benches/`.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use urk_machine::{MEnv, Machine, MachineConfig, Outcome, Stats};
+use urk_syntax::core::{CoreProgram, Expr};
+use urk_syntax::{desugar_expr, desugar_program, parse_expr_src, parse_program, DataEnv, Symbol};
+
+/// One benchmark workload: an Urk program, a query, and its expected
+/// rendering (used to verify every measured run actually computed the
+/// right thing).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub name: &'static str,
+    pub program: &'static str,
+    pub query: String,
+    pub expected: &'static str,
+    /// Whether the workload is first-order (encodable with the §2.2
+    /// explicit `ExVal` transformation).
+    pub first_order: bool,
+}
+
+/// The standard workload suite.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "fib",
+            program: "fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)",
+            query: "fib 16".into(),
+            expected: "987",
+            first_order: true,
+        },
+        Workload {
+            name: "sumto",
+            program: "sumTo n acc = if n == 0 then acc else sumTo (n - 1) (acc + n)",
+            query: "sumTo 4000 0".into(),
+            expected: "8002000",
+            first_order: true,
+        },
+        Workload {
+            name: "primes",
+            program: "isPrime p = allFrom 2 p\n\
+                      allFrom d p = if d * d > p then True else (if p % d == 0 then False else allFrom (d + 1) p)\n\
+                      countPrimes lo hi acc = if lo > hi then acc else countPrimes (lo + 1) hi (if isPrime lo then acc + 1 else acc)",
+            query: "countPrimes 2 2000 0".into(),
+            expected: "303",
+            first_order: true,
+        },
+        Workload {
+            name: "sortlist",
+            program: "ins x ys = case ys of { [] -> [x]; z:zs -> if x <= z then x : z : zs else z : ins x zs }\n\
+                      isort xs = case xs of { [] -> []; y:ys -> ins y (isort ys) }\n\
+                      mklist n = if n == 0 then [] else (n * 37 % 101) : mklist (n - 1)\n\
+                      lsum xs = case xs of { [] -> 0; y:ys -> y + lsum ys }\n\
+                      checksum n = lsum (isort (mklist n))",
+            query: "checksum 120".into(),
+            expected: "6020",
+            first_order: true,
+        },
+    ]
+}
+
+/// A compiled workload: data environment plus core program.
+pub struct Compiled {
+    pub data: DataEnv,
+    pub program: CoreProgram,
+    pub query: Rc<Expr>,
+}
+
+/// Compiles a workload (no Prelude: workloads are self-contained so the
+/// explicit encoder can see every function).
+///
+/// # Panics
+///
+/// Panics on malformed workloads — a bug in this crate.
+pub fn compile(w: &Workload) -> Compiled {
+    let mut data = DataEnv::new();
+    let program = desugar_program(
+        &parse_program(w.program).expect("workload parses"),
+        &mut data,
+    )
+    .expect("workload desugars");
+    let query = Rc::new(
+        desugar_expr(&parse_expr_src(&w.query).expect("query parses"), &data)
+            .expect("query desugars"),
+    );
+    Compiled {
+        data,
+        program,
+        query,
+    }
+}
+
+fn run_inner(c: &Compiled, config: MachineConfig, catch: bool) -> (String, Stats) {
+    let mut m = Machine::new(config);
+    let env = m.bind_recursive(&c.program.binds, &MEnv::empty());
+    let out = m
+        .eval(c.query.clone(), &env, catch)
+        .expect("workload within limits");
+    let rendered = match out {
+        Outcome::Value(n) => m.render(n, 16),
+        Outcome::Caught(e) | Outcome::Uncaught(e) => format!("(raise {e})"),
+    };
+    (rendered, m.stats().clone())
+}
+
+/// Runs a compiled workload on a fresh machine; returns the rendering and
+/// the stats.
+///
+/// # Panics
+///
+/// Panics if the machine hits a hard limit.
+pub fn run(c: &Compiled, config: MachineConfig) -> (String, Stats) {
+    run_inner(c, config, false)
+}
+
+/// Runs under a catch mark (as `getException` would evaluate it).
+///
+/// # Panics
+///
+/// Panics if the machine hits a hard limit.
+pub fn run_caught(c: &Compiled, config: MachineConfig) -> (String, Stats) {
+    run_inner(c, config, true)
+}
+
+/// The §2.2 explicit encoding of a compiled workload (program and query).
+///
+/// # Panics
+///
+/// Panics if the workload is not first-order.
+pub fn encode(c: &Compiled) -> Compiled {
+    let program = urk_transform::encode_program(&c.program).expect("first-order workload");
+    let known: BTreeSet<Symbol> = c.program.binds.iter().map(|(n, _)| *n).collect();
+    let query =
+        Rc::new(urk_transform::encode_expr(&c.query, &known).expect("first-order query"));
+    Compiled {
+        data: c.data.clone(),
+        program,
+        query,
+    }
+}
+
+/// Applies the strictness-analysis-driven call-by-value transformation to
+/// every binding of a compiled workload. Returns the rewritten workload
+/// and the number of let-to-case rewrites performed.
+pub fn apply_cbv(c: &Compiled) -> (Compiled, usize) {
+    let sigs = urk_transform::analyze_program(&c.program);
+    let pred = |x: Symbol, b: &Expr| urk_transform::strict_in(x, b, &sigs);
+    let let_to_case = urk_transform::LetToCase { is_strict: &pred };
+    let call_sites = urk_transform::StrictCallSites { sigs: &sigs };
+    let mut program = CoreProgram::default();
+    let mut total = 0;
+    let rewrite = |e: &Expr, total: &mut usize| -> Expr {
+        let (out, n1) = urk_transform::apply_to_fixpoint(&call_sites, e, 8);
+        let (out, n2) = urk_transform::apply_to_fixpoint(&let_to_case, &out, 4);
+        *total += n1 + n2;
+        out
+    };
+    for (name, rhs) in &c.program.binds {
+        let out = rewrite(rhs, &mut total);
+        program.binds.push((*name, Rc::new(out)));
+    }
+    let query = rewrite(&c.query, &mut total);
+    (
+        Compiled {
+            data: c.data.clone(),
+            program,
+            query: Rc::new(query),
+        },
+        total,
+    )
+}
+
+/// A deep-raise workload for the E6 stack-trimming benchmark: `deep n`
+/// builds `n` stack frames and then raises.
+pub fn deep_raise(n: u64) -> Compiled {
+    compile(&Workload {
+        name: "deep-raise",
+        program: "deep n = if n == 0 then raise Overflow else 1 + deep (n - 1)",
+        query: format!("deep {n}"),
+        expected: "(raise Overflow)",
+        first_order: true,
+    })
+}
+
+/// The equivalent explicit-propagation workload: every level tests and
+/// propagates by hand, §2.2-style.
+pub fn deep_propagate(n: u64) -> Compiled {
+    compile(&Workload {
+        name: "deep-propagate",
+        program: "deep n = if n == 0 then Bad Overflow else case deep (n - 1) of { Bad e -> Bad e; OK v -> OK (1 + v) }",
+        query: format!("deep {n}"),
+        expected: "Bad Overflow",
+        first_order: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_computes_its_expected_answer() {
+        for w in workloads() {
+            let c = compile(&w);
+            let (got, _) = run(&c, MachineConfig::default());
+            assert_eq!(got, w.expected, "workload {}", w.name);
+        }
+    }
+
+    #[test]
+    fn encoded_workloads_agree_modulo_ok() {
+        for w in workloads().into_iter().filter(|w| w.first_order) {
+            let c = compile(&w);
+            let e = encode(&c);
+            let (got, _) = run(&e, MachineConfig::default());
+            assert_eq!(got, format!("OK {}", w.expected), "workload {}", w.name);
+        }
+    }
+
+    #[test]
+    fn cbv_transformed_workloads_agree() {
+        for w in workloads() {
+            let c = compile(&w);
+            let (t, _) = apply_cbv(&c);
+            let (got, _) = run(&t, MachineConfig::default());
+            assert_eq!(got, w.expected, "workload {}", w.name);
+        }
+    }
+
+    #[test]
+    fn deep_raise_and_propagate_agree() {
+        let (a, _) = run(&deep_raise(500), MachineConfig::default());
+        assert_eq!(a, "(raise Overflow)");
+        let (b, _) = run(&deep_propagate(500), MachineConfig::default());
+        assert_eq!(b, "Bad Overflow");
+    }
+}

@@ -1,0 +1,298 @@
+//! The `urk` command-line interpreter.
+//!
+//! ```text
+//! urk program.urk                      # perform `main` (stdin as input)
+//! urk program.urk --expr "f 42"        # evaluate an expression instead
+//! urk --expr "1/0 + error \"Urk\""     # no file: Prelude only
+//! urk program.urk --type "main"        # show an inferred type
+//! urk program.urk --denot "f 0"        # show the denotation (exception sets)
+//! urk program.urk --order r            # right-to-left machine policy
+//! urk program.urk --optimize           # run the optimiser first
+//! urk program.urk --input "abc"        # feed input without stdin
+//! urk program.urk --semantic --seed 7  # perform main under the §4.4 LTS
+//! urk program.urk --optimize --dump-core  # show the optimised core
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use urk::{IoResult, OrderPolicy, SemIoResult, Session};
+
+struct Args {
+    file: Option<String>,
+    expr: Option<String>,
+    type_of: Option<String>,
+    denot: Option<String>,
+    order: OrderPolicy,
+    optimize: bool,
+    dump_core: bool,
+    stats: bool,
+    input: Option<String>,
+    semantic: bool,
+    concurrent: bool,
+    seed: u64,
+    trace: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: urk [FILE.urk] [--expr E | --type E | --denot E]\n\
+         \x20          [--order l|r|s[:SEED]] [--optimize] [--input STR]\n\
+         \x20          [--semantic|--concurrent] [--seed N] [--trace] [--dump-core] [--stats]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        file: None,
+        expr: None,
+        type_of: None,
+        denot: None,
+        order: OrderPolicy::LeftToRight,
+        optimize: false,
+        dump_core: false,
+        stats: false,
+        input: None,
+        semantic: false,
+        concurrent: false,
+        seed: 0,
+        trace: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--expr" => out.expr = Some(args.next().unwrap_or_else(|| usage())),
+            "--type" => out.type_of = Some(args.next().unwrap_or_else(|| usage())),
+            "--denot" => out.denot = Some(args.next().unwrap_or_else(|| usage())),
+            "--input" => out.input = Some(args.next().unwrap_or_else(|| usage())),
+            "--optimize" => out.optimize = true,
+            "--dump-core" => out.dump_core = true,
+            "--stats" => out.stats = true,
+            "--semantic" => out.semantic = true,
+            "--concurrent" => out.concurrent = true,
+            "--trace" => out.trace = true,
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--order" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                out.order = match v.as_str() {
+                    "l" => OrderPolicy::LeftToRight,
+                    "r" => OrderPolicy::RightToLeft,
+                    s if s.starts_with('s') => {
+                        let seed = s
+                            .strip_prefix("s:")
+                            .and_then(|n| n.parse().ok())
+                            .unwrap_or(0);
+                        OrderPolicy::Seeded(seed)
+                    }
+                    _ => usage(),
+                };
+            }
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') && out.file.is_none() => out.file = Some(f.to_string()),
+            _ => usage(),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut session = Session::new();
+    session.options.machine.order = args.order;
+
+    if let Some(path) = &args.file {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("urk: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = session.load(&src) {
+            eprintln!("urk: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.optimize {
+        match session.optimize() {
+            Ok(report) => eprintln!(
+                "urk: optimiser performed {} rewrites (size {} -> {})",
+                report.total_rewrites(),
+                report.size_before,
+                report.size_after
+            ),
+            Err(e) => {
+                eprintln!("urk: optimiser failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if args.dump_core {
+        for (name, rhs) in &session.program().binds {
+            println!("{name} = {}", urk_syntax::pretty(rhs));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(e) = &args.type_of {
+        return match session.type_of(e) {
+            Ok(t) => {
+                println!("{e} :: {t}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("urk: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(e) = &args.denot {
+        return match session.denot_show(e, 16) {
+            Ok(d) => {
+                println!("{d}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("urk: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(e) = &args.expr {
+        return match session.eval(e) {
+            Ok(r) => {
+                println!("{}", r.rendered);
+                if args.stats {
+                    eprintln!(
+                        "steps: {}  allocations: {}  updates: {}  max-stack: {}  gc-runs: {}  gc-freed: {}",
+                        r.stats.steps,
+                        r.stats.allocations,
+                        r.stats.thunk_updates,
+                        r.stats.max_stack_depth,
+                        r.stats.gc_runs,
+                        r.stats.gc_freed,
+                    );
+                }
+                if r.exception.is_some() {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(err) => {
+                eprintln!("urk: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Perform main.
+    let input = match &args.input {
+        Some(s) => s.clone(),
+        None => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() {
+                buf.clear();
+            }
+            buf
+        }
+    };
+
+    if args.concurrent {
+        return match session.run_main_concurrent(&input) {
+            Ok(out) => {
+                print!("{}", out.trace.output());
+                if args.trace {
+                    eprintln!("\ntrace: {}", out.trace);
+                }
+                for (tid, r) in &out.threads {
+                    eprintln!("thread {tid}: {r:?}");
+                }
+                match out.result_exit() {
+                    true => ExitCode::SUCCESS,
+                    false => ExitCode::FAILURE,
+                }
+            }
+            Err(e) => {
+                eprintln!("urk: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.semantic {
+        match session.run_main_semantic(&input, args.seed) {
+            Ok(out) => {
+                print!("{}", out.trace.output());
+                if args.trace {
+                    eprintln!("\ntrace: {}", out.trace);
+                }
+                match out.result {
+                    SemIoResult::Done(v) => {
+                        eprintln!("\nmain returned: {v}");
+                        ExitCode::SUCCESS
+                    }
+                    SemIoResult::Uncaught(set) => {
+                        eprintln!("\nurk: uncaught exception set: {set}");
+                        ExitCode::FAILURE
+                    }
+                    SemIoResult::Diverged => {
+                        eprintln!("\nurk: the program diverges");
+                        ExitCode::FAILURE
+                    }
+                    SemIoResult::OutOfInput => {
+                        eprintln!("\nurk: getChar at end of input");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("urk: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match session.run_main(&input) {
+            Ok(out) => {
+                print!("{}", out.trace.output());
+                if args.trace {
+                    eprintln!("\ntrace: {}", out.trace);
+                }
+                match out.result {
+                    IoResult::Done(v) => {
+                        eprintln!("\nmain returned: {v}");
+                        ExitCode::SUCCESS
+                    }
+                    IoResult::Uncaught(e) => {
+                        // §4.4: "an uncaught exception, which the
+                        // implementation should report".
+                        eprintln!("\nurk: uncaught exception: {e}");
+                        ExitCode::FAILURE
+                    }
+                    IoResult::OutOfInput => {
+                        eprintln!("\nurk: getChar at end of input");
+                        ExitCode::FAILURE
+                    }
+                    IoResult::MachineError(e) => {
+                        eprintln!("\nurk: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("urk: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

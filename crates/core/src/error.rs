@@ -1,0 +1,64 @@
+//! The unified error type for the public pipeline.
+
+use std::fmt;
+
+/// Anything that can go wrong between source text and a result.
+#[derive(Clone, Debug)]
+pub enum Error {
+    /// Lexing, layout, or parsing failed.
+    Syntax(urk_syntax::SyntaxError),
+    /// Desugaring or match compilation failed.
+    Desugar(urk_syntax::DesugarError),
+    /// A `data` declaration was malformed.
+    Data(urk_syntax::DataEnvError),
+    /// Type inference or signature checking failed.
+    Type(urk_types::TypeError),
+    /// The machine hit a hard limit.
+    Machine(urk_machine::MachineError),
+    /// A name was defined twice across loads.
+    DuplicateDefinition(String),
+    /// `main` (or another required binding) is missing.
+    MissingBinding(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Syntax(e) => e.fmt(f),
+            Error::Desugar(e) => e.fmt(f),
+            Error::Data(e) => e.fmt(f),
+            Error::Type(e) => e.fmt(f),
+            Error::Machine(e) => e.fmt(f),
+            Error::DuplicateDefinition(n) => write!(f, "duplicate definition of '{n}'"),
+            Error::MissingBinding(n) => write!(f, "no definition of '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<urk_syntax::SyntaxError> for Error {
+    fn from(e: urk_syntax::SyntaxError) -> Error {
+        Error::Syntax(e)
+    }
+}
+impl From<urk_syntax::DesugarError> for Error {
+    fn from(e: urk_syntax::DesugarError) -> Error {
+        Error::Desugar(e)
+    }
+}
+impl From<urk_syntax::DataEnvError> for Error {
+    fn from(e: urk_syntax::DataEnvError) -> Error {
+        Error::Data(e)
+    }
+}
+impl From<urk_types::TypeError> for Error {
+    fn from(e: urk_types::TypeError) -> Error {
+        Error::Type(e)
+    }
+}
+impl From<urk_machine::MachineError> for Error {
+    fn from(e: urk_machine::MachineError) -> Error {
+        Error::Machine(e)
+    }
+}

@@ -1,0 +1,387 @@
+//! The [`Session`]: the whole pipeline behind one handle.
+//!
+//! A session owns the data-type environment, the Prelude plus any loaded
+//! user programs (as one recursive top-level group), and the inferred type
+//! environment. Expressions can then be evaluated on the machine
+//! ([`Session::eval`]), denotationally ([`Session::denot_show`],
+//! [`Session::exception_set`]), or performed as IO
+//! ([`Session::run_main`], [`Session::run_main_semantic`]).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use urk_denot::{
+    show_denot, Denot, DenotConfig, DenotEvaluator, Env as DEnv, ExnSet, Thunk,
+};
+use urk_io::{
+    run_denot, run_machine, AsyncSchedule, ExceptionOracle, RunOutcome, SeededOracle,
+    SemRunOutcome, StringInput,
+};
+use urk_machine::{MEnv, Machine, MachineConfig, Outcome, Stats};
+use urk_syntax::core::{CoreProgram, Expr};
+use urk_syntax::{
+    desugar_expr, desugar_program, parse_expr_src, parse_program, DataEnv, Exception, Symbol,
+};
+use urk_types::{infer_expr, infer_program, Scheme};
+
+use crate::error::Error;
+use crate::prelude_source;
+
+/// Pipeline options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Configuration for machine evaluation (evaluation-order policy,
+    /// black holes, limits, async schedule).
+    pub machine: MachineConfig,
+    /// Configuration for denotational evaluation (fuel, depth, the
+    /// `unsafeIsException` denotation).
+    pub denot: DenotConfig,
+    /// Type-check loaded programs and evaluated expressions (default on;
+    /// the evaluators assume well-typed input).
+    pub typecheck: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            machine: MachineConfig::default(),
+            denot: DenotConfig::default(),
+            typecheck: true,
+        }
+    }
+}
+
+/// The result of one machine evaluation.
+#[derive(Clone, Debug)]
+pub struct EvalResult {
+    /// The value rendered to depth 32, or `(raise E)` for an uncaught
+    /// exception.
+    pub rendered: String,
+    /// The representative exception, if evaluation raised.
+    pub exception: Option<Exception>,
+    /// Machine counters for this evaluation.
+    pub stats: Stats,
+}
+
+/// A compiler/interpreter session.
+pub struct Session {
+    data: DataEnv,
+    program: CoreProgram,
+    types: HashMap<Symbol, Scheme>,
+    /// Pipeline options (freely adjustable between calls).
+    pub options: Options,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session with the Prelude loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded Prelude fails to compile — a build error of
+    /// this crate, not a user condition.
+    pub fn new() -> Session {
+        let mut s = Session::bare();
+        s.load(prelude_source())
+            .expect("the embedded Prelude must compile");
+        s
+    }
+
+    /// A session *without* the Prelude (used by tests and the law
+    /// validator, which work on closed terms).
+    pub fn bare() -> Session {
+        Session {
+            data: DataEnv::new(),
+            program: CoreProgram::default(),
+            types: HashMap::new(),
+            options: Options::default(),
+        }
+    }
+
+    /// Loads a program: `data` declarations and bindings are added to the
+    /// session, and the combined program is re-type-checked.
+    ///
+    /// # Errors
+    ///
+    /// Syntax, desugaring, duplicate-definition, or type errors.
+    pub fn load(&mut self, src: &str) -> Result<(), Error> {
+        let parsed = parse_program(src)?;
+        let new = desugar_program(&parsed, &mut self.data)?;
+        for (name, _) in &new.binds {
+            if self.program.binds.iter().any(|(n, _)| n == name) {
+                return Err(Error::DuplicateDefinition(name.as_str()));
+            }
+        }
+        self.program.binds.extend(new.binds);
+        self.program.sigs.extend(new.sigs);
+        if self.options.typecheck {
+            self.types = infer_program(&self.program, &self.data)?;
+        }
+        Ok(())
+    }
+
+    /// The data-type environment.
+    pub fn data(&self) -> &DataEnv {
+        &self.data
+    }
+
+    /// The combined core program (Prelude + loads).
+    pub fn program(&self) -> &CoreProgram {
+        &self.program
+    }
+
+    /// The inferred scheme of a top-level binding, rendered.
+    pub fn type_of_binding(&self, name: &str) -> Option<String> {
+        self.types.get(&Symbol::intern(name)).map(|s| s.ty.to_string())
+    }
+
+    /// Parses, desugars and (optionally) type-checks an expression against
+    /// the session program.
+    ///
+    /// # Errors
+    ///
+    /// Syntax, desugaring, or type errors.
+    pub fn compile_expr(&self, src: &str) -> Result<Rc<Expr>, Error> {
+        let surface = parse_expr_src(src)?;
+        let core = desugar_expr(&surface, &self.data)?;
+        if self.options.typecheck {
+            infer_expr(&core, &self.data, &self.types)?;
+        }
+        Ok(Rc::new(core))
+    }
+
+    /// The inferred type of an expression, rendered.
+    ///
+    /// # Errors
+    ///
+    /// Syntax, desugaring, or type errors.
+    pub fn type_of(&self, src: &str) -> Result<String, Error> {
+        let surface = parse_expr_src(src)?;
+        let core = desugar_expr(&surface, &self.data)?;
+        let t = infer_expr(&core, &self.data, &self.types)?;
+        Ok(t.to_string())
+    }
+
+    /// A fresh machine with the session program bound; returns the
+    /// machine and its global environment.
+    pub fn machine(&self) -> (Machine, MEnv) {
+        let mut m = Machine::new(self.options.machine.clone());
+        let env = m.bind_recursive(&self.program.binds, &MEnv::empty());
+        (m, env)
+    }
+
+    /// Evaluates an expression on the machine (no catch mark: an
+    /// exception is reported as uncaught).
+    ///
+    /// # Errors
+    ///
+    /// Front-end errors, or [`Error::Machine`] on hard limits.
+    pub fn eval(&self, src: &str) -> Result<EvalResult, Error> {
+        let e = self.compile_expr(src)?;
+        let (mut m, env) = self.machine();
+        let out = m.eval(e, &env, false)?;
+        Ok(match out {
+            Outcome::Value(n) => EvalResult {
+                rendered: m.render(n, 32),
+                exception: None,
+                stats: m.stats().clone(),
+            },
+            Outcome::Caught(exn) | Outcome::Uncaught(exn) => EvalResult {
+                rendered: format!("(raise {exn})"),
+                exception: Some(exn),
+                stats: m.stats().clone(),
+            },
+        })
+    }
+
+    /// A denotational evaluator over the session's data environment.
+    pub fn denot_evaluator(&self) -> DenotEvaluator<'_> {
+        DenotEvaluator::with_config(&self.data, self.options.denot.clone())
+    }
+
+    /// Evaluates an expression denotationally and returns the denotation
+    /// rendered to `depth`.
+    ///
+    /// # Errors
+    ///
+    /// Front-end errors.
+    pub fn denot_show(&self, src: &str, depth: u32) -> Result<String, Error> {
+        let e = self.compile_expr(src)?;
+        let ev = self.denot_evaluator();
+        let env = ev.bind_recursive(&self.program.binds, &DEnv::empty());
+        let d = ev.eval(&e, &env);
+        Ok(show_denot(&ev, &d, depth))
+    }
+
+    /// The *exception set* an expression denotes — `None` for a normal
+    /// value. This is the paper's `S(·)` observed at the top level.
+    ///
+    /// # Errors
+    ///
+    /// Front-end errors.
+    pub fn exception_set(&self, src: &str) -> Result<Option<ExnSet>, Error> {
+        let e = self.compile_expr(src)?;
+        let ev = self.denot_evaluator();
+        let env = ev.bind_recursive(&self.program.binds, &DEnv::empty());
+        match ev.eval(&e, &env) {
+            Denot::Ok(_) => Ok(None),
+            Denot::Bad(s) => Ok(Some(s)),
+        }
+    }
+
+    /// Performs `main` on the machine with the given input.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MissingBinding`] if `main` is not defined, plus front-end
+    /// errors.
+    pub fn run_main(&self, input: &str) -> Result<RunOutcome, Error> {
+        self.run_action("main", input)
+    }
+
+    /// Performs a named IO binding on the machine.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run_main`].
+    pub fn run_action(&self, name: &str, input: &str) -> Result<RunOutcome, Error> {
+        let sym = Symbol::intern(name);
+        if self.program.lookup(sym).is_none() {
+            return Err(Error::MissingBinding(name.into()));
+        }
+        let (mut m, env) = self.machine();
+        let mut inp = StringInput::new(input);
+        Ok(run_machine(
+            &mut m,
+            &env,
+            Rc::new(Expr::Var(sym)),
+            &mut inp,
+        ))
+    }
+
+    /// Performs `main` as the root of a cooperative thread group
+    /// (`forkIO`/`yield`, the §4.4 concurrency extension) on the machine.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run_main`].
+    pub fn run_main_concurrent(
+        &self,
+        input: &str,
+    ) -> Result<urk_io::ConcurrentOutcome, Error> {
+        let sym = Symbol::intern("main");
+        if self.program.lookup(sym).is_none() {
+            return Err(Error::MissingBinding("main".into()));
+        }
+        let (mut m, env) = self.machine();
+        let root = m.alloc_expr(&Rc::new(Expr::Var(sym)), &env);
+        let mut inp = StringInput::new(input);
+        Ok(urk_io::run_concurrent(&mut m, root, &mut inp))
+    }
+
+    /// Performs `main` under the semantic LTS with a seeded oracle.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run_main`].
+    pub fn run_main_semantic(&self, input: &str, seed: u64) -> Result<SemRunOutcome, Error> {
+        let mut oracle = SeededOracle::new(seed);
+        self.run_main_semantic_with(input, &mut oracle, &AsyncSchedule::default())
+    }
+
+    /// Performs `main` under the semantic LTS with an explicit oracle and
+    /// async schedule.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run_main`].
+    pub fn run_main_semantic_with(
+        &self,
+        input: &str,
+        oracle: &mut dyn ExceptionOracle,
+        schedule: &AsyncSchedule,
+    ) -> Result<SemRunOutcome, Error> {
+        let sym = Symbol::intern("main");
+        if self.program.lookup(sym).is_none() {
+            return Err(Error::MissingBinding("main".into()));
+        }
+        let ev = self.denot_evaluator();
+        let env = ev.bind_recursive(&self.program.binds, &DEnv::empty());
+        let action = Thunk::pending(Rc::new(Expr::Var(sym)), env);
+        let mut inp = StringInput::new(input);
+        Ok(run_denot(&ev, action, &mut inp, oracle, schedule))
+    }
+
+    /// Locations (function names, `case`, `lambda`, `do`) where a pattern
+    /// match in the loaded program may fall through at runtime — i.e.
+    /// where the match compiler had to plant a `PatternMatchFail` raise.
+    /// The Prelude's deliberately partial functions (`head`, `tail`,
+    /// `zipWith`, ...) appear here by design.
+    pub fn match_warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (_, rhs) in &self.program.binds {
+            out.extend(urk_syntax::potential_match_failures(rhs));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Strictness signatures for the session program (§3.4's analysis).
+    pub fn strictness(&self) -> urk_transform::StrictSigs {
+        urk_transform::analyze_program(&self.program)
+    }
+
+    /// Runs the optimisation pipeline over the session program (Prelude
+    /// included): simplifier to a fixpoint, then the strictness-driven
+    /// call-by-value pass. The optimised program replaces the current one
+    /// after re-type-checking.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Type`] if the optimised program fails to re-type-check
+    /// (which would indicate a transformation bug — the test suite guards
+    /// this).
+    pub fn optimize(&mut self) -> Result<urk_transform::OptimizeReport, Error> {
+        let optimizer = urk_transform::Optimizer::new();
+        let (out, report) = optimizer.optimize(&self.program);
+        if self.options.typecheck {
+            self.types = infer_program(&out, &self.data)?;
+        }
+        self.program = out;
+        Ok(report)
+    }
+
+    /// Like [`Session::optimize`], additionally validating that each
+    /// query's denotation is unchanged-or-refined (§4.5's criterion). The
+    /// program is replaced only if every query validates.
+    ///
+    /// # Errors
+    ///
+    /// Front-end errors from the queries; [`Error::Type`] as in
+    /// [`Session::optimize`].
+    pub fn optimize_validated(
+        &mut self,
+        queries: &[&str],
+    ) -> Result<urk_transform::OptimizeReport, Error> {
+        let compiled: Vec<Rc<Expr>> = queries
+            .iter()
+            .map(|q| self.compile_expr(q))
+            .collect::<Result<_, _>>()?;
+        let optimizer = urk_transform::Optimizer::new();
+        let (out, report) =
+            optimizer.optimize_validated(&self.program, &self.data, &compiled);
+        if report.validated() {
+            if self.options.typecheck {
+                self.types = infer_program(&out, &self.data)?;
+            }
+            self.program = out;
+        }
+        Ok(report)
+    }
+}

@@ -1,0 +1,230 @@
+//! The exception-set lattice `P(E)⊥` of §4.1.
+//!
+//! An exceptional value carries a *set* of exceptions. The ordering is
+//! reverse inclusion:
+//!
+//! ```text
+//! S1 ⊑ S2  ⟺  S1 ⊇ S2
+//! ```
+//!
+//! so the bottom element is the set of **all** exceptions (which the paper
+//! identifies with `⊥` itself, after adding `NonTermination` to the
+//! `Exception` type), and the top element is the empty set — the curious
+//! value `Bad {}` that no term denotes but that the `case` rule's
+//! exception-finding mode binds pattern variables to (§4.3).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use urk_syntax::Exception;
+
+/// A set of exceptions: either a finite set, or the set of all exceptions
+/// (`⊥`, which includes `NonTermination`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExnSet {
+    /// A finite set of exceptions.
+    Finite(BTreeSet<Exception>),
+    /// The set of *all* exceptions — the bottom element, identified with
+    /// non-termination (§4.1: "we identify ⊥ with the set of all
+    /// exceptions").
+    All,
+}
+
+impl ExnSet {
+    /// The empty set — the top of the lattice, `Bad {}` of §4.1.
+    pub fn empty() -> ExnSet {
+        ExnSet::Finite(BTreeSet::new())
+    }
+
+    /// A singleton set.
+    pub fn singleton(e: Exception) -> ExnSet {
+        let mut s = BTreeSet::new();
+        s.insert(e);
+        ExnSet::Finite(s)
+    }
+
+    /// The bottom element (all exceptions).
+    pub fn bottom() -> ExnSet {
+        ExnSet::All
+    }
+
+    /// Builds a set from an iterator of exceptions.
+    pub fn from_iter(iter: impl IntoIterator<Item = Exception>) -> ExnSet {
+        ExnSet::Finite(iter.into_iter().collect())
+    }
+
+    /// True if this is the empty set.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, ExnSet::Finite(s) if s.is_empty())
+    }
+
+    /// True if this is `⊥` (all exceptions).
+    pub fn is_all(&self) -> bool {
+        matches!(self, ExnSet::All)
+    }
+
+    /// Set membership. Everything is a member of `All`.
+    pub fn contains(&self, e: &Exception) -> bool {
+        match self {
+            ExnSet::Finite(s) => s.contains(e),
+            ExnSet::All => true,
+        }
+    }
+
+    /// Whether the set denotes possible non-termination (`⊥` or an explicit
+    /// `NonTermination` member) — the condition in §4.4's `getException`
+    /// self-loop rule.
+    pub fn may_diverge(&self) -> bool {
+        self.contains(&Exception::NonTermination)
+    }
+
+    /// Set union — how `(+)`, application-of-`Bad`, and the `case` rule
+    /// combine argument exception sets (§4.2–4.3).
+    pub fn union(&self, other: &ExnSet) -> ExnSet {
+        match (self, other) {
+            (ExnSet::All, _) | (_, ExnSet::All) => ExnSet::All,
+            (ExnSet::Finite(a), ExnSet::Finite(b)) => {
+                ExnSet::Finite(a.union(b).cloned().collect())
+            }
+        }
+    }
+
+    /// Inserts one exception.
+    pub fn insert(&mut self, e: Exception) {
+        if let ExnSet::Finite(s) = self {
+            s.insert(e);
+        }
+    }
+
+    /// The information ordering: `self ⊑ other ⟺ self ⊇ other`.
+    pub fn leq(&self, other: &ExnSet) -> bool {
+        match (self, other) {
+            (ExnSet::All, _) => true,
+            (ExnSet::Finite(_), ExnSet::All) => false,
+            (ExnSet::Finite(a), ExnSet::Finite(b)) => b.is_subset(a),
+        }
+    }
+
+    /// The members, if the set is finite.
+    pub fn members(&self) -> Option<&BTreeSet<Exception>> {
+        match self {
+            ExnSet::Finite(s) => Some(s),
+            ExnSet::All => None,
+        }
+    }
+
+    /// An arbitrary-but-deterministic member (the least in the `Ord` on
+    /// `Exception`), if one exists. `All` has no canonical member.
+    pub fn some_member(&self) -> Option<&Exception> {
+        match self {
+            ExnSet::Finite(s) => s.iter().next(),
+            ExnSet::All => None,
+        }
+    }
+}
+
+impl fmt::Display for ExnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExnSet::All => f.write_str("{ALL}"),
+            ExnSet::Finite(s) => {
+                f.write_str("{")?;
+                for (i, e) in s.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl FromIterator<Exception> for ExnSet {
+    fn from_iter<T: IntoIterator<Item = Exception>>(iter: T) -> ExnSet {
+        ExnSet::Finite(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn urk() -> Exception {
+        Exception::UserError("Urk".into())
+    }
+
+    #[test]
+    fn ordering_is_reverse_inclusion() {
+        let small = ExnSet::singleton(Exception::DivideByZero);
+        let big = ExnSet::from_iter([Exception::DivideByZero, urk()]);
+        // Bigger sets are *lower* (less informative).
+        assert!(big.leq(&small));
+        assert!(!small.leq(&big));
+        // Bottom below everything; empty above everything.
+        assert!(ExnSet::bottom().leq(&small));
+        assert!(small.leq(&ExnSet::empty()));
+        assert!(!ExnSet::empty().leq(&small));
+    }
+
+    #[test]
+    fn union_is_the_lattice_meet() {
+        let a = ExnSet::singleton(Exception::DivideByZero);
+        let b = ExnSet::singleton(urk());
+        let u = a.union(&b);
+        assert!(u.leq(&a));
+        assert!(u.leq(&b));
+        assert!(u.contains(&Exception::DivideByZero));
+        assert!(u.contains(&urk()));
+        // Union with ⊥ is ⊥ — "loop + error Urk" denotes ⊥ (§4.2).
+        assert!(a.union(&ExnSet::All).is_all());
+    }
+
+    #[test]
+    fn bottom_contains_everything_including_nontermination() {
+        assert!(ExnSet::All.contains(&Exception::NonTermination));
+        assert!(ExnSet::All.contains(&urk()));
+        assert!(ExnSet::All.may_diverge());
+        assert!(!ExnSet::singleton(urk()).may_diverge());
+        assert!(ExnSet::singleton(Exception::NonTermination).may_diverge());
+    }
+
+    #[test]
+    fn empty_set_is_expressible_but_memberless() {
+        let e = ExnSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.some_member(), None);
+        assert!(!e.contains(&urk()));
+    }
+
+    #[test]
+    fn leq_is_a_partial_order() {
+        let sets = [
+            ExnSet::empty(),
+            ExnSet::singleton(urk()),
+            ExnSet::from_iter([urk(), Exception::Overflow]),
+            ExnSet::All,
+        ];
+        for a in &sets {
+            assert!(a.leq(a), "reflexive");
+            for b in &sets {
+                for c in &sets {
+                    if a.leq(b) && b.leq(c) {
+                        assert!(a.leq(c), "transitive");
+                    }
+                }
+                if a.leq(b) && b.leq(a) {
+                    assert_eq!(a, b, "antisymmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = ExnSet::from_iter([urk(), Exception::DivideByZero]);
+        assert_eq!(s.to_string(), "{DivideByZero, UserError \"Urk\"}");
+        assert_eq!(ExnSet::All.to_string(), "{ALL}");
+    }
+}

@@ -1,0 +1,233 @@
+//! The *operational* IO runner: performs an `IO` value on the
+//! graph-reduction machine.
+//!
+//! This is the implementation §3.5 promises: "the stack-trimming
+//! implementation does not have to change. The set of exceptions
+//! associated with an exceptional value is represented by a single member,
+//! namely the exception that happens to be encountered first." So
+//! `getException` here simply evaluates its argument under a catch mark
+//! and reports whatever exception surfaces — no oracle required.
+
+use std::rc::Rc;
+
+use urk_machine::{HValue, MEnv, Machine, MachineError, NodeId, Outcome};
+use urk_syntax::core::Expr;
+use urk_syntax::{Exception, Symbol};
+
+use crate::trace::{Event, Input, Trace};
+
+/// How a program run ended.
+#[derive(Clone, Debug)]
+pub enum IoResult {
+    /// `main` performed to completion; the payload is the final `Return`ed
+    /// value, rendered.
+    Done(String),
+    /// An exception escaped with no handler — "an uncaught exception,
+    /// which the implementation should report" (§4.4).
+    Uncaught(Exception),
+    /// `getChar` at end of input.
+    OutOfInput,
+    /// The machine hit a hard limit.
+    MachineError(MachineError),
+}
+
+impl IoResult {
+    /// True if the run completed normally.
+    pub fn is_done(&self) -> bool {
+        matches!(self, IoResult::Done(_))
+    }
+}
+
+/// One run's result and its observable trace.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    pub result: IoResult,
+    pub trace: Trace,
+}
+
+/// Performs the `IO` action denoted by `action` (typically `main`).
+///
+/// # Examples
+///
+/// ```
+/// use std::rc::Rc;
+/// use urk_io::{run_machine, StringInput, IoResult};
+/// use urk_machine::{Machine, MachineConfig, MEnv};
+/// use urk_syntax::{parse_expr_src, desugar_expr, DataEnv};
+///
+/// let data = DataEnv::new();
+/// let action = desugar_expr(
+///     &parse_expr_src(r"getChar >>= \c -> putChar c")?,
+///     &data,
+/// )?;
+/// let mut machine = Machine::new(MachineConfig::default());
+/// let mut input = StringInput::new("x");
+/// let out = run_machine(&mut machine, &MEnv::empty(), Rc::new(action), &mut input);
+/// assert!(matches!(out.result, IoResult::Done(_)));
+/// assert_eq!(out.trace.to_string(), "?x !x");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_machine(
+    machine: &mut Machine,
+    env: &MEnv,
+    action: Rc<Expr>,
+    input: &mut dyn Input,
+) -> RunOutcome {
+    let root = machine.alloc_expr(&action, env);
+    run_machine_node(machine, root, input)
+}
+
+/// Performs an `IO` action already in the heap.
+pub fn run_machine_node(
+    machine: &mut Machine,
+    root: NodeId,
+    input: &mut dyn Input,
+) -> RunOutcome {
+    let mut trace = Trace::new();
+    // Pending continuations from `Bind` (innermost last). Every action
+    // node that becomes `current` is registered as a GC root (and stays
+    // rooted until the run ends — the continuations hang off these nodes,
+    // and a collection may trigger inside any evaluation episode below).
+    let mut konts: Vec<NodeId> = Vec::new();
+    let mut rooted: usize = 1;
+    machine.push_root(root);
+    let mut current = root;
+
+    loop {
+        // Force the action itself to WHNF. An exception *here* means the
+        // action value was exceptional (e.g. `main = raise E`): uncaught.
+        let whnf = match machine.eval_node(current, false) {
+            Ok(Outcome::Value(n)) => n,
+            Ok(Outcome::Uncaught(e)) | Ok(Outcome::Caught(e)) => {
+                return finish(machine, rooted, IoResult::Uncaught(e), trace)
+            }
+            Err(e) => {
+                return finish(machine, rooted, IoResult::MachineError(e), trace)
+            }
+        };
+        let Some(HValue::Con(con, fields)) = machine.heap().value(whnf) else {
+            panic!("performed a non-IO value (ill-typed program)");
+        };
+        let (con, fields) = (con.as_str(), fields.clone());
+
+        // The value an action step produced, handed to the continuation.
+        let produced: NodeId = match con.as_str() {
+            "Bind" => {
+                konts.push(fields[1]);
+                current = fields[0];
+                machine.push_root(current);
+                rooted += 1;
+                continue;
+            }
+            "Return" => fields[0],
+            "GetChar" => match input.get_char() {
+                Some(c) => {
+                    trace.push(Event::Input(c));
+                    alloc_value(machine, HValue::Char(c))
+                }
+                None => {
+                    return finish(machine, rooted, IoResult::OutOfInput, trace)
+                }
+            },
+            "PutChar" => {
+                // Forcing the character may raise; with no handler in
+                // sight, that is an uncaught exception.
+                match machine.eval_node(fields[0], false) {
+                    Ok(Outcome::Value(n)) => {
+                        let Some(HValue::Char(c)) = machine.heap().value(n) else {
+                            panic!("putChar of a non-character (ill-typed program)");
+                        };
+                        trace.push(Event::Output(*c));
+                        alloc_value(machine, HValue::Con(Symbol::intern("Unit"), vec![]))
+                    }
+                    Ok(Outcome::Uncaught(e)) | Ok(Outcome::Caught(e)) => {
+                        return finish(machine, rooted, IoResult::Uncaught(e), trace)
+                    }
+                    Err(e) => {
+                        return finish(machine, rooted, IoResult::MachineError(e), trace)
+                    }
+                }
+            }
+            "PutStr" => match machine.eval_node(fields[0], false) {
+                Ok(Outcome::Value(n)) => {
+                    let Some(HValue::Str(s)) = machine.heap().value(n) else {
+                        panic!("putStr of a non-string (ill-typed program)");
+                    };
+                    trace.push(Event::OutputStr(s.to_string()));
+                    alloc_value(machine, HValue::Con(Symbol::intern("Unit"), vec![]))
+                }
+                Ok(Outcome::Uncaught(e)) | Ok(Outcome::Caught(e)) => {
+                    return finish(machine, rooted, IoResult::Uncaught(e), trace)
+                }
+                Err(e) => {
+                    return finish(machine, rooted, IoResult::MachineError(e), trace)
+                }
+            },
+            "GetException" => {
+                // §3.3: mark the stack, evaluate the argument.
+                match machine.eval_node(fields[0], true) {
+                    Ok(Outcome::Value(n)) => {
+                        alloc_value(machine, HValue::Con(Symbol::intern("OK"), vec![n]))
+                    }
+                    Ok(Outcome::Caught(exn)) => {
+                        trace.push(if exn.is_asynchronous() {
+                            Event::AsyncDelivered(exn.clone())
+                        } else {
+                            Event::ChoseException(exn.clone())
+                        });
+                        let ev = machine.alloc_exception_value(&exn);
+                        alloc_value(machine, HValue::Con(Symbol::intern("Bad"), vec![ev]))
+                    }
+                    Ok(Outcome::Uncaught(exn)) => {
+                        // Cannot happen: the catch mark is at the episode
+                        // base. Defensive:
+                        return finish(machine, rooted, IoResult::Uncaught(exn), trace);
+                    }
+                    Err(e) => {
+                        return finish(machine, rooted, IoResult::MachineError(e), trace)
+                    }
+                }
+            }
+            other => panic!("performed an unknown IO constructor '{other}'"),
+        };
+
+        match konts.pop() {
+            None => {
+                let rendered = machine.render(produced, 32);
+                return finish(machine, rooted, IoResult::Done(rendered), trace);
+            }
+            Some(k) => {
+                current = apply_node(machine, k, produced);
+                machine.push_root(current);
+                rooted += 1;
+            }
+        }
+    }
+}
+
+/// Unregisters this run's roots and packages the outcome.
+fn finish(machine: &mut Machine, rooted: usize, result: IoResult, trace: Trace) -> RunOutcome {
+    for _ in 0..rooted {
+        machine.pop_root();
+    }
+    RunOutcome { result, trace }
+}
+
+fn alloc_value(machine: &mut Machine, v: HValue) -> NodeId {
+    // Machine has no public alloc-value; route through a thunk-free
+    // expression would be wasteful, so we expose it via alloc_expr of a
+    // literal... instead, use the dedicated helper below.
+    machine.alloc_hvalue(v)
+}
+
+/// Builds the application node `k v` in the heap.
+fn apply_node(machine: &mut Machine, k: NodeId, v: NodeId) -> NodeId {
+    let fk = Symbol::fresh("k");
+    let fv = Symbol::fresh("v");
+    let expr = Rc::new(Expr::App(
+        Rc::new(Expr::Var(fk)),
+        Rc::new(Expr::Var(fv)),
+    ));
+    let env = MEnv::empty().bind(fk, k).bind(fv, v);
+    machine.alloc_thunk(expr, env)
+}

@@ -1,0 +1,148 @@
+//! Oracles for `getException`'s non-deterministic choice.
+//!
+//! §3.5: "`getException` is free (although absolutely not required) to
+//! consult some external oracle" when choosing which member of the
+//! exception set to return. The *semantic* runner makes that choice
+//! explicit through [`ExceptionOracle`]; the *machine* runner never needs
+//! one — its choice is whichever exception the stack-trimming
+//! implementation encountered first (the "single representative" trick).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use urk_syntax::Exception;
+
+use urk_denot::ExnSet;
+
+/// What the oracle decided for an exceptional value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OracleChoice {
+    /// Return `Bad x` for this member.
+    Exception(Exception),
+    /// Take the §4.4 self-loop: `getException (Bad s) → getException (Bad
+    /// s)` when `NonTermination ∈ s` — i.e. diverge.
+    Diverge,
+}
+
+/// Chooses a member of an exception set.
+pub trait ExceptionOracle {
+    /// Chooses from `s`, which is guaranteed non-empty or `All`.
+    fn choose(&mut self, s: &ExnSet) -> OracleChoice;
+}
+
+/// A seeded pseudo-random oracle.
+///
+/// For a finite set it picks a uniformly random member. For `⊥` (the set of
+/// all exceptions) it diverges by default — or, when `fictitious` is set,
+/// returns that exception, exhibiting §5.3's observation that
+/// `getException loop` is "justified in returning `Bad DivideByZero`, or
+/// some other quite fictitious exception".
+#[derive(Clone, Debug)]
+pub struct SeededOracle {
+    rng: SmallRng,
+    /// The fictitious exception to report for `⊥`, if any.
+    pub fictitious: Option<Exception>,
+}
+
+impl SeededOracle {
+    /// Creates an oracle from a seed.
+    pub fn new(seed: u64) -> SeededOracle {
+        SeededOracle {
+            rng: SmallRng::seed_from_u64(seed),
+            fictitious: None,
+        }
+    }
+
+    /// Creates an oracle that reports `exn` for `⊥` instead of diverging.
+    pub fn with_fictitious(seed: u64, exn: Exception) -> SeededOracle {
+        SeededOracle {
+            rng: SmallRng::seed_from_u64(seed),
+            fictitious: Some(exn),
+        }
+    }
+}
+
+impl ExceptionOracle for SeededOracle {
+    fn choose(&mut self, s: &ExnSet) -> OracleChoice {
+        match s.members() {
+            Some(members) if !members.is_empty() => {
+                let i = self.rng.gen_range(0..members.len());
+                OracleChoice::Exception(
+                    members.iter().nth(i).expect("index in range").clone(),
+                )
+            }
+            Some(_) => {
+                // Bad {} cannot be the denotation of any term (§4.1); if it
+                // ever reaches getException something is deeply wrong.
+                unreachable!("getException applied to Bad {{}}")
+            }
+            None => match &self.fictitious {
+                Some(e) => OracleChoice::Exception(e.clone()),
+                None => OracleChoice::Diverge,
+            },
+        }
+    }
+}
+
+/// A deterministic oracle: always the least member (or divergence for ⊥).
+#[derive(Clone, Debug, Default)]
+pub struct MinOracle;
+
+impl ExceptionOracle for MinOracle {
+    fn choose(&mut self, s: &ExnSet) -> OracleChoice {
+        match s.some_member() {
+            Some(e) => OracleChoice::Exception(e.clone()),
+            None if s.is_all() => OracleChoice::Diverge,
+            None => unreachable!("getException applied to Bad {{}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_oracle_is_reproducible_and_covers_the_set() {
+        let s = ExnSet::from_iter([
+            Exception::DivideByZero,
+            Exception::Overflow,
+            Exception::UserError("Urk".into()),
+        ]);
+        let run = |seed: u64| {
+            let mut o = SeededOracle::new(seed);
+            (0..8).map(|_| o.choose(&s)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        let mut seen = std::collections::BTreeSet::new();
+        let mut o = SeededOracle::new(0);
+        for _ in 0..64 {
+            if let OracleChoice::Exception(e) = o.choose(&s) {
+                seen.insert(e.to_string());
+            }
+        }
+        assert_eq!(seen.len(), 3, "all members should eventually be chosen");
+    }
+
+    #[test]
+    fn bottom_diverges_unless_fictitious() {
+        let mut o = SeededOracle::new(0);
+        assert_eq!(o.choose(&ExnSet::All), OracleChoice::Diverge);
+        let mut f = SeededOracle::with_fictitious(0, Exception::DivideByZero);
+        assert_eq!(
+            f.choose(&ExnSet::All),
+            OracleChoice::Exception(Exception::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn min_oracle_is_deterministic() {
+        let s = ExnSet::from_iter([Exception::Overflow, Exception::DivideByZero]);
+        let mut o = MinOracle;
+        assert_eq!(
+            o.choose(&s),
+            OracleChoice::Exception(Exception::DivideByZero)
+        );
+        assert_eq!(o.choose(&ExnSet::All), OracleChoice::Diverge);
+    }
+}

@@ -1,0 +1,144 @@
+//! Labelled traces for the §4.4 transition system.
+//!
+//! The behaviour of a program "is the set of traces obtained from the
+//! labelled transition system"; a [`Trace`] records one run's labels:
+//! `?c` for input, `!c` for output, plus the exception choices and
+//! asynchronous deliveries that the rules of §4.4/§5.1 make observable.
+
+use std::fmt;
+
+use urk_syntax::Exception;
+
+/// One observable transition label.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// `?c` — a character was read.
+    Input(char),
+    /// `!c` — a character was written.
+    Output(char),
+    /// A whole string was written (`putStr`).
+    OutputStr(String),
+    /// `getException` chose this member of an exception set (§3.5/§4.4).
+    ChoseException(Exception),
+    /// An asynchronous event was delivered through `getException` (§5.1).
+    AsyncDelivered(Exception),
+    /// `forkIO` spawned this thread (the §4.4 concurrency extension).
+    Forked(u64),
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Input(c) => write!(f, "?{c}"),
+            Event::Output(c) => write!(f, "!{c}"),
+            Event::OutputStr(s) => write!(f, "!{s:?}"),
+            Event::ChoseException(e) => write!(f, "choose[{e}]"),
+            Event::AsyncDelivered(e) => write!(f, "async[{e}]"),
+            Event::Forked(tid) => write!(f, "fork[{tid}]"),
+        }
+    }
+}
+
+/// A sequence of transition labels.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace(pub Vec<Event>);
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace(Vec::new())
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: Event) {
+        self.0.push(e);
+    }
+
+    /// All output characters and strings, concatenated — "what the program
+    /// printed".
+    pub fn output(&self) -> String {
+        let mut out = String::new();
+        for e in &self.0 {
+            match e {
+                Event::Output(c) => out.push(*c),
+                Event::OutputStr(s) => out.push_str(s),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The events.
+    pub fn events(&self) -> &[Event] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An input source for `getChar`.
+pub trait Input {
+    /// The next character, or `None` at end of input.
+    fn get_char(&mut self) -> Option<char>;
+}
+
+/// Input from a fixed string.
+#[derive(Clone, Debug, Default)]
+pub struct StringInput {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl StringInput {
+    /// Creates an input source over `s`.
+    pub fn new(s: &str) -> StringInput {
+        StringInput {
+            chars: s.chars().collect(),
+            pos: 0,
+        }
+    }
+}
+
+impl Input for StringInput {
+    fn get_char(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_renders_labels() {
+        let mut t = Trace::new();
+        t.push(Event::Input('a'));
+        t.push(Event::Output('a'));
+        t.push(Event::ChoseException(Exception::DivideByZero));
+        assert_eq!(t.to_string(), "?a !a choose[DivideByZero]");
+        assert_eq!(t.output(), "a");
+    }
+
+    #[test]
+    fn string_input_yields_then_ends() {
+        let mut i = StringInput::new("ab");
+        assert_eq!(i.get_char(), Some('a'));
+        assert_eq!(i.get_char(), Some('b'));
+        assert_eq!(i.get_char(), None);
+        assert_eq!(i.get_char(), None);
+    }
+}

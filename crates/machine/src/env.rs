@@ -1,0 +1,92 @@
+//! Machine environments: persistent maps from variables to heap nodes.
+
+use std::rc::Rc;
+
+use urk_syntax::Symbol;
+
+use crate::heap::NodeId;
+
+/// A persistent environment (immutable linked list of bindings).
+#[derive(Clone, Default)]
+pub struct MEnv(Option<Rc<MEnvNode>>);
+
+struct MEnvNode {
+    name: Symbol,
+    node: NodeId,
+    rest: MEnv,
+}
+
+impl MEnv {
+    /// The empty environment.
+    pub fn empty() -> MEnv {
+        MEnv(None)
+    }
+
+    /// Extends with one binding.
+    pub fn bind(&self, name: Symbol, node: NodeId) -> MEnv {
+        MEnv(Some(Rc::new(MEnvNode {
+            name,
+            node,
+            rest: self.clone(),
+        })))
+    }
+
+    /// Looks up a variable.
+    pub fn lookup(&self, name: Symbol) -> Option<NodeId> {
+        let mut cur = self;
+        while let Some(n) = &cur.0 {
+            if n.name == name {
+                return Some(n.node);
+            }
+            cur = &n.rest;
+        }
+        None
+    }
+
+    /// Number of bindings (diagnostics only).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            n += 1;
+            cur = &node.rest;
+        }
+        n
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Visits every bound node (including shadowed bindings), outermost
+    /// last. Used by the garbage collector's mark phase.
+    pub fn for_each_node(&self, mut f: impl FnMut(NodeId)) {
+        let mut cur = self;
+        while let Some(n) = &cur.0 {
+            f(n.node);
+            cur = &n.rest;
+        }
+    }
+}
+
+impl std::fmt::Debug for MEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MEnv({} bindings)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_shadow_lookup() {
+        let x = Symbol::intern("x");
+        let env = MEnv::empty().bind(x, NodeId(1)).bind(x, NodeId(2));
+        assert_eq!(env.lookup(x), Some(NodeId(2)));
+        assert_eq!(env.lookup(Symbol::intern("y")), None);
+        assert_eq!(env.len(), 2);
+        assert!(MEnv::empty().is_empty());
+    }
+}

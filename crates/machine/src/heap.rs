@@ -1,0 +1,169 @@
+//! The graph-reduction heap.
+//!
+//! Nodes are mutable cells indexed by [`NodeId`]. The node kinds implement
+//! the paper's §3.3 machinery directly:
+//!
+//! * a [`Node::Thunk`] under evaluation is overwritten with a
+//!   [`Node::Blackhole`] (avoiding the "celebrated space leak");
+//! * when a *synchronous* exception trims the stack past the thunk's update
+//!   frame, the black hole is overwritten with [`Node::Poisoned`] — "if the
+//!   thunk is evaluated again, the same exception will be raised again";
+//! * when an *asynchronous* exception trims the stack (§5.1), the black
+//!   hole is restored to a resumable thunk instead — the value can still be
+//!   computed later. (The black hole retains the original expression and
+//!   environment to make this cheap; see `DESIGN.md` for the relation to
+//!   the resumable-continuation implementation the paper cites.)
+
+use std::rc::Rc;
+
+use urk_syntax::core::Expr;
+use urk_syntax::{Exception, Symbol};
+
+use crate::env::MEnv;
+
+/// An index into the heap.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A heap node.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// An unevaluated suspension.
+    Thunk { expr: Rc<Expr>, env: MEnv },
+    /// A thunk currently under evaluation. Keeps its payload so an
+    /// asynchronous interruption can restore it (§5.1).
+    Blackhole { expr: Rc<Expr>, env: MEnv },
+    /// An indirection to the updated value.
+    Ind(NodeId),
+    /// A weak-head-normal-form value.
+    Value(HValue),
+    /// A thunk whose evaluation raised a synchronous exception; entering it
+    /// re-raises (§3.3).
+    Poisoned(Exception),
+    /// A reclaimed cell on the allocator's free list.
+    Free { next: Option<NodeId> },
+}
+
+/// A weak-head-normal-form value.
+#[derive(Clone, Debug)]
+pub enum HValue {
+    Int(i64),
+    Char(char),
+    Str(Rc<str>),
+    /// A saturated constructor with lazy fields.
+    Con(Symbol, Vec<NodeId>),
+    /// A function closure.
+    Fun {
+        param: Symbol,
+        body: Rc<Expr>,
+        env: MEnv,
+    },
+}
+
+/// The heap: a growable arena of nodes with a free list maintained by the
+/// mark-sweep collector.
+#[derive(Default, Debug)]
+pub struct Heap {
+    nodes: Vec<Node>,
+    free: Option<NodeId>,
+    live: usize,
+}
+
+impl Heap {
+    /// An empty heap.
+    pub fn new() -> Heap {
+        Heap {
+            nodes: Vec::new(),
+            free: None,
+            live: 0,
+        }
+    }
+
+    /// Allocates a node, reusing a reclaimed cell when one is available.
+    pub fn alloc(&mut self, node: Node) -> NodeId {
+        self.live += 1;
+        if let Some(id) = self.free {
+            let Node::Free { next } = self.get(id) else {
+                unreachable!("free list corrupted");
+            };
+            self.free = *next;
+            self.set(id, node);
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("heap exhausted"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Current heap size in nodes (arena capacity, including free cells).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live (non-free) nodes.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Installs the free list after a sweep.
+    pub(crate) fn set_free_list(&mut self, head: Option<NodeId>, freed: u64) {
+        self.free = head;
+        self.live = self.live.saturating_sub(freed as usize);
+    }
+
+    /// The current free-list head (for the collector).
+    pub(crate) fn free_list(&self) -> Option<NodeId> {
+        self.free
+    }
+
+    /// True if nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Reads a node (following no indirections).
+    pub fn get(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Overwrites a node.
+    pub fn set(&mut self, id: NodeId, node: Node) {
+        self.nodes[id.0 as usize] = node;
+    }
+
+    /// Follows indirections to the representative node.
+    pub fn resolve(&self, mut id: NodeId) -> NodeId {
+        while let Node::Ind(next) = self.get(id) {
+            id = *next;
+        }
+        id
+    }
+
+    /// Reads the value at `id`, following indirections; `None` if the node
+    /// is not in WHNF.
+    pub fn value(&self, id: NodeId) -> Option<&HValue> {
+        match self.get(self.resolve(id)) {
+            Node::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_set_resolve() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(Node::Value(HValue::Int(1)));
+        let b = heap.alloc(Node::Ind(a));
+        let c = heap.alloc(Node::Ind(b));
+        assert_eq!(heap.resolve(c), a);
+        assert!(matches!(heap.value(c), Some(HValue::Int(1))));
+        heap.set(a, Node::Value(HValue::Int(2)));
+        assert!(matches!(heap.value(c), Some(HValue::Int(2))));
+        assert_eq!(heap.len(), 3);
+        assert!(!heap.is_empty());
+    }
+}

@@ -1,0 +1,549 @@
+//! # urk-machine
+//!
+//! The operational side of the PLDI 1999 reproduction: a lazy
+//! graph-reduction machine implementing imprecise exceptions with the
+//! paper's §3.3 strategy — catch marks on the evaluation stack, `raise` as
+//! stack trimming, in-flight thunks poisoned with `raise ex` (synchronous)
+//! or restored resumably (asynchronous, §5.1), and black holes as
+//! detectable bottoms (§5.2).
+//!
+//! The machine's *evaluation-order policy* for primitives plays the role
+//! of the paper's optimiser: different policies surface different members
+//! of the (fixed) denotational exception set (§3.5).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::rc::Rc;
+//! use urk_machine::{Machine, MachineConfig, MEnv, Outcome};
+//! use urk_syntax::{parse_expr_src, desugar_expr, DataEnv, Exception};
+//!
+//! let data = DataEnv::new();
+//! let e = desugar_expr(&parse_expr_src("(1/0) + 2")?, &data)?;
+//! let mut m = Machine::new(MachineConfig::default());
+//! // Evaluate under a catch mark, as getException would:
+//! match m.eval(Rc::new(e), &MEnv::empty(), true).expect("no machine error") {
+//!     Outcome::Caught(exn) => assert_eq!(exn, Exception::DivideByZero),
+//!     other => panic!("expected a caught exception, got {other:?}"),
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod env;
+pub mod gc;
+pub mod heap;
+pub mod machine;
+
+pub use env::MEnv;
+pub use heap::{HValue, Heap, Node, NodeId};
+pub use machine::{
+    BlackholeMode, Machine, MachineConfig, MachineError, OrderPolicy, Outcome, Stats,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use urk_syntax::core::Expr;
+    use urk_syntax::{desugar_expr, desugar_program, parse_expr_src, parse_program, DataEnv};
+    use urk_syntax::Exception;
+
+    fn core_of(src: &str) -> Rc<Expr> {
+        let data = DataEnv::new();
+        Rc::new(desugar_expr(&parse_expr_src(src).expect("parses"), &data).expect("desugars"))
+    }
+
+    fn eval_with(config: MachineConfig, src: &str, catch: bool) -> (Machine, Outcome) {
+        let mut m = Machine::new(config);
+        let out = m
+            .eval(core_of(src), &MEnv::empty(), catch)
+            .expect("no machine error");
+        (m, out)
+    }
+
+    fn render(src: &str) -> String {
+        let mut m = Machine::new(MachineConfig::default());
+        let out = m
+            .eval(core_of(src), &MEnv::empty(), false)
+            .expect("no machine error");
+        match out {
+            Outcome::Value(n) => m.render(n, 16),
+            Outcome::Caught(e) | Outcome::Uncaught(e) => format!("(raise {e})"),
+        }
+    }
+
+    fn caught(src: &str) -> Exception {
+        let (_, out) = eval_with(MachineConfig::default(), src, true);
+        match out {
+            Outcome::Caught(e) => e,
+            other => panic!("expected a caught exception, got {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plain evaluation
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn arithmetic_and_structures() {
+        assert_eq!(render("1 + 2 * 3"), "7");
+        assert_eq!(render("[1, 2]"), "Cons 1 (Cons 2 Nil)");
+        assert_eq!(render("(1, 'a')"), "Pair 1 'a'");
+        assert_eq!(render(r#"strAppend "ab" "cd""#), "\"abcd\"");
+        assert_eq!(render("if 1 < 2 then 10 else 20"), "10");
+    }
+
+    #[test]
+    fn laziness_discards_exceptional_arguments() {
+        // (\x -> 3)(1/0) = 3 — call-by-need never forces x.
+        assert_eq!(render(r"(\x -> 3) (1/0)"), "3");
+        assert_eq!(render("let x = 1/0 in 42"), "42");
+    }
+
+    #[test]
+    fn sharing_evaluates_shared_thunks_once() {
+        // let x = <expensive> in x + x should update the thunk once.
+        let (m, out) = eval_with(
+            MachineConfig::default(),
+            "let x = 10 * 10 in x + x",
+            false,
+        );
+        assert!(matches!(out, Outcome::Value(_)));
+        assert_eq!(m.stats().thunk_updates, 1);
+    }
+
+    #[test]
+    fn recursion_through_letrec() {
+        assert_eq!(
+            render("let f = \\n -> if n == 0 then 1 else n * f (n - 1) in f 10"),
+            "3628800"
+        );
+    }
+
+    #[test]
+    fn programs_bind_as_a_recursive_group() {
+        let mut data = DataEnv::new();
+        let prog = desugar_program(
+            &parse_program(
+                "zipWith f [] [] = []\n\
+                 zipWith f (x:xs) (y:ys) = f x y : zipWith f xs ys\n\
+                 zipWith f xs ys = raise (UserError \"Unequal lists\")",
+            )
+            .expect("parses"),
+            &mut data,
+        )
+        .expect("desugars");
+        let mut m = Machine::new(MachineConfig::default());
+        let env = m.bind_recursive(&prog.binds, &MEnv::empty());
+        let e = Rc::new(
+            desugar_expr(
+                &parse_expr_src("zipWith (/) [1, 2] [1, 0]").expect("parses"),
+                &data,
+            )
+            .expect("desugars"),
+        );
+        let out = m.eval(e, &env, false).expect("no machine error");
+        let Outcome::Value(n) = out else {
+            panic!("spine is defined")
+        };
+        assert_eq!(
+            m.render(n, 16),
+            "Cons 1 (Cons (raise DivideByZero) Nil)"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // §3.3: raise = stack trimming; catch marks; poisoning
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn uncaught_exceptions_are_reported() {
+        let (_, out) = eval_with(MachineConfig::default(), "1/0", false);
+        assert!(matches!(out, Outcome::Uncaught(Exception::DivideByZero)));
+    }
+
+    #[test]
+    fn catch_mark_stops_the_trim() {
+        assert_eq!(caught("1 + (2 * (3 - (1/0)))"), Exception::DivideByZero);
+        assert_eq!(
+            caught(r#"raise (UserError "Urk")"#),
+            Exception::UserError("Urk".into())
+        );
+    }
+
+    #[test]
+    fn trimming_poisons_in_flight_thunks() {
+        // Force a shared exceptional thunk twice: the second force must
+        // re-raise the same exception without re-evaluating.
+        let mut m = Machine::new(MachineConfig::default());
+        let t = m.alloc_expr(&Rc::new(Expr::div(Expr::int(1), Expr::int(0))), &MEnv::empty());
+        let first = m.eval_node(t, true).expect("no machine error");
+        assert!(matches!(first, Outcome::Caught(Exception::DivideByZero)));
+        assert_eq!(m.stats().thunks_poisoned, 1);
+        let steps_before = m.stats().steps;
+        let second = m.eval_node(t, true).expect("no machine error");
+        assert!(matches!(second, Outcome::Caught(Exception::DivideByZero)));
+        assert!(
+            m.stats().steps - steps_before <= 4,
+            "poisoned thunk must re-raise without re-evaluation"
+        );
+    }
+
+    #[test]
+    fn no_exception_program_touches_no_exception_machinery() {
+        let (m, out) = eval_with(
+            MachineConfig::default(),
+            "let f = \\n -> if n == 0 then 0 else n + f (n - 1) in f 100",
+            false,
+        );
+        assert!(matches!(out, Outcome::Value(_)));
+        assert_eq!(m.stats().thunks_poisoned, 0);
+        assert_eq!(m.stats().frames_trimmed, 0);
+        assert_eq!(m.stats().blackholes_detected, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // §3.5: evaluation order is a policy; the denotation is not
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn order_policy_selects_the_representative_exception() {
+        let src = r#"(1/0) + raise (UserError "Urk")"#;
+        let l2r = MachineConfig {
+            order: OrderPolicy::LeftToRight,
+            ..MachineConfig::default()
+        };
+        let r2l = MachineConfig {
+            order: OrderPolicy::RightToLeft,
+            ..MachineConfig::default()
+        };
+        let (_, a) = eval_with(l2r, src, true);
+        let (_, b) = eval_with(r2l, src, true);
+        assert!(matches!(a, Outcome::Caught(Exception::DivideByZero)));
+        assert!(matches!(b, Outcome::Caught(Exception::UserError(_))));
+    }
+
+    #[test]
+    fn seeded_order_is_deterministic_per_seed() {
+        let src = r#"(1/0) + raise (UserError "Urk")"#;
+        let run = |seed| {
+            let (_, out) = eval_with(
+                MachineConfig {
+                    order: OrderPolicy::Seeded(seed),
+                    ..MachineConfig::default()
+                },
+                src,
+                true,
+            );
+            match out {
+                Outcome::Caught(e) => e,
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(run(7), run(7));
+        // Some pair of seeds should disagree; sweep a few.
+        let exceptions: std::collections::BTreeSet<_> =
+            (0..16).map(run).map(|e| e.to_string()).collect();
+        assert_eq!(exceptions.len(), 2, "both representatives should occur");
+    }
+
+    #[test]
+    fn value_results_are_order_independent() {
+        for policy in [
+            OrderPolicy::LeftToRight,
+            OrderPolicy::RightToLeft,
+            OrderPolicy::Seeded(3),
+        ] {
+            let (_, out) = eval_with(
+                MachineConfig {
+                    order: policy,
+                    ..MachineConfig::default()
+                },
+                "(2 + 3) * (4 - 1)",
+                false,
+            );
+            let Outcome::Value(n) = out else { panic!() };
+            let _ = n;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §5.2: detectable bottoms
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn black_hole_detection_raises_nontermination() {
+        let (m, out) = eval_with(
+            MachineConfig::default(),
+            "let black = black + 1 in black",
+            true,
+        );
+        assert!(matches!(out, Outcome::Caught(Exception::NonTermination)));
+        assert!(m.stats().blackholes_detected >= 1);
+    }
+
+    #[test]
+    fn black_hole_loop_mode_spins_to_the_step_limit() {
+        let mut m = Machine::new(MachineConfig {
+            blackholes: BlackholeMode::Loop,
+            max_steps: 5_000,
+            ..MachineConfig::default()
+        });
+        let e = core_of("let black = black + 1 in black");
+        let r = m.eval(e, &MEnv::empty(), true);
+        assert_eq!(r.expect_err("should spin"), MachineError::StepLimit);
+    }
+
+    // ------------------------------------------------------------------
+    // §5.1: asynchronous exceptions
+    // ------------------------------------------------------------------
+
+    fn slow_expr() -> Rc<Expr> {
+        core_of("let f = \\n -> if n == 0 then 42 else f (n - 1) in f 100000")
+    }
+
+    #[test]
+    fn interrupts_are_delivered_and_thunks_are_resumable() {
+        let mut m = Machine::new(MachineConfig {
+            event_schedule: vec![(1_000, Exception::Interrupt)],
+            ..MachineConfig::default()
+        });
+        // Make the computation a shared heap node so we can resume it.
+        let work = m.alloc_expr(&slow_expr(), &MEnv::empty());
+        let first = m.eval_node(work, true).expect("no machine error");
+        assert!(matches!(first, Outcome::Caught(Exception::Interrupt)));
+        assert!(m.stats().thunks_restored >= 1, "{:?}", m.stats());
+        assert_eq!(m.stats().thunks_poisoned, 0);
+        // The schedule is exhausted; evaluation resumes and completes.
+        let second = m.eval_node(work, true).expect("no machine error");
+        let Outcome::Value(n) = second else {
+            panic!("resumed evaluation should complete, got {second:?}")
+        };
+        assert_eq!(m.render(n, 4), "42");
+    }
+
+    #[test]
+    fn timeout_on_step_limit_is_an_asynchronous_exception() {
+        let mut m = Machine::new(MachineConfig {
+            max_steps: 2_000,
+            timeout_on_step_limit: true,
+            ..MachineConfig::default()
+        });
+        let out = m
+            .eval(slow_expr(), &MEnv::empty(), true)
+            .expect("timeout is delivered as an exception");
+        assert!(matches!(out, Outcome::Caught(Exception::Timeout)));
+    }
+
+    #[test]
+    fn stack_exhaustion_raises_stack_overflow() {
+        let mut m = Machine::new(MachineConfig {
+            max_stack: 500,
+            ..MachineConfig::default()
+        });
+        // Non-tail recursion grows the evaluation stack.
+        let e = core_of("let f = \\n -> 1 + f (n + 1) in f 0");
+        let out = m.eval(e, &MEnv::empty(), true).expect("no machine error");
+        assert!(matches!(out, Outcome::Caught(Exception::StackOverflow)));
+    }
+
+    #[test]
+    fn heap_exhaustion_raises_heap_overflow() {
+        let mut m = Machine::new(MachineConfig {
+            max_heap: 2_000,
+            ..MachineConfig::default()
+        });
+        let e = core_of("let f = \\n -> n : f (n + 1) in let len = \\xs -> case xs of { [] -> 0; y:ys -> 1 + len ys } in len (f 0)");
+        let out = m.eval(e, &MEnv::empty(), true).expect("no machine error");
+        assert!(matches!(out, Outcome::Caught(Exception::HeapOverflow)));
+    }
+
+    #[test]
+    fn uncaught_async_exception_aborts_the_program() {
+        let mut m = Machine::new(MachineConfig {
+            event_schedule: vec![(500, Exception::Interrupt)],
+            ..MachineConfig::default()
+        });
+        let out = m
+            .eval(slow_expr(), &MEnv::empty(), false)
+            .expect("no machine error");
+        assert!(matches!(out, Outcome::Uncaught(Exception::Interrupt)));
+    }
+
+    // ------------------------------------------------------------------
+    // §5.4: mapException and unsafeIsException, operationally
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn map_exception_rewrites_the_representative() {
+        assert_eq!(
+            caught(r#"mapException (\x -> UserError "Urk") (1/0)"#),
+            Exception::UserError("Urk".into())
+        );
+        // Normal values pass through untouched.
+        assert_eq!(render(r#"mapException (\x -> UserError "Urk") 42"#), "42");
+    }
+
+    #[test]
+    fn map_exception_does_not_catch_async() {
+        let mut m = Machine::new(MachineConfig {
+            event_schedule: vec![(1_000, Exception::Interrupt)],
+            ..MachineConfig::default()
+        });
+        let e = core_of(
+            r#"mapException (\x -> UserError "remapped")
+                 (let f = \n -> if n == 0 then 1 else f (n - 1) in f 100000)"#,
+        );
+        let out = m.eval(e, &MEnv::empty(), true).expect("no machine error");
+        assert!(
+            matches!(out, Outcome::Caught(Exception::Interrupt)),
+            "async exceptions pass through mapException: {out:?}"
+        );
+    }
+
+    #[test]
+    fn unsafe_is_exception_observes_evaluation() {
+        assert_eq!(render("unsafeIsException (1/0)"), "True");
+        assert_eq!(render("unsafeIsException 3"), "False");
+    }
+
+    #[test]
+    fn unsafe_is_exception_order_gap_from_section_5_4() {
+        // isException ((1/0) + loop): left-to-right finds DivideByZero and
+        // answers True; right-to-left dives into the loop and diverges.
+        // (BlackholeMode::Loop models an implementation without detectable
+        // bottoms.)
+        let src = "let loop = loop in unsafeIsException ((1/0) + loop)";
+        let mut l2r = Machine::new(MachineConfig {
+            order: OrderPolicy::LeftToRight,
+            blackholes: BlackholeMode::Loop,
+            max_steps: 20_000,
+            ..MachineConfig::default()
+        });
+        let out = l2r
+            .eval(core_of(src), &MEnv::empty(), false)
+            .expect("terminates");
+        let Outcome::Value(n) = out else { panic!("{out:?}") };
+        assert_eq!(l2r.render(n, 2), "True");
+
+        let mut r2l = Machine::new(MachineConfig {
+            order: OrderPolicy::RightToLeft,
+            blackholes: BlackholeMode::Loop,
+            max_steps: 20_000,
+            ..MachineConfig::default()
+        });
+        let r = r2l.eval(core_of(src), &MEnv::empty(), false);
+        assert_eq!(r.expect_err("diverges"), MachineError::StepLimit);
+    }
+
+    // ------------------------------------------------------------------
+    // Pattern-match failures from compiled matches
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn missing_case_raises_pattern_match_fail() {
+        let e = caught("case Nothing of { Just n -> n }");
+        assert!(matches!(e, Exception::PatternMatchFail(_)));
+    }
+
+    #[test]
+    fn raise_with_exceptional_payload_propagates_payload_exception() {
+        // raise (UserError (showInt (1/0))): forcing the payload raises
+        // DivideByZero, which replaces the UserError.
+        assert_eq!(
+            caught("raise (UserError (showInt (1/0)))"),
+            Exception::DivideByZero
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn gc_reclaims_garbage_and_preserves_results() {
+        // A loop that churns: each iteration allocates list cells that die
+        // immediately. With a low threshold the collector must run, the
+        // arena must stay bounded, and the answer must be right.
+        let src = "let { len = \\xs -> case xs of { [] -> 0; y:ys -> 1 + len ys }
+                       ; mk = \\n -> if n == 0 then [] else n : mk (n - 1)
+                       ; go = \\i acc -> if i == 0 then acc
+                                         else go (i - 1) (acc + len (mk 50)) }
+                   in go 200 0";
+        let mut m = Machine::new(MachineConfig {
+            gc_threshold: 20_000,
+            ..MachineConfig::default()
+        });
+        let out = m
+            .eval(core_of(src), &MEnv::empty(), false)
+            .expect("no machine error");
+        let Outcome::Value(n) = out else { panic!("{out:?}") };
+        assert_eq!(m.render(n, 4), "10000");
+        assert!(m.stats().gc_runs >= 1, "collector should have run: {:?}", m.stats());
+        assert!(m.stats().gc_freed > 0);
+        assert!(
+            m.heap().len() < 60_000,
+            "arena should stay bounded, got {} nodes",
+            m.heap().len()
+        );
+        // Total allocations far exceed the arena: cells were reused.
+        assert!(m.stats().allocations as usize > m.heap().len() * 2);
+    }
+
+    #[test]
+    fn gc_keeps_rooted_program_environments_alive() {
+        let mut data = DataEnv::new();
+        let prog = desugar_program(
+            &parse_program("double x = x + x\nten = double 5").expect("parses"),
+            &mut data,
+        )
+        .expect("desugars");
+        let mut m = Machine::new(MachineConfig {
+            gc_threshold: 1_000,
+            ..MachineConfig::default()
+        });
+        let env = m.bind_recursive(&prog.binds, &MEnv::empty());
+        // Churn to force collections, then use the program again.
+        let churn = core_of(
+            "let f = \\n -> if n == 0 then 0 else f (n - 1) in f 20000",
+        );
+        let _ = m.eval(churn, &MEnv::empty(), false).expect("ok");
+        assert!(m.stats().gc_runs >= 1);
+        let e = Rc::new(
+            desugar_expr(&parse_expr_src("ten + double 100").expect("parses"), &data)
+                .expect("desugars"),
+        );
+        let out = m.eval(e, &env, false).expect("ok");
+        let Outcome::Value(n) = out else { panic!("{out:?}") };
+        assert_eq!(m.render(n, 4), "210");
+    }
+
+    #[test]
+    fn gc_can_be_disabled() {
+        let mut m = Machine::new(MachineConfig {
+            gc: false,
+            gc_threshold: 100,
+            ..MachineConfig::default()
+        });
+        let out = m
+            .eval(core_of("let f = \\n -> if n == 0 then 7 else f (n - 1) in f 5000"),
+                &MEnv::empty(), false)
+            .expect("ok");
+        assert!(matches!(out, Outcome::Value(_)));
+        assert_eq!(m.stats().gc_runs, 0);
+    }
+
+    #[test]
+    fn stats_track_allocation_and_stack() {
+        let (m, _) = eval_with(
+            MachineConfig::default(),
+            "let len = \\xs -> case xs of { [] -> 0; y:ys -> 1 + len ys } in 1 + len [1, 2, 3]",
+            false,
+        );
+        assert!(m.stats().allocations > 0);
+        assert!(m.stats().max_stack_depth >= 2);
+        let mut m2 = Machine::new(MachineConfig::default());
+        m2.reset_stats();
+        assert_eq!(m2.stats().steps, 0);
+    }
+}

@@ -1,0 +1,932 @@
+//! The lazy graph-reduction machine with §3.3's stack-trimming exception
+//! implementation.
+//!
+//! One evaluation episode runs a standard eval/apply abstract machine:
+//!
+//! * `raise` **trims the evaluation stack** to the topmost catch mark,
+//!   overwriting each in-flight thunk with `raise ex` (poisoning) on the
+//!   way — re-entering such a thunk re-raises the same exception;
+//! * `getException` (driven by `urk-io`) marks the stack with a
+//!   catch-mark frame and evaluates its argument to WHNF;
+//! * the **evaluation order of primitives is a policy**
+//!   ([`OrderPolicy`]), not part of the semantics: the machine reports
+//!   whichever member of the denotational exception set it happens to hit
+//!   first, which is precisely the paper's "single representative" trick
+//!   (§3.5);
+//! * asynchronous events (§5.1) are injected from a deterministic schedule;
+//!   delivery trims the stack *restoring* in-flight thunks (resumable, not
+//!   poisoned);
+//! * entering a black hole is a *detectable bottom* (§5.2) and raises
+//!   `NonTermination` when [`BlackholeMode::Detect`] is selected.
+
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use urk_syntax::core::{Alt, AltCon, Expr, PrimOp};
+use urk_syntax::{Exception, Symbol};
+
+use crate::env::MEnv;
+use crate::heap::{HValue, Heap, Node, NodeId};
+
+/// In which order the machine evaluates the operands of a binary primitive.
+///
+/// The paper's observation (§3.5): recompiling with different optimisation
+/// settings may change the evaluation order and hence the exception that
+/// surfaces — while the denotation is unchanged. This policy knob plays the
+/// role of "the optimiser".
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum OrderPolicy {
+    #[default]
+    LeftToRight,
+    RightToLeft,
+    /// Pseudo-random per-operation order from the given seed.
+    Seeded(u64),
+}
+
+/// What entering a black hole does (§5.2: implementations are "permitted,
+/// but not required" to detect them).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum BlackholeMode {
+    /// Raise `NonTermination` — the detectable-bottom behaviour.
+    #[default]
+    Detect,
+    /// Spin (burning steps) as a naive implementation would; the step
+    /// limit eventually aborts the run.
+    Loop,
+}
+
+/// Machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    pub order: OrderPolicy,
+    pub blackholes: BlackholeMode,
+    /// Abort (or deliver `Timeout`) after this many steps.
+    pub max_steps: u64,
+    /// Deliver `StackOverflow` past this stack depth.
+    pub max_stack: usize,
+    /// Deliver `HeapOverflow` past this many heap nodes.
+    pub max_heap: usize,
+    /// When the step limit is hit, deliver an asynchronous `Timeout`
+    /// exception instead of returning [`MachineError::StepLimit`].
+    pub timeout_on_step_limit: bool,
+    /// Asynchronous events to inject: `(at_step, exception)`, sorted by
+    /// step. Events are global across episodes (steps accumulate).
+    pub event_schedule: Vec<(u64, Exception)>,
+    /// Run the mark-sweep collector when the live node count reaches this
+    /// threshold (checked periodically during evaluation).
+    pub gc_threshold: usize,
+    /// Enable the garbage collector.
+    pub gc: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            order: OrderPolicy::LeftToRight,
+            blackholes: BlackholeMode::Detect,
+            max_steps: 50_000_000,
+            max_stack: 1_000_000,
+            max_heap: 64_000_000,
+            timeout_on_step_limit: false,
+            event_schedule: Vec::new(),
+            gc_threshold: 1_000_000,
+            gc: true,
+        }
+    }
+}
+
+/// Counters exposed for the benchmark harness and tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    pub steps: u64,
+    pub allocations: u64,
+    pub thunk_updates: u64,
+    pub max_stack_depth: usize,
+    /// Frames discarded while trimming for a raise.
+    pub frames_trimmed: u64,
+    /// Thunks overwritten with `raise ex` during synchronous trims (§3.3).
+    pub thunks_poisoned: u64,
+    /// Thunks restored (resumable) during asynchronous trims (§5.1).
+    pub thunks_restored: u64,
+    /// Black holes detected (§5.2).
+    pub blackholes_detected: u64,
+    /// Garbage collections performed.
+    pub gc_runs: u64,
+    /// Nodes reclaimed by the collector.
+    pub gc_freed: u64,
+}
+
+/// How an evaluation episode ended.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// WHNF reached.
+    Value(NodeId),
+    /// An exception reached the episode's catch mark (only when the
+    /// episode was started with one).
+    Caught(Exception),
+    /// An exception reached the bottom of the stack with no catch mark —
+    /// the "uncaught exception, which the implementation should report" of
+    /// §4.4.
+    Uncaught(Exception),
+}
+
+/// A hard machine error (not an in-language exception).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MachineError {
+    /// The step limit was reached with `timeout_on_step_limit` off.
+    StepLimit,
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::StepLimit => f.write_str("machine step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+enum Control {
+    Eval(Rc<Expr>, MEnv),
+    Enter(NodeId),
+    Return(NodeId),
+    Raising(Exception),
+}
+
+enum Frame {
+    /// Update this thunk with the result.
+    Update(NodeId),
+    /// Apply the result to this argument.
+    Apply(NodeId),
+    /// Scrutinise the result with these alternatives.
+    Select { alts: Rc<[Alt]>, env: MEnv },
+    /// A binary/unary strict primitive collecting its operands.
+    PrimArgs {
+        op: PrimOp,
+        args: Vec<Rc<Expr>>,
+        env: MEnv,
+        order: Vec<usize>,
+        results: Vec<Option<NodeId>>,
+        next: usize,
+    },
+    /// `seq`: discard the result, then evaluate this.
+    SeqSecond { expr: Rc<Expr>, env: MEnv },
+    /// Convert the returned `Exception` constructor value and raise it.
+    RaiseEval,
+    /// The payload of this exception constructor is being forced.
+    RaisePayload { con: Symbol },
+    /// `unsafeIsException`: a value means `False`, a synchronous raise
+    /// means `True`.
+    IsExnCatch,
+    /// §6's `unsafeGetException`: a value means `OK v`, a synchronous
+    /// raise means `Bad e` — purely, with the proof obligation.
+    UnsafeGetExnCatch,
+    /// `mapException f`: a synchronous raise is rewritten through `f`.
+    MapExnCatch { f: Rc<Expr>, env: MEnv },
+    /// A `getException` catch mark (the episode boundary for handlers).
+    Catch,
+}
+
+/// The graph-reduction machine. The heap persists across episodes, so the
+/// IO layer can keep the program graph (and partial evaluations) alive
+/// between actions.
+pub struct Machine {
+    pub config: MachineConfig,
+    heap: Heap,
+    stats: Stats,
+    rng: SmallRng,
+    next_event: usize,
+    /// The watchdog deadline: when `timeout_on_step_limit` is set, a
+    /// `Timeout` is delivered at this step count and the watchdog re-arms
+    /// (deadline += max_steps), like a real external monitor.
+    next_timeout_at: u64,
+    /// Registered roots: nodes the embedder still needs across GC (the
+    /// top-level program environment, the IO runner's continuations, ...).
+    roots: Vec<NodeId>,
+    /// The collector re-arms at this live count (grows if a collection
+    /// fails to get below the configured threshold).
+    next_gc_at: usize,
+}
+
+impl Machine {
+    /// Creates a machine.
+    pub fn new(config: MachineConfig) -> Machine {
+        let seed = match config.order {
+            OrderPolicy::Seeded(s) => s,
+            _ => 0,
+        };
+        let next_timeout_at = config.max_steps;
+        let next_gc_at = config.gc_threshold;
+        Machine {
+            config,
+            heap: Heap::new(),
+            stats: Stats::default(),
+            rng: SmallRng::seed_from_u64(seed),
+            next_event: 0,
+            next_timeout_at,
+            roots: Vec::new(),
+            next_gc_at,
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Resets counters (the heap is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+    }
+
+    /// Read-only access to the heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Registers a node as a GC root (stack discipline with
+    /// [`Machine::pop_root`]). The top-level program environment and any
+    /// node the embedder holds across evaluations must be rooted.
+    pub fn push_root(&mut self, id: NodeId) {
+        self.roots.push(id);
+    }
+
+    /// Unregisters the most recently pushed root.
+    pub fn pop_root(&mut self) -> Option<NodeId> {
+        self.roots.pop()
+    }
+
+    /// Runs a collection now with the registered roots plus `extra`.
+    /// Returns the number of nodes reclaimed.
+    pub fn collect_with(&mut self, extra: &[NodeId]) -> u64 {
+        let mut c = crate::gc::Collector::new(self.heap.len());
+        for r in self.roots.iter().chain(extra) {
+            c.mark_root(*r);
+        }
+        c.trace(&self.heap);
+        let prev_free = self.heap.free_list();
+        let (freed, head) = c.sweep(&mut self.heap, prev_free);
+        self.heap.set_free_list(head, freed);
+        self.stats.gc_runs += 1;
+        self.stats.gc_freed += freed;
+        freed
+    }
+
+    /// Collects mid-run: marks the transient roots of the current control
+    /// and stack, then the registered roots.
+    fn collect_during_run(&mut self, control: &Control, stack: &[Frame]) {
+        let mut c = crate::gc::Collector::new(self.heap.len());
+        match control {
+            Control::Eval(_, env) => c.mark_env(env),
+            Control::Enter(n) | Control::Return(n) => c.mark_root(*n),
+            Control::Raising(_) => {}
+        }
+        for f in stack {
+            match f {
+                Frame::Update(n) | Frame::Apply(n) => c.mark_root(*n),
+                Frame::Select { env, .. }
+                | Frame::SeqSecond { env, .. }
+                | Frame::MapExnCatch { env, .. } => c.mark_env(env),
+                Frame::PrimArgs { env, results, .. } => {
+                    c.mark_env(env);
+                    for r in results.iter().flatten() {
+                        c.mark_root(*r);
+                    }
+                }
+                Frame::RaiseEval
+                | Frame::RaisePayload { .. }
+                | Frame::IsExnCatch
+                | Frame::UnsafeGetExnCatch
+                | Frame::Catch => {}
+            }
+        }
+        for r in &self.roots {
+            c.mark_root(*r);
+        }
+        c.trace(&self.heap);
+        let prev_free = self.heap.free_list();
+        let (freed, head) = c.sweep(&mut self.heap, prev_free);
+        self.heap.set_free_list(head, freed);
+        self.stats.gc_runs += 1;
+        self.stats.gc_freed += freed;
+        // Re-arm: if the collection did not reclaim much, back off so we
+        // do not thrash.
+        let live = self.heap.live();
+        self.next_gc_at = (live + live / 2).max(self.config.gc_threshold);
+    }
+
+    /// Allocates a thunk for `expr` (reusing the variable's node when the
+    /// expression is just a variable, preserving sharing).
+    pub fn alloc_expr(&mut self, expr: &Rc<Expr>, env: &MEnv) -> NodeId {
+        if let Expr::Var(v) = &**expr {
+            if let Some(n) = env.lookup(*v) {
+                return n;
+            }
+            panic!("unbound variable '{v}' while allocating a thunk");
+        }
+        self.alloc(Node::Thunk {
+            expr: expr.clone(),
+            env: env.clone(),
+        })
+    }
+
+    /// Allocates a WHNF value node (used by the IO layer to feed results
+    /// back into the graph).
+    pub fn alloc_hvalue(&mut self, v: HValue) -> NodeId {
+        self.alloc(Node::Value(v))
+    }
+
+    /// Allocates an explicit thunk node.
+    pub fn alloc_thunk(&mut self, expr: Rc<Expr>, env: MEnv) -> NodeId {
+        self.alloc(Node::Thunk { expr, env })
+    }
+
+    /// Overwrites a node (resolving indirections first) with a new WHNF
+    /// value — the mutation primitive behind `MVar`s.
+    pub fn overwrite_hvalue(&mut self, id: NodeId, v: HValue) {
+        let id = self.heap.resolve(id);
+        self.heap.set(id, Node::Value(v));
+    }
+
+    /// Resolves indirections to the representative node.
+    pub fn resolve_node(&self, id: NodeId) -> NodeId {
+        self.heap.resolve(id)
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        self.stats.allocations += 1;
+        self.heap.alloc(node)
+    }
+
+    fn alloc_value(&mut self, v: HValue) -> NodeId {
+        self.alloc(Node::Value(v))
+    }
+
+    /// Ties the knot for a recursive binding group at the *top level*,
+    /// registering the bound nodes as GC roots, and returns the extended
+    /// environment.
+    pub fn bind_recursive(&mut self, binds: &[(Symbol, Rc<Expr>)], env: &MEnv) -> MEnv {
+        let env2 = self.bind_recursive_inner(binds, env);
+        env2.for_each_node(|n| self.roots.push(n));
+        env2
+    }
+
+    /// Ties the knot for a `letrec` group without rooting (the bindings
+    /// are reachable from the enclosing environment).
+    fn bind_recursive_inner(&mut self, binds: &[(Symbol, Rc<Expr>)], env: &MEnv) -> MEnv {
+        let nodes: Vec<NodeId> = binds
+            .iter()
+            .map(|(_, rhs)| {
+                self.alloc(Node::Thunk {
+                    expr: rhs.clone(),
+                    env: MEnv::empty(),
+                })
+            })
+            .collect();
+        let mut env2 = env.clone();
+        for ((name, _), n) in binds.iter().zip(&nodes) {
+            env2 = env2.bind(*name, *n);
+        }
+        for ((_, rhs), n) in binds.iter().zip(&nodes) {
+            self.heap.set(
+                *n,
+                Node::Thunk {
+                    expr: rhs.clone(),
+                    env: env2.clone(),
+                },
+            );
+        }
+        env2
+    }
+
+    /// Evaluates `expr` to WHNF in one episode. With `catch`, a catch mark
+    /// is planted at the base of the stack (this is `getException`'s mode).
+    pub fn eval(
+        &mut self,
+        expr: Rc<Expr>,
+        env: &MEnv,
+        catch: bool,
+    ) -> Result<Outcome, MachineError> {
+        self.run(Control::Eval(expr, env.clone()), catch)
+    }
+
+    /// Forces an existing node to WHNF.
+    pub fn eval_node(&mut self, node: NodeId, catch: bool) -> Result<Outcome, MachineError> {
+        self.run(Control::Enter(node), catch)
+    }
+
+    fn run(&mut self, mut control: Control, catch: bool) -> Result<Outcome, MachineError> {
+        let mut stack: Vec<Frame> = Vec::with_capacity(64);
+        if catch {
+            stack.push(Frame::Catch);
+        }
+        loop {
+            // --- step accounting, limits, and asynchronous events -------
+            self.stats.steps += 1;
+            if stack.len() > self.stats.max_stack_depth {
+                self.stats.max_stack_depth = stack.len();
+            }
+            if let Some((at, exn)) = self.config.event_schedule.get(self.next_event) {
+                if self.stats.steps >= *at && !matches!(control, Control::Raising(_)) {
+                    self.next_event += 1;
+                    // §5.1: "v might not be an exceptional value ... but
+                    // getException is nevertheless free to discard v and
+                    // return the asynchronous exception instead."
+                    control = Control::Raising(exn.clone());
+                }
+            }
+            if self.stats.steps >= self.next_timeout_at {
+                if self.config.timeout_on_step_limit {
+                    // Deliver Timeout and re-arm the watchdog.
+                    self.next_timeout_at = self.stats.steps + self.config.max_steps;
+                    if !matches!(control, Control::Raising(ref e) if e.is_asynchronous()) {
+                        control = Control::Raising(Exception::Timeout);
+                    }
+                } else {
+                    return Err(MachineError::StepLimit);
+                }
+            }
+            if stack.len() >= self.config.max_stack
+                && !matches!(control, Control::Raising(_))
+            {
+                control = Control::Raising(Exception::StackOverflow);
+            }
+            if self.config.gc
+                && self.heap.live() >= self.next_gc_at
+                && self.heap.live() < self.config.max_heap
+            {
+                self.collect_during_run(&control, &stack);
+            }
+            if self.heap.live() >= self.config.max_heap
+                && !matches!(control, Control::Raising(_))
+            {
+                control = Control::Raising(Exception::HeapOverflow);
+            }
+
+            // --- the transition function --------------------------------
+            control = match control {
+                Control::Eval(expr, env) => self.step_eval(expr, env, &mut stack),
+                Control::Enter(node) => self.step_enter(node, &mut stack),
+                Control::Return(node) => match self.step_return(node, &mut stack) {
+                    StepResult::Continue(c) => c,
+                    StepResult::Done(outcome) => return Ok(outcome),
+                },
+                Control::Raising(exn) => match self.step_raise(exn, &mut stack) {
+                    StepResult::Continue(c) => c,
+                    StepResult::Done(outcome) => return Ok(outcome),
+                },
+            };
+        }
+    }
+
+    fn step_eval(&mut self, expr: Rc<Expr>, env: MEnv, stack: &mut Vec<Frame>) -> Control {
+        match &*expr {
+            Expr::Var(v) => {
+                let node = env
+                    .lookup(*v)
+                    .unwrap_or_else(|| panic!("unbound variable '{v}'"));
+                Control::Enter(node)
+            }
+            Expr::Int(n) => Control::Return(self.alloc_value(HValue::Int(*n))),
+            Expr::Char(c) => Control::Return(self.alloc_value(HValue::Char(*c))),
+            Expr::Str(s) => Control::Return(self.alloc_value(HValue::Str(s.clone()))),
+            Expr::Con(c, args) => {
+                let fields = args.iter().map(|a| self.alloc_expr(a, &env)).collect();
+                Control::Return(self.alloc_value(HValue::Con(*c, fields)))
+            }
+            Expr::Lam(x, b) => Control::Return(self.alloc_value(HValue::Fun {
+                param: *x,
+                body: b.clone(),
+                env,
+            })),
+            Expr::App(f, x) => {
+                let arg = self.alloc_expr(x, &env);
+                stack.push(Frame::Apply(arg));
+                Control::Eval(f.clone(), env)
+            }
+            Expr::Let(x, rhs, body) => {
+                let t = self.alloc_expr(rhs, &env);
+                Control::Eval(body.clone(), env.bind(*x, t))
+            }
+            Expr::LetRec(binds, body) => {
+                let env2 = self.bind_recursive_inner(binds, &env);
+                Control::Eval(body.clone(), env2)
+            }
+            Expr::Case(scrut, alts) => {
+                stack.push(Frame::Select {
+                    alts: Rc::from(alts.as_slice()),
+                    env: env.clone(),
+                });
+                Control::Eval(scrut.clone(), env)
+            }
+            Expr::Prim(op, args) => self.step_prim(*op, args, env, stack),
+            Expr::Raise(e) => {
+                stack.push(Frame::RaiseEval);
+                Control::Eval(e.clone(), env)
+            }
+        }
+    }
+
+    fn step_prim(
+        &mut self,
+        op: PrimOp,
+        args: &[Rc<Expr>],
+        env: MEnv,
+        stack: &mut Vec<Frame>,
+    ) -> Control {
+        match op {
+            PrimOp::Seq => {
+                stack.push(Frame::SeqSecond {
+                    expr: args[1].clone(),
+                    env: env.clone(),
+                });
+                Control::Eval(args[0].clone(), env)
+            }
+            PrimOp::MapExn => {
+                stack.push(Frame::MapExnCatch {
+                    f: args[0].clone(),
+                    env: env.clone(),
+                });
+                Control::Eval(args[1].clone(), env)
+            }
+            PrimOp::UnsafeIsException => {
+                stack.push(Frame::IsExnCatch);
+                Control::Eval(args[0].clone(), env)
+            }
+            PrimOp::UnsafeGetException => {
+                stack.push(Frame::UnsafeGetExnCatch);
+                Control::Eval(args[0].clone(), env)
+            }
+            _ => {
+                // Decide the operand order — the machine's "optimisation
+                // level" (§3.5).
+                let order: Vec<usize> = if args.len() == 1 {
+                    vec![0]
+                } else {
+                    let left_first = match self.config.order {
+                        OrderPolicy::LeftToRight => true,
+                        OrderPolicy::RightToLeft => false,
+                        OrderPolicy::Seeded(_) => self.rng.gen_bool(0.5),
+                    };
+                    if left_first { vec![0, 1] } else { vec![1, 0] }
+                };
+                let first = order[0];
+                stack.push(Frame::PrimArgs {
+                    op,
+                    args: args.to_vec(),
+                    env: env.clone(),
+                    results: vec![None; args.len()],
+                    order,
+                    next: 0,
+                });
+                Control::Eval(args[first].clone(), env)
+            }
+        }
+    }
+
+    fn step_enter(&mut self, node: NodeId, stack: &mut Vec<Frame>) -> Control {
+        let node = self.heap.resolve(node);
+        match self.heap.get(node) {
+            Node::Value(_) => Control::Return(node),
+            Node::Ind(_) => unreachable!("resolved"),
+            Node::Free { .. } => {
+                panic!("entered a freed node — a live node escaped the GC roots")
+            }
+            Node::Poisoned(exn) => {
+                // §3.3: a poisoned thunk re-raises the same exception.
+                Control::Raising(exn.clone())
+            }
+            Node::Blackhole { .. } => match self.config.blackholes {
+                BlackholeMode::Detect => {
+                    self.stats.blackholes_detected += 1;
+                    Control::Raising(Exception::NonTermination)
+                }
+                // Spin in place; the step limit will eventually fire.
+                BlackholeMode::Loop => Control::Enter(node),
+            },
+            Node::Thunk { expr, env } => {
+                let (expr, env) = (expr.clone(), env.clone());
+                self.heap.set(
+                    node,
+                    Node::Blackhole {
+                        expr: expr.clone(),
+                        env: env.clone(),
+                    },
+                );
+                stack.push(Frame::Update(node));
+                Control::Eval(expr, env)
+            }
+        }
+    }
+
+    fn step_return(&mut self, node: NodeId, stack: &mut Vec<Frame>) -> StepResult {
+        let Some(frame) = stack.pop() else {
+            return StepResult::Done(Outcome::Value(node));
+        };
+        StepResult::Continue(match frame {
+            Frame::Update(target) => {
+                self.stats.thunk_updates += 1;
+                self.heap.set(target, Node::Ind(node));
+                Control::Return(node)
+            }
+            Frame::Apply(arg) => {
+                let Some(HValue::Fun { param, body, env }) = self.heap.value(node) else {
+                    panic!("application of a non-function (ill-typed program)");
+                };
+                let (param, body, env) = (*param, body.clone(), env.clone());
+                Control::Eval(body, env.bind(param, arg))
+            }
+            Frame::Select { alts, env } => self.select(node, &alts, &env),
+            Frame::PrimArgs {
+                op,
+                args,
+                env,
+                order,
+                mut results,
+                next,
+            } => {
+                results[order[next]] = Some(node);
+                let next = next + 1;
+                if next < order.len() {
+                    let idx = order[next];
+                    let e = args[idx].clone();
+                    stack.push(Frame::PrimArgs {
+                        op,
+                        args,
+                        env: env.clone(),
+                        order,
+                        results,
+                        next,
+                    });
+                    Control::Eval(e, env)
+                } else {
+                    let nodes: Vec<NodeId> =
+                        results.into_iter().map(|r| r.expect("all evaluated")).collect();
+                    self.apply_prim(op, &nodes)
+                }
+            }
+            Frame::SeqSecond { expr, env } => Control::Eval(expr, env),
+            Frame::RaiseEval => self.convert_and_raise(node, stack),
+            Frame::RaisePayload { con } => {
+                let Some(HValue::Str(s)) = self.heap.value(node) else {
+                    panic!("exception payload is not a string (ill-typed program)");
+                };
+                let exn = Exception::from_constructor(con, Some(s))
+                    .unwrap_or_else(|| panic!("unknown exception constructor '{con}'"));
+                Control::Raising(exn)
+            }
+            Frame::IsExnCatch => {
+                // The argument evaluated to a value: not an exception.
+                Control::Return(self.alloc_value(bool_hvalue(false)))
+            }
+            Frame::UnsafeGetExnCatch => {
+                let ok = HValue::Con(Symbol::intern("OK"), vec![node]);
+                Control::Return(self.alloc_value(ok))
+            }
+            Frame::MapExnCatch { .. } => Control::Return(node),
+            Frame::Catch => Control::Return(node),
+        })
+    }
+
+    /// Matches a WHNF value against case alternatives.
+    fn select(&mut self, node: NodeId, alts: &[Alt], env: &MEnv) -> Control {
+        let v = self
+            .heap
+            .value(node)
+            .expect("select on a non-value")
+            .clone();
+        for alt in alts {
+            let matched = match (&alt.con, &v) {
+                // A default alternative may bind the forced scrutinee.
+                (AltCon::Default, _) => {
+                    let mut env2 = env.clone();
+                    if let Some(b) = alt.binders.first() {
+                        env2 = env2.bind(*b, node);
+                    }
+                    Some(env2)
+                }
+                (AltCon::Int(n), HValue::Int(m)) if n == m => Some(env.clone()),
+                (AltCon::Char(a), HValue::Char(b)) if a == b => Some(env.clone()),
+                (AltCon::Str(a), HValue::Str(b)) if **a == **b => Some(env.clone()),
+                (AltCon::Con(c), HValue::Con(d, fields)) if c == d => {
+                    let mut env2 = env.clone();
+                    for (b, f) in alt.binders.iter().zip(fields) {
+                        env2 = env2.bind(*b, *f);
+                    }
+                    Some(env2)
+                }
+                _ => None,
+            };
+            if let Some(env2) = matched {
+                return Control::Eval(alt.rhs.clone(), env2);
+            }
+        }
+        Control::Raising(Exception::PatternMatchFail("case".into()))
+    }
+
+    /// Converts a WHNF `Exception` constructor value into a raise,
+    /// forcing the string payload first if there is one.
+    fn convert_and_raise(&mut self, node: NodeId, stack: &mut Vec<Frame>) -> Control {
+        let Some(HValue::Con(name, fields)) = self.heap.value(node) else {
+            panic!("raise applied to a non-Exception value (ill-typed program)");
+        };
+        let (name, fields) = (*name, fields.clone());
+        match fields.first() {
+            None => {
+                let exn = Exception::from_constructor(name, None)
+                    .unwrap_or_else(|| panic!("unknown exception constructor '{name}'"));
+                Control::Raising(exn)
+            }
+            Some(payload) => {
+                stack.push(Frame::RaisePayload { con: name });
+                Control::Enter(*payload)
+            }
+        }
+    }
+
+    /// §3.3's core move: trim the stack to the topmost catch mark.
+    fn step_raise(&mut self, exn: Exception, stack: &mut Vec<Frame>) -> StepResult {
+        let asynchronous = exn.is_asynchronous();
+        loop {
+            let Some(frame) = stack.pop() else {
+                return StepResult::Done(Outcome::Uncaught(exn));
+            };
+            match frame {
+                Frame::Catch => return StepResult::Done(Outcome::Caught(exn)),
+                Frame::Update(target) => {
+                    let target = self.heap.resolve(target);
+                    if asynchronous {
+                        // §5.1: restore a *resumable* suspension.
+                        if let Node::Blackhole { expr, env } = self.heap.get(target) {
+                            let (expr, env) = (expr.clone(), env.clone());
+                            self.heap.set(target, Node::Thunk { expr, env });
+                            self.stats.thunks_restored += 1;
+                        }
+                    } else {
+                        // §3.3: overwrite with `raise ex`.
+                        self.heap.set(target, Node::Poisoned(exn.clone()));
+                        self.stats.thunks_poisoned += 1;
+                    }
+                    self.stats.frames_trimmed += 1;
+                }
+                Frame::IsExnCatch if !asynchronous => {
+                    // unsafeIsException caught a synchronous exception.
+                    let t = self.alloc_value(bool_hvalue(true));
+                    return StepResult::Continue(Control::Return(t));
+                }
+                Frame::UnsafeGetExnCatch if !asynchronous => {
+                    let ev = self.alloc_exception_value(&exn);
+                    let bad = HValue::Con(Symbol::intern("Bad"), vec![ev]);
+                    let t = self.alloc_value(bad);
+                    return StepResult::Continue(Control::Return(t));
+                }
+                Frame::MapExnCatch { f, env } if !asynchronous => {
+                    // Rewrite the representative exception through f and
+                    // re-raise whatever comes back.
+                    let exn_node = self.alloc_exception_value(&exn);
+                    let v = Symbol::fresh("exn");
+                    let app = Rc::new(Expr::App(f, Rc::new(Expr::Var(v))));
+                    stack.push(Frame::RaiseEval);
+                    return StepResult::Continue(Control::Eval(app, env.bind(v, exn_node)));
+                }
+                _ => {
+                    self.stats.frames_trimmed += 1;
+                }
+            }
+        }
+    }
+
+    fn apply_prim(&mut self, op: PrimOp, nodes: &[NodeId]) -> Control {
+        use PrimOp::*;
+        let int = |m: &Machine, i: usize| -> i64 {
+            match m.heap.value(nodes[i]) {
+                Some(HValue::Int(n)) => *n,
+                other => panic!("primop {op:?} expected Int, got {other:?}"),
+            }
+        };
+        let chr = |m: &Machine, i: usize| -> char {
+            match m.heap.value(nodes[i]) {
+                Some(HValue::Char(c)) => *c,
+                other => panic!("primop {op:?} expected Char, got {other:?}"),
+            }
+        };
+        let string = |m: &Machine, i: usize| -> Rc<str> {
+            match m.heap.value(nodes[i]) {
+                Some(HValue::Str(s)) => s.clone(),
+                other => panic!("primop {op:?} expected Str, got {other:?}"),
+            }
+        };
+        let result = match op {
+            Add => return self.arith(int(self, 0).checked_add(int(self, 1))),
+            Sub => return self.arith(int(self, 0).checked_sub(int(self, 1))),
+            Mul => return self.arith(int(self, 0).checked_mul(int(self, 1))),
+            Div => {
+                if int(self, 1) == 0 {
+                    return Control::Raising(Exception::DivideByZero);
+                }
+                return self.arith(int(self, 0).checked_div(int(self, 1)));
+            }
+            Mod => {
+                if int(self, 1) == 0 {
+                    return Control::Raising(Exception::DivideByZero);
+                }
+                return self.arith(int(self, 0).checked_rem(int(self, 1)));
+            }
+            Neg => return self.arith(int(self, 0).checked_neg()),
+            IntEq => bool_hvalue(int(self, 0) == int(self, 1)),
+            IntLt => bool_hvalue(int(self, 0) < int(self, 1)),
+            IntLe => bool_hvalue(int(self, 0) <= int(self, 1)),
+            IntGt => bool_hvalue(int(self, 0) > int(self, 1)),
+            IntGe => bool_hvalue(int(self, 0) >= int(self, 1)),
+            CharEq => bool_hvalue(chr(self, 0) == chr(self, 1)),
+            StrEq => bool_hvalue(string(self, 0) == string(self, 1)),
+            StrAppend => {
+                HValue::Str(Rc::from(format!("{}{}", string(self, 0), string(self, 1)).as_str()))
+            }
+            StrLen => HValue::Int(string(self, 0).chars().count() as i64),
+            ShowInt => HValue::Str(Rc::from(int(self, 0).to_string().as_str())),
+            Ord => HValue::Int(chr(self, 0) as i64),
+            Chr => match u32::try_from(int(self, 0)).ok().and_then(char::from_u32) {
+                Some(c) => HValue::Char(c),
+                None => return Control::Raising(Exception::Overflow),
+            },
+            Seq | MapExn | UnsafeIsException | UnsafeGetException => {
+                unreachable!("special-cased")
+            }
+        };
+        Control::Return(self.alloc_value(result))
+    }
+
+    fn arith(&mut self, n: Option<i64>) -> Control {
+        match n {
+            Some(n) => Control::Return(self.alloc_value(HValue::Int(n))),
+            None => Control::Raising(Exception::Overflow),
+        }
+    }
+
+    /// Allocates the in-language value for a runtime exception.
+    pub fn alloc_exception_value(&mut self, e: &Exception) -> NodeId {
+        let name = e.constructor_symbol();
+        let fields = match e.payload() {
+            None => vec![],
+            Some(s) => {
+                let str_node = self.alloc_value(HValue::Str(Rc::from(s)));
+                vec![str_node]
+            }
+        };
+        self.alloc_value(HValue::Con(name, fields))
+    }
+
+    /// Renders a node to `depth`, forcing as needed; exceptional fields
+    /// render as `(raise E)`.
+    pub fn render(&mut self, node: NodeId, depth: u32) -> String {
+        // Root the node so a collection triggered while forcing one field
+        // cannot reclaim its siblings.
+        self.push_root(node);
+        let out = match self.eval_node(node, false) {
+            Err(e) => format!("<machine error: {e}>"),
+            Ok(Outcome::Caught(exn)) | Ok(Outcome::Uncaught(exn)) => format!("(raise {exn})"),
+            Ok(Outcome::Value(n)) => self.render_value(n, depth),
+        };
+        self.pop_root();
+        out
+    }
+
+    fn render_value(&mut self, node: NodeId, depth: u32) -> String {
+        let v = self.heap.value(node).expect("rendered node in WHNF").clone();
+        match v {
+            HValue::Int(n) => n.to_string(),
+            HValue::Char(c) => format!("{c:?}"),
+            HValue::Str(s) => format!("{s:?}"),
+            HValue::Fun { .. } => "<function>".into(),
+            HValue::Con(c, fields) if fields.is_empty() => c.to_string(),
+            HValue::Con(c, fields) => {
+                if depth == 0 {
+                    return format!("{c} ...");
+                }
+                let mut out = c.to_string();
+                for f in fields {
+                    let inner = self.render(f, depth - 1);
+                    if inner.contains(' ') && !inner.starts_with('(') && !inner.starts_with('"') {
+                        out.push_str(&format!(" ({inner})"));
+                    } else {
+                        out.push_str(&format!(" {inner}"));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+enum StepResult {
+    Continue(Control),
+    Done(Outcome),
+}
+
+fn bool_hvalue(b: bool) -> HValue {
+    HValue::Con(Symbol::intern(if b { "True" } else { "False" }), vec![])
+}

@@ -1,0 +1,243 @@
+//! The surface abstract syntax: what the parser produces and the desugarer
+//! consumes.
+//!
+//! Surface syntax is deliberately Haskell-flavoured so the paper's examples
+//! can be transcribed nearly verbatim (multi-equation definitions, nested
+//! patterns, guards, `where`, `do`-notation, list and tuple sugar). The
+//! [`crate::desugar`] pass lowers all of it onto the tiny core language of
+//! the paper's Figure 1 ([`crate::core`]).
+
+use crate::token::Pos;
+use crate::Symbol;
+
+/// A parsed module: a sequence of declarations.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SurfaceProgram {
+    pub decls: Vec<Decl>,
+}
+
+/// A top-level (or `let`/`where`-local) declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Decl {
+    /// `data T a b = C1 t ... | C2 ...`
+    Data(DataDecl),
+    /// `f :: type` — an optional signature, checked against inference.
+    Sig(Symbol, SType),
+    /// One equation of a function or value binding.
+    Bind(Clause),
+}
+
+/// An algebraic data type declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DataDecl {
+    pub name: Symbol,
+    pub params: Vec<Symbol>,
+    pub constructors: Vec<ConDecl>,
+    pub pos: Pos,
+}
+
+/// One constructor of a data declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ConDecl {
+    pub name: Symbol,
+    pub args: Vec<SType>,
+}
+
+/// A surface type expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SType {
+    /// A type variable, e.g. `a`.
+    Var(Symbol),
+    /// A (possibly applied) type constructor, e.g. `Int`, `List a`, `IO a`.
+    Con(Symbol, Vec<SType>),
+    /// `a -> b`
+    Fun(Box<SType>, Box<SType>),
+    /// `[a]` — sugar for `List a`.
+    List(Box<SType>),
+    /// `(a, b)` / `(a, b, c)` — sugar for `Pair`/`Triple`.
+    Tuple(Vec<SType>),
+}
+
+/// One equation: `name p1 ... pn | guards = rhs where decls`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Clause {
+    pub name: Symbol,
+    pub pats: Vec<Pat>,
+    pub rhs: Rhs,
+    pub wheres: Vec<Decl>,
+    pub pos: Pos,
+}
+
+/// The right-hand side of an equation or `case` alternative.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Rhs {
+    /// `= e`
+    Plain(SExpr),
+    /// `| g1 = e1 | g2 = e2 ...` — guards tried in order; if all fail the
+    /// match continues with the next equation.
+    Guarded(Vec<(SExpr, SExpr)>),
+}
+
+/// A surface pattern.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Pat {
+    Var(Symbol),
+    Wild,
+    Int(i64),
+    Char(char),
+    Str(String),
+    /// Constructor pattern, e.g. `(Cons x xs)`, `True`.
+    Con(Symbol, Vec<Pat>),
+    /// `(p, q)` / `(p, q, r)`
+    Tuple(Vec<Pat>),
+    /// `[p1, p2, ...]`
+    List(Vec<Pat>),
+    /// `p : ps`
+    ConsInfix(Box<Pat>, Box<Pat>),
+}
+
+impl Pat {
+    /// The variables bound by this pattern, left to right.
+    pub fn binders(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_binders(&mut out);
+        out
+    }
+
+    fn collect_binders(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Pat::Var(v) => out.push(*v),
+            Pat::Wild | Pat::Int(_) | Pat::Char(_) | Pat::Str(_) => {}
+            Pat::Con(_, ps) | Pat::Tuple(ps) | Pat::List(ps) => {
+                for p in ps {
+                    p.collect_binders(out);
+                }
+            }
+            Pat::ConsInfix(h, t) => {
+                h.collect_binders(out);
+                t.collect_binders(out);
+            }
+        }
+    }
+
+    /// True if the pattern matches anything without inspecting the value.
+    pub fn is_irrefutable_shallow(&self) -> bool {
+        matches!(self, Pat::Var(_) | Pat::Wild)
+    }
+}
+
+/// A surface expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SExpr {
+    /// A lower-case identifier (variable).
+    Var(Symbol),
+    /// An upper-case identifier (data constructor, possibly unsaturated).
+    Con(Symbol),
+    Int(i64),
+    Char(char),
+    Str(String),
+    /// Function application.
+    App(Box<SExpr>, Box<SExpr>),
+    /// `\p1 ... pn -> e`
+    Lam(Vec<Pat>, Box<SExpr>),
+    /// `let decls in e`
+    Let(Vec<Decl>, Box<SExpr>),
+    /// `case e of alts`
+    Case(Box<SExpr>, Vec<CaseAlt>),
+    /// `if c then t else e`
+    If(Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    /// `do { stmts }`
+    Do(Vec<Stmt>),
+    /// Binary operator application `a ⊕ b` (also used for backtick
+    /// application ``a `f` b``).
+    BinOp(Symbol, Box<SExpr>, Box<SExpr>),
+    /// Unary negation `-e`.
+    Neg(Box<SExpr>),
+    /// `(a, b)` / `(a, b, c)`
+    Tuple(Vec<SExpr>),
+    /// `[e1, e2, ...]`
+    List(Vec<SExpr>),
+    /// An operator used as a value, `(+)`.
+    OpSection(Symbol),
+    /// A left section `(e op)` — `\x -> e op x`.
+    SectionL(Box<SExpr>, Symbol),
+    /// A right section `(op e)` — `\x -> x op e`.
+    SectionR(Symbol, Box<SExpr>),
+}
+
+/// One alternative of a surface `case`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CaseAlt {
+    pub pat: Pat,
+    pub rhs: Rhs,
+}
+
+/// One statement of a `do` block.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `p <- e`
+    Bind(Pat, SExpr),
+    /// `let decls`
+    Let(Vec<Decl>),
+    /// A bare expression (the last statement, or sequenced with `>>`).
+    Expr(SExpr),
+}
+
+impl SExpr {
+    /// Convenience: build a curried application `f a1 ... an`.
+    pub fn apps(f: SExpr, args: impl IntoIterator<Item = SExpr>) -> SExpr {
+        args.into_iter()
+            .fold(f, |acc, a| SExpr::App(Box::new(acc), Box::new(a)))
+    }
+
+    /// Convenience: a variable reference.
+    pub fn var(name: &str) -> SExpr {
+        SExpr::Var(Symbol::intern(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_binders_in_order() {
+        let p = Pat::Con(
+            Symbol::intern("Cons"),
+            vec![
+                Pat::Var(Symbol::intern("x")),
+                Pat::ConsInfix(
+                    Box::new(Pat::Var(Symbol::intern("y"))),
+                    Box::new(Pat::Var(Symbol::intern("ys"))),
+                ),
+            ],
+        );
+        let names: Vec<String> = p.binders().into_iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["x", "y", "ys"]);
+    }
+
+    #[test]
+    fn irrefutable_shallow() {
+        assert!(Pat::Wild.is_irrefutable_shallow());
+        assert!(Pat::Var(Symbol::intern("x")).is_irrefutable_shallow());
+        assert!(!Pat::Int(0).is_irrefutable_shallow());
+    }
+
+    #[test]
+    fn apps_builds_curried_spine() {
+        let e = SExpr::apps(SExpr::var("f"), vec![SExpr::Int(1), SExpr::Int(2)]);
+        match e {
+            SExpr::App(f1, a2) => {
+                assert_eq!(*a2, SExpr::Int(2));
+                match *f1 {
+                    SExpr::App(f0, a1) => {
+                        assert_eq!(*f0, SExpr::var("f"));
+                        assert_eq!(*a1, SExpr::Int(1));
+                    }
+                    other => panic!("expected inner app, got {other:?}"),
+                }
+            }
+            other => panic!("expected app, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The `Exception` vocabulary shared by every layer of the system.
+//!
+//! The paper (§3.1) makes `Exception` an ordinary algebraic data type
+//! supplied by the Prelude:
+//!
+//! ```text
+//! data Exception = DivideByZero | Overflow | UserError String | ...
+//! ```
+//!
+//! Inside Urk programs exceptions really are constructor values of that data
+//! type (so they can be scrutinised by `case`, built by user code, passed to
+//! `raise`, and returned by `getException`). This module is the *runtime
+//! mirror* of that data type: the evaluators convert between the in-language
+//! constructor values and [`Exception`] when crossing `raise`/`getException`.
+//!
+//! §5.1 extends the type with *asynchronous* exceptions (interrupts and
+//! resource exhaustion); [`Exception::is_asynchronous`] distinguishes them,
+//! and §4.1/§5.2 add [`Exception::NonTermination`], the extra member that
+//! identifies `⊥` with the set of all exceptions.
+
+use std::fmt;
+
+use crate::Symbol;
+
+/// A single exception, synchronous or asynchronous.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Exception {
+    /// Integer division or modulus by zero.
+    DivideByZero,
+    /// Arithmetic overflow of the (bounded) integer type (§4.2's `⊕`).
+    Overflow,
+    /// Raised by `error s` — the paper's `UserError String` (§2.2).
+    UserError(String),
+    /// Inexhaustive pattern match; carries the function or `case` location.
+    PatternMatchFail(String),
+    /// The distinguished member that makes `⊥` the set of *all* exceptions
+    /// (§4.1), also returned by detectable black holes (§5.2).
+    NonTermination,
+    /// Asynchronous: the user hit Ctrl-C (§5.1's `ControlC` event).
+    Interrupt,
+    /// Asynchronous: an external monitor decided evaluation took too long.
+    Timeout,
+    /// Asynchronous: evaluation-stack exhaustion.
+    StackOverflow,
+    /// Asynchronous: heap exhaustion.
+    HeapOverflow,
+    /// Asynchronous: the scheduler found this thread blocked on an `MVar`
+    /// no other thread can ever fill or empty (GHC's
+    /// `BlockedIndefinitelyOnMVar`, from the §4.4 concurrency extension).
+    BlockedIndefinitely,
+}
+
+impl Exception {
+    /// True for the §5.1 asynchronous exceptions, which arise from external
+    /// events rather than from the value being evaluated, and therefore are
+    /// *not* part of any expression's denotation.
+    pub fn is_asynchronous(&self) -> bool {
+        matches!(
+            self,
+            Exception::Interrupt
+                | Exception::Timeout
+                | Exception::StackOverflow
+                | Exception::HeapOverflow
+                | Exception::BlockedIndefinitely
+        )
+    }
+
+    /// The in-language constructor name for this exception.
+    pub fn constructor_name(&self) -> &'static str {
+        match self {
+            Exception::DivideByZero => "DivideByZero",
+            Exception::Overflow => "Overflow",
+            Exception::UserError(_) => "UserError",
+            Exception::PatternMatchFail(_) => "PatternMatchFail",
+            Exception::NonTermination => "NonTermination",
+            Exception::Interrupt => "Interrupt",
+            Exception::Timeout => "Timeout",
+            Exception::StackOverflow => "StackOverflow",
+            Exception::HeapOverflow => "HeapOverflow",
+            Exception::BlockedIndefinitely => "BlockedIndefinitely",
+        }
+    }
+
+    /// The in-language constructor name, interned.
+    pub fn constructor_symbol(&self) -> Symbol {
+        Symbol::intern(self.constructor_name())
+    }
+
+    /// The string payload, if this exception carries one.
+    pub fn payload(&self) -> Option<&str> {
+        match self {
+            Exception::UserError(s) | Exception::PatternMatchFail(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Reconstructs an exception from its constructor name and optional
+    /// string payload. Returns `None` for unknown constructors or a missing
+    /// payload on a payload-carrying constructor.
+    pub fn from_constructor(name: Symbol, payload: Option<&str>) -> Option<Exception> {
+        let n = name.as_str();
+        Some(match n.as_str() {
+            "DivideByZero" => Exception::DivideByZero,
+            "Overflow" => Exception::Overflow,
+            "UserError" => Exception::UserError(payload?.to_owned()),
+            "PatternMatchFail" => Exception::PatternMatchFail(payload?.to_owned()),
+            "NonTermination" => Exception::NonTermination,
+            "Interrupt" => Exception::Interrupt,
+            "Timeout" => Exception::Timeout,
+            "StackOverflow" => Exception::StackOverflow,
+            "HeapOverflow" => Exception::HeapOverflow,
+            "BlockedIndefinitely" => Exception::BlockedIndefinitely,
+            _ => return None,
+        })
+    }
+
+    /// All payload-free exception constructors, in declaration order. Used
+    /// by generators in property tests.
+    pub fn nullary_constructors() -> [Exception; 8] {
+        [
+            Exception::DivideByZero,
+            Exception::Overflow,
+            Exception::NonTermination,
+            Exception::Interrupt,
+            Exception::Timeout,
+            Exception::StackOverflow,
+            Exception::HeapOverflow,
+            Exception::BlockedIndefinitely,
+        ]
+    }
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exception::UserError(s) => write!(f, "UserError {s:?}"),
+            Exception::PatternMatchFail(s) => write!(f, "PatternMatchFail {s:?}"),
+            other => f.write_str(other.constructor_name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn async_classification_matches_section_5_1() {
+        assert!(Exception::Interrupt.is_asynchronous());
+        assert!(Exception::Timeout.is_asynchronous());
+        assert!(Exception::StackOverflow.is_asynchronous());
+        assert!(Exception::HeapOverflow.is_asynchronous());
+        assert!(!Exception::DivideByZero.is_asynchronous());
+        assert!(!Exception::UserError("Urk".into()).is_asynchronous());
+        assert!(!Exception::NonTermination.is_asynchronous());
+    }
+
+    #[test]
+    fn constructor_round_trip() {
+        let all = vec![
+            Exception::DivideByZero,
+            Exception::Overflow,
+            Exception::UserError("Urk".into()),
+            Exception::PatternMatchFail("zipWith".into()),
+            Exception::NonTermination,
+            Exception::Interrupt,
+            Exception::Timeout,
+            Exception::StackOverflow,
+            Exception::HeapOverflow,
+            Exception::BlockedIndefinitely,
+        ];
+        for e in all {
+            let back =
+                Exception::from_constructor(e.constructor_symbol(), e.payload()).expect("known");
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn unknown_constructor_is_rejected() {
+        assert_eq!(Exception::from_constructor(Symbol::intern("Zorp"), None), None);
+        // Payload-carrying constructor without a payload is also rejected.
+        assert_eq!(
+            Exception::from_constructor(Symbol::intern("UserError"), None),
+            None
+        );
+    }
+
+    #[test]
+    fn display_shows_payloads() {
+        assert_eq!(Exception::UserError("Urk".into()).to_string(), "UserError \"Urk\"");
+        assert_eq!(Exception::DivideByZero.to_string(), "DivideByZero");
+    }
+}

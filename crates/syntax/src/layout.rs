@@ -1,0 +1,336 @@
+//! The offside (layout) rule: turns indentation into virtual braces and
+//! semicolons, so the parser only ever sees explicitly delimited blocks.
+//!
+//! This is a simplified version of the Haskell report's algorithm `L`,
+//! adequate for the corpus in this repository:
+//!
+//! * after a layout keyword (`where`, `let`, `of`, `do`) that is not
+//!   followed by `{`, an implicit block opens at the column of the next
+//!   token;
+//! * the first token of a line at the block's column emits a virtual `;`,
+//!   a lesser column closes the block;
+//! * `in` closes the nearest implicit block (so `let x = 1 in x` works on
+//!   one line);
+//! * closing brackets `)`/`]` and `,` close implicit blocks opened inside
+//!   the bracket (so `(case x of True -> 1; False -> 2)` works inline);
+//! * a block that would open at or left of the enclosing block's column is
+//!   empty.
+//!
+//! Unlike the full report algorithm there is no parse-error(t) rule, so a
+//! construct like `if c then do a else b` (no newline, no parens) needs
+//! explicit parentheses around the `do` block.
+
+use crate::token::{Pos, Spanned, Tok};
+use std::fmt;
+
+/// An error produced during layout processing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LayoutError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layout error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Ctx {
+    /// An explicit `{ ... }` block.
+    Explicit,
+    /// An open `(` or `[`.
+    Bracket,
+    /// An implicit layout block at the given column; the flag records
+    /// whether a `let` opened it (only those are closed by `in`).
+    Implicit(u32, bool),
+}
+
+/// Applies the layout algorithm, inserting [`Tok::VLBrace`], [`Tok::VRBrace`]
+/// and [`Tok::VSemi`], and appends a final [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns [`LayoutError`] on mismatched explicit braces or brackets.
+pub fn layout(tokens: Vec<Spanned>) -> Result<Vec<Spanned>, LayoutError> {
+    let mut out: Vec<Spanned> = Vec::with_capacity(tokens.len() + 8);
+    let mut stack: Vec<Ctx> = Vec::new();
+    // When a layout keyword was just seen: Some(is_let).
+    let mut expecting_block: Option<bool> = None;
+    let mut last_line = 0u32;
+    let end_pos = tokens.last().map(|t| t.pos).unwrap_or_default();
+
+    // The whole module is an implicit block at the first token's column.
+    if let Some(first) = tokens.first() {
+        stack.push(Ctx::Implicit(first.pos.col, false));
+        last_line = first.pos.line;
+    }
+
+    for t in tokens {
+        if let Some(is_let) = expecting_block {
+            expecting_block = None;
+            if t.tok == Tok::LBrace {
+                stack.push(Ctx::Explicit);
+                out.push(t);
+                continue;
+            }
+            // An implicit block must be strictly more indented than the
+            // enclosing implicit block; otherwise it is empty.
+            let enclosing = stack.iter().rev().find_map(|c| match c {
+                Ctx::Implicit(n, _) => Some(*n),
+                _ => None,
+            });
+            if enclosing.is_some_and(|n| t.pos.col <= n) {
+                out.push(Spanned { tok: Tok::VLBrace, pos: t.pos });
+                out.push(Spanned { tok: Tok::VRBrace, pos: t.pos });
+                // Fall through: `t` is then subject to the normal line rule.
+            } else {
+                out.push(Spanned { tok: Tok::VLBrace, pos: t.pos });
+                stack.push(Ctx::Implicit(t.pos.col, is_let));
+                last_line = t.pos.line;
+                emit_structural(&mut out, &mut stack, &mut expecting_block, t)?;
+                continue;
+            }
+        }
+
+        if t.pos.line > last_line {
+            last_line = t.pos.line;
+            loop {
+                match stack.last() {
+                    Some(Ctx::Implicit(n, _)) if t.pos.col < *n => {
+                        out.push(Spanned { tok: Tok::VRBrace, pos: t.pos });
+                        stack.pop();
+                    }
+                    Some(Ctx::Implicit(n, _)) if t.pos.col == *n => {
+                        out.push(Spanned { tok: Tok::VSemi, pos: t.pos });
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+        }
+
+        emit_structural(&mut out, &mut stack, &mut expecting_block, t)?;
+    }
+
+    if expecting_block.is_some() {
+        // A layout keyword at end of input opens an empty block.
+        out.push(Spanned { tok: Tok::VLBrace, pos: end_pos });
+        out.push(Spanned { tok: Tok::VRBrace, pos: end_pos });
+    }
+
+    while let Some(ctx) = stack.pop() {
+        match ctx {
+            // The bottom context is the whole-module block, which was opened
+            // silently (no VLBrace), so it closes silently too.
+            Ctx::Implicit(_, _) if !stack.is_empty() => {
+                out.push(Spanned { tok: Tok::VRBrace, pos: end_pos })
+            }
+            Ctx::Implicit(_, _) => {}
+            Ctx::Explicit => {
+                return Err(LayoutError {
+                    pos: end_pos,
+                    message: "unclosed '{'".into(),
+                })
+            }
+            Ctx::Bracket => {
+                return Err(LayoutError {
+                    pos: end_pos,
+                    message: "unclosed '(' or '['".into(),
+                })
+            }
+        }
+    }
+
+    out.push(Spanned { tok: Tok::Eof, pos: end_pos });
+    Ok(out)
+}
+
+/// Emits `t`, maintaining the context stack for brackets, explicit braces,
+/// `in`, and `,`/closing-bracket implicit closure.
+fn emit_structural(
+    out: &mut Vec<Spanned>,
+    stack: &mut Vec<Ctx>,
+    expecting_block: &mut Option<bool>,
+    t: Spanned,
+) -> Result<(), LayoutError> {
+    match t.tok {
+        Tok::Where | Tok::Let | Tok::Of | Tok::Do => {
+            *expecting_block = Some(t.tok == Tok::Let);
+            out.push(t);
+        }
+        Tok::In => {
+            // `in` closes the implicit block of the matching `let` only.
+            if let Some(Ctx::Implicit(_, true)) = stack.last() {
+                out.push(Spanned { tok: Tok::VRBrace, pos: t.pos });
+                stack.pop();
+            }
+            out.push(t);
+        }
+        Tok::LParen | Tok::LBracket => {
+            stack.push(Ctx::Bracket);
+            out.push(t);
+        }
+        Tok::RParen | Tok::RBracket => {
+            while let Some(Ctx::Implicit(_, _)) = stack.last() {
+                out.push(Spanned { tok: Tok::VRBrace, pos: t.pos });
+                stack.pop();
+            }
+            match stack.last() {
+                Some(Ctx::Bracket) => {
+                    stack.pop();
+                }
+                _ => {
+                    return Err(LayoutError {
+                        pos: t.pos,
+                        message: format!("unmatched '{}'", t.tok),
+                    })
+                }
+            }
+            out.push(t);
+        }
+        Tok::Comma => {
+            // Close implicit blocks opened inside the nearest bracket, so
+            // `(do ..., e)` and `[case x of ..., e]` parse.
+            if stack.iter().any(|c| matches!(c, Ctx::Bracket)) {
+                while let Some(Ctx::Implicit(_, _)) = stack.last() {
+                    out.push(Spanned { tok: Tok::VRBrace, pos: t.pos });
+                    stack.pop();
+                }
+            }
+            out.push(t);
+        }
+        Tok::LBrace => {
+            stack.push(Ctx::Explicit);
+            out.push(t);
+        }
+        Tok::RBrace => {
+            match stack.last() {
+                Some(Ctx::Explicit) => {
+                    stack.pop();
+                }
+                _ => {
+                    return Err(LayoutError {
+                        pos: t.pos,
+                        message: "unmatched '}'".into(),
+                    })
+                }
+            }
+            out.push(t);
+        }
+        _ => out.push(t),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Tok> {
+        layout(lex(src).expect("lexes"))
+            .expect("layout")
+            .into_iter()
+            .map(|s| s.tok)
+            .collect()
+    }
+
+    fn count(ts: &[Tok], t: &Tok) -> usize {
+        ts.iter().filter(|x| *x == t).count()
+    }
+
+    #[test]
+    fn top_level_declarations_get_semicolons() {
+        let ts = run("x = 1\ny = 2\nz = 3");
+        assert_eq!(count(&ts, &Tok::VSemi), 2);
+    }
+
+    #[test]
+    fn continuation_lines_do_not_break_declarations() {
+        let ts = run("x = 1 +\n      2\ny = 3");
+        assert_eq!(count(&ts, &Tok::VSemi), 1);
+    }
+
+    #[test]
+    fn let_in_on_one_line() {
+        let ts = run("v = let x = 1 in x");
+        // The `let` block opens and is closed by `in`.
+        let open = ts.iter().position(|t| *t == Tok::VLBrace).expect("opens");
+        let close = ts.iter().position(|t| *t == Tok::VRBrace).expect("closes");
+        let in_pos = ts.iter().position(|t| *t == Tok::In).expect("in");
+        assert!(open < close && close < in_pos);
+    }
+
+    #[test]
+    fn case_block_closed_by_paren() {
+        let ts = run("v = (case b of True -> 1) + 2");
+        let close = ts.iter().position(|t| *t == Tok::VRBrace).expect("closes");
+        let rparen = ts.iter().position(|t| *t == Tok::RParen).expect("rparen");
+        assert!(close < rparen);
+    }
+
+    #[test]
+    fn indented_case_alternatives_get_semicolons() {
+        let ts = run("f x = case x of\n        True -> 1\n        False -> 2");
+        assert_eq!(count(&ts, &Tok::VSemi), 1);
+        assert_eq!(count(&ts, &Tok::VLBrace), 1);
+    }
+
+    #[test]
+    fn where_block_attaches_to_declaration() {
+        let ts = run("loop = f True\n  where f x = f (not x)");
+        assert_eq!(count(&ts, &Tok::VLBrace), 1);
+        // Dedenting back to column 1 closes both where-block and module line.
+        let ts2 = run("loop = f True\n  where f x = f (not x)\nmain = loop");
+        assert_eq!(count(&ts2, &Tok::VSemi), 1);
+    }
+
+    #[test]
+    fn explicit_braces_disable_layout() {
+        let ts = run("f x = case x of { True -> 1; False -> 2 }");
+        assert_eq!(count(&ts, &Tok::VLBrace), 0);
+        assert_eq!(count(&ts, &Tok::LBrace), 1);
+    }
+
+    #[test]
+    fn do_block_with_bind_statements() {
+        let ts = run("main = do\n  c <- getChar\n  putChar c");
+        assert_eq!(count(&ts, &Tok::VSemi), 1);
+        assert_eq!(count(&ts, &Tok::VLBrace), 1);
+    }
+
+    #[test]
+    fn empty_where_block_when_not_indented() {
+        // `where` followed by a dedented token opens an empty block.
+        let ts = run("f = 1 where\ng = 2");
+        assert_eq!(count(&ts, &Tok::VLBrace), 1);
+        assert!(count(&ts, &Tok::VRBrace) >= 1);
+    }
+
+    #[test]
+    fn mismatched_brackets_error() {
+        assert!(layout(lex("f = (1").expect("lexes")).is_err());
+        assert!(layout(lex("f = 1)").expect("lexes")).is_err());
+        assert!(layout(lex("f = }").expect("lexes")).is_err());
+    }
+
+    #[test]
+    fn comma_closes_inline_do_block_inside_tuple() {
+        let ts = run("p = (do putChar c, 3)");
+        let comma = ts.iter().position(|t| *t == Tok::Comma).expect("comma");
+        let close = ts.iter().position(|t| *t == Tok::VRBrace).expect("closes");
+        assert!(close < comma);
+    }
+
+    #[test]
+    fn eof_closes_all_implicit_blocks() {
+        let ts = run("f = case x of\n      True -> 1");
+        assert_eq!(*ts.last().expect("nonempty"), Tok::Eof);
+        // The case block closes; the silent module block does not emit.
+        assert_eq!(count(&ts, &Tok::VRBrace), 1);
+    }
+}

@@ -1,0 +1,428 @@
+//! The lexer: source text → positioned tokens.
+//!
+//! Comments (`-- line` and `{- block -}`, nesting) are stripped here; the
+//! layout algorithm in [`crate::layout`] runs afterwards on the token
+//! stream.
+
+use crate::token::{Pos, Spanned, Tok};
+use crate::Symbol;
+use std::fmt;
+
+/// An error produced while lexing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+const SYMBOL_CHARS: &[u8] = b"!#$%&*+./<=>?@^|-~:";
+
+fn is_symbol_char(c: u8) -> bool {
+    SYMBOL_CHARS.contains(&c)
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'\''
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn here(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            pos: self.here(),
+            message: message.into(),
+        }
+    }
+
+    /// Skips whitespace and comments. Returns an error on an unterminated
+    /// block comment.
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c == b' ' || c == b'\t' || c == b'\r' || c == b'\n' => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    // A line comment, unless `--` begins a longer operator
+                    // like `-->`; Haskell has the same rule.
+                    let mut look = self.pos + 2;
+                    while self.src.get(look).copied() == Some(b'-') {
+                        look += 1;
+                    }
+                    if self.src.get(look).copied().is_some_and(is_symbol_char) {
+                        return Ok(());
+                    }
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'{') if self.peek2() == Some(b'-') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'{'), Some(b'-')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(b'-'), Some(b'}')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(LexError {
+                                    pos: start,
+                                    message: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_int(&mut self) -> Result<Tok, LexError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits are utf-8");
+        text.parse::<i64>()
+            .map(Tok::Int)
+            .map_err(|_| self.error(format!("integer literal out of range: {text}")))
+    }
+
+    fn lex_escape(&mut self) -> Result<char, LexError> {
+        match self.bump() {
+            Some(b'n') => Ok('\n'),
+            Some(b't') => Ok('\t'),
+            Some(b'r') => Ok('\r'),
+            Some(b'\\') => Ok('\\'),
+            Some(b'\'') => Ok('\''),
+            Some(b'"') => Ok('"'),
+            Some(b'0') => Ok('\0'),
+            Some(c) => Err(self.error(format!("unknown escape '\\{}'", c as char))),
+            None => Err(self.error("unterminated escape")),
+        }
+    }
+
+    fn lex_char(&mut self) -> Result<Tok, LexError> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some(b'\\') => self.lex_escape()?,
+            Some(b'\'') => return Err(self.error("empty character literal")),
+            Some(c) if c.is_ascii() => c as char,
+            Some(_) => return Err(self.error("non-ascii character literal")),
+            None => return Err(self.error("unterminated character literal")),
+        };
+        match self.bump() {
+            Some(b'\'') => Ok(Tok::Char(c)),
+            _ => Err(self.error("character literal must contain exactly one character")),
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Tok, LexError> {
+        let start = self.here();
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(Tok::Str(out)),
+                Some(b'\\') => out.push(self.lex_escape()?),
+                Some(b'\n') | None => {
+                    return Err(LexError {
+                        pos: start,
+                        message: "unterminated string literal".into(),
+                    })
+                }
+                Some(c) => out.push(c as char),
+            }
+        }
+    }
+
+    fn lex_word(&mut self) -> Tok {
+        let start = self.pos;
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("idents are utf-8");
+        match text {
+            "data" => Tok::Data,
+            "let" => Tok::Let,
+            "in" => Tok::In,
+            "case" => Tok::Case,
+            "of" => Tok::Of,
+            "where" => Tok::Where,
+            "do" => Tok::Do,
+            "if" => Tok::If,
+            "then" => Tok::Then,
+            "else" => Tok::Else,
+            "_" => Tok::Underscore,
+            _ if text.as_bytes()[0].is_ascii_uppercase() => Tok::Upper(Symbol::intern(text)),
+            _ => Tok::Lower(Symbol::intern(text)),
+        }
+    }
+
+    fn lex_operator(&mut self) -> Tok {
+        let start = self.pos;
+        while self.peek().is_some_and(is_symbol_char) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ops are utf-8");
+        match text {
+            "->" => Tok::Arrow,
+            "<-" => Tok::BackArrow,
+            "=" => Tok::Equals,
+            "|" => Tok::Pipe,
+            "::" => Tok::DoubleColon,
+            _ => Tok::Op(Symbol::intern(text)),
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Spanned>, LexError> {
+        self.skip_trivia()?;
+        let pos = self.here();
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
+        let tok = match c {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                self.bump();
+                Tok::RBracket
+            }
+            b'{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b';' => {
+                self.bump();
+                Tok::Semi
+            }
+            b'`' => {
+                self.bump();
+                Tok::Backtick
+            }
+            b'\\' => {
+                self.bump();
+                Tok::Backslash
+            }
+            b'\'' => self.lex_char()?,
+            b'"' => self.lex_string()?,
+            c if c.is_ascii_digit() => self.lex_int()?,
+            c if is_ident_start(c) => self.lex_word(),
+            c if is_symbol_char(c) => self.lex_operator(),
+            c => return Err(self.error(format!("unexpected character {:?}", c as char))),
+        };
+        Ok(Some(Spanned { tok, pos }))
+    }
+}
+
+/// Lexes `src` into a token stream (without layout processing and without a
+/// trailing [`Tok::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed literals, unterminated comments, or
+/// characters outside the language's alphabet.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut lexer = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        out.push(tok);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).expect("lexes").into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_headline_expression() {
+        // getException ((1/0) + error "Urk")
+        let ts = toks(r#"getException ((1/0) + error "Urk")"#);
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Lower(Symbol::intern("getException")),
+                Tok::LParen,
+                Tok::LParen,
+                Tok::Int(1),
+                Tok::Op(Symbol::intern("/")),
+                Tok::Int(0),
+                Tok::RParen,
+                Tok::Op(Symbol::intern("+")),
+                Tok::Lower(Symbol::intern("error")),
+                Tok::Str("Urk".into()),
+                Tok::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_keywords_and_identifiers() {
+        assert_eq!(
+            toks("case cases of ofx"),
+            vec![
+                Tok::Case,
+                Tok::Lower(Symbol::intern("cases")),
+                Tok::Of,
+                Tok::Lower(Symbol::intern("ofx")),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators_lex_greedily() {
+        assert_eq!(
+            toks("x >>= f >> g"),
+            vec![
+                Tok::Lower(Symbol::intern("x")),
+                Tok::Op(Symbol::intern(">>=")),
+                Tok::Lower(Symbol::intern("f")),
+                Tok::Op(Symbol::intern(">>")),
+                Tok::Lower(Symbol::intern("g")),
+            ]
+        );
+        assert_eq!(toks("a -> b"), vec![
+            Tok::Lower(Symbol::intern("a")),
+            Tok::Arrow,
+            Tok::Lower(Symbol::intern("b")),
+        ]);
+    }
+
+    #[test]
+    fn comments_are_stripped_including_nested_blocks() {
+        let src = "x -- a line comment\n{- outer {- inner -} still outer -} y";
+        assert_eq!(
+            toks(src),
+            vec![Tok::Lower(Symbol::intern("x")), Tok::Lower(Symbol::intern("y"))]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        assert!(lex("{- oops").is_err());
+    }
+
+    #[test]
+    fn char_and_string_escapes() {
+        assert_eq!(toks(r"'\n'"), vec![Tok::Char('\n')]);
+        assert_eq!(toks(r#""a\tb""#), vec![Tok::Str("a\tb".into())]);
+        assert!(lex(r"'ab'").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let ts = lex("x\n  y").expect("lexes");
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn integer_overflow_is_reported() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn primes_allowed_in_identifiers() {
+        assert_eq!(toks("f' x'"), vec![
+            Tok::Lower(Symbol::intern("f'")),
+            Tok::Lower(Symbol::intern("x'")),
+        ]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Pretty-printing for core expressions.
+//!
+//! The printer produces valid surface syntax for the core sub-language
+//! (explicit braces, no layout), which the round-trip property tests in
+//! `tests/` rely on: `parse ∘ desugar ∘ print` is the identity up to alpha
+//! renaming for core terms.
+
+use std::fmt::Write as _;
+
+use crate::core::{Alt, AltCon, Expr, PrimOp};
+
+/// Renders a core expression as a string.
+pub fn pretty(e: &Expr) -> String {
+    let mut out = String::new();
+    go(e, 0, &mut out);
+    out
+}
+
+/// Precedence levels: 0 = lowest (let/lambda/case bodies), 6 = additive,
+/// 7 = multiplicative, 10 = application, 11 = atoms.
+fn go(e: &Expr, prec: u8, out: &mut String) {
+    match e {
+        Expr::Var(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Int(n) => {
+            if *n < 0 && prec >= 10 {
+                let _ = write!(out, "({n})");
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Expr::Char(c) => {
+            let _ = write!(out, "{c:?}");
+        }
+        Expr::Str(s) => {
+            let _ = write!(out, "{s:?}");
+        }
+        Expr::Con(c, args) if args.is_empty() => {
+            let _ = write!(out, "{c}");
+        }
+        Expr::Con(c, args) => paren(prec > 9, out, |out| {
+            let _ = write!(out, "{c}");
+            for a in args {
+                out.push(' ');
+                go(a, 10, out);
+            }
+        }),
+        Expr::App(f, x) => paren(prec > 9, out, |out| {
+            go(f, 9, out);
+            out.push(' ');
+            go(x, 10, out);
+        }),
+        Expr::Lam(x, b) => paren(prec > 0, out, |out| {
+            let _ = write!(out, "\\{x} -> ");
+            go(b, 0, out);
+        }),
+        Expr::Let(x, r, b) => paren(prec > 0, out, |out| {
+            // Surface `let` is recursive; a non-recursive Let whose binder
+            // shadows a variable free in its own right-hand side must be
+            // renamed, or the text would reparse as a letrec.
+            if r.free_vars().contains(x) {
+                let mut avoid = r.free_vars();
+                avoid.extend(b.free_vars());
+                let fresh = printable_fresh(*x, &avoid);
+                let b2 = b.subst(*x, &Expr::Var(fresh));
+                let _ = write!(out, "let {{ {fresh} = ");
+                go(r, 0, out);
+                out.push_str(" } in ");
+                go(&b2, 0, out);
+            } else {
+                let _ = write!(out, "let {{ {x} = ");
+                go(r, 0, out);
+                out.push_str(" } in ");
+                go(b, 0, out);
+            }
+        }),
+        Expr::LetRec(binds, b) => paren(prec > 0, out, |out| {
+            out.push_str("let { ");
+            for (i, (x, r)) in binds.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                let _ = write!(out, "{x} = ");
+                go(r, 0, out);
+            }
+            out.push_str(" } in ");
+            go(b, 0, out);
+        }),
+        Expr::Case(s, alts) => paren(prec > 0, out, |out| {
+            out.push_str("case ");
+            go(s, 1, out);
+            out.push_str(" of { ");
+            for (i, a) in alts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                alt(a, out);
+            }
+            out.push_str(" }");
+        }),
+        Expr::Prim(op, args) => prim(*op, args, prec, out),
+        Expr::Raise(x) => paren(prec > 9, out, |out| {
+            out.push_str("raise ");
+            go(x, 10, out);
+        }),
+    }
+}
+
+fn alt(a: &Alt, out: &mut String) {
+    match &a.con {
+        AltCon::Con(c) => {
+            let _ = write!(out, "{c}");
+            for b in &a.binders {
+                let _ = write!(out, " {b}");
+            }
+        }
+        AltCon::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        AltCon::Char(c) => {
+            let _ = write!(out, "{c:?}");
+        }
+        AltCon::Str(s) => {
+            let _ = write!(out, "{s:?}");
+        }
+        // A default alternative with a binder prints as a variable pattern
+        // (which the match compiler lowers back to the same shape).
+        AltCon::Default => match a.binders.first() {
+            Some(b) => {
+                let _ = write!(out, "{b}");
+            }
+            None => out.push('_'),
+        },
+    }
+    out.push_str(" -> ");
+    go(&a.rhs, 0, out);
+}
+
+fn prim(op: PrimOp, args: &[std::rc::Rc<Expr>], prec: u8, out: &mut String) {
+    let infix = |op_prec: u8, name: &str, out: &mut String| {
+        paren(prec > op_prec, out, |out| {
+            go(&args[0], op_prec + 1, out);
+            let _ = write!(out, " {name} ");
+            go(&args[1], op_prec + 1, out);
+        });
+    };
+    match op {
+        PrimOp::Add => infix(6, "+", out),
+        PrimOp::Sub => infix(6, "-", out),
+        PrimOp::Mul => infix(7, "*", out),
+        PrimOp::Div => infix(7, "/", out),
+        PrimOp::Mod => infix(7, "%", out),
+        PrimOp::IntEq => infix(4, "==", out),
+        PrimOp::IntLt => infix(4, "<", out),
+        PrimOp::IntLe => infix(4, "<=", out),
+        PrimOp::IntGt => infix(4, ">", out),
+        PrimOp::IntGe => infix(4, ">=", out),
+        _ => paren(prec > 9, out, |out| {
+            let _ = write!(out, "{}", op.name());
+            for a in args {
+                out.push(' ');
+                go(a, 10, out);
+            }
+        }),
+    }
+}
+
+/// A parseable variant of `base` not contained in `avoid` (primes
+/// appended until distinct).
+fn printable_fresh(
+    base: crate::Symbol,
+    avoid: &std::collections::BTreeSet<crate::Symbol>,
+) -> crate::Symbol {
+    let mut name = base.as_str();
+    loop {
+        name.push('\'');
+        let s = crate::Symbol::intern(&name);
+        if !avoid.contains(&s) {
+            return s;
+        }
+    }
+}
+
+fn paren(needed: bool, out: &mut String, body: impl FnOnce(&mut String)) {
+    if needed {
+        out.push('(');
+        body(out);
+        out.push(')');
+    } else {
+        body(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::Alt;
+
+    #[test]
+    fn renders_the_paper_headline_expression() {
+        let e = Expr::add(Expr::div(Expr::int(1), Expr::int(0)), Expr::error("Urk"));
+        assert_eq!(pretty(&e), r#"1 / 0 + raise (UserError "Urk")"#);
+    }
+
+    #[test]
+    fn precedence_inserts_parens_only_where_needed() {
+        // (1 + 2) * 3 needs parens; 1 + 2 * 3 does not.
+        let sum = Expr::add(Expr::int(1), Expr::int(2));
+        let e = Expr::prim(PrimOp::Mul, [sum.clone(), Expr::int(3)]);
+        assert_eq!(pretty(&e), "(1 + 2) * 3");
+        let e2 = Expr::add(Expr::int(1), Expr::prim(PrimOp::Mul, [Expr::int(2), Expr::int(3)]));
+        assert_eq!(pretty(&e2), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn application_and_lambda() {
+        let e = Expr::app(
+            Expr::lam("x", Expr::var("x")),
+            Expr::app(Expr::var("f"), Expr::int(3)),
+        );
+        assert_eq!(pretty(&e), r"(\x -> x) (f 3)");
+    }
+
+    #[test]
+    fn case_renders_with_explicit_braces() {
+        let e = Expr::case(
+            Expr::var("b"),
+            vec![
+                Alt::con("True", vec![], Expr::int(1)),
+                Alt::default(Expr::int(0)),
+            ],
+        );
+        assert_eq!(pretty(&e), "case b of { True -> 1; _ -> 0 }");
+    }
+
+    #[test]
+    fn let_renders_with_explicit_braces() {
+        let e = Expr::let_("x", Expr::int(1), Expr::var("x"));
+        assert_eq!(pretty(&e), "let { x = 1 } in x");
+    }
+
+    #[test]
+    fn shadowing_let_binder_is_renamed_on_print() {
+        // Non-recursive Let(x, x, x+1): the rhs x is the *outer* x; the
+        // printed form must not look like a recursive let.
+        let x = crate::Symbol::intern("x");
+        let e = Expr::Let(
+            x,
+            std::rc::Rc::new(Expr::Var(x)),
+            std::rc::Rc::new(Expr::add(Expr::Var(x), Expr::int(1))),
+        );
+        assert_eq!(pretty(&e), "let { x' = x } in x' + 1");
+    }
+}

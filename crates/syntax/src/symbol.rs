@@ -1,0 +1,136 @@
+//! Interned identifiers.
+//!
+//! Every name in the compiler — variables, constructors, type names — is a
+//! [`Symbol`]: a small copyable handle into a global interner. Symbol
+//! comparison is an integer comparison, which keeps the evaluators fast, and
+//! the interner can always recover the original spelling for diagnostics and
+//! pretty-printing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy, compare and hash.
+///
+/// # Examples
+///
+/// ```
+/// use urk_syntax::Symbol;
+///
+/// let a = Symbol::intern("zipWith");
+/// let b = Symbol::intern("zipWith");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "zipWith");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<String>,
+    table: HashMap<String, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            table: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its canonical [`Symbol`].
+    pub fn intern(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = i.table.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(i.names.len()).expect("interner full");
+        i.names.push(name.to_owned());
+        i.table.insert(name.to_owned(), id);
+        Symbol(id)
+    }
+
+    /// Returns the spelling of this symbol.
+    ///
+    /// The string is cloned out of the global interner; use this only on
+    /// cold paths (errors, pretty-printing).
+    pub fn as_str(self) -> String {
+        let i = interner().lock().expect("symbol interner poisoned");
+        i.names[self.0 as usize].clone()
+    }
+
+    /// A fresh symbol guaranteed not to clash with any source-level name.
+    ///
+    /// Fresh names contain a `$`, which the lexer rejects, so they can never
+    /// be captured by user code.
+    pub fn fresh(hint: &str) -> Symbol {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        Symbol::intern(&format!("${hint}{n}"))
+    }
+
+    /// True if this symbol was produced by [`Symbol::fresh`].
+    pub fn is_generated(self) -> bool {
+        self.as_str().starts_with('$')
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        let c = Symbol::intern("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn round_trips_spelling() {
+        let s = Symbol::intern("getException");
+        assert_eq!(s.as_str(), "getException");
+        assert_eq!(s.to_string(), "getException");
+    }
+
+    #[test]
+    fn fresh_symbols_are_distinct_and_generated() {
+        let a = Symbol::fresh("x");
+        let b = Symbol::fresh("x");
+        assert_ne!(a, b);
+        assert!(a.is_generated());
+        assert!(!Symbol::intern("x").is_generated());
+    }
+
+    #[test]
+    fn symbols_order_consistently_with_identity() {
+        let a = Symbol::intern("alpha-order-test-1");
+        let b = Symbol::intern("alpha-order-test-2");
+        assert_eq!(a.cmp(&b), a.cmp(&b));
+        assert_eq!(a == b, a.cmp(&b).is_eq());
+    }
+}

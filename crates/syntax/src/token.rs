@@ -1,0 +1,142 @@
+//! Tokens produced by the lexer and consumed (after layout processing) by
+//! the parser.
+
+use std::fmt;
+
+use crate::Symbol;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// An identifier starting with an upper-case letter (constructor or type
+    /// constructor).
+    Upper(Symbol),
+    /// An identifier starting with a lower-case letter (variable or type
+    /// variable).
+    Lower(Symbol),
+    /// An integer literal.
+    Int(i64),
+    /// A character literal.
+    Char(char),
+    /// A string literal.
+    Str(String),
+    /// A symbolic operator such as `+` or `>>=`.
+    Op(Symbol),
+
+    // Keywords.
+    Data,
+    Let,
+    In,
+    Case,
+    Of,
+    Where,
+    Do,
+    If,
+    Then,
+    Else,
+
+    // Punctuation.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Backslash,
+    Arrow,
+    BackArrow,
+    Equals,
+    Pipe,
+    DoubleColon,
+    Underscore,
+    Backtick,
+
+    // Virtual tokens inserted by the layout algorithm.
+    VLBrace,
+    VRBrace,
+    VSemi,
+
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// True if this token opens an implicit layout block when it is a
+    /// layout keyword's successor context (`where`, `let`, `of`, `do`).
+    pub fn is_layout_keyword(&self) -> bool {
+        matches!(self, Tok::Where | Tok::Let | Tok::Of | Tok::Do)
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Upper(s) | Tok::Lower(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Char(c) => write!(f, "{c:?}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Op(s) => write!(f, "{s}"),
+            Tok::Data => f.write_str("data"),
+            Tok::Let => f.write_str("let"),
+            Tok::In => f.write_str("in"),
+            Tok::Case => f.write_str("case"),
+            Tok::Of => f.write_str("of"),
+            Tok::Where => f.write_str("where"),
+            Tok::Do => f.write_str("do"),
+            Tok::If => f.write_str("if"),
+            Tok::Then => f.write_str("then"),
+            Tok::Else => f.write_str("else"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::Comma => f.write_str(","),
+            Tok::Semi => f.write_str(";"),
+            Tok::Backslash => f.write_str("\\"),
+            Tok::Arrow => f.write_str("->"),
+            Tok::BackArrow => f.write_str("<-"),
+            Tok::Equals => f.write_str("="),
+            Tok::Pipe => f.write_str("|"),
+            Tok::DoubleColon => f.write_str("::"),
+            Tok::Underscore => f.write_str("_"),
+            Tok::Backtick => f.write_str("`"),
+            Tok::VLBrace => f.write_str("{<layout>"),
+            Tok::VRBrace => f.write_str("}<layout>"),
+            Tok::VSemi => f.write_str(";<layout>"),
+            Tok::Eof => f.write_str("<end of input>"),
+        }
+    }
+}
+
+/// A source position (1-based line and column).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A token together with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+impl Spanned {
+    pub fn new(tok: Tok, line: u32, col: u32) -> Spanned {
+        Spanned {
+            tok,
+            pos: Pos { line, col },
+        }
+    }
+}

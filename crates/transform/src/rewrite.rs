@@ -1,0 +1,122 @@
+//! The rewriting engine: transformations as root rewrites applied
+//! bottom-up everywhere.
+
+use std::rc::Rc;
+
+use urk_syntax::core::{Alt, Expr};
+
+/// A program transformation, expressed as an optional rewrite at the root
+/// of an expression.
+pub trait Transform {
+    /// A short kebab-case name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Attempts to rewrite at the root; `None` means not applicable.
+    fn apply_root(&self, e: &Expr) -> Option<Expr>;
+}
+
+/// Applies `t` bottom-up over the whole expression, returning the result
+/// and the number of rewrites performed.
+pub fn apply_everywhere(t: &dyn Transform, e: &Expr) -> (Expr, usize) {
+    let mut count = 0;
+    let out = go(t, e, &mut count);
+    (out, count)
+}
+
+/// Applies `t` repeatedly (bottom-up sweeps) until no rewrite fires or the
+/// sweep limit is reached.
+pub fn apply_to_fixpoint(t: &dyn Transform, e: &Expr, max_sweeps: usize) -> (Expr, usize) {
+    let mut current = e.clone();
+    let mut total = 0;
+    for _ in 0..max_sweeps {
+        let (next, n) = apply_everywhere(t, &current);
+        total += n;
+        current = next;
+        if n == 0 {
+            break;
+        }
+    }
+    (current, total)
+}
+
+fn go(t: &dyn Transform, e: &Expr, count: &mut usize) -> Expr {
+    // First rebuild children, then try the root.
+    let rebuilt = match e {
+        Expr::Var(_) | Expr::Int(_) | Expr::Char(_) | Expr::Str(_) => e.clone(),
+        Expr::Con(c, args) => Expr::Con(
+            *c,
+            args.iter().map(|a| Rc::new(go(t, a, count))).collect(),
+        ),
+        Expr::Prim(op, args) => Expr::Prim(
+            *op,
+            args.iter().map(|a| Rc::new(go(t, a, count))).collect(),
+        ),
+        Expr::App(f, x) => Expr::App(Rc::new(go(t, f, count)), Rc::new(go(t, x, count))),
+        Expr::Lam(x, b) => Expr::Lam(*x, Rc::new(go(t, b, count))),
+        Expr::Let(x, r, b) => {
+            Expr::Let(*x, Rc::new(go(t, r, count)), Rc::new(go(t, b, count)))
+        }
+        Expr::LetRec(binds, b) => Expr::LetRec(
+            binds
+                .iter()
+                .map(|(n, r)| (*n, Rc::new(go(t, r, count))))
+                .collect(),
+            Rc::new(go(t, b, count)),
+        ),
+        Expr::Case(s, alts) => Expr::Case(
+            Rc::new(go(t, s, count)),
+            alts.iter()
+                .map(|a| Alt {
+                    con: a.con.clone(),
+                    binders: a.binders.clone(),
+                    rhs: Rc::new(go(t, &a.rhs, count)),
+                })
+                .collect(),
+        ),
+        Expr::Raise(x) => Expr::Raise(Rc::new(go(t, x, count))),
+    };
+    match t.apply_root(&rebuilt) {
+        Some(next) => {
+            *count += 1;
+            next
+        }
+        None => rebuilt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urk_syntax::core::PrimOp;
+
+    /// A toy transform: rewrite `0 + e` to `e`.
+    struct DropZeroAdd;
+    impl Transform for DropZeroAdd {
+        fn name(&self) -> &'static str {
+            "drop-zero-add"
+        }
+        fn apply_root(&self, e: &Expr) -> Option<Expr> {
+            let Expr::Prim(PrimOp::Add, args) = e else {
+                return None;
+            };
+            matches!(&*args[0], Expr::Int(0)).then(|| (*args[1]).clone())
+        }
+    }
+
+    #[test]
+    fn applies_bottom_up_everywhere() {
+        // 0 + (0 + 5) rewrites twice in one sweep.
+        let e = Expr::add(Expr::int(0), Expr::add(Expr::int(0), Expr::int(5)));
+        let (out, n) = apply_everywhere(&DropZeroAdd, &e);
+        assert_eq!(n, 2);
+        assert!(out.alpha_eq(&Expr::int(5)));
+    }
+
+    #[test]
+    fn fixpoint_terminates() {
+        let e = Expr::add(Expr::int(1), Expr::int(2));
+        let (out, n) = apply_to_fixpoint(&DropZeroAdd, &e, 10);
+        assert_eq!(n, 0);
+        assert!(out.alpha_eq(&e));
+    }
+}

@@ -1,0 +1,320 @@
+//! Strictness analysis by abstract interpretation.
+//!
+//! §3.4 singles out strictness analysis — turning call-by-need into
+//! call-by-value — as the "crucial transformation" that changes evaluation
+//! order and is therefore licensed only by the imprecise semantics. This
+//! module computes, for each top-level function, which arguments it is
+//! strict in, using the classic two-point abstract domain:
+//!
+//! * an abstract value is a Boolean: *does forcing this expression to WHNF
+//!   force the variable under scrutiny?*
+//! * known functions get strictness signatures, computed as a Mycroft-style
+//!   fixpoint (start all-strict, iterate the abstract semantics until
+//!   stable);
+//! * everything unknown is treated conservatively as lazy.
+//!
+//! In the imprecise semantics, "forces x" means the result's exception set
+//! incorporates x's (the factorization that makes let-to-case an
+//! identity); `raise e` therefore forces exactly what `e` forces, a strict
+//! primitive forces what *either* operand forces (the set union of §4.2),
+//! and `case` forces its scrutinee or whatever *all* alternatives force.
+
+use std::collections::HashMap;
+
+use urk_syntax::core::{CoreProgram, Expr, PrimOp};
+use urk_syntax::Symbol;
+
+/// Per-function strictness signatures: `sig[i]` is true when the function
+/// is strict in its `i`-th argument.
+pub type StrictSigs = HashMap<Symbol, Vec<bool>>;
+
+/// Analyses one mutually recursive top-level group.
+pub fn analyze_program(prog: &CoreProgram) -> StrictSigs {
+    // Peel lambda arity for each binding.
+    let arities: Vec<(Symbol, Vec<Symbol>, &Expr)> = prog
+        .binds
+        .iter()
+        .map(|(name, rhs)| {
+            let mut params = Vec::new();
+            let mut body: &Expr = rhs;
+            while let Expr::Lam(x, b) = body {
+                params.push(*x);
+                body = b;
+            }
+            (*name, params, body)
+        })
+        .collect();
+
+    // Mycroft iteration: start optimistic (all strict), weaken until
+    // stable. The abstract semantics is monotone in the signatures, so
+    // this terminates.
+    let mut sigs: StrictSigs = arities
+        .iter()
+        .map(|(name, params, _)| (*name, vec![true; params.len()]))
+        .collect();
+
+    for _round in 0..64 {
+        let mut changed = false;
+        for (name, params, body) in &arities {
+            let current = sigs[name].clone();
+            let mut next = Vec::with_capacity(params.len());
+            for (i, _) in params.iter().enumerate() {
+                // Strict in arg i: forcing the body forces params[i] when
+                // every other variable is "not the one".
+                let mut env = HashMap::new();
+                for (j, p) in params.iter().enumerate() {
+                    env.insert(*p, i == j);
+                }
+                next.push(forces(body, &env, &sigs));
+            }
+            if next != current {
+                sigs.insert(*name, next);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sigs
+}
+
+/// Does forcing `e` to WHNF force the scrutinised variable? `env` maps each
+/// in-scope variable to whether *it* is (or forces) the scrutinised one.
+pub fn forces(e: &Expr, env: &HashMap<Symbol, bool>, sigs: &StrictSigs) -> bool {
+    match e {
+        Expr::Var(v) => env.get(v).copied().unwrap_or(false),
+        Expr::Int(_) | Expr::Char(_) | Expr::Str(_) => false,
+        // Constructors and lambdas are WHNF already.
+        Expr::Con(_, _) | Expr::Lam(_, _) => false,
+        Expr::App(_, _) => {
+            // Flatten the spine and consult a signature for a known head.
+            let mut args = Vec::new();
+            let mut head = e;
+            while let Expr::App(f, a) = head {
+                args.push(&**a);
+                head = f;
+            }
+            args.reverse();
+            match head {
+                Expr::Var(f) => {
+                    // Forcing the head itself forces x?
+                    if env.get(f).copied().unwrap_or(false) {
+                        return true;
+                    }
+                    match sigs.get(f) {
+                        Some(sig) if sig.len() == args.len() => sig
+                            .iter()
+                            .zip(&args)
+                            .any(|(strict, a)| *strict && forces(a, env, sigs)),
+                        _ => false, // unknown or partial application
+                    }
+                }
+                Expr::Lam(x, b) => {
+                    // (\x -> b) a1 ... : b forces x and a1 forces target,
+                    // or b forces target directly. Approximate one level.
+                    if args.is_empty() {
+                        return false;
+                    }
+                    let mut inner = env.clone();
+                    inner.insert(*x, forces(args[0], env, sigs));
+                    forces(b, &inner, sigs) && args.len() == 1
+                }
+                _ => false,
+            }
+        }
+        Expr::Let(x, r, b) => {
+            let mut inner = env.clone();
+            inner.insert(*x, forces(r, env, sigs));
+            forces(b, &inner, sigs)
+        }
+        Expr::LetRec(binds, b) => {
+            // Conservative: recursive locals assumed not to force.
+            let mut inner = env.clone();
+            for (n, _) in binds {
+                inner.insert(*n, false);
+            }
+            forces(b, &inner, sigs)
+        }
+        Expr::Case(s, alts) => {
+            if forces(s, env, sigs) {
+                return true;
+            }
+            // Every alternative must force it (whichever branch runs).
+            !alts.is_empty()
+                && alts.iter().all(|a| {
+                    let mut inner = env.clone();
+                    for b in &a.binders {
+                        inner.insert(*b, false);
+                    }
+                    forces(&a.rhs, &inner, sigs)
+                })
+        }
+        Expr::Prim(op, args) => match op {
+            // seq is NOT union-like: `seq (Bad s) b = Bad s` cuts b's set
+            // off entirely, so demand through the *second* argument does
+            // not guarantee incorporation. Only the first argument's set
+            // always reaches the result.
+            PrimOp::Seq => forces(&args[0], env, sigs),
+            // mapException REPLACES its subject's exception set, and the
+            // unsafe observers CONSUME it (Bad s becomes True / Bad e):
+            // none of them incorporate x's exceptions into the result, so
+            // none justify pre-evaluation.
+            PrimOp::MapExn | PrimOp::UnsafeIsException | PrimOp::UnsafeGetException => false,
+            // The (+) family: the §4.2 union means *either* operand's
+            // exceptions reach the result.
+            _ => args.iter().any(|a| forces(a, env, sigs)),
+        },
+        // raise propagates its argument's set.
+        Expr::Raise(x) => forces(x, env, sigs),
+    }
+}
+
+/// Convenience: is `body` strict in `x` given signatures?
+pub fn strict_in(x: Symbol, body: &Expr, sigs: &StrictSigs) -> bool {
+    let mut env = HashMap::new();
+    env.insert(x, true);
+    forces(body, &env, sigs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urk_syntax::{desugar_program, parse_program, DataEnv};
+
+    fn analyze(src: &str) -> StrictSigs {
+        let mut env = DataEnv::new();
+        let prog =
+            desugar_program(&parse_program(src).expect("parses"), &mut env).expect("desugars");
+        analyze_program(&prog)
+    }
+
+    fn sig(sigs: &StrictSigs, name: &str) -> Vec<bool> {
+        sigs[&Symbol::intern(name)].clone()
+    }
+
+    #[test]
+    fn arithmetic_is_strict_in_both_arguments() {
+        let s = analyze("plus a b = a + b");
+        assert_eq!(sig(&s, "plus"), vec![true, true]);
+    }
+
+    #[test]
+    fn const_is_lazy_in_its_second_argument() {
+        let s = analyze("konst a b = a\nignore a b = b + 0");
+        // Returning `a` forces it to WHNF; `b` is never touched.
+        assert_eq!(sig(&s, "konst"), vec![true, false]);
+        assert_eq!(sig(&s, "ignore"), vec![false, true]);
+    }
+
+    #[test]
+    fn returning_a_variable_forces_it() {
+        // f x = x : forcing f's result to WHNF forces x.
+        let s = analyze("f x = x");
+        assert_eq!(sig(&s, "f"), vec![true]);
+    }
+
+    #[test]
+    fn conditional_strictness_requires_all_branches() {
+        let s = analyze(
+            "both c x = if c then x + 1 else x - 1\n\
+             onearm c x = if c then x + 1 else 0",
+        );
+        // Strict in c (scrutinised) and x (both branches force it).
+        assert_eq!(sig(&s, "both"), vec![true, true]);
+        // Strict in c only.
+        assert_eq!(sig(&s, "onearm"), vec![true, false]);
+    }
+
+    #[test]
+    fn constructors_are_lazy() {
+        let s = analyze("box x = Just x\npair x y = (x, y)");
+        assert_eq!(sig(&s, "box"), vec![false]);
+        assert_eq!(sig(&s, "pair"), vec![false, false]);
+    }
+
+    #[test]
+    fn recursive_accumulator_is_strict() {
+        // sumTo is strict in both: the base case returns acc, the
+        // recursive case feeds acc into +.
+        let s = analyze(
+            "sumTo n acc = if n == 0 then acc else sumTo (n - 1) (acc + n)",
+        );
+        assert_eq!(sig(&s, "sumTo"), vec![true, true]);
+    }
+
+    #[test]
+    fn mutual_recursion_converges() {
+        let s = analyze(
+            "isEven n = if n == 0 then True else isOdd (n - 1)\n\
+             isOdd n = if n == 0 then False else isEven (n - 1)",
+        );
+        assert_eq!(sig(&s, "isEven"), vec![true]);
+        assert_eq!(sig(&s, "isOdd"), vec![true]);
+    }
+
+    #[test]
+    fn seq_is_strict_in_its_first_argument_only() {
+        // `seq (Bad s) b = Bad s`: the second argument's exception set is
+        // cut off when the first raises, so the analysis must not claim
+        // incorporation through it. (Found by the optimizer property test
+        // — see `tests/properties.rs::optimizer_pipeline_is_a_valid_rewrite`.)
+        let s = analyze("strictSnd a b = seq a b");
+        assert_eq!(sig(&s, "strictSnd"), vec![true, false]);
+    }
+
+    #[test]
+    fn exception_consumers_do_not_propagate_demand() {
+        // mapException replaces the set; unsafeIsException consumes it.
+        let s = analyze(
+            "remap e = mapException (\\x -> Overflow) e\n\
+             probe e = unsafeIsException e\n\
+             fetch e = unsafeGetException e",
+        );
+        assert_eq!(sig(&s, "remap"), vec![false]);
+        assert_eq!(sig(&s, "probe"), vec![false]);
+        assert_eq!(sig(&s, "fetch"), vec![false]);
+    }
+
+    #[test]
+    fn seq_cutoff_regression_from_the_property_test() {
+        // The distilled counterexample: the body demands m only under a
+        // seq whose first argument always raises; forcing m early adds
+        // exceptions the original never had.
+        let s = analyze(
+            "f m = seq (raise Overflow) ((if 0 < m then 0 else m) + 0)",
+        );
+        assert_eq!(sig(&s, "f"), vec![false]);
+    }
+
+    #[test]
+    fn raise_propagates_demand() {
+        let s = analyze("boom e = raise e\nquiet e = raise Overflow");
+        assert_eq!(sig(&s, "boom"), vec![true]);
+        assert_eq!(sig(&s, "quiet"), vec![false]);
+    }
+
+    #[test]
+    fn lazy_list_producers_are_lazy() {
+        let s = analyze("rep x = x : rep x");
+        assert_eq!(sig(&s, "rep"), vec![false]);
+    }
+
+    #[test]
+    fn strict_in_helper_works_on_open_terms() {
+        let sigs = StrictSigs::new();
+        let env = DataEnv::new();
+        let e = urk_syntax::desugar_expr(
+            &urk_syntax::parse_expr_src("x + 1").expect("parses"),
+            &env,
+        )
+        .expect("desugars");
+        assert!(strict_in(Symbol::intern("x"), &e, &sigs));
+        let e2 = urk_syntax::desugar_expr(
+            &urk_syntax::parse_expr_src("Just x").expect("parses"),
+            &env,
+        )
+        .expect("desugars");
+        assert!(!strict_in(Symbol::intern("x"), &e2, &sigs));
+    }
+}

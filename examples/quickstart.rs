@@ -1,0 +1,77 @@
+//! Quickstart: the paper's headline example, end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks through: evaluating pure code, the exception *set* an expression
+//! denotes (§3.4), the single representative the machine reports (§3.3),
+//! how the representative changes with the evaluation-order policy (§3.5),
+//! and catching with `getException` in the IO monad.
+
+use urk::{Exception, OrderPolicy, Session};
+
+fn main() -> Result<(), urk::Error> {
+    let mut session = Session::new();
+
+    println!("== Ordinary lazy evaluation =========================================");
+    println!("  sum [1 .. 100]        = {}", session.eval("sum [1 .. 100]")?.rendered);
+    println!(
+        "  take 5 (iterate (*2)) = {}",
+        session.eval(r"take 5 (iterate (\x -> x * 2) 1)")?.rendered
+    );
+
+    println!();
+    println!("== The headline term: (1/0) + error \"Urk\" ==========================");
+    let term = r#"(1/0) + error "Urk""#;
+
+    // The denotational semantics gives the *set* of exceptions (§3.4):
+    let set = session.exception_set(term)?.expect("exceptional value");
+    println!("  denotation        : Bad {set}");
+
+    // The machine reports one representative — whichever it met first:
+    let l2r = session.eval(term)?;
+    println!("  machine, L-to-R   : {}", l2r.rendered);
+    assert_eq!(l2r.exception, Some(Exception::DivideByZero));
+
+    // "Recompiling with different optimisation settings" = changing the
+    // evaluation-order policy (§3.5):
+    session.options.machine.order = OrderPolicy::RightToLeft;
+    let r2l = session.eval(term)?;
+    println!("  machine, R-to-L   : {}", r2l.rendered);
+    assert_eq!(r2l.exception, Some(Exception::UserError("Urk".into())));
+    session.options.machine.order = OrderPolicy::LeftToRight;
+
+    // Either way, the observed exception is a member of the set:
+    for e in [l2r.exception.unwrap(), r2l.exception.unwrap()] {
+        assert!(set.contains(&e));
+    }
+
+    println!();
+    println!("== Exceptions hide inside lazy structures (§3.2) ====================");
+    println!(
+        "  zipWith (/) [1,2] [1,0] = {}",
+        session.eval("zipWith (/) [1, 2] [1, 0]")?.rendered
+    );
+    println!(
+        "  head of it              = {}",
+        session.eval("head (zipWith (/) [1, 2] [1, 0])")?.rendered
+    );
+
+    println!();
+    println!("== Catching with getException (in the IO monad, §3.5) ===============");
+    session.load(
+        r#"main = do
+  v <- getException (sum (zipWith (/) [6, 8] [2, 0]))
+  case v of
+    OK n  -> putStr (strAppend "result: " (showInt n))
+    Bad e -> putStr "recovered from a division failure""#,
+    )?;
+    let run = session.run_main("")?;
+    println!("  program output    : {}", run.trace.output());
+    println!("  trace             : {}", run.trace);
+
+    println!();
+    println!("quickstart: all assertions held.");
+    Ok(())
+}

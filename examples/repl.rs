@@ -1,0 +1,91 @@
+//! A small interactive REPL for Urk.
+//!
+//! ```text
+//! cargo run --example repl
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! <expr>        evaluate on the graph-reduction machine
+//! :t <expr>     show the inferred type
+//! :d <expr>     show the denotation (exception sets and all)
+//! :s <expr>     show the exception set only
+//! :def <decl>   add a top-level definition (e.g. :def f x = x + 1)
+//! :order l|r|s  set the machine's evaluation-order policy
+//! :laws         print the transformation-law table
+//! :q            quit
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use urk::{classify_all, render_table, OrderPolicy, Session};
+
+fn main() {
+    let mut session = Session::new();
+    println!("urk — imprecise exceptions (PLDI 1999). :q to quit.");
+    print_prompt();
+
+    let stdin = io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            print_prompt();
+            continue;
+        }
+        if line == ":q" || line == ":quit" {
+            break;
+        }
+        if line == ":laws" {
+            print!("{}", render_table(&classify_all()));
+        } else if let Some(rest) = line.strip_prefix(":t ") {
+            match session.type_of(rest) {
+                Ok(t) => println!("{rest} :: {t}"),
+                Err(e) => println!("error: {e}"),
+            }
+        } else if let Some(rest) = line.strip_prefix(":d ") {
+            match session.denot_show(rest, 16) {
+                Ok(d) => println!("{d}"),
+                Err(e) => println!("error: {e}"),
+            }
+        } else if let Some(rest) = line.strip_prefix(":s ") {
+            match session.exception_set(rest) {
+                Ok(Some(s)) => println!("Bad {s}"),
+                Ok(None) => println!("a normal value (empty exception set)"),
+                Err(e) => println!("error: {e}"),
+            }
+        } else if let Some(rest) = line.strip_prefix(":def ") {
+            match session.load(rest) {
+                Ok(()) => println!("defined."),
+                Err(e) => println!("error: {e}"),
+            }
+        } else if let Some(rest) = line.strip_prefix(":order ") {
+            session.options.machine.order = match rest.trim() {
+                "l" => OrderPolicy::LeftToRight,
+                "r" => OrderPolicy::RightToLeft,
+                "s" => OrderPolicy::Seeded(0xC0FFEE),
+                other => {
+                    println!("unknown order '{other}' (use l, r, or s)");
+                    print_prompt();
+                    continue;
+                }
+            };
+            println!("order set.");
+        } else if line.starts_with(':') {
+            println!("unknown command: {line}");
+        } else {
+            match session.eval(line) {
+                Ok(r) => println!("{}", r.rendered),
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        print_prompt();
+    }
+    println!();
+}
+
+fn print_prompt() {
+    print!("urk> ");
+    let _ = io::stdout().flush();
+}

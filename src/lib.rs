@@ -1,0 +1,8 @@
+//! Umbrella crate for the reproduction suite of *"A Semantics for Imprecise
+//! Exceptions"* (Peyton Jones, Reid, Hoare, Marlow, Henderson — PLDI 1999).
+//!
+//! The real library lives in the workspace crates; this root package exists
+//! to host the repository-level integration tests (`tests/`) and runnable
+//! examples (`examples/`). See [`urk`] for the public API.
+
+pub use urk;

@@ -1,0 +1,171 @@
+//! Golden tests for the Prelude: every function's inferred type and
+//! behaviour, including how each interacts with exceptional values.
+
+use urk::{Exception, Session};
+
+fn s() -> Session {
+    Session::new()
+}
+
+#[track_caller]
+fn eval(session: &Session, src: &str) -> String {
+    session.eval(src).expect("evals").rendered
+}
+
+#[test]
+fn prelude_types_are_the_expected_schemes() {
+    let session = s();
+    let cases = [
+        ("id", "a -> a"),
+        ("const", "a -> b -> a"),
+        ("flip", "(a -> b -> c) -> b -> a -> c"),
+        ("not", "Bool -> Bool"),
+        ("otherwise", "Bool"),
+        ("fst", "Pair a b -> a"),
+        ("snd", "Pair a b -> b"),
+        ("error", "Str -> a"),
+        ("head", "[a] -> a"),
+        ("tail", "[a] -> [a]"),
+        ("null", "[a] -> Bool"),
+        ("length", "[a] -> Int"),
+        ("append", "[a] -> [a] -> [a]"),
+        ("map", "(a -> b) -> [a] -> [b]"),
+        ("filter", "(a -> Bool) -> [a] -> [a]"),
+        ("foldr", "(a -> b -> b) -> b -> [a] -> b"),
+        ("foldl", "(a -> b -> a) -> a -> [b] -> a"),
+        ("reverse", "[a] -> [a]"),
+        ("concat", "[[a]] -> [a]"),
+        ("concatMap", "(a -> [b]) -> [a] -> [b]"),
+        ("take", "Int -> [a] -> [a]"),
+        ("drop", "Int -> [a] -> [a]"),
+        ("replicate", "Int -> a -> [a]"),
+        ("iterate", "(a -> a) -> a -> [a]"),
+        ("repeat", "a -> [a]"),
+        ("zipWith", "(a -> b -> c) -> [a] -> [b] -> [c]"),
+        ("zip", "[a] -> [b] -> [Pair a b]"),
+        ("sum", "[Int] -> Int"),
+        ("product", "[Int] -> Int"),
+        ("max", "Int -> Int -> Int"),
+        ("min", "Int -> Int -> Int"),
+        ("abs", "Int -> Int"),
+        ("even", "Int -> Bool"),
+        ("odd", "Int -> Bool"),
+        ("elem", "Int -> [Int] -> Bool"),
+        ("enumFromTo", "Int -> Int -> [Int]"),
+        ("lookup", "Int -> [Pair Int a] -> Maybe a"),
+        ("fromMaybe", "a -> Maybe a -> a"),
+        ("maybe", "a -> (b -> a) -> Maybe b -> a"),
+        ("insert", "Int -> [Int] -> [Int]"),
+        ("sort", "[Int] -> [Int]"),
+        ("all", "(a -> Bool) -> [a] -> Bool"),
+        ("any", "(a -> Bool) -> [a] -> Bool"),
+        ("forceList", "[a] -> Bool"),
+        ("concatStr", "[Str] -> Str"),
+        ("loop", "a"),
+    ];
+    for (name, expected) in cases {
+        assert_eq!(
+            session.type_of_binding(name).unwrap_or_else(|| panic!("{name} unbound")),
+            expected,
+            "type of {name}"
+        );
+    }
+}
+
+#[test]
+fn list_functions_behave() {
+    let session = s();
+    assert_eq!(eval(&session, "length [1, 2, 3]"), "3");
+    assert_eq!(eval(&session, "append [1] [2, 3]"), "Cons 1 (Cons 2 (Cons 3 Nil))");
+    assert_eq!(eval(&session, "reverse [1, 2, 3]"), "Cons 3 (Cons 2 (Cons 1 Nil))");
+    assert_eq!(eval(&session, "concat [[1], [], [2, 3]]"), "Cons 1 (Cons 2 (Cons 3 Nil))");
+    assert_eq!(eval(&session, "take 2 [9, 8, 7]"), "Cons 9 (Cons 8 Nil)");
+    assert_eq!(eval(&session, "drop 2 [9, 8, 7]"), "Cons 7 Nil");
+    assert_eq!(eval(&session, "replicate 3 'x'"), "Cons 'x' (Cons 'x' (Cons 'x' Nil))");
+    assert_eq!(eval(&session, "filter even [1 .. 6]"), "Cons 2 (Cons 4 (Cons 6 Nil))");
+    assert_eq!(eval(&session, "elem 3 [1 .. 5]"), "True");
+    assert_eq!(eval(&session, "elem 9 [1 .. 5]"), "False");
+    assert_eq!(eval(&session, "sort [3, 1, 2, 1]"), "Cons 1 (Cons 1 (Cons 2 (Cons 3 Nil)))");
+    assert_eq!(eval(&session, "sum [1 .. 100]"), "5050");
+    assert_eq!(eval(&session, "product [1 .. 5]"), "120");
+    assert_eq!(eval(&session, "null []"), "True");
+    assert_eq!(eval(&session, "null [0]"), "False");
+}
+
+#[test]
+fn folds_and_higher_order() {
+    let session = s();
+    assert_eq!(eval(&session, r"foldr (\a b -> a + b) 0 [1, 2, 3]"), "6");
+    assert_eq!(eval(&session, r"foldl (\a b -> a - b) 10 [1, 2, 3]"), "4");
+    assert_eq!(eval(&session, r"map (flip (-) 1) [5, 6]"), "Cons 4 (Cons 5 Nil)");
+    assert_eq!(eval(&session, r"all even [2, 4]"), "True");
+    assert_eq!(eval(&session, r"any odd [2, 4]"), "False");
+    assert_eq!(eval(&session, r"concatMap (\x -> [x, x]) [1, 2]"),
+        "Cons 1 (Cons 1 (Cons 2 (Cons 2 Nil)))");
+    assert_eq!(eval(&session, r"(id . const 3) 9"), "3");
+}
+
+#[test]
+fn maybe_and_pairs() {
+    let session = s();
+    assert_eq!(eval(&session, "lookup 2 [(1, 'a'), (2, 'b')]"), "Just 'b'");
+    assert_eq!(eval(&session, "lookup 9 [(1, 'a')]"), "Nothing");
+    assert_eq!(eval(&session, "fromMaybe 0 (Just 5)"), "5");
+    assert_eq!(eval(&session, "fromMaybe 0 Nothing"), "0");
+    assert_eq!(eval(&session, r"maybe 0 (\x -> x + 1) (Just 5)"), "6");
+    assert_eq!(eval(&session, "fst (1, 2) + snd (3, 4)"), "5");
+    assert_eq!(eval(&session, "zip [1, 2] ['a', 'b']"),
+        "Cons (Pair 1 'a') (Cons (Pair 2 'b') Nil)");
+}
+
+#[test]
+fn laziness_in_the_prelude() {
+    let session = s();
+    // Infinite structures, finite demands.
+    assert_eq!(eval(&session, "take 3 (repeat 1)"), "Cons 1 (Cons 1 (Cons 1 Nil))");
+    assert_eq!(eval(&session, r"head (iterate (\x -> x + 1) 0)"), "0");
+    // const discards a diverging-ish argument.
+    assert_eq!(eval(&session, "const 5 (error \"never\")"), "5");
+    // map doesn't force elements.
+    assert_eq!(eval(&session, r"length (map (\x -> x / 0) [1, 2, 3])"), "3");
+}
+
+#[test]
+fn exceptions_flow_through_prelude_functions() {
+    let session = s();
+    // head/tail of [] raise PatternMatchFail (the paper's §2 example).
+    let out = session.eval("head []").expect("evals");
+    assert!(matches!(out.exception, Some(Exception::PatternMatchFail(_))));
+    let out = session.eval("tail []").expect("evals");
+    assert!(matches!(out.exception, Some(Exception::PatternMatchFail(_))));
+    // sum forces everything: a buried division blows up the total.
+    let out = session.eval("sum [1, 1/0, 3]").expect("evals");
+    assert_eq!(out.exception, Some(Exception::DivideByZero));
+    // but length doesn't look at elements:
+    assert_eq!(eval(&session, "length [1, 1/0, 3]"), "3");
+    // error has the paper's definition.
+    let out = session.eval(r#"error "Urk""#).expect("evals");
+    assert_eq!(out.exception, Some(Exception::UserError("Urk".into())));
+}
+
+#[test]
+fn strings_and_chars() {
+    let session = s();
+    assert_eq!(eval(&session, r#"concatStr ["a", "b", "c"]"#), "\"abc\"");
+    assert_eq!(eval(&session, "unwordsInt [1, 2]"), "\"1 2 \"");
+    assert_eq!(eval(&session, "max 3 9 + min 3 9"), "12");
+    assert_eq!(eval(&session, "abs (0 - 5)"), "5");
+}
+
+#[test]
+fn prelude_survives_the_optimizer() {
+    let mut session = s();
+    let report = session.optimize().expect("optimizes");
+    assert!(report.total_rewrites() > 0);
+    // Everything above still behaves.
+    assert_eq!(eval(&session, "sum (map (\\x -> x * x) [1 .. 10])"), "385");
+    assert_eq!(eval(&session, "sort [2, 1]"), "Cons 1 (Cons 2 Nil)");
+    assert_eq!(eval(&session, "take 2 (repeat 0)"), "Cons 0 (Cons 0 Nil)");
+    let out = session.eval("head []").expect("evals");
+    assert!(matches!(out.exception, Some(Exception::PatternMatchFail(_))));
+}

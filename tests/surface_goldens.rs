@@ -1,0 +1,171 @@
+//! Golden tests for trickier surface-syntax combinations: layout, guards,
+//! `where`, sections, and sugar interacting — each checked end-to-end by
+//! evaluating through the Session.
+
+use urk::Session;
+
+#[track_caller]
+fn eval_program(prog: &str, query: &str) -> String {
+    let mut s = Session::new();
+    s.load(prog).expect("loads");
+    s.eval(query).expect("evals").rendered
+}
+
+#[test]
+fn guards_with_where_spanning_clauses() {
+    let prog = r#"classify n
+  | n < small = "small"
+  | n < big   = "medium"
+  | otherwise = "large"
+  where small = 10
+        big = 100"#;
+    assert_eq!(eval_program(prog, "classify 5"), "\"small\"");
+    assert_eq!(eval_program(prog, "classify 50"), "\"medium\"");
+    assert_eq!(eval_program(prog, "classify 500"), "\"large\"");
+}
+
+#[test]
+fn nested_where_blocks() {
+    let prog = r#"poly x = a + b
+  where a = x * c
+          where c = 3
+        b = x + 1"#;
+    // Note: the inner where attaches to `a`'s equation.
+    assert_eq!(eval_program(prog, "poly 2"), "9");
+}
+
+#[test]
+fn case_with_nested_patterns_and_guards_in_alternatives() {
+    let prog = r#"describe m = case m of
+  Just (x, y) | x == y    -> "diagonal"
+              | x < y     -> "above"
+              | otherwise -> "below"
+  Nothing -> "empty""#;
+    assert_eq!(eval_program(prog, "describe (Just (3, 3))"), "\"diagonal\"");
+    assert_eq!(eval_program(prog, "describe (Just (1, 3))"), "\"above\"");
+    assert_eq!(eval_program(prog, "describe (Just (5, 3))"), "\"below\"");
+    assert_eq!(eval_program(prog, "describe Nothing"), "\"empty\"");
+}
+
+#[test]
+fn sections_compose_in_pipelines() {
+    let s = Session::new();
+    assert_eq!(
+        s.eval("sum (map (* 3) (filter (> 2) [1 .. 5]))")
+            .expect("evals")
+            .rendered,
+        "36"
+    );
+    assert_eq!(
+        s.eval("map (10 -) [1, 2, 3]").expect("evals").rendered,
+        "Cons 9 (Cons 8 (Cons 7 Nil))"
+    );
+    assert_eq!(
+        s.eval(r"foldr (.) id [(+ 1), (* 2)] 5").expect("evals").rendered,
+        "11"
+    );
+}
+
+#[test]
+fn do_blocks_with_let_and_nested_do() {
+    let prog = r#"main = do
+  let shout s = strAppend s "!"
+  a <- getChar
+  do putChar a
+     putStr (shout "ok")
+  return 0"#;
+    let mut s = Session::new();
+    s.load(prog).expect("loads");
+    let out = s.run_main("z").expect("runs");
+    assert_eq!(out.trace.output(), "zok!");
+}
+
+#[test]
+fn operators_in_backticks_and_dollar() {
+    let prog = "avg a b = (a + b) / 2";
+    assert_eq!(eval_program(prog, "3 `avg` 7"), "5");
+    assert_eq!(eval_program(prog, "showInt $ 1 `avg` 3"), "\"2\"");
+}
+
+#[test]
+fn multiline_if_then_else_with_layout() {
+    let prog = r#"grade n =
+  if n >= 90
+    then "A"
+    else if n >= 80
+      then "B"
+      else "C""#;
+    assert_eq!(eval_program(prog, "grade 95"), "\"A\"");
+    assert_eq!(eval_program(prog, "grade 85"), "\"B\"");
+    assert_eq!(eval_program(prog, "grade 50"), "\"C\"");
+}
+
+#[test]
+fn deeply_nested_data_and_patterns() {
+    let prog = r#"data Rose = Node Int [Rose]
+flatten (Node v kids) = v : concatMap flatten kids
+total t = sum (flatten t)"#;
+    assert_eq!(
+        eval_program(
+            prog,
+            "total (Node 1 [Node 2 [], Node 3 [Node 4 []]])"
+        ),
+        "10"
+    );
+}
+
+#[test]
+fn string_patterns_in_case() {
+    let prog = r#"dispatch cmd = case cmd of
+  "inc" -> 1
+  "dec" -> 0 - 1
+  _     -> 0"#;
+    assert_eq!(eval_program(prog, r#"dispatch "inc""#), "1");
+    assert_eq!(eval_program(prog, r#"dispatch "dec""#), "-1");
+    assert_eq!(eval_program(prog, r#"dispatch "nop""#), "0");
+}
+
+#[test]
+fn char_literal_patterns_and_ranges() {
+    let prog = r#"isVowel c = case c of
+  'a' -> True
+  'e' -> True
+  'i' -> True
+  'o' -> True
+  'u' -> True
+  _   -> False
+countVowels s n i = if i == n then 0 else 0"#;
+    assert_eq!(eval_program(prog, "isVowel 'e'"), "True");
+    assert_eq!(eval_program(prog, "isVowel 'z'"), "False");
+    assert_eq!(
+        eval_program(prog, "length (filter isVowel ['h', 'a', 's', 'k', 'e', 'l', 'l'])"),
+        "2"
+    );
+}
+
+#[test]
+fn negative_literals_in_patterns_and_expressions() {
+    let prog = r#"sign (-1) = "neg"
+sign 0 = "zero"
+sign n = if n < 0 then "neg" else "pos""#;
+    assert_eq!(eval_program(prog, "sign (-1)"), "\"neg\"");
+    assert_eq!(eval_program(prog, "sign (0 - 7)"), "\"neg\"");
+    assert_eq!(eval_program(prog, "sign 0"), "\"zero\"");
+    assert_eq!(eval_program(prog, "sign 9"), "\"pos\"");
+}
+
+#[test]
+fn comments_everywhere() {
+    let prog = r#"-- leading comment
+f x = x + 1 -- trailing
+{- block
+   spanning lines -}
+g y = f (f y) {- inline -} + 0"#;
+    assert_eq!(eval_program(prog, "g 1"), "3");
+}
+
+#[test]
+fn explicit_braces_mix_with_layout() {
+    let prog = "f xs = case xs of { [] -> 0; y:ys -> y }\ng = f [42]";
+    assert_eq!(eval_program(prog, "g"), "42");
+}
