@@ -25,21 +25,17 @@ fn bench(c: &mut Criterion) {
     for w in workloads() {
         let compiled = compile(&w);
         for (name, policy) in policies {
-            group.bench_with_input(
-                BenchmarkId::new(name, w.name),
-                &compiled,
-                |b, c| {
-                    b.iter(|| {
-                        run(
-                            c,
-                            MachineConfig {
-                                order: policy,
-                                ..MachineConfig::default()
-                            },
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, w.name), &compiled, |b, c| {
+                b.iter(|| {
+                    run(
+                        c,
+                        MachineConfig {
+                            order: policy,
+                            ..MachineConfig::default()
+                        },
+                    )
+                })
+            });
         }
     }
     group.finish();

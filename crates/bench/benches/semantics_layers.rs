@@ -53,9 +53,7 @@ fn bench(c: &mut Criterion) {
     });
 
     let laws = standard_laws();
-    group.bench_function("law-classification-one", |b| {
-        b.iter(|| classify(&laws[0]))
-    });
+    group.bench_function("law-classification-one", |b| b.iter(|| classify(&laws[0])));
 
     group.finish();
 }

@@ -166,7 +166,8 @@ fn main() {
         },
         urk_bench::Workload {
             name: "known-cons",
-            program: "step p = case Just p of { Just q -> case (q, q * 2) of { (a, b) -> a + b } }\n\
+            program:
+                "step p = case Just p of { Just q -> case (q, q * 2) of { (a, b) -> a + b } }\n\
                       walk n acc = if n == 0 then acc else walk (n - 1) (acc + step n)",
             query: "walk 3000 0".into(),
             expected: "",
@@ -198,5 +199,7 @@ fn main() {
         );
     }
     println!();
-    println!("(Step/allocation counts are deterministic; wall-clock equivalents live in `cargo bench`.)");
+    println!(
+        "(Step/allocation counts are deterministic; wall-clock equivalents live in `cargo bench`.)"
+    );
 }

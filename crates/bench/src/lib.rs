@@ -142,8 +142,7 @@ pub fn run_caught(c: &Compiled, config: MachineConfig) -> (String, Stats) {
 pub fn encode(c: &Compiled) -> Compiled {
     let program = urk_transform::encode_program(&c.program).expect("first-order workload");
     let known: BTreeSet<Symbol> = c.program.binds.iter().map(|(n, _)| *n).collect();
-    let query =
-        Rc::new(urk_transform::encode_expr(&c.query, &known).expect("first-order query"));
+    let query = Rc::new(urk_transform::encode_expr(&c.query, &known).expect("first-order query"));
     Compiled {
         data: c.data.clone(),
         program,

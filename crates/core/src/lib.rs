@@ -80,11 +80,15 @@ mod tests {
         let s = Session::new();
         assert_eq!(s.eval("sum [1 .. 10]").expect("evals").rendered, "55");
         assert_eq!(
-            s.eval("map (\\x -> x * x) [1, 2, 3]").expect("evals").rendered,
+            s.eval("map (\\x -> x * x) [1, 2, 3]")
+                .expect("evals")
+                .rendered,
             "Cons 1 (Cons 4 (Cons 9 Nil))"
         );
-        assert_eq!(s.eval("sort [3, 1, 2]").expect("evals").rendered,
-            "Cons 1 (Cons 2 (Cons 3 Nil))");
+        assert_eq!(
+            s.eval("sort [3, 1, 2]").expect("evals").rendered,
+            "Cons 1 (Cons 2 (Cons 3 Nil))"
+        );
     }
 
     #[test]
@@ -122,7 +126,9 @@ mod tests {
             "Cons 1 (Cons (raise DivideByZero) Nil)"
         );
         // §3.2: forcing the whole structure flushes the exception out.
-        let forced = s.eval("forceList (zipWith (/) [1, 2] [1, 0])").expect("evals");
+        let forced = s
+            .eval("forceList (zipWith (/) [1, 2] [1, 0])")
+            .expect("evals");
         assert_eq!(forced.exception, Some(Exception::DivideByZero));
     }
 
@@ -142,17 +148,17 @@ mod tests {
             s.type_of("getException (head [1])").expect("types"),
             "IO (ExVal Int)"
         );
-        assert_eq!(s.type_of_binding("zipWith").expect("bound"),
-            "(a -> b -> c) -> [a] -> [b] -> [c]");
+        assert_eq!(
+            s.type_of_binding("zipWith").expect("bound"),
+            "(a -> b -> c) -> [a] -> [b] -> [c]"
+        );
     }
 
     #[test]
     fn run_main_machine_and_semantic() {
         let mut s = Session::new();
-        s.load(
-            "main = do\n  c <- getChar\n  putChar c\n  putStr \"!\"\n  return 7",
-        )
-        .expect("loads");
+        s.load("main = do\n  c <- getChar\n  putChar c\n  putStr \"!\"\n  return 7")
+            .expect("loads");
         let out = s.run_main("q").expect("runs");
         assert!(matches!(out.result, urk_io::IoResult::Done(ref v) if v == "7"));
         assert_eq!(out.trace.output(), "q!");
@@ -211,7 +217,9 @@ mod tests {
     fn lazy_infinite_structures_work_through_the_prelude() {
         let s = Session::new();
         assert_eq!(
-            s.eval("take 5 (iterate (\\x -> x * 2) 1)").expect("evals").rendered,
+            s.eval("take 5 (iterate (\\x -> x * 2) 1)")
+                .expect("evals")
+                .rendered,
             "Cons 1 (Cons 2 (Cons 4 (Cons 8 (Cons 16 Nil))))"
         );
         assert_eq!(s.eval("head (repeat 9)").expect("evals").rendered, "9");

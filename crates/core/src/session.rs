@@ -10,9 +10,7 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use urk_denot::{
-    show_denot, Denot, DenotConfig, DenotEvaluator, Env as DEnv, ExnSet, Thunk,
-};
+use urk_denot::{show_denot, Denot, DenotConfig, DenotEvaluator, Env as DEnv, ExnSet, Thunk};
 use urk_io::{
     run_denot, run_machine, AsyncSchedule, ExceptionOracle, RunOutcome, SeededOracle,
     SemRunOutcome, StringInput,
@@ -137,7 +135,9 @@ impl Session {
 
     /// The inferred scheme of a top-level binding, rendered.
     pub fn type_of_binding(&self, name: &str) -> Option<String> {
-        self.types.get(&Symbol::intern(name)).map(|s| s.ty.to_string())
+        self.types
+            .get(&Symbol::intern(name))
+            .map(|s| s.ty.to_string())
     }
 
     /// Parses, desugars and (optionally) type-checks an expression against
@@ -256,12 +256,7 @@ impl Session {
         }
         let (mut m, env) = self.machine();
         let mut inp = StringInput::new(input);
-        Ok(run_machine(
-            &mut m,
-            &env,
-            Rc::new(Expr::Var(sym)),
-            &mut inp,
-        ))
+        Ok(run_machine(&mut m, &env, Rc::new(Expr::Var(sym)), &mut inp))
     }
 
     /// Performs `main` as the root of a cooperative thread group
@@ -270,10 +265,7 @@ impl Session {
     /// # Errors
     ///
     /// As [`Session::run_main`].
-    pub fn run_main_concurrent(
-        &self,
-        input: &str,
-    ) -> Result<urk_io::ConcurrentOutcome, Error> {
+    pub fn run_main_concurrent(&self, input: &str) -> Result<urk_io::ConcurrentOutcome, Error> {
         let sym = Symbol::intern("main");
         if self.program.lookup(sym).is_none() {
             return Err(Error::MissingBinding("main".into()));
@@ -374,8 +366,7 @@ impl Session {
             .map(|q| self.compile_expr(q))
             .collect::<Result<_, _>>()?;
         let optimizer = urk_transform::Optimizer::new();
-        let (out, report) =
-            optimizer.optimize_validated(&self.program, &self.data, &compiled);
+        let (out, report) = optimizer.optimize_validated(&self.program, &self.data, &compiled);
         if report.validated() {
             if self.options.typecheck {
                 self.types = infer_program(&out, &self.data)?;

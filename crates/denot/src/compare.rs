@@ -52,12 +52,7 @@ impl fmt::Display for Verdict {
 }
 
 /// Compares two denotations to `depth`.
-pub fn compare_denots(
-    ev: &DenotEvaluator<'_>,
-    d1: &Denot,
-    d2: &Denot,
-    depth: u32,
-) -> Verdict {
+pub fn compare_denots(ev: &DenotEvaluator<'_>, d1: &Denot, d2: &Denot, depth: u32) -> Verdict {
     let le = denot_leq(ev, d1, d2, depth);
     let ge = denot_leq(ev, d2, d1, depth);
     match (le, ge) {

@@ -32,7 +32,7 @@ pub enum Denot {
 impl Denot {
     /// The bottom element.
     pub fn bottom() -> Denot {
-        Denot::Bad(ExnSet::All)
+        Denot::Bad(ExnSet::bottom())
     }
 
     /// The paper's auxiliary `S(·)`: the empty set for a normal value, the

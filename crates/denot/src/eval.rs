@@ -344,7 +344,7 @@ impl<'a> DenotEvaluator<'a> {
                         // A deterministic (least-member) choice; the §6
                         // proof obligation is that this choice is moot.
                         Some(exn) => {
-                            let inner = Thunk::done(Denot::Ok(self.exception_to_value(exn)));
+                            let inner = Thunk::done(Denot::Ok(self.exception_to_value(&exn)));
                             Denot::Ok(Value::Con(Symbol::intern("Bad"), vec![inner]))
                         }
                         // Bad {} is not denotable; All (⊥) stays ⊥.
@@ -435,7 +435,7 @@ impl<'a> DenotEvaluator<'a> {
         };
         // ⊥ maps to ⊥: "all exceptions" cannot be enumerated, and a
         // divergent argument stays divergent.
-        let ExnSet::Finite(members) = s else {
+        let Some(members) = s.members() else {
             return Denot::bottom();
         };
         let df = self.eval(f, env);
@@ -487,10 +487,7 @@ impl<'a> DenotEvaluator<'a> {
         debug_assert!(info.is_some(), "Exception constructors are built in");
         match e.payload() {
             None => Value::Con(name, vec![]),
-            Some(s) => Value::Con(
-                name,
-                vec![Thunk::done(Denot::Ok(Value::Str(Rc::from(s))))],
-            ),
+            Some(s) => Value::Con(name, vec![Thunk::done(Denot::Ok(Value::Str(Rc::from(s))))]),
         }
     }
 }

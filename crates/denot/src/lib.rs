@@ -59,14 +59,12 @@ mod tests {
     use super::*;
     use std::rc::Rc;
     use urk_syntax::core::Expr;
-    use urk_syntax::{desugar_expr, desugar_program, parse_expr_src, parse_program, DataEnv};
     use urk_syntax::Exception;
+    use urk_syntax::{desugar_expr, desugar_program, parse_expr_src, parse_program, DataEnv};
 
     fn core_of(src: &str) -> Rc<Expr> {
         let data = DataEnv::new();
-        Rc::new(
-            desugar_expr(&parse_expr_src(src).expect("parses"), &data).expect("desugars"),
-        )
+        Rc::new(desugar_expr(&parse_expr_src(src).expect("parses"), &data).expect("desugars"))
     }
 
     fn eval_show(src: &str) -> String {
@@ -84,11 +82,10 @@ mod tests {
 
     fn eval_in_program(prog: &str, expr: &str) -> String {
         let mut data = DataEnv::new();
-        let p = desugar_program(&parse_program(prog).expect("parses"), &mut data)
-            .expect("desugars");
-        let e = Rc::new(
-            desugar_expr(&parse_expr_src(expr).expect("parses"), &data).expect("desugars"),
-        );
+        let p =
+            desugar_program(&parse_program(prog).expect("parses"), &mut data).expect("desugars");
+        let e =
+            Rc::new(desugar_expr(&parse_expr_src(expr).expect("parses"), &data).expect("desugars"));
         let ev = DenotEvaluator::new(&data);
         let env = ev.bind_recursive(&p.binds, &Env::empty());
         let d = ev.eval(&e, &env);
@@ -106,7 +103,9 @@ mod tests {
     #[test]
     fn headline_term_contains_both_exceptions() {
         let d = eval_denot(r#"(1/0) + raise (UserError "Urk")"#);
-        let Denot::Bad(s) = d else { panic!("expected Bad") };
+        let Denot::Bad(s) = d else {
+            panic!("expected Bad")
+        };
         assert!(s.contains(&Exception::DivideByZero));
         assert!(s.contains(&urk()));
         assert!(!s.is_all());
@@ -132,7 +131,9 @@ mod tests {
     #[test]
     fn overflow_is_an_exception() {
         let d = eval_denot("9223372036854775807 + 1");
-        let Denot::Bad(s) = d else { panic!("expected Bad") };
+        let Denot::Bad(s) = d else {
+            panic!("expected Bad")
+        };
         assert!(s.contains(&Exception::Overflow));
     }
 
@@ -151,7 +152,9 @@ mod tests {
     fn exceptional_function_unions_argument_exceptions() {
         // [e1 e2] = Bad (s ∪ S[[e2]]) when [e1] = Bad s.
         let d = eval_denot(r"(raise Overflow) (1/0)");
-        let Denot::Bad(s) = d else { panic!("expected Bad") };
+        let Denot::Bad(s) = d else {
+            panic!("expected Bad")
+        };
         assert!(s.contains(&Exception::Overflow));
         assert!(s.contains(&Exception::DivideByZero));
     }
@@ -194,10 +197,7 @@ mod tests {
     #[test]
     fn productive_recursion_is_not_bottom() {
         assert_eq!(
-            eval_in_program(
-                "f x = if x == 0 then 42 else f (x - 1)",
-                "f 10"
-            ),
+            eval_in_program("f x = if x == 0 then 42 else f (x - 1)", "f 10"),
             "42"
         );
     }
@@ -237,7 +237,11 @@ mod tests {
         }
         let data2 = DataEnv::new();
         let ev = DenotEvaluator::new(&data2);
-        assert!(matches!(last, Some(Denot::Ok(Value::Int(14)))), "{:?}", show_denot(&ev, &last.unwrap(), 4));
+        assert!(
+            matches!(last, Some(Denot::Ok(Value::Int(14)))),
+            "{:?}",
+            show_denot(&ev, &last.unwrap(), 4)
+        );
     }
 
     // ------------------------------------------------------------------
@@ -249,7 +253,9 @@ mod tests {
         let d = eval_denot(
             r#"case raise Overflow of { True -> 1/0; False -> raise (UserError "Urk") }"#,
         );
-        let Denot::Bad(s) = d else { panic!("expected Bad") };
+        let Denot::Bad(s) = d else {
+            panic!("expected Bad")
+        };
         assert!(s.contains(&Exception::Overflow));
         assert!(s.contains(&Exception::DivideByZero));
         assert!(s.contains(&urk()));
@@ -261,7 +267,9 @@ mod tests {
         // The alternative returns its pattern variable; since it is bound
         // to Bad {}, it contributes *no* exceptions.
         let d = eval_denot("case raise Overflow of { Just x -> x; Nothing -> 2 }");
-        let Denot::Bad(s) = d else { panic!("expected Bad") };
+        let Denot::Bad(s) = d else {
+            panic!("expected Bad")
+        };
         assert_eq!(s, ExnSet::singleton(Exception::Overflow));
     }
 
@@ -279,9 +287,7 @@ mod tests {
         ));
         // After pushing the application inside and simplifying with a
         // normal function, the DivideByZero branch disappears:
-        let rhs = ev.eval_closed(&core_of(
-            "case raise Overflow of { True -> 1; False -> 1 }",
-        ));
+        let rhs = ev.eval_closed(&core_of("case raise Overflow of { True -> 1; False -> 1 }"));
         assert_eq!(compare_denots(&ev, &lhs, &rhs, 8), Verdict::Equal);
         // The sharper §4.5 shape: alternatives that *do* raise lose
         // exceptions when simplified away.
@@ -297,7 +303,10 @@ mod tests {
 
     #[test]
     fn normal_case_selects_the_right_alternative() {
-        assert_eq!(eval_show("case Just 3 of { Just n -> n + 1; Nothing -> 0 }"), "4");
+        assert_eq!(
+            eval_show("case Just 3 of { Just n -> n + 1; Nothing -> 0 }"),
+            "4"
+        );
         assert_eq!(eval_show("case 2 of { 1 -> 10; 2 -> 20; _ -> 30 }"), "20");
         assert_eq!(eval_show(r#"case "a" of { "a" -> 1; _ -> 2 }"#), "1");
     }
@@ -305,7 +314,9 @@ mod tests {
     #[test]
     fn missing_alternative_is_pattern_match_failure() {
         let d = eval_denot("case Nothing of { Just n -> n }");
-        let Denot::Bad(s) = d else { panic!("expected Bad") };
+        let Denot::Bad(s) = d else {
+            panic!("expected Bad")
+        };
         assert!(matches!(
             s.some_member(),
             Some(Exception::PatternMatchFail(_))
@@ -344,7 +355,9 @@ mod tests {
         // seq on WHNF only: the spine constructor is normal.
         assert_eq!(eval_show("seq (Cons (1/0) Nil) 5"), "5");
         let d = eval_denot("seq (1/0) 5");
-        let Denot::Bad(s) = d else { panic!("expected Bad") };
+        let Denot::Bad(s) = d else {
+            panic!("expected Bad")
+        };
         assert!(s.contains(&Exception::DivideByZero));
         assert_eq!(eval_show("seq 1 5"), "5");
     }
@@ -356,14 +369,18 @@ mod tests {
     #[test]
     fn raise_of_exceptional_argument_propagates_the_set() {
         let d = eval_denot("raise (raise Overflow)");
-        let Denot::Bad(s) = d else { panic!("expected Bad") };
+        let Denot::Bad(s) = d else {
+            panic!("expected Bad")
+        };
         assert_eq!(s, ExnSet::singleton(Exception::Overflow));
     }
 
     #[test]
     fn raise_forces_string_payloads() {
         let d = eval_denot(r#"raise (UserError "Urk")"#);
-        let Denot::Bad(s) = d else { panic!("expected Bad") };
+        let Denot::Bad(s) = d else {
+            panic!("expected Bad")
+        };
         assert_eq!(s, ExnSet::singleton(urk()));
     }
 
@@ -373,15 +390,16 @@ mod tests {
 
     #[test]
     fn map_exception_rewrites_every_member() {
-        let out = eval_show(
-            r#"mapException (\x -> UserError "Urk") ((1/0) + raise Overflow)"#,
-        );
+        let out = eval_show(r#"mapException (\x -> UserError "Urk") ((1/0) + raise Overflow)"#);
         assert_eq!(out, "Bad {UserError \"Urk\"}");
     }
 
     #[test]
     fn map_exception_leaves_normal_values_alone() {
-        assert_eq!(eval_show(r#"mapException (\x -> UserError "Urk") 42"#), "42");
+        assert_eq!(
+            eval_show(r#"mapException (\x -> UserError "Urk") 42"#),
+            "42"
+        );
     }
 
     #[test]
@@ -396,10 +414,7 @@ mod tests {
         );
         let e = Rc::new(Expr::prim(
             urk_syntax::core::PrimOp::MapExn,
-            [
-                Expr::lam("x", Expr::con("Overflow", [])),
-                Expr::diverge(),
-            ],
+            [Expr::lam("x", Expr::con("Overflow", [])), Expr::diverge()],
         ));
         assert!(ev.eval_closed(&e).is_bottom());
     }
@@ -446,7 +461,10 @@ mod tests {
             l2r.eval_closed(&e),
             PDenot::Exn(Exception::DivideByZero)
         ));
-        assert!(matches!(r2l.eval_closed(&e), PDenot::Exn(Exception::UserError(_))));
+        assert!(matches!(
+            r2l.eval_closed(&e),
+            PDenot::Exn(Exception::UserError(_))
+        ));
     }
 
     #[test]
@@ -463,12 +481,19 @@ mod tests {
     fn precise_case_propagates_without_exploring() {
         let e = core_of("case raise Overflow of { True -> 1/0; False -> 2 }");
         let ev = PreciseEvaluator::new(PreciseConfig::default());
-        assert!(matches!(ev.eval_closed(&e), PDenot::Exn(Exception::Overflow)));
+        assert!(matches!(
+            ev.eval_closed(&e),
+            PDenot::Exn(Exception::Overflow)
+        ));
     }
 
     #[test]
     fn precise_normal_evaluation_agrees_with_imprecise() {
-        for src in ["1 + 2 * 3", r"(\x -> x + 1) 41", "case Just 5 of { Just n -> n; Nothing -> 0 }"] {
+        for src in [
+            "1 + 2 * 3",
+            r"(\x -> x + 1) 41",
+            "case Just 5 of { Just n -> n; Nothing -> 0 }",
+        ] {
             let e = core_of(src);
             let pev = PreciseEvaluator::new(PreciseConfig::default());
             let pd = pev.eval_closed(&e);
@@ -554,8 +579,14 @@ mod tests {
         let ev = DenotEvaluator::new(&data);
         let both = ev.eval_closed(&core_of(r#"(1/0) + raise (UserError "Urk")"#));
         let one = ev.eval_closed(&core_of("1/0"));
-        assert_eq!(compare_denots(&ev, &both, &one, 8), Verdict::LeftRefinesToRight);
-        assert_eq!(compare_denots(&ev, &one, &both, 8), Verdict::RightRefinesToLeft);
+        assert_eq!(
+            compare_denots(&ev, &both, &one, 8),
+            Verdict::LeftRefinesToRight
+        );
+        assert_eq!(
+            compare_denots(&ev, &one, &both, 8),
+            Verdict::RightRefinesToLeft
+        );
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub fn enumerate_outcomes(expr: &Rc<Expr>, config: &NondetConfig) -> BTreeSet<St
         let consumed = ev.oracle_decisions().min(config.max_decisions);
         for i in prefix.len()..consumed {
             let mut fork = prefix.clone();
-            fork.extend(std::iter::repeat(false).take(i - prefix.len()));
+            fork.extend(std::iter::repeat_n(false, i - prefix.len()));
             fork.push(true);
             stack.push(fork);
         }

@@ -601,10 +601,7 @@ pub fn compare_pdenots(
     depth: u32,
 ) -> crate::compare::Verdict {
     use crate::compare::Verdict;
-    match (
-        pdenot_leq(ev, d1, d2, depth),
-        pdenot_leq(ev, d2, d1, depth),
-    ) {
+    match (pdenot_leq(ev, d1, d2, depth), pdenot_leq(ev, d2, d1, depth)) {
         (true, true) => Verdict::Equal,
         (true, false) => Verdict::LeftRefinesToRight,
         (false, true) => Verdict::RightRefinesToLeft,

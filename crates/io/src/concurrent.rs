@@ -91,7 +91,8 @@ pub fn run_concurrent(
     let mut blocked: Vec<(Thread, NodeId, BlockKind)> = Vec::new();
     // Exceptions thrown at threads with `throwTo` (§5.1 directed at the
     // §4.4 threads), delivered at the target's next scheduling point.
-    let mut pending_exn: std::collections::HashMap<u64, Exception> = std::collections::HashMap::new();
+    let mut pending_exn: std::collections::HashMap<u64, Exception> =
+        std::collections::HashMap::new();
     push_root(machine, root, &mut total_rooted);
     ready.push_back(Thread {
         tid: 0,
@@ -108,7 +109,7 @@ pub fn run_concurrent(
         // thread recovers; otherwise the thread dies with the exception.
         let thrown = pending_exn.remove(&t.tid);
         let mut thrown = thrown; // consumed below
-        // Perform ONE effectful action (unwinding Binds does not count).
+                                 // Perform ONE effectful action (unwinding Binds does not count).
         loop {
             let whnf = match machine.eval_node(t.current, false) {
                 Ok(Outcome::Value(n)) => n,
@@ -249,9 +250,7 @@ pub fn run_concurrent(
                     });
                     machine.alloc_hvalue(HValue::Int(tid as i64))
                 }
-                "Yield" => {
-                    machine.alloc_hvalue(HValue::Con(Symbol::intern("Unit"), vec![]))
-                }
+                "Yield" => machine.alloc_hvalue(HValue::Con(Symbol::intern("Unit"), vec![])),
                 "ThrowTo" => match force_payload(machine, fields[0]) {
                     Ok(tid_node) => {
                         let Some(HValue::Int(target)) = machine.heap().value(tid_node) else {
@@ -273,10 +272,7 @@ pub fn run_concurrent(
                                     }
                                 }
                                 pending_exn.insert(target, exn);
-                                machine.alloc_hvalue(HValue::Con(
-                                    Symbol::intern("Unit"),
-                                    vec![],
-                                ))
+                                machine.alloc_hvalue(HValue::Con(Symbol::intern("Unit"), vec![]))
                             }
                             Err(Died::Exception(e)) => {
                                 if t.tid == 0 {
@@ -312,16 +308,15 @@ pub fn run_concurrent(
                     slot
                 }
                 "NewEmptyMVar" => {
-                    let slot = machine
-                        .alloc_hvalue(HValue::Con(Symbol::intern("MVarEmpty"), vec![]));
+                    let slot =
+                        machine.alloc_hvalue(HValue::Con(Symbol::intern("MVarEmpty"), vec![]));
                     push_root(machine, slot, &mut total_rooted);
                     slot
                 }
                 "TakeMVar" => match force_payload(machine, fields[0]) {
                     Ok(n) => {
                         let slot = machine.resolve_node(n);
-                        let Some(HValue::Con(state, contents)) = machine.heap().value(slot)
-                        else {
+                        let Some(HValue::Con(state, contents)) = machine.heap().value(slot) else {
                             panic!("takeMVar of a non-MVar (ill-typed program)");
                         };
                         if state.as_str() == "MVarFull" {
@@ -415,7 +410,10 @@ pub fn run_concurrent(
             if t.tid == 0 {
                 main_result = Some(IoResult::Uncaught(Exception::BlockedIndefinitely));
             } else {
-                results.push((t.tid, ThreadResult::Uncaught(Exception::BlockedIndefinitely)));
+                results.push((
+                    t.tid,
+                    ThreadResult::Uncaught(Exception::BlockedIndefinitely),
+                ));
             }
         }
     }
@@ -463,14 +461,12 @@ fn node_to_exception(machine: &mut Machine, node: NodeId) -> Exception {
         panic!("throwTo of a non-Exception value");
     };
     let (name, fields) = (*name, fields.clone());
-    let payload = fields.first().map(|f| {
-        match machine.eval_node(*f, false) {
-            Ok(Outcome::Value(n)) => match machine.heap().value(n) {
-                Some(HValue::Str(s)) => s.to_string(),
-                _ => panic!("exception payload is not a string"),
-            },
-            _ => String::new(),
-        }
+    let payload = fields.first().map(|f| match machine.eval_node(*f, false) {
+        Ok(Outcome::Value(n)) => match machine.heap().value(n) {
+            Some(HValue::Str(s)) => s.to_string(),
+            _ => panic!("exception payload is not a string"),
+        },
+        _ => String::new(),
     });
     Exception::from_constructor(name, payload.as_deref())
         .unwrap_or_else(|| panic!("unknown exception constructor '{name}'"))

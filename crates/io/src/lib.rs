@@ -36,8 +36,8 @@ mod tests {
     use urk_denot::{DenotEvaluator, Env, Thunk};
     use urk_machine::{MEnv, Machine, MachineConfig, OrderPolicy};
     use urk_syntax::core::Expr;
-    use urk_syntax::{desugar_expr, parse_expr_src, DataEnv};
     use urk_syntax::Exception;
+    use urk_syntax::{desugar_expr, parse_expr_src, DataEnv};
 
     fn core_of(src: &str) -> Rc<Expr> {
         let data = DataEnv::new();
@@ -60,7 +60,13 @@ mod tests {
         let action = Thunk::pending(core_of(src), Env::empty());
         let mut inp = StringInput::new(input);
         let mut oracle = SeededOracle::new(seed);
-        run_denot(&ev, action, &mut inp, &mut oracle, &AsyncSchedule::default())
+        run_denot(
+            &ev,
+            action,
+            &mut inp,
+            &mut oracle,
+            &AsyncSchedule::default(),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -70,10 +76,7 @@ mod tests {
     #[test]
     fn echo_program_from_the_paper() {
         // main = getChar >>= \ch -> putChar ch >>= \_ -> return ()
-        let out = run_m(
-            r"getChar >>= \ch -> putChar ch >>= \u -> return u",
-            "x",
-        );
+        let out = run_m(r"getChar >>= \ch -> putChar ch >>= \u -> return u", "x");
         assert!(matches!(out.result, IoResult::Done(ref s) if s == "Unit"));
         assert_eq!(out.trace.to_string(), "?x !x");
     }
@@ -138,8 +141,12 @@ mod tests {
                 ..MachineConfig::default()
             },
         );
-        let IoResult::Done(ld) = l.result else { panic!() };
-        let IoResult::Done(rd) = r.result else { panic!() };
+        let IoResult::Done(ld) = l.result else {
+            panic!()
+        };
+        let IoResult::Done(rd) = r.result else {
+            panic!()
+        };
         assert_eq!(ld, "Bad DivideByZero");
         assert_eq!(rd, "Bad (UserError \"Urk\")");
     }
@@ -156,7 +163,10 @@ mod tests {
     #[test]
     fn main_itself_exceptional_is_uncaught() {
         let out = run_m(r#"raise (UserError "Urk")"#, "");
-        assert!(matches!(out.result, IoResult::Uncaught(Exception::UserError(_))));
+        assert!(matches!(
+            out.result,
+            IoResult::Uncaught(Exception::UserError(_))
+        ));
     }
 
     // ------------------------------------------------------------------
@@ -249,7 +259,13 @@ mod tests {
         );
         let mut inp = StringInput::new("");
         let mut honest = SeededOracle::new(0);
-        let out = run_denot(&ev, action.clone(), &mut inp, &mut honest, &AsyncSchedule::default());
+        let out = run_denot(
+            &ev,
+            action.clone(),
+            &mut inp,
+            &mut honest,
+            &AsyncSchedule::default(),
+        );
         assert!(matches!(out.result, SemIoResult::Diverged));
 
         let ev2 = DenotEvaluator::with_config(
@@ -264,7 +280,13 @@ mod tests {
             Env::empty(),
         );
         let mut liar = SeededOracle::with_fictitious(0, Exception::DivideByZero);
-        let out2 = run_denot(&ev2, action2, &mut inp, &mut liar, &AsyncSchedule::default());
+        let out2 = run_denot(
+            &ev2,
+            action2,
+            &mut inp,
+            &mut liar,
+            &AsyncSchedule::default(),
+        );
         assert!(
             matches!(out2.result, SemIoResult::Done(ref s) if s == "Bad DivideByZero"),
             "{:?}",
@@ -313,7 +335,13 @@ mod tests {
         );
         let mut inp = StringInput::new("");
         let mut oracle = MinOracle;
-        let out = run_denot(&ev, action, &mut inp, &mut oracle, &AsyncSchedule::default());
+        let out = run_denot(
+            &ev,
+            action,
+            &mut inp,
+            &mut oracle,
+            &AsyncSchedule::default(),
+        );
         assert!(matches!(out.result, SemIoResult::Diverged));
     }
 
@@ -332,7 +360,13 @@ mod tests {
             let action = Thunk::pending(core_of(src), Env::empty());
             let mut inp = StringInput::new("");
             let mut oracle = MinOracle;
-            run_denot(&ev, action, &mut inp, &mut oracle, &AsyncSchedule::default())
+            run_denot(
+                &ev,
+                action,
+                &mut inp,
+                &mut oracle,
+                &AsyncSchedule::default(),
+            )
         };
         let a = run();
         let b = run();
@@ -361,7 +395,9 @@ mod tests {
             events: vec![(1, Exception::Timeout)],
         };
         let out = run_denot(&ev, action, &mut inp, &mut oracle, &schedule);
-        let SemIoResult::Done(v) = out.result else { panic!("{:?}", out.result) };
+        let SemIoResult::Done(v) = out.result else {
+            panic!("{:?}", out.result)
+        };
         assert_eq!(v, "Pair (OK 1) (Bad Timeout)");
     }
 
@@ -407,8 +443,12 @@ mod tests {
         let substituted = r#"getException ((1/0) + raise (UserError "Urk")) >>= \v1 ->
                              getException ((1/0) + raise (UserError "Urk")) >>= \v2 ->
                              return (v1, v2)"#;
-        let IoResult::Done(a) = run_m(shared, "").result else { panic!() };
-        let IoResult::Done(b) = run_m(substituted, "").result else { panic!() };
+        let IoResult::Done(a) = run_m(shared, "").result else {
+            panic!()
+        };
+        let IoResult::Done(b) = run_m(substituted, "").result else {
+            panic!()
+        };
         assert_eq!(a, b);
         assert_eq!(a, "Pair (Bad DivideByZero) (Bad DivideByZero)");
     }
@@ -430,7 +470,9 @@ mod tests {
                     ..MachineConfig::default()
                 },
             );
-            let IoResult::Done(s) = out.result else { panic!() };
+            let IoResult::Done(s) = out.result else {
+                panic!()
+            };
             assert!(
                 s == "Pair (Bad DivideByZero) (Bad DivideByZero)"
                     || s == "Pair (Bad (UserError \"Urk\")) (Bad (UserError \"Urk\"))",

@@ -78,11 +78,7 @@ pub fn run_machine(
 }
 
 /// Performs an `IO` action already in the heap.
-pub fn run_machine_node(
-    machine: &mut Machine,
-    root: NodeId,
-    input: &mut dyn Input,
-) -> RunOutcome {
+pub fn run_machine_node(machine: &mut Machine, root: NodeId, input: &mut dyn Input) -> RunOutcome {
     let mut trace = Trace::new();
     // Pending continuations from `Bind` (innermost last). Every action
     // node that becomes `current` is registered as a GC root (and stays
@@ -101,9 +97,7 @@ pub fn run_machine_node(
             Ok(Outcome::Uncaught(e)) | Ok(Outcome::Caught(e)) => {
                 return finish(machine, rooted, IoResult::Uncaught(e), trace)
             }
-            Err(e) => {
-                return finish(machine, rooted, IoResult::MachineError(e), trace)
-            }
+            Err(e) => return finish(machine, rooted, IoResult::MachineError(e), trace),
         };
         let Some(HValue::Con(con, fields)) = machine.heap().value(whnf) else {
             panic!("performed a non-IO value (ill-typed program)");
@@ -125,9 +119,7 @@ pub fn run_machine_node(
                     trace.push(Event::Input(c));
                     alloc_value(machine, HValue::Char(c))
                 }
-                None => {
-                    return finish(machine, rooted, IoResult::OutOfInput, trace)
-                }
+                None => return finish(machine, rooted, IoResult::OutOfInput, trace),
             },
             "PutChar" => {
                 // Forcing the character may raise; with no handler in
@@ -143,9 +135,7 @@ pub fn run_machine_node(
                     Ok(Outcome::Uncaught(e)) | Ok(Outcome::Caught(e)) => {
                         return finish(machine, rooted, IoResult::Uncaught(e), trace)
                     }
-                    Err(e) => {
-                        return finish(machine, rooted, IoResult::MachineError(e), trace)
-                    }
+                    Err(e) => return finish(machine, rooted, IoResult::MachineError(e), trace),
                 }
             }
             "PutStr" => match machine.eval_node(fields[0], false) {
@@ -159,9 +149,7 @@ pub fn run_machine_node(
                 Ok(Outcome::Uncaught(e)) | Ok(Outcome::Caught(e)) => {
                     return finish(machine, rooted, IoResult::Uncaught(e), trace)
                 }
-                Err(e) => {
-                    return finish(machine, rooted, IoResult::MachineError(e), trace)
-                }
+                Err(e) => return finish(machine, rooted, IoResult::MachineError(e), trace),
             },
             "GetException" => {
                 // §3.3: mark the stack, evaluate the argument.
@@ -183,9 +171,7 @@ pub fn run_machine_node(
                         // base. Defensive:
                         return finish(machine, rooted, IoResult::Uncaught(exn), trace);
                     }
-                    Err(e) => {
-                        return finish(machine, rooted, IoResult::MachineError(e), trace)
-                    }
+                    Err(e) => return finish(machine, rooted, IoResult::MachineError(e), trace),
                 }
             }
             other => panic!("performed an unknown IO constructor '{other}'"),
@@ -224,10 +210,7 @@ fn alloc_value(machine: &mut Machine, v: HValue) -> NodeId {
 fn apply_node(machine: &mut Machine, k: NodeId, v: NodeId) -> NodeId {
     let fk = Symbol::fresh("k");
     let fv = Symbol::fresh("v");
-    let expr = Rc::new(Expr::App(
-        Rc::new(Expr::Var(fk)),
-        Rc::new(Expr::Var(fv)),
-    ));
+    let expr = Rc::new(Expr::App(Rc::new(Expr::Var(fk)), Rc::new(Expr::Var(fv))));
     let env = MEnv::empty().bind(fk, k).bind(fv, v);
     machine.alloc_thunk(expr, env)
 }

@@ -1,44 +1,86 @@
 //! Machine environments: persistent maps from variables to heap nodes.
+//!
+//! The representation is a *chunked* persistent list: bindings are packed
+//! into shared chunks of up to [`CHUNK`] entries, and an environment is a
+//! `(chunk, length)` view of a chunk chain. Extending the tip of a chunk
+//! that still has room appends in place (the old view, being shorter, is
+//! unaffected), so a run of `bind`s costs one `Rc` allocation per `CHUNK`
+//! bindings instead of one per binding — and lookup chases one pointer per
+//! chunk instead of one per binding.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use urk_syntax::Symbol;
 
 use crate::heap::NodeId;
 
-/// A persistent environment (immutable linked list of bindings).
-#[derive(Clone, Default)]
-pub struct MEnv(Option<Rc<MEnvNode>>);
+/// Bindings per chunk. Machine environments are almost always shallow
+/// (lambda params + a few lets), so one chunk covers the common case.
+const CHUNK: usize = 16;
 
-struct MEnvNode {
-    name: Symbol,
-    node: NodeId,
-    rest: MEnv,
+struct Chunk {
+    /// Append-only within a chunk's lifetime: entries below any view's
+    /// `len` are never mutated, so older (shorter) views stay valid.
+    entries: RefCell<Vec<(Symbol, NodeId)>>,
+    parent: MEnv,
+}
+
+/// A persistent environment: a view of the first `len` entries of `chunk`,
+/// then everything in its parent chain.
+#[derive(Clone, Default)]
+pub struct MEnv {
+    chunk: Option<Rc<Chunk>>,
+    len: u32,
 }
 
 impl MEnv {
     /// The empty environment.
     pub fn empty() -> MEnv {
-        MEnv(None)
+        MEnv {
+            chunk: None,
+            len: 0,
+        }
     }
 
     /// Extends with one binding.
     pub fn bind(&self, name: Symbol, node: NodeId) -> MEnv {
-        MEnv(Some(Rc::new(MEnvNode {
-            name,
-            node,
-            rest: self.clone(),
-        })))
+        if let Some(c) = &self.chunk {
+            let mut entries = c.entries.borrow_mut();
+            // Only the *tip* view may append in place; a shorter view must
+            // not graft its binding over entries it cannot see.
+            if entries.len() == self.len as usize && entries.len() < CHUNK {
+                entries.push((name, node));
+                return MEnv {
+                    chunk: self.chunk.clone(),
+                    len: self.len + 1,
+                };
+            }
+        }
+        let mut entries = Vec::with_capacity(CHUNK);
+        entries.push((name, node));
+        MEnv {
+            chunk: Some(Rc::new(Chunk {
+                entries: RefCell::new(entries),
+                parent: self.clone(),
+            })),
+            len: 1,
+        }
     }
 
-    /// Looks up a variable.
+    /// Looks up a variable (innermost binding wins).
     pub fn lookup(&self, name: Symbol) -> Option<NodeId> {
-        let mut cur = self;
-        while let Some(n) = &cur.0 {
-            if n.name == name {
-                return Some(n.node);
+        let mut chunk = self.chunk.as_ref();
+        let mut len = self.len as usize;
+        while let Some(c) = chunk {
+            let entries = c.entries.borrow();
+            for (n, id) in entries[..len].iter().rev() {
+                if *n == name {
+                    return Some(*id);
+                }
             }
-            cur = &n.rest;
+            chunk = c.parent.chunk.as_ref();
+            len = c.parent.len as usize;
         }
         None
     }
@@ -46,26 +88,33 @@ impl MEnv {
     /// Number of bindings (diagnostics only).
     pub fn len(&self) -> usize {
         let mut n = 0;
-        let mut cur = self;
-        while let Some(node) = &cur.0 {
-            n += 1;
-            cur = &node.rest;
+        let mut chunk = self.chunk.as_ref();
+        let mut len = self.len as usize;
+        while let Some(c) = chunk {
+            n += len;
+            chunk = c.parent.chunk.as_ref();
+            len = c.parent.len as usize;
         }
         n
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_none()
+        self.chunk.is_none()
     }
 
     /// Visits every bound node (including shadowed bindings), outermost
     /// last. Used by the garbage collector's mark phase.
     pub fn for_each_node(&self, mut f: impl FnMut(NodeId)) {
-        let mut cur = self;
-        while let Some(n) = &cur.0 {
-            f(n.node);
-            cur = &n.rest;
+        let mut chunk = self.chunk.as_ref();
+        let mut len = self.len as usize;
+        while let Some(c) = chunk {
+            let entries = c.entries.borrow();
+            for (_, id) in entries[..len].iter().rev() {
+                f(*id);
+            }
+            chunk = c.parent.chunk.as_ref();
+            len = c.parent.len as usize;
         }
     }
 }
@@ -88,5 +137,73 @@ mod tests {
         assert_eq!(env.lookup(Symbol::intern("y")), None);
         assert_eq!(env.len(), 2);
         assert!(MEnv::empty().is_empty());
+    }
+
+    #[test]
+    fn older_views_are_unaffected_by_in_place_extension() {
+        let a = Symbol::intern("a");
+        let b = Symbol::intern("b");
+        let base = MEnv::empty().bind(a, NodeId(1));
+        // Extend the same tip twice: the two extensions must not see each
+        // other, and `base` must see neither.
+        let left = base.bind(b, NodeId(2));
+        let right = base.bind(b, NodeId(3));
+        assert_eq!(base.lookup(b), None);
+        assert_eq!(left.lookup(b), Some(NodeId(2)));
+        assert_eq!(right.lookup(b), Some(NodeId(3)));
+        assert_eq!(left.lookup(a), Some(NodeId(1)));
+        assert_eq!(right.lookup(a), Some(NodeId(1)));
+        assert_eq!(base.len(), 1);
+        assert_eq!(left.len(), 2);
+        assert_eq!(right.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_shadowing_across_chunk_boundaries() {
+        let syms: Vec<Symbol> = (0..3 * CHUNK)
+            .map(|i| Symbol::intern(&format!("v{i}")))
+            .collect();
+        let mut env = MEnv::empty();
+        for (i, s) in syms.iter().enumerate() {
+            env = env.bind(*s, NodeId(i as u32));
+        }
+        assert_eq!(env.len(), 3 * CHUNK);
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(env.lookup(*s), Some(NodeId(i as u32)), "v{i}");
+        }
+        // Shadow an early binding from the outermost chunk.
+        let env2 = env.bind(syms[0], NodeId(999));
+        assert_eq!(env2.lookup(syms[0]), Some(NodeId(999)));
+        assert_eq!(env.lookup(syms[0]), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn for_each_node_visits_shadowed_bindings_innermost_first() {
+        let x = Symbol::intern("x");
+        let y = Symbol::intern("y");
+        let env = MEnv::empty()
+            .bind(x, NodeId(1))
+            .bind(y, NodeId(2))
+            .bind(x, NodeId(3));
+        let mut seen = Vec::new();
+        env.for_each_node(|n| seen.push(n));
+        assert_eq!(seen, vec![NodeId(3), NodeId(2), NodeId(1)]);
+    }
+
+    #[test]
+    fn branching_past_a_full_tip_starts_a_fresh_chunk() {
+        let mut env = MEnv::empty();
+        for i in 0..CHUNK {
+            env = env.bind(Symbol::intern(&format!("f{i}")), NodeId(i as u32));
+        }
+        // Tip is full: both extensions land in (distinct) fresh chunks.
+        let a = env.bind(Symbol::intern("a"), NodeId(100));
+        let b = env.bind(Symbol::intern("b"), NodeId(200));
+        assert_eq!(a.lookup(Symbol::intern("a")), Some(NodeId(100)));
+        assert_eq!(a.lookup(Symbol::intern("b")), None);
+        assert_eq!(b.lookup(Symbol::intern("b")), Some(NodeId(200)));
+        assert_eq!(b.lookup(Symbol::intern("a")), None);
+        assert_eq!(a.lookup(Symbol::intern("f0")), Some(NodeId(0)));
+        assert_eq!(a.len(), CHUNK + 1);
     }
 }

@@ -81,7 +81,11 @@ impl Collector {
 
     /// Sweeps unmarked nodes into the free list; returns the number freed
     /// and the new free-list head.
-    pub(crate) fn sweep(self, heap: &mut Heap, mut free_head: Option<NodeId>) -> (u64, Option<NodeId>) {
+    pub(crate) fn sweep(
+        self,
+        heap: &mut Heap,
+        mut free_head: Option<NodeId>,
+    ) -> (u64, Option<NodeId>) {
         let mut freed = 0;
         for (i, marked) in self.marks.iter().enumerate() {
             let id = NodeId(i as u32);
@@ -109,10 +113,7 @@ mod tests {
         let keep = heap.alloc(Node::Value(HValue::Int(1)));
         let drop1 = heap.alloc(Node::Value(HValue::Int(2)));
         let drop2 = heap.alloc(Node::Value(HValue::Str(Rc::from("bye"))));
-        let kept_con = heap.alloc(Node::Value(HValue::Con(
-            Symbol::intern("Just"),
-            vec![keep],
-        )));
+        let kept_con = heap.alloc(Node::Value(HValue::Con(Symbol::intern("Just"), vec![keep])));
 
         let mut c = Collector::new(heap.len());
         c.mark_root(kept_con);

@@ -45,8 +45,8 @@ mod tests {
     use super::*;
     use std::rc::Rc;
     use urk_syntax::core::Expr;
-    use urk_syntax::{desugar_expr, desugar_program, parse_expr_src, parse_program, DataEnv};
     use urk_syntax::Exception;
+    use urk_syntax::{desugar_expr, desugar_program, parse_expr_src, parse_program, DataEnv};
 
     fn core_of(src: &str) -> Rc<Expr> {
         let data = DataEnv::new();
@@ -103,11 +103,7 @@ mod tests {
     #[test]
     fn sharing_evaluates_shared_thunks_once() {
         // let x = <expensive> in x + x should update the thunk once.
-        let (m, out) = eval_with(
-            MachineConfig::default(),
-            "let x = 10 * 10 in x + x",
-            false,
-        );
+        let (m, out) = eval_with(MachineConfig::default(), "let x = 10 * 10 in x + x", false);
         assert!(matches!(out, Outcome::Value(_)));
         assert_eq!(m.stats().thunk_updates, 1);
     }
@@ -146,10 +142,7 @@ mod tests {
         let Outcome::Value(n) = out else {
             panic!("spine is defined")
         };
-        assert_eq!(
-            m.render(n, 16),
-            "Cons 1 (Cons (raise DivideByZero) Nil)"
-        );
+        assert_eq!(m.render(n, 16), "Cons 1 (Cons (raise DivideByZero) Nil)");
     }
 
     // ------------------------------------------------------------------
@@ -176,7 +169,10 @@ mod tests {
         // Force a shared exceptional thunk twice: the second force must
         // re-raise the same exception without re-evaluating.
         let mut m = Machine::new(MachineConfig::default());
-        let t = m.alloc_expr(&Rc::new(Expr::div(Expr::int(1), Expr::int(0))), &MEnv::empty());
+        let t = m.alloc_expr(
+            &Rc::new(Expr::div(Expr::int(1), Expr::int(0))),
+            &MEnv::empty(),
+        );
         let first = m.eval_node(t, true).expect("no machine error");
         assert!(matches!(first, Outcome::Caught(Exception::DivideByZero)));
         assert_eq!(m.stats().thunks_poisoned, 1);
@@ -423,7 +419,9 @@ mod tests {
         let out = l2r
             .eval(core_of(src), &MEnv::empty(), false)
             .expect("terminates");
-        let Outcome::Value(n) = out else { panic!("{out:?}") };
+        let Outcome::Value(n) = out else {
+            panic!("{out:?}")
+        };
         assert_eq!(l2r.render(n, 2), "True");
 
         let mut r2l = Machine::new(MachineConfig {
@@ -477,17 +475,107 @@ mod tests {
         let out = m
             .eval(core_of(src), &MEnv::empty(), false)
             .expect("no machine error");
-        let Outcome::Value(n) = out else { panic!("{out:?}") };
+        let Outcome::Value(n) = out else {
+            panic!("{out:?}")
+        };
         assert_eq!(m.render(n, 4), "10000");
-        assert!(m.stats().gc_runs >= 1, "collector should have run: {:?}", m.stats());
+        assert!(
+            m.stats().gc_runs >= 1,
+            "collector should have run: {:?}",
+            m.stats()
+        );
         assert!(m.stats().gc_freed > 0);
         assert!(
             m.heap().len() < 60_000,
             "arena should stay bounded, got {} nodes",
             m.heap().len()
         );
-        // Total allocations far exceed the arena: cells were reused.
-        assert!(m.stats().allocations as usize > m.heap().len() * 2);
+        // Cells were reused: total allocations exceed the (non-interned)
+        // arena, and the free list fed a large share of them. The interned
+        // pool is permanent and never churns, so it is excluded from the
+        // occupancy side of the comparison.
+        let churned = m.heap().len() - m.interned_len();
+        assert!(
+            m.stats().allocations as usize > churned,
+            "allocations={} should exceed churned arena {churned}",
+            m.stats().allocations,
+        );
+        assert!(
+            m.stats().freelist_reuses * 2 > m.stats().gc_freed,
+            "most GC-freed cells should be reused: {:?}",
+            m.stats()
+        );
+    }
+
+    #[test]
+    fn interned_values_are_shared_across_evaluations_and_survive_gc() {
+        let mut m = Machine::new(MachineConfig::default());
+        let a = m
+            .eval(core_of("1 + 2"), &MEnv::empty(), false)
+            .expect("no machine error");
+        let b = m
+            .eval(core_of("5 - 2"), &MEnv::empty(), false)
+            .expect("no machine error");
+        let (Outcome::Value(a), Outcome::Value(b)) = (a, b) else {
+            panic!("expected values")
+        };
+        // Both results are the single interned node for 3.
+        assert_eq!(a, b, "small-int results should be the same interned node");
+        assert!(m.stats().interned_hits >= 2, "{:?}", m.stats());
+        // A full collection (with no roots holding the node) must not
+        // reclaim pool nodes: they stay valid for the embedder.
+        m.collect_with(&[]);
+        assert_eq!(m.render(a, 4), "3");
+        let t = m
+            .eval(core_of("1 == 1"), &MEnv::empty(), false)
+            .expect("no machine error");
+        let Outcome::Value(t) = t else {
+            panic!("expected a value")
+        };
+        assert_eq!(m.render(t, 4), "True");
+    }
+
+    #[test]
+    fn interned_pool_is_not_counted_as_evaluation_allocations() {
+        // A fresh machine has a populated pool but zero recorded
+        // allocations: `Stats::allocations` measures evaluation work only.
+        let m = Machine::new(MachineConfig::default());
+        assert!(m.interned_len() > 0);
+        assert!(m.heap().len() >= m.interned_len());
+        assert_eq!(m.stats().allocations, 0);
+    }
+
+    #[test]
+    fn free_list_reuse_keeps_the_arena_at_its_high_water_mark() {
+        // Two identical churn-heavy runs: the second is served largely from
+        // the free list, so the arena must not grow between them.
+        let src = "let { mk = \\n -> if n == 0 then [] else n : mk (n - 1)
+                       ; len = \\xs -> case xs of { [] -> 0; y:ys -> 1 + len ys } }
+                   in len (mk 400)";
+        let mut m = Machine::new(MachineConfig {
+            gc_threshold: 2_000,
+            ..MachineConfig::default()
+        });
+        let run = |m: &mut Machine| {
+            let out = m
+                .eval(core_of(src), &MEnv::empty(), false)
+                .expect("no machine error");
+            let Outcome::Value(n) = out else {
+                panic!("{out:?}")
+            };
+            assert_eq!(m.render(n, 4), "400");
+        };
+        run(&mut m);
+        m.collect_with(&[]);
+        let high_water = m.heap().len();
+        let reuses_before = m.stats().freelist_reuses;
+        run(&mut m);
+        assert_eq!(
+            m.heap().len(),
+            high_water,
+            "second run should be served from the free list"
+        );
+        assert!(m.stats().freelist_reuses > reuses_before, "{:?}", m.stats());
     }
 
     #[test]
@@ -504,9 +592,7 @@ mod tests {
         });
         let env = m.bind_recursive(&prog.binds, &MEnv::empty());
         // Churn to force collections, then use the program again.
-        let churn = core_of(
-            "let f = \\n -> if n == 0 then 0 else f (n - 1) in f 20000",
-        );
+        let churn = core_of("let f = \\n -> if n == 0 then 0 else f (n - 1) in f 20000");
         let _ = m.eval(churn, &MEnv::empty(), false).expect("ok");
         assert!(m.stats().gc_runs >= 1);
         let e = Rc::new(
@@ -514,7 +600,9 @@ mod tests {
                 .expect("desugars"),
         );
         let out = m.eval(e, &env, false).expect("ok");
-        let Outcome::Value(n) = out else { panic!("{out:?}") };
+        let Outcome::Value(n) = out else {
+            panic!("{out:?}")
+        };
         assert_eq!(m.render(n, 4), "210");
     }
 
@@ -526,8 +614,11 @@ mod tests {
             ..MachineConfig::default()
         });
         let out = m
-            .eval(core_of("let f = \\n -> if n == 0 then 7 else f (n - 1) in f 5000"),
-                &MEnv::empty(), false)
+            .eval(
+                core_of("let f = \\n -> if n == 0 then 7 else f (n - 1) in f 5000"),
+                &MEnv::empty(),
+                false,
+            )
             .expect("ok");
         assert!(matches!(out, Outcome::Value(_)));
         assert_eq!(m.stats().gc_runs, 0);

@@ -98,10 +98,22 @@ impl Default for MachineConfig {
 }
 
 /// Counters exposed for the benchmark harness and tests.
+///
+/// `allocations` counts heap nodes allocated *during evaluation*; the
+/// interned literal pool (small integers, `True`/`False`, nullary
+/// constructors) allocates each entry at most once — on first use — and
+/// hands it out without allocating thereafter (those hits count in
+/// `interned_hits`, not here).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     pub steps: u64,
     pub allocations: u64,
+    /// Allocations served by reusing a cell the collector reclaimed
+    /// (a subset of `allocations`).
+    pub freelist_reuses: u64,
+    /// Requests satisfied by the interned literal pool instead of a fresh
+    /// allocation.
+    pub interned_hits: u64,
     pub thunk_updates: u64,
     pub max_stack_depth: usize,
     /// Frames discarded while trimming for a raise.
@@ -161,16 +173,22 @@ enum Frame {
     Update(NodeId),
     /// Apply the result to this argument.
     Apply(NodeId),
-    /// Scrutinise the result with these alternatives.
-    Select { alts: Rc<[Alt]>, env: MEnv },
-    /// A binary/unary strict primitive collecting its operands.
+    /// Scrutinise the result with the alternatives of this `Case`
+    /// expression (kept whole so no per-`case` copy of the alternatives is
+    /// made).
+    Select { case: Rc<Expr>, env: MEnv },
+    /// A binary/unary strict primitive collecting its operands. Primops
+    /// have at most two operands, so the frame is fixed-size — no
+    /// per-evaluation vectors.
     PrimArgs {
         op: PrimOp,
-        args: Vec<Rc<Expr>>,
         env: MEnv,
-        order: Vec<usize>,
-        results: Vec<Option<NodeId>>,
-        next: usize,
+        /// Operand position the result on top of the stack fills.
+        current: u8,
+        /// The not-yet-evaluated operand (position, expression), if any.
+        pending: Option<(u8, Rc<Expr>)>,
+        /// Evaluated operands by position.
+        results: [Option<NodeId>; 2],
     },
     /// `seq`: discard the result, then evaluate this.
     SeqSecond { expr: Rc<Expr>, env: MEnv },
@@ -209,6 +227,57 @@ pub struct Machine {
     /// The collector re-arms at this live count (grows if a collection
     /// fails to get below the configured threshold).
     next_gc_at: usize,
+    /// Interned WHNF nodes handed out instead of fresh allocations.
+    pool: InternPool,
+}
+
+/// The range of integers interned at construction (covers loop counters
+/// and arithmetic results of the common workloads; anything outside is
+/// allocated normally).
+const INT_POOL_MIN: i64 = -128;
+const INT_POOL_MAX: i64 = 4095;
+
+/// Interned immutable value nodes, filled in on first use. These are only
+/// ever *read*: update frames target thunks, and `overwrite_hvalue` targets
+/// embedder-allocated cells, so sharing one node for every occurrence of
+/// `42` or `True` is observationally invisible. All pool nodes are
+/// permanent GC roots. Filling lazily keeps `Machine::new` cheap for
+/// short-lived machines (the oracle builds thousands of them).
+struct InternPool {
+    /// Slot `i` caches the node for `INT_POOL_MIN + i` once allocated.
+    ints: Vec<Option<NodeId>>,
+    ints_filled: usize,
+    true_node: NodeId,
+    false_node: NodeId,
+    /// Lazily interned zero-field constructor values (`Nothing`, `Nil`,
+    /// nullary `Exception` constructors, ...).
+    cons: std::collections::HashMap<Symbol, NodeId>,
+}
+
+impl InternPool {
+    fn build(heap: &mut Heap) -> InternPool {
+        let t = Symbol::intern("True");
+        let f = Symbol::intern("False");
+        let true_node = heap.alloc(Node::Value(HValue::Con(t, vec![])));
+        let false_node = heap.alloc(Node::Value(HValue::Con(f, vec![])));
+        let cons = std::collections::HashMap::from([(t, true_node), (f, false_node)]);
+        InternPool {
+            ints: vec![None; (INT_POOL_MAX - INT_POOL_MIN + 1) as usize],
+            ints_filled: 0,
+            true_node,
+            false_node,
+            cons,
+        }
+    }
+
+    fn mark(&self, c: &mut crate::gc::Collector) {
+        for id in self.ints.iter().flatten() {
+            c.mark_root(*id);
+        }
+        for id in self.cons.values() {
+            c.mark_root(*id);
+        }
+    }
 }
 
 impl Machine {
@@ -220,16 +289,58 @@ impl Machine {
         };
         let next_timeout_at = config.max_steps;
         let next_gc_at = config.gc_threshold;
+        let mut heap = Heap::new();
+        let pool = InternPool::build(&mut heap);
         Machine {
             config,
-            heap: Heap::new(),
+            heap,
             stats: Stats::default(),
             rng: SmallRng::seed_from_u64(seed),
             next_event: 0,
             next_timeout_at,
             roots: Vec::new(),
             next_gc_at,
+            pool,
         }
+    }
+
+    /// The interned node for an integer value (allocated on first use,
+    /// shared ever after).
+    fn int_node(&mut self, n: i64) -> NodeId {
+        if (INT_POOL_MIN..=INT_POOL_MAX).contains(&n) {
+            let slot = (n - INT_POOL_MIN) as usize;
+            if let Some(id) = self.pool.ints[slot] {
+                self.stats.interned_hits += 1;
+                return id;
+            }
+            let id = self.alloc_value(HValue::Int(n));
+            self.pool.ints[slot] = Some(id);
+            self.pool.ints_filled += 1;
+            return id;
+        }
+        self.alloc_value(HValue::Int(n))
+    }
+
+    /// The interned `True`/`False` node.
+    fn bool_node(&mut self, b: bool) -> NodeId {
+        self.stats.interned_hits += 1;
+        if b {
+            self.pool.true_node
+        } else {
+            self.pool.false_node
+        }
+    }
+
+    /// The interned node for a zero-field constructor value (allocated on
+    /// first use, shared ever after).
+    fn nullary_con_node(&mut self, c: Symbol) -> NodeId {
+        if let Some(id) = self.pool.cons.get(&c) {
+            self.stats.interned_hits += 1;
+            return *id;
+        }
+        let id = self.alloc_value(HValue::Con(c, vec![]));
+        self.pool.cons.insert(c, id);
+        id
     }
 
     /// The accumulated statistics.
@@ -245,6 +356,14 @@ impl Machine {
     /// Read-only access to the heap.
     pub fn heap(&self) -> &Heap {
         &self.heap
+    }
+
+    /// Number of permanently interned nodes (small ints, booleans, nullary
+    /// constructors). These live in the heap but are allocated once at
+    /// startup (or on first use) and never churn, so diagnostics comparing
+    /// `stats().allocations` against heap occupancy should subtract this.
+    pub fn interned_len(&self) -> usize {
+        self.pool.ints_filled + self.pool.cons.len()
     }
 
     /// Registers a node as a GC root (stack discipline with
@@ -263,6 +382,7 @@ impl Machine {
     /// Returns the number of nodes reclaimed.
     pub fn collect_with(&mut self, extra: &[NodeId]) -> u64 {
         let mut c = crate::gc::Collector::new(self.heap.len());
+        self.pool.mark(&mut c);
         for r in self.roots.iter().chain(extra) {
             c.mark_root(*r);
         }
@@ -279,6 +399,7 @@ impl Machine {
     /// and stack, then the registered roots.
     fn collect_during_run(&mut self, control: &Control, stack: &[Frame]) {
         let mut c = crate::gc::Collector::new(self.heap.len());
+        self.pool.mark(&mut c);
         match control {
             Control::Eval(_, env) => c.mark_env(env),
             Control::Enter(n) | Control::Return(n) => c.mark_root(*n),
@@ -318,19 +439,27 @@ impl Machine {
         self.next_gc_at = (live + live / 2).max(self.config.gc_threshold);
     }
 
-    /// Allocates a thunk for `expr` (reusing the variable's node when the
-    /// expression is just a variable, preserving sharing).
+    /// Allocates a thunk for `expr` — except that variables reuse their
+    /// bound node (preserving sharing) and literals go straight to a WHNF
+    /// value node (interned where possible), skipping the thunk/update
+    /// round trip entirely.
     pub fn alloc_expr(&mut self, expr: &Rc<Expr>, env: &MEnv) -> NodeId {
-        if let Expr::Var(v) = &**expr {
-            if let Some(n) = env.lookup(*v) {
-                return n;
+        match &**expr {
+            Expr::Var(v) => {
+                if let Some(n) = env.lookup(*v) {
+                    return n;
+                }
+                panic!("unbound variable '{v}' while allocating a thunk");
             }
-            panic!("unbound variable '{v}' while allocating a thunk");
+            Expr::Int(n) => self.int_node(*n),
+            Expr::Char(c) => self.alloc_value(HValue::Char(*c)),
+            Expr::Str(s) => self.alloc_value(HValue::Str(s.clone())),
+            Expr::Con(c, args) if args.is_empty() => self.nullary_con_node(*c),
+            _ => self.alloc(Node::Thunk {
+                expr: expr.clone(),
+                env: env.clone(),
+            }),
         }
-        self.alloc(Node::Thunk {
-            expr: expr.clone(),
-            env: env.clone(),
-        })
     }
 
     /// Allocates a WHNF value node (used by the IO layer to feed results
@@ -358,6 +487,9 @@ impl Machine {
 
     fn alloc(&mut self, node: Node) -> NodeId {
         self.stats.allocations += 1;
+        if self.heap.free_list().is_some() {
+            self.stats.freelist_reuses += 1;
+        }
         self.heap.alloc(node)
     }
 
@@ -449,9 +581,7 @@ impl Machine {
                     return Err(MachineError::StepLimit);
                 }
             }
-            if stack.len() >= self.config.max_stack
-                && !matches!(control, Control::Raising(_))
-            {
+            if stack.len() >= self.config.max_stack && !matches!(control, Control::Raising(_)) {
                 control = Control::Raising(Exception::StackOverflow);
             }
             if self.config.gc
@@ -460,9 +590,7 @@ impl Machine {
             {
                 self.collect_during_run(&control, &stack);
             }
-            if self.heap.live() >= self.config.max_heap
-                && !matches!(control, Control::Raising(_))
-            {
+            if self.heap.live() >= self.config.max_heap && !matches!(control, Control::Raising(_)) {
                 control = Control::Raising(Exception::HeapOverflow);
             }
 
@@ -490,10 +618,13 @@ impl Machine {
                     .unwrap_or_else(|| panic!("unbound variable '{v}'"));
                 Control::Enter(node)
             }
-            Expr::Int(n) => Control::Return(self.alloc_value(HValue::Int(*n))),
+            Expr::Int(n) => Control::Return(self.int_node(*n)),
             Expr::Char(c) => Control::Return(self.alloc_value(HValue::Char(*c))),
             Expr::Str(s) => Control::Return(self.alloc_value(HValue::Str(s.clone()))),
             Expr::Con(c, args) => {
+                if args.is_empty() {
+                    return Control::Return(self.nullary_con_node(*c));
+                }
                 let fields = args.iter().map(|a| self.alloc_expr(a, &env)).collect();
                 Control::Return(self.alloc_value(HValue::Con(*c, fields)))
             }
@@ -515,12 +646,13 @@ impl Machine {
                 let env2 = self.bind_recursive_inner(binds, &env);
                 Control::Eval(body.clone(), env2)
             }
-            Expr::Case(scrut, alts) => {
+            Expr::Case(scrut, _) => {
+                let scrut = scrut.clone();
                 stack.push(Frame::Select {
-                    alts: Rc::from(alts.as_slice()),
+                    case: expr,
                     env: env.clone(),
                 });
-                Control::Eval(scrut.clone(), env)
+                Control::Eval(scrut, env)
             }
             Expr::Prim(op, args) => self.step_prim(*op, args, env, stack),
             Expr::Raise(e) => {
@@ -563,26 +695,28 @@ impl Machine {
             _ => {
                 // Decide the operand order — the machine's "optimisation
                 // level" (§3.5).
-                let order: Vec<usize> = if args.len() == 1 {
-                    vec![0]
+                let (first, pending) = if args.len() == 1 {
+                    (0u8, None)
                 } else {
                     let left_first = match self.config.order {
                         OrderPolicy::LeftToRight => true,
                         OrderPolicy::RightToLeft => false,
                         OrderPolicy::Seeded(_) => self.rng.gen_bool(0.5),
                     };
-                    if left_first { vec![0, 1] } else { vec![1, 0] }
+                    if left_first {
+                        (0, Some((1u8, args[1].clone())))
+                    } else {
+                        (1, Some((0u8, args[0].clone())))
+                    }
                 };
-                let first = order[0];
                 stack.push(Frame::PrimArgs {
                     op,
-                    args: args.to_vec(),
                     env: env.clone(),
-                    results: vec![None; args.len()],
-                    order,
-                    next: 0,
+                    current: first,
+                    pending,
+                    results: [None, None],
                 });
-                Control::Eval(args[first].clone(), env)
+                Control::Eval(args[first as usize].clone(), env)
             }
         }
     }
@@ -639,33 +773,37 @@ impl Machine {
                 let (param, body, env) = (*param, body.clone(), env.clone());
                 Control::Eval(body, env.bind(param, arg))
             }
-            Frame::Select { alts, env } => self.select(node, &alts, &env),
+            Frame::Select { case, env } => {
+                let Expr::Case(_, alts) = &*case else {
+                    unreachable!("Select frame holds a Case expression");
+                };
+                self.select(node, alts, &env)
+            }
             Frame::PrimArgs {
                 op,
-                args,
                 env,
-                order,
+                current,
+                mut pending,
                 mut results,
-                next,
             } => {
-                results[order[next]] = Some(node);
-                let next = next + 1;
-                if next < order.len() {
-                    let idx = order[next];
-                    let e = args[idx].clone();
+                results[current as usize] = Some(node);
+                if let Some((idx, e)) = pending.take() {
                     stack.push(Frame::PrimArgs {
                         op,
-                        args,
                         env: env.clone(),
-                        order,
+                        current: idx,
+                        pending: None,
                         results,
-                        next,
                     });
                     Control::Eval(e, env)
                 } else {
-                    let nodes: Vec<NodeId> =
-                        results.into_iter().map(|r| r.expect("all evaluated")).collect();
-                    self.apply_prim(op, &nodes)
+                    let mut nodes = [NodeId(0); 2];
+                    let mut n = 0;
+                    for r in results.into_iter().flatten() {
+                        nodes[n] = r;
+                        n += 1;
+                    }
+                    self.apply_prim(op, &nodes[..n])
                 }
             }
             Frame::SeqSecond { expr, env } => Control::Eval(expr, env),
@@ -680,7 +818,7 @@ impl Machine {
             }
             Frame::IsExnCatch => {
                 // The argument evaluated to a value: not an exception.
-                Control::Return(self.alloc_value(bool_hvalue(false)))
+                Control::Return(self.bool_node(false))
             }
             Frame::UnsafeGetExnCatch => {
                 let ok = HValue::Con(Symbol::intern("OK"), vec![node]);
@@ -774,7 +912,7 @@ impl Machine {
                 }
                 Frame::IsExnCatch if !asynchronous => {
                     // unsafeIsException caught a synchronous exception.
-                    let t = self.alloc_value(bool_hvalue(true));
+                    let t = self.bool_node(true);
                     return StepResult::Continue(Control::Return(t));
                 }
                 Frame::UnsafeGetExnCatch if !asynchronous => {
@@ -836,19 +974,19 @@ impl Machine {
                 return self.arith(int(self, 0).checked_rem(int(self, 1)));
             }
             Neg => return self.arith(int(self, 0).checked_neg()),
-            IntEq => bool_hvalue(int(self, 0) == int(self, 1)),
-            IntLt => bool_hvalue(int(self, 0) < int(self, 1)),
-            IntLe => bool_hvalue(int(self, 0) <= int(self, 1)),
-            IntGt => bool_hvalue(int(self, 0) > int(self, 1)),
-            IntGe => bool_hvalue(int(self, 0) >= int(self, 1)),
-            CharEq => bool_hvalue(chr(self, 0) == chr(self, 1)),
-            StrEq => bool_hvalue(string(self, 0) == string(self, 1)),
-            StrAppend => {
-                HValue::Str(Rc::from(format!("{}{}", string(self, 0), string(self, 1)).as_str()))
-            }
-            StrLen => HValue::Int(string(self, 0).chars().count() as i64),
+            IntEq => return self.boolean(int(self, 0) == int(self, 1)),
+            IntLt => return self.boolean(int(self, 0) < int(self, 1)),
+            IntLe => return self.boolean(int(self, 0) <= int(self, 1)),
+            IntGt => return self.boolean(int(self, 0) > int(self, 1)),
+            IntGe => return self.boolean(int(self, 0) >= int(self, 1)),
+            CharEq => return self.boolean(chr(self, 0) == chr(self, 1)),
+            StrEq => return self.boolean(string(self, 0) == string(self, 1)),
+            StrAppend => HValue::Str(Rc::from(
+                format!("{}{}", string(self, 0), string(self, 1)).as_str(),
+            )),
+            StrLen => return self.arith(Some(string(self, 0).chars().count() as i64)),
             ShowInt => HValue::Str(Rc::from(int(self, 0).to_string().as_str())),
-            Ord => HValue::Int(chr(self, 0) as i64),
+            Ord => return self.arith(Some(chr(self, 0) as i64)),
             Chr => match u32::try_from(int(self, 0)).ok().and_then(char::from_u32) {
                 Some(c) => HValue::Char(c),
                 None => return Control::Raising(Exception::Overflow),
@@ -862,22 +1000,26 @@ impl Machine {
 
     fn arith(&mut self, n: Option<i64>) -> Control {
         match n {
-            Some(n) => Control::Return(self.alloc_value(HValue::Int(n))),
+            Some(n) => Control::Return(self.int_node(n)),
             None => Control::Raising(Exception::Overflow),
         }
     }
 
-    /// Allocates the in-language value for a runtime exception.
+    fn boolean(&mut self, b: bool) -> Control {
+        Control::Return(self.bool_node(b))
+    }
+
+    /// Allocates the in-language value for a runtime exception (interned
+    /// for the payload-free constructors).
     pub fn alloc_exception_value(&mut self, e: &Exception) -> NodeId {
         let name = e.constructor_symbol();
-        let fields = match e.payload() {
-            None => vec![],
+        match e.payload() {
+            None => self.nullary_con_node(name),
             Some(s) => {
                 let str_node = self.alloc_value(HValue::Str(Rc::from(s)));
-                vec![str_node]
+                self.alloc_value(HValue::Con(name, vec![str_node]))
             }
-        };
-        self.alloc_value(HValue::Con(name, fields))
+        }
     }
 
     /// Renders a node to `depth`, forcing as needed; exceptional fields
@@ -896,7 +1038,11 @@ impl Machine {
     }
 
     fn render_value(&mut self, node: NodeId, depth: u32) -> String {
-        let v = self.heap.value(node).expect("rendered node in WHNF").clone();
+        let v = self
+            .heap
+            .value(node)
+            .expect("rendered node in WHNF")
+            .clone();
         match v {
             HValue::Int(n) => n.to_string(),
             HValue::Char(c) => format!("{c:?}"),
@@ -925,8 +1071,4 @@ impl Machine {
 enum StepResult {
     Continue(Control),
     Done(Outcome),
-}
-
-fn bool_hvalue(b: bool) -> HValue {
-    HValue::Con(Symbol::intern(if b { "True" } else { "False" }), vec![])
 }

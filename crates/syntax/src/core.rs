@@ -151,7 +151,10 @@ impl PrimOp {
     /// True if the operation is commutative on normal values (used by the
     /// argument-commutation transformation of §3.4).
     pub fn is_commutative(self) -> bool {
-        matches!(self, PrimOp::Add | PrimOp::Mul | PrimOp::IntEq | PrimOp::CharEq | PrimOp::StrEq)
+        matches!(
+            self,
+            PrimOp::Add | PrimOp::Mul | PrimOp::IntEq | PrimOp::CharEq | PrimOp::StrEq
+        )
     }
 
     /// True if the operation forces both arguments to WHNF and unions their
@@ -249,11 +252,13 @@ impl Expr {
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)] // AST constructor, not arithmetic
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::prim(PrimOp::Add, [a, b])
     }
 
     /// `a / b`.
+    #[allow(clippy::should_implement_trait)] // AST constructor, not arithmetic
     pub fn div(a: Expr, b: Expr) -> Expr {
         Expr::prim(PrimOp::Div, [a, b])
     }
@@ -320,9 +325,7 @@ impl Expr {
         match self {
             Expr::Var(x) => usize::from(*x == v),
             Expr::Int(_) | Expr::Char(_) | Expr::Str(_) => 0,
-            Expr::Con(_, args) | Expr::Prim(_, args) => {
-                args.iter().map(|a| a.count_var(v)).sum()
-            }
+            Expr::Con(_, args) | Expr::Prim(_, args) => args.iter().map(|a| a.count_var(v)).sum(),
             Expr::App(f, x) => f.count_var(v) + x.count_var(v),
             Expr::Lam(x, b) => {
                 if *x == v {
@@ -331,9 +334,7 @@ impl Expr {
                     b.count_var(v)
                 }
             }
-            Expr::Let(x, r, b) => {
-                r.count_var(v) + if *x == v { 0 } else { b.count_var(v) }
-            }
+            Expr::Let(x, r, b) => r.count_var(v) + if *x == v { 0 } else { b.count_var(v) },
             Expr::LetRec(binds, b) => {
                 if binds.iter().any(|(x, _)| *x == v) {
                     0
@@ -564,14 +565,10 @@ impl Expr {
                 (Expr::Char(x), Expr::Char(y)) => x == y,
                 (Expr::Str(x), Expr::Str(y)) => x == y,
                 (Expr::Con(c, xs), Expr::Con(d, ys)) => {
-                    c == d
-                        && xs.len() == ys.len()
-                        && xs.iter().zip(ys).all(|(x, y)| go(x, y, env))
+                    c == d && xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| go(x, y, env))
                 }
                 (Expr::Prim(o, xs), Expr::Prim(p, ys)) => {
-                    o == p
-                        && xs.len() == ys.len()
-                        && xs.iter().zip(ys).all(|(x, y)| go(x, y, env))
+                    o == p && xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| go(x, y, env))
                 }
                 (Expr::App(f, x), Expr::App(g, y)) => go(f, g, env) && go(x, y, env),
                 (Expr::Lam(x, e), Expr::Lam(y, f)) => {

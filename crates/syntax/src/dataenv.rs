@@ -181,7 +181,10 @@ impl DataEnv {
                 ("NewEmptyMVar", vec![]),
                 ("TakeMVar", vec![tvar("a")]),
                 ("PutMVar", vec![tvar("a"), tvar("a")]),
-                ("ThrowTo", vec![tcon("Int", vec![]), tcon("Exception", vec![])]),
+                (
+                    "ThrowTo",
+                    vec![tcon("Int", vec![]), tcon("Exception", vec![])],
+                ),
             ],
             true,
         );
@@ -213,7 +216,8 @@ impl DataEnv {
                 .collect(),
             pos: Default::default(),
         };
-        self.add_data_inner(&decl, io).expect("builtins are well-formed");
+        self.add_data_inner(&decl, io)
+            .expect("builtins are well-formed");
     }
 
     /// Adds a user `data` declaration.
@@ -275,7 +279,9 @@ impl DataEnv {
     /// The sibling constructors of `con`'s type, in declaration order.
     pub fn siblings(&self, con: Symbol) -> Option<&[Symbol]> {
         let info = self.cons.get(&con)?;
-        self.types.get(&info.ty_name).map(|t| t.constructors.as_slice())
+        self.types
+            .get(&info.ty_name)
+            .map(|t| t.constructors.as_slice())
     }
 }
 
@@ -310,10 +316,16 @@ mod tests {
         assert_eq!(env.con(Symbol::intern("True")).expect("True").arity(), 0);
         assert_eq!(env.con(Symbol::intern("Bad")).expect("Bad").arity(), 1);
         assert_eq!(
-            env.con(Symbol::intern("UserError")).expect("UserError").arity(),
+            env.con(Symbol::intern("UserError"))
+                .expect("UserError")
+                .arity(),
             1
         );
-        assert!(env.con(Symbol::intern("Return")).expect("Return").io_primitive);
+        assert!(
+            env.con(Symbol::intern("Return"))
+                .expect("Return")
+                .io_primitive
+        );
         let bools = env.siblings(Symbol::intern("True")).expect("Bool");
         assert_eq!(bools.len(), 2);
         assert_eq!(bools[0].as_str(), "False");

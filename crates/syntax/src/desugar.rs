@@ -81,7 +81,8 @@ pub fn desugar_program(
     // Pass 1: data declarations.
     for d in &prog.decls {
         if let Decl::Data(data) = d {
-            env.add_data(data).map_err(|e| DesugarError(e.to_string()))?;
+            env.add_data(data)
+                .map_err(|e| DesugarError(e.to_string()))?;
         }
     }
     // Pass 2: bindings and signatures.
@@ -150,21 +151,14 @@ fn desugar_bindings(
 }
 
 /// Desugars one group of equations into a single core expression.
-fn desugar_clauses(
-    name: Symbol,
-    clauses: &[Clause],
-    env: &DataEnv,
-) -> Result<Expr, DesugarError> {
+fn desugar_clauses(name: Symbol, clauses: &[Clause], env: &DataEnv) -> Result<Expr, DesugarError> {
     let arity = clauses[0].pats.len();
     if clauses.iter().any(|c| c.pats.len() != arity) {
         return Err(DesugarError(format!(
             "equations for '{name}' have differing numbers of arguments"
         )));
     }
-    let fail = Expr::raise(Expr::con(
-        "PatternMatchFail",
-        [Expr::str(&name.as_str())],
-    ));
+    let fail = Expr::raise(Expr::con("PatternMatchFail", [Expr::str(&name.as_str())]));
 
     if arity == 0 {
         if clauses.len() > 1 {
@@ -351,12 +345,7 @@ fn expr(e: &SExpr, env: &DataEnv) -> Result<Expr, DesugarError> {
         SExpr::OpSection(op) => {
             let a = Symbol::fresh("l");
             let b = Symbol::fresh("r");
-            let body = binop(
-                *op,
-                &SExpr::Var(a),
-                &SExpr::Var(b),
-                env,
-            )?;
+            let body = binop(*op, &SExpr::Var(a), &SExpr::Var(b), env)?;
             Ok(Expr::lams([a, b], body))
         }
     }
@@ -464,10 +453,7 @@ fn binop(op: Symbol, l: &SExpr, r: &SExpr, env: &DataEnv) -> Result<Expr, Desuga
             let x = Symbol::fresh("x");
             let f = expr(l, env)?;
             let g = expr(r, env)?;
-            Ok(Expr::lam(
-                x,
-                Expr::app(f, Expr::app(g, Expr::Var(x))),
-            ))
+            Ok(Expr::lam(x, Expr::app(f, Expr::app(g, Expr::Var(x)))))
         }
         "$" => Ok(Expr::app(expr(l, env)?, expr(r, env)?)),
         ">>=" => Ok(Expr::con("Bind", [expr(l, env)?, expr(r, env)?])),
@@ -602,7 +588,9 @@ mod tests {
 
     #[test]
     fn io_builtins_become_constructors() {
-        assert!(matches!(de("getChar"), Expr::Con(c, ref a) if c.as_str() == "GetChar" && a.is_empty()));
+        assert!(
+            matches!(de("getChar"), Expr::Con(c, ref a) if c.as_str() == "GetChar" && a.is_empty())
+        );
         assert!(
             matches!(de("putChar 'x'"), Expr::Con(c, ref a) if c.as_str() == "PutChar" && a.len() == 1)
         );
@@ -628,14 +616,18 @@ mod tests {
     #[test]
     fn if_becomes_exhaustive_bool_case() {
         let e = de("if b then 1 else 2");
-        let Expr::Case(_, alts) = &e else { panic!("{e:?}") };
+        let Expr::Case(_, alts) = &e else {
+            panic!("{e:?}")
+        };
         assert_eq!(alts.len(), 2);
     }
 
     #[test]
     fn list_literal_becomes_cons_chain() {
         let e = de("[1, 2]");
-        let Expr::Con(c, args) = &e else { panic!("{e:?}") };
+        let Expr::Con(c, args) = &e else {
+            panic!("{e:?}")
+        };
         assert_eq!(c.as_str(), "Cons");
         assert!(matches!(&*args[1], Expr::Con(c2, _) if c2.as_str() == "Cons"));
     }
@@ -658,10 +650,14 @@ mod tests {
     #[test]
     fn and_or_are_lazy_cases() {
         let e = de("a && b");
-        let Expr::Case(_, alts) = &e else { panic!("{e:?}") };
+        let Expr::Case(_, alts) = &e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(&*alts[1].rhs, Expr::Con(c, _) if c.as_str() == "False"));
         let e = de("a || b");
-        let Expr::Case(_, alts) = &e else { panic!("{e:?}") };
+        let Expr::Case(_, alts) = &e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(&*alts[0].rhs, Expr::Con(c, _) if c.as_str() == "True"));
     }
 
@@ -717,14 +713,22 @@ mod tests {
     #[test]
     fn left_and_right_sections_desugar_to_lambdas() {
         let e = de("(+ 1)");
-        let Expr::Lam(x, body) = &e else { panic!("{e:?}") };
-        let Expr::Prim(PrimOp::Add, args) = &**body else { panic!() };
+        let Expr::Lam(x, body) = &e else {
+            panic!("{e:?}")
+        };
+        let Expr::Prim(PrimOp::Add, args) = &**body else {
+            panic!()
+        };
         assert!(matches!(&*args[0], Expr::Var(v) if v == x));
         assert!(matches!(&*args[1], Expr::Int(1)));
 
         let e2 = de("(2 *)");
-        let Expr::Lam(y, body2) = &e2 else { panic!("{e2:?}") };
-        let Expr::Prim(PrimOp::Mul, args2) = &**body2 else { panic!() };
+        let Expr::Lam(y, body2) = &e2 else {
+            panic!("{e2:?}")
+        };
+        let Expr::Prim(PrimOp::Mul, args2) = &**body2 else {
+            panic!()
+        };
         assert!(matches!(&*args2[0], Expr::Int(2)));
         assert!(matches!(&*args2[1], Expr::Var(v) if v == y));
     }
@@ -732,7 +736,9 @@ mod tests {
     #[test]
     fn operator_section_desugars_to_lambda() {
         let e = de("(+)");
-        let Expr::Lam(_, b1) = &e else { panic!("{e:?}") };
+        let Expr::Lam(_, b1) = &e else {
+            panic!("{e:?}")
+        };
         let Expr::Lam(_, b2) = &**b1 else { panic!() };
         assert!(matches!(&**b2, Expr::Prim(PrimOp::Add, _)));
     }

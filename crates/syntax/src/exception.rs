@@ -114,6 +114,26 @@ impl Exception {
         })
     }
 
+    /// Position of a payload-free exception within
+    /// [`Exception::nullary_constructors`], or `None` for the
+    /// payload-carrying constructors. The denotational layer's bitmask set
+    /// representation keys its bits on this index; the array is in `Ord`
+    /// order, with indices 0–1 sorting below the payload-carrying
+    /// constructors and 2–7 above them.
+    pub fn nullary_index(&self) -> Option<u8> {
+        Some(match self {
+            Exception::DivideByZero => 0,
+            Exception::Overflow => 1,
+            Exception::NonTermination => 2,
+            Exception::Interrupt => 3,
+            Exception::Timeout => 4,
+            Exception::StackOverflow => 5,
+            Exception::HeapOverflow => 6,
+            Exception::BlockedIndefinitely => 7,
+            Exception::UserError(_) | Exception::PatternMatchFail(_) => return None,
+        })
+    }
+
     /// All payload-free exception constructors, in declaration order. Used
     /// by generators in property tests.
     pub fn nullary_constructors() -> [Exception; 8] {
@@ -178,7 +198,10 @@ mod tests {
 
     #[test]
     fn unknown_constructor_is_rejected() {
-        assert_eq!(Exception::from_constructor(Symbol::intern("Zorp"), None), None);
+        assert_eq!(
+            Exception::from_constructor(Symbol::intern("Zorp"), None),
+            None
+        );
         // Payload-carrying constructor without a payload is also rejected.
         assert_eq!(
             Exception::from_constructor(Symbol::intern("UserError"), None),
@@ -187,8 +210,36 @@ mod tests {
     }
 
     #[test]
+    fn nullary_index_agrees_with_the_constructor_array_and_ord() {
+        for (i, e) in Exception::nullary_constructors().iter().enumerate() {
+            assert_eq!(e.nullary_index(), Some(i as u8));
+        }
+        assert_eq!(Exception::UserError("x".into()).nullary_index(), None);
+        assert_eq!(
+            Exception::PatternMatchFail("f".into()).nullary_index(),
+            None
+        );
+        // Indices 0–1 sort below the payload-carrying constructors, 2–7
+        // above — the interleaving the bitmask set representation relies
+        // on for in-order iteration.
+        let user = Exception::UserError(String::new());
+        let pmf = Exception::PatternMatchFail("\u{10FFFF}".into());
+        let all = Exception::nullary_constructors();
+        for e in &all[..2] {
+            assert!(*e < user, "{e} should sort below payloads");
+        }
+        for e in &all[2..] {
+            assert!(*e > pmf, "{e} should sort above payloads");
+        }
+        assert!(all.windows(2).all(|w| w[0] < w[1]), "array is Ord-sorted");
+    }
+
+    #[test]
     fn display_shows_payloads() {
-        assert_eq!(Exception::UserError("Urk".into()).to_string(), "UserError \"Urk\"");
+        assert_eq!(
+            Exception::UserError("Urk".into()).to_string(),
+            "UserError \"Urk\""
+        );
         assert_eq!(Exception::DivideByZero.to_string(), "DivideByZero");
     }
 }

@@ -84,11 +84,20 @@ pub fn layout(tokens: Vec<Spanned>) -> Result<Vec<Spanned>, LayoutError> {
                 _ => None,
             });
             if enclosing.is_some_and(|n| t.pos.col <= n) {
-                out.push(Spanned { tok: Tok::VLBrace, pos: t.pos });
-                out.push(Spanned { tok: Tok::VRBrace, pos: t.pos });
+                out.push(Spanned {
+                    tok: Tok::VLBrace,
+                    pos: t.pos,
+                });
+                out.push(Spanned {
+                    tok: Tok::VRBrace,
+                    pos: t.pos,
+                });
                 // Fall through: `t` is then subject to the normal line rule.
             } else {
-                out.push(Spanned { tok: Tok::VLBrace, pos: t.pos });
+                out.push(Spanned {
+                    tok: Tok::VLBrace,
+                    pos: t.pos,
+                });
                 stack.push(Ctx::Implicit(t.pos.col, is_let));
                 last_line = t.pos.line;
                 emit_structural(&mut out, &mut stack, &mut expecting_block, t)?;
@@ -101,11 +110,17 @@ pub fn layout(tokens: Vec<Spanned>) -> Result<Vec<Spanned>, LayoutError> {
             loop {
                 match stack.last() {
                     Some(Ctx::Implicit(n, _)) if t.pos.col < *n => {
-                        out.push(Spanned { tok: Tok::VRBrace, pos: t.pos });
+                        out.push(Spanned {
+                            tok: Tok::VRBrace,
+                            pos: t.pos,
+                        });
                         stack.pop();
                     }
                     Some(Ctx::Implicit(n, _)) if t.pos.col == *n => {
-                        out.push(Spanned { tok: Tok::VSemi, pos: t.pos });
+                        out.push(Spanned {
+                            tok: Tok::VSemi,
+                            pos: t.pos,
+                        });
                         break;
                     }
                     _ => break,
@@ -118,17 +133,24 @@ pub fn layout(tokens: Vec<Spanned>) -> Result<Vec<Spanned>, LayoutError> {
 
     if expecting_block.is_some() {
         // A layout keyword at end of input opens an empty block.
-        out.push(Spanned { tok: Tok::VLBrace, pos: end_pos });
-        out.push(Spanned { tok: Tok::VRBrace, pos: end_pos });
+        out.push(Spanned {
+            tok: Tok::VLBrace,
+            pos: end_pos,
+        });
+        out.push(Spanned {
+            tok: Tok::VRBrace,
+            pos: end_pos,
+        });
     }
 
     while let Some(ctx) = stack.pop() {
         match ctx {
             // The bottom context is the whole-module block, which was opened
             // silently (no VLBrace), so it closes silently too.
-            Ctx::Implicit(_, _) if !stack.is_empty() => {
-                out.push(Spanned { tok: Tok::VRBrace, pos: end_pos })
-            }
+            Ctx::Implicit(_, _) if !stack.is_empty() => out.push(Spanned {
+                tok: Tok::VRBrace,
+                pos: end_pos,
+            }),
             Ctx::Implicit(_, _) => {}
             Ctx::Explicit => {
                 return Err(LayoutError {
@@ -145,7 +167,10 @@ pub fn layout(tokens: Vec<Spanned>) -> Result<Vec<Spanned>, LayoutError> {
         }
     }
 
-    out.push(Spanned { tok: Tok::Eof, pos: end_pos });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: end_pos,
+    });
     Ok(out)
 }
 
@@ -165,7 +190,10 @@ fn emit_structural(
         Tok::In => {
             // `in` closes the implicit block of the matching `let` only.
             if let Some(Ctx::Implicit(_, true)) = stack.last() {
-                out.push(Spanned { tok: Tok::VRBrace, pos: t.pos });
+                out.push(Spanned {
+                    tok: Tok::VRBrace,
+                    pos: t.pos,
+                });
                 stack.pop();
             }
             out.push(t);
@@ -176,7 +204,10 @@ fn emit_structural(
         }
         Tok::RParen | Tok::RBracket => {
             while let Some(Ctx::Implicit(_, _)) = stack.last() {
-                out.push(Spanned { tok: Tok::VRBrace, pos: t.pos });
+                out.push(Spanned {
+                    tok: Tok::VRBrace,
+                    pos: t.pos,
+                });
                 stack.pop();
             }
             match stack.last() {
@@ -197,7 +228,10 @@ fn emit_structural(
             // `(do ..., e)` and `[case x of ..., e]` parse.
             if stack.iter().any(|c| matches!(c, Ctx::Bracket)) {
                 while let Some(Ctx::Implicit(_, _)) = stack.last() {
-                    out.push(Spanned { tok: Tok::VRBrace, pos: t.pos });
+                    out.push(Spanned {
+                        tok: Tok::VRBrace,
+                        pos: t.pos,
+                    });
                     stack.pop();
                 }
             }

@@ -327,7 +327,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Tok> {
-        lex(src).expect("lexes").into_iter().map(|s| s.tok).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|s| s.tok)
+            .collect()
     }
 
     #[test]
@@ -377,11 +381,14 @@ mod tests {
                 Tok::Lower(Symbol::intern("g")),
             ]
         );
-        assert_eq!(toks("a -> b"), vec![
-            Tok::Lower(Symbol::intern("a")),
-            Tok::Arrow,
-            Tok::Lower(Symbol::intern("b")),
-        ]);
+        assert_eq!(
+            toks("a -> b"),
+            vec![
+                Tok::Lower(Symbol::intern("a")),
+                Tok::Arrow,
+                Tok::Lower(Symbol::intern("b")),
+            ]
+        );
     }
 
     #[test]
@@ -389,7 +396,10 @@ mod tests {
         let src = "x -- a line comment\n{- outer {- inner -} still outer -} y";
         assert_eq!(
             toks(src),
-            vec![Tok::Lower(Symbol::intern("x")), Tok::Lower(Symbol::intern("y"))]
+            vec![
+                Tok::Lower(Symbol::intern("x")),
+                Tok::Lower(Symbol::intern("y"))
+            ]
         );
     }
 
@@ -420,9 +430,12 @@ mod tests {
 
     #[test]
     fn primes_allowed_in_identifiers() {
-        assert_eq!(toks("f' x'"), vec![
-            Tok::Lower(Symbol::intern("f'")),
-            Tok::Lower(Symbol::intern("x'")),
-        ]);
+        assert_eq!(
+            toks("f' x'"),
+            vec![
+                Tok::Lower(Symbol::intern("f'")),
+                Tok::Lower(Symbol::intern("x'")),
+            ]
+        );
     }
 }

@@ -83,9 +83,7 @@ fn normalize(p: &Pat) -> NPat {
             }
             acc
         }
-        Pat::ConsInfix(h, t) => {
-            NPat::Con(Symbol::intern("Cons"), vec![normalize(h), normalize(t)])
-        }
+        Pat::ConsInfix(h, t) => NPat::Con(Symbol::intern("Cons"), vec![normalize(h), normalize(t)]),
     }
 }
 
@@ -220,8 +218,7 @@ fn compile(
                     .ok_or_else(|| DesugarError(format!("unknown constructor '{cname}'")))?;
                 let arity = info.arity();
                 covered_cons.push(cname);
-                let binders: Vec<Symbol> =
-                    (0..arity).map(|_| Symbol::fresh("m")).collect();
+                let binders: Vec<Symbol> = (0..arity).map(|_| Symbol::fresh("m")).collect();
                 let mut sub_rows = Vec::new();
                 for mut r in group {
                     let NPat::Con(_, args) = r.pats.remove(0) else {
@@ -317,10 +314,7 @@ fn guards_to_expr(gs: Vec<(Expr, Expr)>, fallback: Expr) -> Expr {
     gs.into_iter().rev().fold(fallback, |acc, (g, e)| {
         Expr::case(
             g,
-            vec![
-                Alt::con("True", vec![], e),
-                Alt::con("False", vec![], acc),
-            ],
+            vec![Alt::con("True", vec![], e), Alt::con("False", vec![], acc)],
         )
     })
 }
@@ -412,10 +406,7 @@ mod tests {
         let env = DataEnv::new();
         // head (Cons x _) = x
         let rows = vec![Row {
-            pats: vec![Pat::Con(
-                sym("Cons"),
-                vec![Pat::Var(sym("x")), Pat::Wild],
-            )],
+            pats: vec![Pat::Con(sym("Cons"), vec![Pat::Var(sym("x")), Pat::Wild])],
             rhs: RowRhs::Plain(Expr::Var(sym("x"))),
         }];
         let e = compile_match(&env, &[sym("xs")], rows, fallback()).expect("compiles");
@@ -457,7 +448,10 @@ mod tests {
         let e = compile_match(&env, &[sym("m")], rows, fallback()).expect("compiles");
         let Expr::Case(_, alts) = &e else { panic!() };
         // Just-alternative contains an inner case.
-        let just = alts.iter().find(|a| a.con == AltCon::Con(sym("Just"))).expect("just");
+        let just = alts
+            .iter()
+            .find(|a| a.con == AltCon::Con(sym("Just")))
+            .expect("just");
         assert!(matches!(&*just.rhs, Expr::Case(_, _)));
     }
 
@@ -500,7 +494,9 @@ mod tests {
         ];
         let e = compile_match(&env, &[sym("v")], rows, fallback()).expect("compiles");
         // Shape: case cond v of True -> 1; False -> 2
-        let Expr::Case(scrut, alts) = &e else { panic!("{e:?}") };
+        let Expr::Case(scrut, alts) = &e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(&**scrut, Expr::App(_, _)));
         assert_eq!(alts.len(), 2);
         assert!(matches!(&*alts[1].rhs, Expr::Int(2)));
@@ -578,9 +574,8 @@ mod tests {
         let env = DataEnv::new();
         // zipWith-like: matrix over two list arguments.
         let nil = |_: ()| Pat::Con(sym("Nil"), vec![]);
-        let cons = |h: &str, t: &str| {
-            Pat::Con(sym("Cons"), vec![Pat::Var(sym(h)), Pat::Var(sym(t))])
-        };
+        let cons =
+            |h: &str, t: &str| Pat::Con(sym("Cons"), vec![Pat::Var(sym(h)), Pat::Var(sym(t))]);
         let rows = vec![
             Row {
                 pats: vec![nil(()), nil(())],
@@ -595,11 +590,12 @@ mod tests {
                 rhs: RowRhs::Plain(Expr::error("Unequal lists")),
             },
         ];
-        let e =
-            compile_match(&env, &[sym("as"), sym("bs")], rows, fallback()).expect("compiles");
+        let e = compile_match(&env, &[sym("as"), sym("bs")], rows, fallback()).expect("compiles");
         // Outer case on `as` with Nil, Cons alternatives (exhaustive over
         // List, so no default).
-        let Expr::Case(scrut, alts) = &e else { panic!() };
+        let Expr::Case(scrut, alts) = &e else {
+            panic!()
+        };
         assert!(matches!(&**scrut, Expr::Var(v) if *v == sym("as")));
         assert_eq!(alts.len(), 2);
     }

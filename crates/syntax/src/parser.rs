@@ -9,8 +9,8 @@
 //! sequences `[a .. b]`.
 
 use crate::ast::*;
-use crate::lexer::lex;
 use crate::layout::layout;
+use crate::lexer::lex;
 use crate::token::{Pos, Spanned, Tok};
 use crate::Symbol;
 use std::fmt;
@@ -204,11 +204,7 @@ impl Parser {
             decls.push(self.decl()?);
             match self.peek() {
                 Tok::VSemi | Tok::Semi | Tok::Eof => {}
-                other => {
-                    return self.err(format!(
-                        "expected end of declaration, found '{other}'"
-                    ))
-                }
+                other => return self.err(format!("expected end of declaration, found '{other}'")),
             }
         }
         Ok(SurfaceProgram { decls })
@@ -219,7 +215,9 @@ impl Parser {
             Tok::Data => self.data_decl().map(Decl::Data),
             Tok::Lower(_) => {
                 if *self.peek_at(1) == Tok::DoubleColon {
-                    let Tok::Lower(name) = self.bump() else { unreachable!() };
+                    let Tok::Lower(name) = self.bump() else {
+                        unreachable!()
+                    };
                     self.bump(); // ::
                     let ty = self.ty()?;
                     Ok(Decl::Sig(name, ty))
@@ -494,7 +492,9 @@ impl Parser {
             }
             Tok::Op(o) if o.as_str() == "-" && matches!(self.peek_at(1), Tok::Int(_)) => {
                 self.bump();
-                let Tok::Int(n) = self.bump() else { unreachable!() };
+                let Tok::Int(n) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(Pat::Int(-n))
             }
             Tok::Upper(name) => {
@@ -716,8 +716,7 @@ impl Parser {
                     if self.starts_atom() {
                         if let Ok(lhs) = self.app_expr() {
                             if let Tok::Op(o) = self.peek().clone() {
-                                if fixity(&o.as_str()).is_some()
-                                    && *self.peek_at(1) == Tok::RParen
+                                if fixity(&o.as_str()).is_some() && *self.peek_at(1) == Tok::RParen
                                 {
                                     self.bump();
                                     self.bump();
@@ -754,10 +753,7 @@ impl Parser {
                     self.bump();
                     let hi = self.expr()?;
                     self.expect(Tok::RBracket)?;
-                    return Ok(SExpr::apps(
-                        SExpr::var("enumFromTo"),
-                        vec![first, hi],
-                    ));
+                    return Ok(SExpr::apps(SExpr::var("enumFromTo"), vec![first, hi]));
                 }
                 let mut items = vec![first];
                 while self.eat(&Tok::Comma) {
@@ -886,9 +882,7 @@ mod tests {
 
     #[test]
     fn case_with_nested_patterns_and_guards() {
-        let e = expr(
-            "case xs of { Cons x rest | x > 0 -> x | otherwise -> 0; Nil -> -1 }",
-        );
+        let e = expr("case xs of { Cons x rest | x > 0 -> x | otherwise -> 0; Nil -> -1 }");
         match e {
             SExpr::Case(_, alts) => {
                 assert_eq!(alts.len(), 2);

@@ -209,7 +209,10 @@ mod tests {
         let sum = Expr::add(Expr::int(1), Expr::int(2));
         let e = Expr::prim(PrimOp::Mul, [sum.clone(), Expr::int(3)]);
         assert_eq!(pretty(&e), "(1 + 2) * 3");
-        let e2 = Expr::add(Expr::int(1), Expr::prim(PrimOp::Mul, [Expr::int(2), Expr::int(3)]));
+        let e2 = Expr::add(
+            Expr::int(1),
+            Expr::prim(PrimOp::Mul, [Expr::int(2), Expr::int(3)]),
+        );
         assert_eq!(pretty(&e2), "1 + 2 * 3");
     }
 

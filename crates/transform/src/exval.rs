@@ -152,9 +152,7 @@ fn encode(
             // raise e  ⇒  Bad e (forcing e's own encoding first).
             match &**x {
                 // The common shape: a literal exception constructor.
-                Expr::Con(_, payload)
-                    if payload.iter().all(|p| matches!(&**p, Expr::Str(_))) =>
-                {
+                Expr::Con(_, payload) if payload.iter().all(|p| matches!(&**p, Expr::Str(_))) => {
                     Ok(Expr::con("Bad", [(**x).clone()]))
                 }
                 _ => {
@@ -228,10 +226,12 @@ fn encode_prim(
             let enc1 = encode(&args[1], known, locals)?;
             Ok(case_ok(enc0, v, enc1))
         }
-        PrimOp::MapExn | PrimOp::UnsafeIsException | PrimOp::UnsafeGetException => Err(EncodeError(format!(
-            "primitive '{}' has no explicit encoding",
-            op.name()
-        ))),
+        PrimOp::MapExn | PrimOp::UnsafeIsException | PrimOp::UnsafeGetException => {
+            Err(EncodeError(format!(
+                "primitive '{}' has no explicit encoding",
+                op.name()
+            )))
+        }
         PrimOp::Div | PrimOp::Mod => {
             // The checked operations must encode their own failure.
             bind_all(args, known, locals, |vs| {
@@ -244,7 +244,11 @@ fn encode_prim(
                             vec![],
                             Expr::con("Bad", [Expr::con("DivideByZero", [])]),
                         ),
-                        Alt::con("False", vec![], ok(Expr::Prim(op, vs.into_iter().map(Rc::new).collect()))),
+                        Alt::con(
+                            "False",
+                            vec![],
+                            ok(Expr::Prim(op, vs.into_iter().map(Rc::new).collect())),
+                        ),
                     ],
                 )
             })
@@ -270,9 +274,8 @@ mod tests {
         let data = DataEnv::new();
         let mut m = Machine::new(MachineConfig::default());
         let env = m.bind_recursive(&prog.binds, &MEnv::empty());
-        let e = Rc::new(
-            desugar_expr(&parse_expr_src(expr).expect("parses"), &data).expect("desugars"),
-        );
+        let e =
+            Rc::new(desugar_expr(&parse_expr_src(expr).expect("parses"), &data).expect("desugars"));
         let out = m.eval(e, &env, false).expect("no machine error");
         let rendered = match out {
             Outcome::Value(n) => m.render(n, 16),
@@ -337,7 +340,10 @@ mod tests {
     fn higher_order_code_is_rejected() {
         let prog = program("twice f x = f (f x)");
         let err = encode_program(&prog).expect_err("higher-order");
-        assert!(err.0.contains("unknown function") || err.0.contains("lambda"), "{err}");
+        assert!(
+            err.0.contains("unknown function") || err.0.contains("lambda"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -360,7 +366,9 @@ mod tests {
         let out = m
             .eval(Rc::new(encoded_query), &env, false)
             .expect("no machine error");
-        let Outcome::Value(n) = out else { panic!("{out:?}") };
+        let Outcome::Value(n) = out else {
+            panic!("{out:?}")
+        };
         assert_eq!(m.render(n, 16), "OK 5");
     }
 

@@ -331,9 +331,7 @@ pub fn classify_all() -> Vec<LawReport> {
 /// and `EXPERIMENTS.md`).
 pub fn render_table(reports: &[LawReport]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "| law | paper | imprecise (sets) | precise L→R | precise R→L | nondet |\n",
-    );
+    out.push_str("| law | paper | imprecise (sets) | precise L→R | precise R→L | nondet |\n");
     out.push_str("|---|---|---|---|---|---|\n");
     for r in reports {
         out.push_str(&format!(

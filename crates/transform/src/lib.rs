@@ -22,13 +22,13 @@ pub mod strictness;
 pub mod transforms;
 
 pub use exval::{encode_expr, encode_program, EncodeError};
-pub use pipeline::{InlineWorkSafe, OptimizeOptions, OptimizeReport, Optimizer};
 pub use laws::{classify, classify_all, render_table, standard_laws, LawInstance, LawReport};
+pub use pipeline::{InlineWorkSafe, OptimizeOptions, OptimizeReport, Optimizer};
 pub use rewrite::{apply_everywhere, apply_to_fixpoint, Transform};
 pub use strictness::{analyze_program, forces, strict_in, StrictSigs};
 pub use transforms::{
-    BetaReduce, CaseOfCase, CaseOfKnownCon, CaseOfLiteral, CollapseIdenticalAlts,
-    CommutePrimArgs, DeadLetElim, EtaReduce, InlineLet, LetToCase, StrictCallSites,
+    BetaReduce, CaseOfCase, CaseOfKnownCon, CaseOfLiteral, CollapseIdenticalAlts, CommutePrimArgs,
+    DeadLetElim, EtaReduce, InlineLet, LetToCase, StrictCallSites,
 };
 
 #[cfg(test)]
@@ -41,9 +41,7 @@ mod tests {
 
     fn core(src: &str) -> Rc<Expr> {
         let data = DataEnv::new();
-        Rc::new(
-            desugar_expr(&parse_expr_src(src).expect("parses"), &data).expect("desugars"),
-        )
+        Rc::new(desugar_expr(&parse_expr_src(src).expect("parses"), &data).expect("desugars"))
     }
 
     /// Every transformation in the catalogue, applied to a corpus of
@@ -151,10 +149,8 @@ mod tests {
         use urk_syntax::{desugar_program, parse_program};
         let mut data = DataEnv::new();
         let prog = desugar_program(
-            &parse_program(
-                "sumTo n acc = if n == 0 then acc else sumTo (n - 1) (acc + n)",
-            )
-            .expect("parses"),
+            &parse_program("sumTo n acc = if n == 0 then acc else sumTo (n - 1) (acc + n)")
+                .expect("parses"),
             &mut data,
         )
         .expect("desugars");
@@ -162,8 +158,7 @@ mod tests {
         assert_eq!(sigs[&urk_syntax::Symbol::intern("sumTo")], vec![true, true]);
 
         let e = core("let k = 3 * 4 in k + k");
-        let pred: &dyn Fn(urk_syntax::Symbol, &Expr) -> bool =
-            &|x, b| strict_in(x, b, &sigs);
+        let pred: &dyn Fn(urk_syntax::Symbol, &Expr) -> bool = &|x, b| strict_in(x, b, &sigs);
         let (cbv, n) = apply_everywhere(&LetToCase { is_strict: pred }, &e);
         assert_eq!(n, 1);
         let ev = DenotEvaluator::new(&data);

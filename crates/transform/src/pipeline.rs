@@ -24,8 +24,7 @@ use urk_syntax::{DataEnv, Symbol};
 use crate::rewrite::{apply_everywhere, Transform};
 use crate::strictness::{analyze_program, strict_in};
 use crate::transforms::{
-    BetaReduce, CaseOfCase, CaseOfKnownCon, CaseOfLiteral, DeadLetElim, LetToCase,
-    StrictCallSites,
+    BetaReduce, CaseOfCase, CaseOfKnownCon, CaseOfLiteral, DeadLetElim, LetToCase, StrictCallSites,
 };
 
 /// Work-safe let inlining: inline when the right-hand side is atomic (no
@@ -96,16 +95,9 @@ impl OptimizeReport {
 }
 
 /// The program optimizer.
+#[derive(Default)]
 pub struct Optimizer {
     pub options: OptimizeOptions,
-}
-
-impl Default for Optimizer {
-    fn default() -> Optimizer {
-        Optimizer {
-            options: OptimizeOptions::default(),
-        }
-    }
 }
 
 impl Optimizer {
@@ -205,7 +197,9 @@ impl Optimizer {
             let before = ev.eval(q, &before_env);
             let after_env = ev.bind_recursive(&out.binds, &Env::empty());
             let after = ev.eval(q, &after_env);
-            report.validation.push(compare_denots(&ev, &before, &after, 8));
+            report
+                .validation
+                .push(compare_denots(&ev, &before, &after, 8));
         }
         (out, report)
     }
@@ -229,9 +223,8 @@ mod tests {
 
     #[test]
     fn pipeline_simplifies_redexes_away() {
-        let (_, prog) = program(
-            r"f x = (\y -> y + y) (case Just x of { Just n -> n; Nothing -> 0 })",
-        );
+        let (_, prog) =
+            program(r"f x = (\y -> y + y) (case Just x of { Just n -> n; Nothing -> 0 })");
         let opt = Optimizer::new();
         let (out, report) = opt.optimize(&prog);
         assert!(report.total_rewrites() >= 2, "{:?}", report.rewrites);
@@ -329,7 +322,9 @@ mod tests {
             let r = m
                 .eval(Rc::new(Expr::var("go")), &env, false)
                 .expect("terminates");
-            let Outcome::Value(n) = r else { panic!("{r:?}") };
+            let Outcome::Value(n) = r else {
+                panic!("{r:?}")
+            };
             assert_eq!(m.render(n, 4), "144");
         }
     }

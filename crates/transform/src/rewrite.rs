@@ -43,19 +43,15 @@ fn go(t: &dyn Transform, e: &Expr, count: &mut usize) -> Expr {
     // First rebuild children, then try the root.
     let rebuilt = match e {
         Expr::Var(_) | Expr::Int(_) | Expr::Char(_) | Expr::Str(_) => e.clone(),
-        Expr::Con(c, args) => Expr::Con(
-            *c,
-            args.iter().map(|a| Rc::new(go(t, a, count))).collect(),
-        ),
-        Expr::Prim(op, args) => Expr::Prim(
-            *op,
-            args.iter().map(|a| Rc::new(go(t, a, count))).collect(),
-        ),
+        Expr::Con(c, args) => {
+            Expr::Con(*c, args.iter().map(|a| Rc::new(go(t, a, count))).collect())
+        }
+        Expr::Prim(op, args) => {
+            Expr::Prim(*op, args.iter().map(|a| Rc::new(go(t, a, count))).collect())
+        }
         Expr::App(f, x) => Expr::App(Rc::new(go(t, f, count)), Rc::new(go(t, x, count))),
         Expr::Lam(x, b) => Expr::Lam(*x, Rc::new(go(t, b, count))),
-        Expr::Let(x, r, b) => {
-            Expr::Let(*x, Rc::new(go(t, r, count)), Rc::new(go(t, b, count)))
-        }
+        Expr::Let(x, r, b) => Expr::Let(*x, Rc::new(go(t, r, count)), Rc::new(go(t, b, count))),
         Expr::LetRec(binds, b) => Expr::LetRec(
             binds
                 .iter()

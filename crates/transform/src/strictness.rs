@@ -237,9 +237,7 @@ mod tests {
     fn recursive_accumulator_is_strict() {
         // sumTo is strict in both: the base case returns acc, the
         // recursive case feeds acc into +.
-        let s = analyze(
-            "sumTo n acc = if n == 0 then acc else sumTo (n - 1) (acc + n)",
-        );
+        let s = analyze("sumTo n acc = if n == 0 then acc else sumTo (n - 1) (acc + n)");
         assert_eq!(sig(&s, "sumTo"), vec![true, true]);
     }
 
@@ -281,9 +279,7 @@ mod tests {
         // The distilled counterexample: the body demands m only under a
         // seq whose first argument always raises; forcing m early adds
         // exceptions the original never had.
-        let s = analyze(
-            "f m = seq (raise Overflow) ((if 0 < m then 0 else m) + 0)",
-        );
+        let s = analyze("f m = seq (raise Overflow) ((if 0 < m then 0 else m) + 0)");
         assert_eq!(sig(&s, "f"), vec![false]);
     }
 
@@ -304,17 +300,13 @@ mod tests {
     fn strict_in_helper_works_on_open_terms() {
         let sigs = StrictSigs::new();
         let env = DataEnv::new();
-        let e = urk_syntax::desugar_expr(
-            &urk_syntax::parse_expr_src("x + 1").expect("parses"),
-            &env,
-        )
-        .expect("desugars");
+        let e =
+            urk_syntax::desugar_expr(&urk_syntax::parse_expr_src("x + 1").expect("parses"), &env)
+                .expect("desugars");
         assert!(strict_in(Symbol::intern("x"), &e, &sigs));
-        let e2 = urk_syntax::desugar_expr(
-            &urk_syntax::parse_expr_src("Just x").expect("parses"),
-            &env,
-        )
-        .expect("desugars");
+        let e2 =
+            urk_syntax::desugar_expr(&urk_syntax::parse_expr_src("Just x").expect("parses"), &env)
+                .expect("desugars");
         assert!(!strict_in(Symbol::intern("x"), &e2, &sigs));
     }
 }

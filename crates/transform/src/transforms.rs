@@ -153,7 +153,9 @@ impl Transform for CaseOfCase {
         "case-of-case"
     }
     fn apply_root(&self, e: &Expr) -> Option<Expr> {
-        let Expr::Case(s, outer_alts) = e else { return None };
+        let Expr::Case(s, outer_alts) = e else {
+            return None;
+        };
         let Expr::Case(inner_s, inner_alts) = &**s else {
             return None;
         };
@@ -225,9 +227,9 @@ impl Transform for CollapseIdenticalAlts {
         if !first.binders.is_empty() {
             return None;
         }
-        let all_same = alts.iter().all(|a| {
-            a.binders.is_empty() && a.rhs.alpha_eq(&first.rhs)
-        });
+        let all_same = alts
+            .iter()
+            .all(|a| a.binders.is_empty() && a.rhs.alpha_eq(&first.rhs));
         // Only sound-as-refinement when the alternatives cover the normal
         // cases; require a default or treat any-match as fine (the rewrite
         // is a refinement either way: failure branches only shrink the set).
@@ -258,12 +260,14 @@ impl Transform for LetToCase<'_> {
         if r.free_vars().contains(x) {
             return None;
         }
-        if matches!(&**r, Expr::Var(_) | Expr::Int(_) | Expr::Lam(_, _) | Expr::Con(_, _)) {
+        if matches!(
+            &**r,
+            Expr::Var(_) | Expr::Int(_) | Expr::Lam(_, _) | Expr::Con(_, _)
+        ) {
             return None; // already cheap / already a value
         }
-        ((self.is_strict)(*x, b)).then(|| {
-            Expr::Case(r.clone(), vec![Alt::default_bind(*x, (**b).clone())])
-        })
+        ((self.is_strict)(*x, b))
+            .then(|| Expr::Case(r.clone(), vec![Alt::default_bind(*x, (**b).clone())]))
     }
 }
 
@@ -320,10 +324,7 @@ impl Transform for StrictCallSites<'_> {
             binds.push((v, args[i].clone()));
             new_args[i] = Rc::new(Expr::Var(v));
         }
-        let call = Expr::apps(
-            Expr::Var(*f),
-            new_args.iter().map(|a| (**a).clone()),
-        );
+        let call = Expr::apps(Expr::Var(*f), new_args.iter().map(|a| (**a).clone()));
         let out = binds.into_iter().rev().fold(call, |acc, (v, scrut)| {
             Expr::Case(scrut, vec![Alt::default_bind(v, acc)])
         });
@@ -400,12 +401,13 @@ mod tests {
 
     #[test]
     fn case_of_case_pushes_the_outer_case_in() {
-        let e = core(
-            "case (case b of { True -> False; False -> True }) of { True -> 1; False -> 2 }",
-        );
+        let e =
+            core("case (case b of { True -> False; False -> True }) of { True -> 1; False -> 2 }");
         let (out, n) = apply_everywhere(&CaseOfCase, &e);
         assert_eq!(n, 1);
-        let Expr::Case(s, alts) = &out else { panic!("{out:?}") };
+        let Expr::Case(s, alts) = &out else {
+            panic!("{out:?}")
+        };
         assert!(matches!(&**s, Expr::Var(_)));
         assert!(matches!(&*alts[0].rhs, Expr::Case(_, _)));
     }
@@ -445,7 +447,9 @@ mod tests {
         let (out, n) = apply_everywhere(&t, &e);
         assert_eq!(n, 1);
         // Shape: case (1+2) of v { _ -> f v (3+4) }
-        let Expr::Case(scrut, alts) = &out else { panic!("{out:?}") };
+        let Expr::Case(scrut, alts) = &out else {
+            panic!("{out:?}")
+        };
         assert!(matches!(&**scrut, Expr::Prim(_, _)));
         assert_eq!(alts.len(), 1);
         assert_eq!(alts[0].binders.len(), 1);
@@ -482,7 +486,9 @@ mod tests {
             &e,
         );
         assert_eq!(n, 1);
-        let Expr::Case(_, alts) = &out else { panic!("{out:?}") };
+        let Expr::Case(_, alts) = &out else {
+            panic!("{out:?}")
+        };
         assert_eq!(alts[0].con, AltCon::Default);
         assert_eq!(alts[0].binders.len(), 1);
 

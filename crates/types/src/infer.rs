@@ -62,10 +62,8 @@ pub fn infer_program(
     let mut inf = Inferencer::new(data);
     let mut out = HashMap::new();
     for group in binding_groups(&prog.binds) {
-        let binds: Vec<(Symbol, std::rc::Rc<Expr>)> = group
-            .iter()
-            .map(|&i| prog.binds[i].clone())
-            .collect();
+        let binds: Vec<(Symbol, std::rc::Rc<Expr>)> =
+            group.iter().map(|&i| prog.binds[i].clone()).collect();
         let tys = inf.infer_letrec_group(&binds)?;
         let env_fv = inf.env_free_vars();
         for (name, ty) in tys {
@@ -76,9 +74,7 @@ pub fn infer_program(
     }
     for (name, sig) in &prog.sigs {
         let Some(inferred) = out.get(name) else {
-            return Err(TypeError(format!(
-                "signature for '{name}' lacks a binding"
-            )));
+            return Err(TypeError(format!("signature for '{name}' lacks a binding")));
         };
         inf.check_signature(*name, inferred.clone(), sig)?;
     }
@@ -88,8 +84,11 @@ pub fn infer_program(
 /// Splits bindings into strongly connected components in dependency order
 /// (Tarjan's algorithm, iterative).
 fn binding_groups(binds: &[(Symbol, std::rc::Rc<Expr>)]) -> Vec<Vec<usize>> {
-    let index_of: HashMap<Symbol, usize> =
-        binds.iter().enumerate().map(|(i, (n, _))| (*n, i)).collect();
+    let index_of: HashMap<Symbol, usize> = binds
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (*n, i))
+        .collect();
     let deps: Vec<Vec<usize>> = binds
         .iter()
         .map(|(_, rhs)| {
@@ -227,9 +226,7 @@ impl<'a> Inferencer<'a> {
     fn resolve_deep(&self, t: &Type) -> Type {
         match self.resolve(t) {
             Type::Fun(a, b) => Type::fun(self.resolve_deep(&a), self.resolve_deep(&b)),
-            Type::Con(c, args) => {
-                Type::Con(c, args.iter().map(|a| self.resolve_deep(a)).collect())
-            }
+            Type::Con(c, args) => Type::Con(c, args.iter().map(|a| self.resolve_deep(a)).collect()),
             other => other,
         }
     }
@@ -287,19 +284,20 @@ impl<'a> Inferencer<'a> {
     // ------------------------------------------------------------------
 
     fn lookup(&self, name: Symbol) -> Option<&Scheme> {
-        self.scopes.iter().rev().find(|(n, _)| *n == name).map(|(_, s)| s)
+        self.scopes
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
     }
 
     fn instantiate(&mut self, s: &Scheme) -> Type {
-        let mapping: HashMap<TyVar, Type> =
-            s.vars.iter().map(|v| (*v, self.fresh())).collect();
+        let mapping: HashMap<TyVar, Type> = s.vars.iter().map(|v| (*v, self.fresh())).collect();
         fn go(t: &Type, m: &HashMap<TyVar, Type>) -> Type {
             match t {
                 Type::Var(v) => m.get(v).cloned().unwrap_or(Type::Var(*v)),
                 Type::Fun(a, b) => Type::fun(go(a, m), go(b, m)),
-                Type::Con(c, args) => {
-                    Type::Con(*c, args.iter().map(|a| go(a, m)).collect())
-                }
+                Type::Con(c, args) => Type::Con(*c, args.iter().map(|a| go(a, m)).collect()),
                 other => other.clone(),
             }
         }
@@ -359,10 +357,7 @@ impl<'a> Inferencer<'a> {
             PrimOp::Chr => T::fun(T::Int, T::Char),
             PrimOp::MapExn => {
                 let a = self.fresh();
-                T::fun(
-                    T::fun(T::exception(), T::exception()),
-                    T::fun(a.clone(), a),
-                )
+                T::fun(T::fun(T::exception(), T::exception()), T::fun(a.clone(), a))
             }
             PrimOp::UnsafeIsException => {
                 let a = self.fresh();
@@ -378,11 +373,8 @@ impl<'a> Inferencer<'a> {
     /// The result and field types for a data constructor, freshly
     /// instantiated.
     fn con_types(&mut self, info: &ConInfo) -> (Type, Vec<Type>) {
-        let mapping: HashMap<Symbol, Type> = info
-            .ty_params
-            .iter()
-            .map(|p| (*p, self.fresh()))
-            .collect();
+        let mapping: HashMap<Symbol, Type> =
+            info.ty_params.iter().map(|p| (*p, self.fresh())).collect();
         let args = info
             .arg_types
             .iter()
@@ -629,9 +621,7 @@ impl<'a> Inferencer<'a> {
                         .ok_or_else(|| TypeError(format!("unknown constructor '{c}'")))?
                         .clone();
                     if info.io_primitive {
-                        return Err(TypeError(
-                            "IO values cannot be scrutinised by case".into(),
-                        ));
+                        return Err(TypeError("IO values cannot be scrutinised by case".into()));
                     }
                     let (result, fields) = self.con_types(&info);
                     self.unify(&tscrut, &result)?;

@@ -132,11 +132,7 @@ impl fmt::Display for Type {
 
 fn collect_order(t: &Type, order: &mut Vec<TyVar>) {
     match t {
-        Type::Var(v) => {
-            if !order.contains(v) {
-                order.push(*v);
-            }
-        }
+        Type::Var(v) if !order.contains(v) => order.push(*v),
         Type::Fun(a, b) => {
             collect_order(a, order);
             collect_order(b, order);

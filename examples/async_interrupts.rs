@@ -67,10 +67,8 @@ main = do
     let data = DataEnv::new();
     let expr = Rc::new(
         desugar_expr(
-            &parse_expr_src(
-                "let f = \\n -> if n == 0 then 42 else f (n - 1) in f 300000",
-            )
-            .expect("parses"),
+            &parse_expr_src("let f = \\n -> if n == 0 then 42 else f (n - 1) in f 300000")
+                .expect("parses"),
             &data,
         )
         .expect("desugars"),
@@ -98,9 +96,8 @@ main = do
     println!();
     println!("== 5. Contrast: synchronous exceptions DO poison (§3.3) ============");
     let data2 = DataEnv::new();
-    let boom = Rc::new(
-        desugar_expr(&parse_expr_src("1/0").expect("parses"), &data2).expect("desugars"),
-    );
+    let boom =
+        Rc::new(desugar_expr(&parse_expr_src("1/0").expect("parses"), &data2).expect("desugars"));
     let mut m2 = Machine::new(MachineConfig::default());
     let t = m2.alloc_thunk(boom, MEnv::empty());
     let first = m2.eval_node(t, true).expect("no machine error");

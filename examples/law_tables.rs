@@ -69,7 +69,10 @@ fn main() {
     assert_eq!(cbv.imprecise, Verdict::Equal);
     assert_eq!(cbv.precise_l2r, Verdict::Incomparable);
 
-    let valid = reports.iter().filter(|r| r.imprecise.is_valid_rewrite()).count();
+    let valid = reports
+        .iter()
+        .filter(|r| r.imprecise.is_valid_rewrite())
+        .count();
     println!();
     println!(
         "{valid}/{} laws are valid rewrites under the imprecise semantics;",

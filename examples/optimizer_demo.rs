@@ -57,16 +57,23 @@ fn main() -> Result<(), urk::Error> {
     // optimiser must preserve (or refine) their exception sets too.
     let report = session.optimize_validated(&[
         "crunch 5 0",
-        "mean []",          // division by zero: Bad {DivideByZero}
+        "mean []", // division by zero: Bad {DivideByZero}
         "variance [1, 1]",
     ])?;
-    println!("  rewrites    : {} (size {} -> {})",
-        report.total_rewrites(), report.size_before, report.size_after);
+    println!(
+        "  rewrites    : {} (size {} -> {})",
+        report.total_rewrites(),
+        report.size_before,
+        report.size_after
+    );
     for (pass, n) in &report.rewrites {
         println!("    {n:4}  {pass}");
     }
-    println!("  validation  : {:?} -> all identity-or-refinement: {}",
-        report.validation, report.validated());
+    println!(
+        "  validation  : {:?} -> all identity-or-refinement: {}",
+        report.validation,
+        report.validated()
+    );
     assert!(report.validated());
 
     println!();
@@ -79,8 +86,8 @@ fn main() -> Result<(), urk::Error> {
     );
     assert_eq!(before.rendered, after.rendered);
 
-    let saved = 100.0 * (1.0 - after.stats.thunk_updates as f64
-        / before.stats.thunk_updates.max(1) as f64);
+    let saved =
+        100.0 * (1.0 - after.stats.thunk_updates as f64 / before.stats.thunk_updates.max(1) as f64);
     println!();
     println!(
         "thunk updates down {saved:.0}% — the §3.4 'crucial transformation', \

@@ -15,7 +15,10 @@ fn main() -> Result<(), urk::Error> {
     let mut session = Session::new();
 
     println!("== Ordinary lazy evaluation =========================================");
-    println!("  sum [1 .. 100]        = {}", session.eval("sum [1 .. 100]")?.rendered);
+    println!(
+        "  sum [1 .. 100]        = {}",
+        session.eval("sum [1 .. 100]")?.rendered
+    );
     println!(
         "  take 5 (iterate (*2)) = {}",
         session.eval(r"take 5 (iterate (\x -> x * 2) 1)")?.rendered

@@ -13,7 +13,7 @@
 //! §2 asks from disaster-recovery handlers: "one part of a system can
 //! protect itself against failure in another part of the system".
 
-use urk::{Session, SemIoResult};
+use urk::{SemIoResult, Session};
 
 /// One worksheet: named cells with Urk formulas.
 struct Sheet {
@@ -48,7 +48,10 @@ fn main() -> Result<(), urk::Error> {
             // Q3 sold zero units: this divides by zero.
             ("pricePerUnitQ3", "revenueQ3 / unitsQ3"),
             // Depends on a failing cell — still fails, lazily.
-            ("bestPrice", "max pricePerUnitQ1 (max pricePerUnitQ2 pricePerUnitQ3)"),
+            (
+                "bestPrice",
+                "max pricePerUnitQ1 (max pricePerUnitQ2 pricePerUnitQ3)",
+            ),
             // Depends only on healthy cells — unaffected.
             ("avgPrice", "totalRevenue / totalUnits"),
             // An explicit business rule.

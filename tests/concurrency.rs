@@ -91,7 +91,10 @@ main = do
     let out = s.run_main_concurrent("").expect("runs");
     // Both threads must report the same member (poisoning).
     let o = out.trace.output();
-    assert!(o == "mDtD" || o == "tDmD" || o == "mUtU" || o == "tUmU", "{o}");
+    assert!(
+        o == "mDtD" || o == "tDmD" || o == "mUtU" || o == "tUmU",
+        "{o}"
+    );
 }
 
 #[test]
@@ -158,17 +161,17 @@ fn mvar_types_check() {
     assert_eq!(s.type_of("newMVar 3").expect("types"), "IO (MVar Int)");
     assert_eq!(s.type_of("newEmptyMVar").expect("types"), "IO (MVar a)");
     assert_eq!(
-        s.type_of(r"newMVar 'x' >>= \m -> takeMVar m").expect("types"),
+        s.type_of(r"newMVar 'x' >>= \m -> takeMVar m")
+            .expect("types"),
         "IO Char"
     );
     assert_eq!(
-        s.type_of(r"newEmptyMVar >>= \m -> putMVar m 5").expect("types"),
+        s.type_of(r"newEmptyMVar >>= \m -> putMVar m 5")
+            .expect("types"),
         "IO Unit"
     );
     // putMVar must match the cell's element type.
-    assert!(s
-        .type_of(r"newMVar 'x' >>= \m -> putMVar m 5")
-        .is_err());
+    assert!(s.type_of(r"newMVar 'x' >>= \m -> putMVar m 5").is_err());
 }
 
 #[test]
@@ -228,7 +231,8 @@ fn take_blocks_until_another_thread_puts() {
 #[test]
 fn blocked_forever_is_reported_like_ghc() {
     let mut s = Session::new();
-    s.load("main = newEmptyMVar >>= \\m -> takeMVar m").expect("loads");
+    s.load("main = newEmptyMVar >>= \\m -> takeMVar m")
+        .expect("loads");
     let out = s.run_main_concurrent("").expect("runs");
     assert!(matches!(
         out.main,
@@ -384,7 +388,8 @@ fn throw_to_wakes_a_blocked_thread() {
     .expect("loads");
     let out = s.run_main_concurrent("").expect("runs");
     assert_eq!(out.trace.output(), "main done");
-    assert!(out.threads.iter().any(|(tid, r)| {
-        *tid == 1 && matches!(r, ThreadResult::Uncaught(Exception::Timeout))
-    }));
+    assert!(out
+        .threads
+        .iter()
+        .any(|(tid, r)| { *tid == 1 && matches!(r, ThreadResult::Uncaught(Exception::Timeout)) }));
 }

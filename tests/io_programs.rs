@@ -96,7 +96,10 @@ fn exceptional_io_action_value_is_uncaught_when_performed() {
     s.load(r#"main = if 1 / 0 > 0 then putChar 'a' else putChar 'b'"#)
         .expect("loads");
     let out = s.run_main("").expect("runs");
-    assert!(matches!(out.result, IoResult::Uncaught(Exception::DivideByZero)));
+    assert!(matches!(
+        out.result,
+        IoResult::Uncaught(Exception::DivideByZero)
+    ));
     // Semantic runner: the uncaught set contains DivideByZero.
     let sem = s.run_main_semantic("", 3).expect("runs");
     let SemIoResult::Uncaught(set) = sem.result else {
@@ -121,7 +124,12 @@ fn machine_trace_is_one_of_the_semantic_traces() {
     .expect("loads");
     let machine_trace = s.run_main("").expect("runs").trace.to_string();
     let semantic: BTreeSet<String> = (0..32)
-        .map(|seed| s.run_main_semantic("", seed).expect("runs").trace.to_string())
+        .map(|seed| {
+            s.run_main_semantic("", seed)
+                .expect("runs")
+                .trace
+                .to_string()
+        })
         .collect();
     assert!(
         semantic.contains(&machine_trace),

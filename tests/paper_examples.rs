@@ -80,7 +80,12 @@ fn zipwith_three_shapes_of_exceptional_result() {
 fn seq_forces_structures_per_section_3_2() {
     let s = session();
     // The spine constructor shields the exception...
-    assert_eq!(s.eval("seq (zipWith (/) [1] [0]) 5").expect("evals").rendered, "5");
+    assert_eq!(
+        s.eval("seq (zipWith (/) [1] [0]) 5")
+            .expect("evals")
+            .rendered,
+        "5"
+    );
     // ...until forceList flushes it out.
     assert_eq!(
         s.eval("seq (forceList (zipWith (/) [1] [0])) 5")
@@ -133,7 +138,7 @@ fn representative_changes_with_policy_but_stays_in_the_set() {
         seen.push(e);
     }
     assert!(
-        seen.iter().any(|e| *e == Exception::DivideByZero)
+        seen.contains(&Exception::DivideByZero)
             && seen.iter().any(|e| matches!(e, Exception::UserError(_))),
         "both representatives should be observable across policies: {seen:?}"
     );
@@ -206,7 +211,8 @@ fn pair_case_switching_denotes_the_same_set() {
 #[test]
 fn uncaught_exception_from_main_is_reported() {
     let mut s = session();
-    s.load(r#"main = putStr (showInt (head []))"#).expect("loads");
+    s.load(r#"main = putStr (showInt (head []))"#)
+        .expect("loads");
     let out = s.run_main("").expect("runs");
     assert!(matches!(
         out.result,

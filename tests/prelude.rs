@@ -65,7 +65,9 @@ fn prelude_types_are_the_expected_schemes() {
     ];
     for (name, expected) in cases {
         assert_eq!(
-            session.type_of_binding(name).unwrap_or_else(|| panic!("{name} unbound")),
+            session
+                .type_of_binding(name)
+                .unwrap_or_else(|| panic!("{name} unbound")),
             expected,
             "type of {name}"
         );
@@ -76,16 +78,34 @@ fn prelude_types_are_the_expected_schemes() {
 fn list_functions_behave() {
     let session = s();
     assert_eq!(eval(&session, "length [1, 2, 3]"), "3");
-    assert_eq!(eval(&session, "append [1] [2, 3]"), "Cons 1 (Cons 2 (Cons 3 Nil))");
-    assert_eq!(eval(&session, "reverse [1, 2, 3]"), "Cons 3 (Cons 2 (Cons 1 Nil))");
-    assert_eq!(eval(&session, "concat [[1], [], [2, 3]]"), "Cons 1 (Cons 2 (Cons 3 Nil))");
+    assert_eq!(
+        eval(&session, "append [1] [2, 3]"),
+        "Cons 1 (Cons 2 (Cons 3 Nil))"
+    );
+    assert_eq!(
+        eval(&session, "reverse [1, 2, 3]"),
+        "Cons 3 (Cons 2 (Cons 1 Nil))"
+    );
+    assert_eq!(
+        eval(&session, "concat [[1], [], [2, 3]]"),
+        "Cons 1 (Cons 2 (Cons 3 Nil))"
+    );
     assert_eq!(eval(&session, "take 2 [9, 8, 7]"), "Cons 9 (Cons 8 Nil)");
     assert_eq!(eval(&session, "drop 2 [9, 8, 7]"), "Cons 7 Nil");
-    assert_eq!(eval(&session, "replicate 3 'x'"), "Cons 'x' (Cons 'x' (Cons 'x' Nil))");
-    assert_eq!(eval(&session, "filter even [1 .. 6]"), "Cons 2 (Cons 4 (Cons 6 Nil))");
+    assert_eq!(
+        eval(&session, "replicate 3 'x'"),
+        "Cons 'x' (Cons 'x' (Cons 'x' Nil))"
+    );
+    assert_eq!(
+        eval(&session, "filter even [1 .. 6]"),
+        "Cons 2 (Cons 4 (Cons 6 Nil))"
+    );
     assert_eq!(eval(&session, "elem 3 [1 .. 5]"), "True");
     assert_eq!(eval(&session, "elem 9 [1 .. 5]"), "False");
-    assert_eq!(eval(&session, "sort [3, 1, 2, 1]"), "Cons 1 (Cons 1 (Cons 2 (Cons 3 Nil)))");
+    assert_eq!(
+        eval(&session, "sort [3, 1, 2, 1]"),
+        "Cons 1 (Cons 1 (Cons 2 (Cons 3 Nil)))"
+    );
     assert_eq!(eval(&session, "sum [1 .. 100]"), "5050");
     assert_eq!(eval(&session, "product [1 .. 5]"), "120");
     assert_eq!(eval(&session, "null []"), "True");
@@ -97,11 +117,16 @@ fn folds_and_higher_order() {
     let session = s();
     assert_eq!(eval(&session, r"foldr (\a b -> a + b) 0 [1, 2, 3]"), "6");
     assert_eq!(eval(&session, r"foldl (\a b -> a - b) 10 [1, 2, 3]"), "4");
-    assert_eq!(eval(&session, r"map (flip (-) 1) [5, 6]"), "Cons 4 (Cons 5 Nil)");
+    assert_eq!(
+        eval(&session, r"map (flip (-) 1) [5, 6]"),
+        "Cons 4 (Cons 5 Nil)"
+    );
     assert_eq!(eval(&session, r"all even [2, 4]"), "True");
     assert_eq!(eval(&session, r"any odd [2, 4]"), "False");
-    assert_eq!(eval(&session, r"concatMap (\x -> [x, x]) [1, 2]"),
-        "Cons 1 (Cons 1 (Cons 2 (Cons 2 Nil)))");
+    assert_eq!(
+        eval(&session, r"concatMap (\x -> [x, x]) [1, 2]"),
+        "Cons 1 (Cons 1 (Cons 2 (Cons 2 Nil)))"
+    );
     assert_eq!(eval(&session, r"(id . const 3) 9"), "3");
 }
 
@@ -114,15 +139,20 @@ fn maybe_and_pairs() {
     assert_eq!(eval(&session, "fromMaybe 0 Nothing"), "0");
     assert_eq!(eval(&session, r"maybe 0 (\x -> x + 1) (Just 5)"), "6");
     assert_eq!(eval(&session, "fst (1, 2) + snd (3, 4)"), "5");
-    assert_eq!(eval(&session, "zip [1, 2] ['a', 'b']"),
-        "Cons (Pair 1 'a') (Cons (Pair 2 'b') Nil)");
+    assert_eq!(
+        eval(&session, "zip [1, 2] ['a', 'b']"),
+        "Cons (Pair 1 'a') (Cons (Pair 2 'b') Nil)"
+    );
 }
 
 #[test]
 fn laziness_in_the_prelude() {
     let session = s();
     // Infinite structures, finite demands.
-    assert_eq!(eval(&session, "take 3 (repeat 1)"), "Cons 1 (Cons 1 (Cons 1 Nil))");
+    assert_eq!(
+        eval(&session, "take 3 (repeat 1)"),
+        "Cons 1 (Cons 1 (Cons 1 Nil))"
+    );
     assert_eq!(eval(&session, r"head (iterate (\x -> x + 1) 0)"), "0");
     // const discards a diverging-ish argument.
     assert_eq!(eval(&session, "const 5 (error \"never\")"), "5");
@@ -135,9 +165,15 @@ fn exceptions_flow_through_prelude_functions() {
     let session = s();
     // head/tail of [] raise PatternMatchFail (the paper's §2 example).
     let out = session.eval("head []").expect("evals");
-    assert!(matches!(out.exception, Some(Exception::PatternMatchFail(_))));
+    assert!(matches!(
+        out.exception,
+        Some(Exception::PatternMatchFail(_))
+    ));
     let out = session.eval("tail []").expect("evals");
-    assert!(matches!(out.exception, Some(Exception::PatternMatchFail(_))));
+    assert!(matches!(
+        out.exception,
+        Some(Exception::PatternMatchFail(_))
+    ));
     // sum forces everything: a buried division blows up the total.
     let out = session.eval("sum [1, 1/0, 3]").expect("evals");
     assert_eq!(out.exception, Some(Exception::DivideByZero));
@@ -167,5 +203,8 @@ fn prelude_survives_the_optimizer() {
     assert_eq!(eval(&session, "sort [2, 1]"), "Cons 1 (Cons 2 Nil)");
     assert_eq!(eval(&session, "take 2 (repeat 0)"), "Cons 0 (Cons 0 Nil)");
     let out = session.eval("head []").expect("evals");
-    assert!(matches!(out.exception, Some(Exception::PatternMatchFail(_))));
+    assert!(matches!(
+        out.exception,
+        Some(Exception::PatternMatchFail(_))
+    ));
 }

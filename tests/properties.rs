@@ -16,9 +16,7 @@ use std::rc::Rc;
 
 use proptest::prelude::*;
 
-use urk_denot::{
-    compare_denots, denot_leq, show_denot, Denot, DenotConfig, DenotEvaluator,
-};
+use urk_denot::{compare_denots, denot_leq, show_denot, Denot, DenotConfig, DenotEvaluator};
 use urk_machine::{MEnv, Machine, MachineConfig, OrderPolicy, Outcome};
 use urk_syntax::core::{Alt, Expr, PrimOp};
 use urk_syntax::{desugar_expr, parse_expr_src, pretty, DataEnv, Symbol};

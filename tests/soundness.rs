@@ -60,10 +60,7 @@ const CORPUS: &[&str] = &[
 
 fn fst_is_case(src: &str) -> String {
     // `fst` is Prelude; rewrite the corpus entry inline.
-    src.replace(
-        "fst (1, 1/0)",
-        "case (1, 1/0) of { (a, b) -> a }",
-    )
+    src.replace("fst (1, 1/0)", "case (1, 1/0) of { (a, b) -> a }")
 }
 
 #[test]
@@ -71,9 +68,8 @@ fn machine_agrees_with_the_denotational_semantics_on_the_corpus() {
     for raw in CORPUS {
         let src = fst_is_case(raw);
         let data = DataEnv::new();
-        let core = Rc::new(
-            desugar_expr(&parse_expr_src(&src).expect("parses"), &data).expect("desugars"),
-        );
+        let core =
+            Rc::new(desugar_expr(&parse_expr_src(&src).expect("parses"), &data).expect("desugars"));
 
         // Denotational result.
         let ev = DenotEvaluator::new(&data);
@@ -123,9 +119,8 @@ fn order_policies_never_change_normal_results() {
     for raw in CORPUS {
         let src = fst_is_case(raw);
         let data = DataEnv::new();
-        let core = Rc::new(
-            desugar_expr(&parse_expr_src(&src).expect("parses"), &data).expect("desugars"),
-        );
+        let core =
+            Rc::new(desugar_expr(&parse_expr_src(&src).expect("parses"), &data).expect("desugars"));
         let mut renders = Vec::new();
         for policy in [
             OrderPolicy::LeftToRight,
@@ -154,9 +149,8 @@ fn order_policies_never_change_normal_results() {
 fn machine_representative_is_deterministic_per_policy() {
     let src = r#"(1/0) + (raise Overflow + raise (UserError "Urk"))"#;
     let data = DataEnv::new();
-    let core = Rc::new(
-        desugar_expr(&parse_expr_src(src).expect("parses"), &data).expect("desugars"),
-    );
+    let core =
+        Rc::new(desugar_expr(&parse_expr_src(src).expect("parses"), &data).expect("desugars"));
     let run = |policy| {
         let mut m = Machine::new(MachineConfig {
             order: policy,
@@ -167,7 +161,11 @@ fn machine_representative_is_deterministic_per_policy() {
             other => panic!("{other:?}"),
         }
     };
-    for policy in [OrderPolicy::LeftToRight, OrderPolicy::RightToLeft, OrderPolicy::Seeded(5)] {
+    for policy in [
+        OrderPolicy::LeftToRight,
+        OrderPolicy::RightToLeft,
+        OrderPolicy::Seeded(5),
+    ] {
         assert_eq!(run(policy), run(policy), "same policy, same representative");
     }
 }
@@ -179,9 +177,8 @@ fn denotation_is_invariant_under_the_machine_policy_knob() {
     // machine representative under both orders must be in the one set.
     let src = r#"(raise Overflow + 1) * (1 + raise (UserError "Urk"))"#;
     let data = DataEnv::new();
-    let core = Rc::new(
-        desugar_expr(&parse_expr_src(src).expect("parses"), &data).expect("desugars"),
-    );
+    let core =
+        Rc::new(desugar_expr(&parse_expr_src(src).expect("parses"), &data).expect("desugars"));
     let ev = DenotEvaluator::new(&data);
     let Denot::Bad(set) = ev.eval_closed(&core) else {
         panic!("exceptional")
@@ -208,9 +205,8 @@ fn env_binding_shapes_agree_between_layers() {
         &mut data,
     )
     .expect("desugars");
-    let query = Rc::new(
-        desugar_expr(&parse_expr_src("quad 4").expect("parses"), &data).expect("desugars"),
-    );
+    let query =
+        Rc::new(desugar_expr(&parse_expr_src("quad 4").expect("parses"), &data).expect("desugars"));
 
     let ev = DenotEvaluator::new(&data);
     let denv = ev.bind_recursive(&prog.binds, &Env::empty());

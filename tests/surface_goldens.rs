@@ -61,7 +61,9 @@ fn sections_compose_in_pipelines() {
         "Cons 9 (Cons 8 (Cons 7 Nil))"
     );
     assert_eq!(
-        s.eval(r"foldr (.) id [(+ 1), (* 2)] 5").expect("evals").rendered,
+        s.eval(r"foldr (.) id [(+ 1), (* 2)] 5")
+            .expect("evals")
+            .rendered,
         "11"
     );
 }
@@ -106,10 +108,7 @@ fn deeply_nested_data_and_patterns() {
 flatten (Node v kids) = v : concatMap flatten kids
 total t = sum (flatten t)"#;
     assert_eq!(
-        eval_program(
-            prog,
-            "total (Node 1 [Node 2 [], Node 3 [Node 4 []]])"
-        ),
+        eval_program(prog, "total (Node 1 [Node 2 [], Node 3 [Node 4 []]])"),
         "10"
     );
 }
@@ -138,7 +137,10 @@ countVowels s n i = if i == n then 0 else 0"#;
     assert_eq!(eval_program(prog, "isVowel 'e'"), "True");
     assert_eq!(eval_program(prog, "isVowel 'z'"), "False");
     assert_eq!(
-        eval_program(prog, "length (filter isVowel ['h', 'a', 's', 'k', 'e', 'l', 'l'])"),
+        eval_program(
+            prog,
+            "length (filter isVowel ['h', 'a', 's', 'k', 'e', 'l', 'l'])"
+        ),
         "2"
     );
 }

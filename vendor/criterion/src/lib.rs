@@ -1,0 +1,278 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of Criterion's API its benches use:
+//! benchmark groups with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each bench warms up for the configured warm-up
+//! time, then runs `sample_size` samples, each sized so one sample takes
+//! roughly `measurement_time / sample_size`. The harness reports the
+//! median, min, and max per-iteration time on stdout in a stable
+//! `bench: <group>/<name> ... median <t>` format that
+//! `scripts`/`EXPERIMENTS.md` can scrape. When invoked with `--test`
+//! (as `cargo test` does for bench targets), every bench body runs
+//! exactly once so the suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a bench name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The per-bench timing driver handed to bench closures.
+pub struct Bencher {
+    /// Number of iterations to run per measured sample.
+    iters_per_sample: u64,
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    /// Collected per-iteration times (nanoseconds), one per sample.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs the routine, timing it as configured.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: also discovers how many iterations fit in a sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let sample_budget = self.measurement.as_secs_f64() / self.samples as f64;
+        self.iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.results
+                .push(elapsed * 1e9 / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn fmt_time(nanos: f64) -> String {
+    if nanos < 1e3 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1e6 {
+        format!("{:.2} µs", nanos / 1e3)
+    } else if nanos < 1e9 {
+        format!("{:.2} ms", nanos / 1e6)
+    } else {
+        format!("{:.3} s", nanos / 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into_id(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            test_mode: self.criterion.test_mode,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.test_mode {
+            println!("bench: {full} ... ok (test mode, 1 iteration)");
+            return;
+        }
+        let mut r = b.results;
+        r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = r[r.len() / 2];
+        let (min, max) = (r[0], r[r.len() - 1]);
+        println!(
+            "bench: {full} ... median {} (min {}, max {}, {} samples x {} iters)",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(max),
+            r.len(),
+            b.iters_per_sample,
+        );
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo test` runs harness-less bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Only the former changes behaviour.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.benchmark_group(id.clone()).bench_function("", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn group_runs_quickly_in_test_mode() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of proptest's API its property tests use:
+//! the [`strategy::Strategy`] combinators (`prop_map`, `prop_flat_map`,
+//! `boxed`), `Just`, ranges and tuples as strategies, `prop_oneof!` with
+//! optional weights, [`sample::select`], [`bool::ANY`],
+//! [`collection::btree_set`], simple `"[a-c]{1,3}"`-style string
+//! strategies, and the [`proptest!`] / [`prop_assert!`] macro family.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic**: every test function derives its case seeds from a
+//!   stable hash of its own name, so runs are reproducible and CI-stable.
+//!   On failure the full `Debug` rendering of every generated input is
+//!   printed (upstream would shrink first; we print the unshrunk case).
+//! * **No shrinking / no persistence**: `*.proptest-regressions` files are
+//!   kept for provenance, and the failure cases they describe are pinned
+//!   as explicit unit tests instead of being replayed from seeds.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy selecting one element of a fixed, non-empty vector.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Selects a uniformly random element of `options`.
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len())].clone()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy for an unbiased `bool`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy for `BTreeSet`s with sizes drawn from a range.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates a `BTreeSet` by drawing `size` elements (duplicates
+    /// collapse, as in upstream proptest).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = self.size.end - self.size.start;
+            let n = self.size.start + if span == 0 { 0 } else { rng.below(span) };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with its inputs printed) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(lhs == rhs, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs != rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Builds a weighted union of strategies. Entries are either `strategy`
+/// (weight 1) or `weight => strategy` with a literal weight.
+#[macro_export]
+macro_rules! prop_oneof {
+    (@munch ($vec:ident)) => {};
+    (@munch ($vec:ident) $w:literal => $s:expr) => {
+        $vec.push(($w as u32, $crate::strategy::Strategy::boxed($s)));
+    };
+    (@munch ($vec:ident) $w:literal => $s:expr, $($rest:tt)*) => {
+        $crate::prop_oneof!(@munch ($vec) $w => $s);
+        $crate::prop_oneof!(@munch ($vec) $($rest)*);
+    };
+    (@munch ($vec:ident) $s:expr) => {
+        $vec.push((1u32, $crate::strategy::Strategy::boxed($s)));
+    };
+    (@munch ($vec:ident) $s:expr, $($rest:tt)*) => {
+        $crate::prop_oneof!(@munch ($vec) $s);
+        $crate::prop_oneof!(@munch ($vec) $($rest)*);
+    };
+    ($($entries:tt)+) => {{
+        let mut entries = ::std::vec::Vec::new();
+        $crate::prop_oneof!(@munch (entries) $($entries)+);
+        $crate::strategy::Union::new(entries)
+    }};
+}
+
+/// Defines property tests. Each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)) => {};
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let __config: $crate::test_runner::Config = $cfg;
+            // Build each strategy once; names shadow to the generated
+            // values inside the loop.
+            $(let $arg = $crate::strategy::Strategy::boxed($strat);)+
+            let __seed = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::new(__seed, __case as u64);
+                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)+
+                let __inputs: ::std::vec::Vec<(&'static str, ::std::string::String)> =
+                    vec![$((stringify!($arg), format!("{:#?}", &$arg))),+];
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    )) {
+                        ::std::result::Result::Ok(r) => r,
+                        ::std::result::Result::Err(payload) => ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::from_panic(payload),
+                        ),
+                    };
+                if let ::std::result::Result::Err(e) = __outcome {
+                    $crate::test_runner::report_failure(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                        &e,
+                        &__inputs,
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}

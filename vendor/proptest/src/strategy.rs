@@ -1,0 +1,328 @@
+//! The [`Strategy`] trait and combinators: how test inputs are generated.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test values. Unlike upstream proptest there is no value
+/// tree or shrinking; a strategy simply produces a value from the RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing function.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A weighted union of strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    entries: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(entries: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!entries.is_empty(), "prop_oneof! needs at least one entry");
+        let total = entries.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        Union { entries, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as usize) as u64;
+        for (w, s) in &self.entries {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String strategies from a small regex-like pattern language: literal
+/// characters, `[a-cxy]` character classes, and `{n}` / `{m,n}` repetition
+/// suffixes. `"[a-c]{1,3}"` yields 1–3 chars drawn from {a, b, c}.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    Lit(char),
+    Class(Vec<char>),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let mut out = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = if c == '[' {
+            let mut set = Vec::new();
+            let mut prev: Option<char> = None;
+            while let Some(d) = chars.next() {
+                if d == ']' {
+                    break;
+                }
+                if d == '-' {
+                    // Range: previous char up to the next one.
+                    if let (Some(lo), Some(&hi)) = (prev, chars.peek()) {
+                        chars.next();
+                        let mut x = lo;
+                        while x < hi {
+                            x = char::from_u32(x as u32 + 1).expect("char range");
+                            set.push(x);
+                        }
+                        prev = None;
+                        continue;
+                    }
+                }
+                set.push(d);
+                prev = Some(d);
+            }
+            assert!(!set.is_empty(), "empty character class in pattern");
+            Atom::Class(set)
+        } else {
+            Atom::Lit(c)
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition lower bound"),
+                    n.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push((atom, min, max));
+    }
+    out
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, min, max) in parse_pattern(pattern) {
+        let n = min
+            + if max > min {
+                rng.below(max - min + 1)
+            } else {
+                0
+            };
+        for _ in 0..n {
+            match &atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.below(set.len())]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(0xfeed, 1)
+    }
+
+    #[test]
+    fn just_yields_the_value() {
+        assert_eq!(Just(42).generate(&mut rng()), 42);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let x = (3i64..10).generate(&mut r);
+            assert!((3..10).contains(&x));
+            let y = (0usize..4).generate(&mut r);
+            assert!(y < 4);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (0i64..5).prop_map(|n| n * 2).prop_flat_map(|n| Just(n + 1));
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v % 2 == 1 && (1..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut r = rng();
+        let s = Union::new(vec![(1, Just(0).boxed()), (9, Just(1).boxed())]);
+        let ones: usize = (0..1000).map(|_| s.generate(&mut r) as usize).sum();
+        assert!(ones > 800, "expected ~900 ones, got {ones}");
+    }
+
+    #[test]
+    fn char_class_patterns_generate_within_the_class() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-c]{1,3}".generate(&mut r);
+            assert!((1..=3).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn literal_patterns_pass_through() {
+        assert_eq!("abc".generate(&mut rng()), "abc");
+    }
+}

@@ -1,0 +1,135 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use std::any::Any;
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// How many cases to generate and run per property.
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// A failed test case (not a panic of the whole test binary — the runner
+/// attaches the generated inputs before panicking).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError(msg)
+    }
+
+    /// Converts a caught panic payload into a case failure.
+    pub fn from_panic(payload: Box<dyn Any + Send>) -> TestCaseError {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "test body panicked".to_string()
+        };
+        TestCaseError(format!("panic: {msg}"))
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// FNV-1a over a test's full path: the per-test base seed.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A small deterministic RNG (splitmix64 stream seeded per case).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG for case `case` of the test with base seed `seed`.
+    pub fn new(seed: u64, case: u64) -> TestRng {
+        TestRng {
+            state: seed ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+/// Panics with a readable report of the failing case and its inputs.
+pub fn report_failure(
+    test: &str,
+    case: u32,
+    error: &TestCaseError,
+    inputs: &[(&'static str, String)],
+) -> ! {
+    let mut msg = format!("property {test} failed at case #{case}: {error}\n");
+    for (name, value) in inputs {
+        msg.push_str(&format!("  {name} = {value}\n"));
+    }
+    msg.push_str("(deterministic runner: re-running the test reproduces this case)");
+    panic!("{msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::new(fnv1a("x"), 3);
+        let mut b = TestRng::new(fnv1a("x"), 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::new(fnv1a("x"), 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = TestRng::new(1, 1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn panic_payloads_become_case_errors() {
+        let e = TestCaseError::from_panic(Box::new("boom"));
+        assert!(e.0.contains("boom"));
+        let e = TestCaseError::from_panic(Box::new(String::from("bang")));
+        assert!(e.0.contains("bang"));
+    }
+}
