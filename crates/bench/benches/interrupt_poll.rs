@@ -1,0 +1,67 @@
+//! Interrupt-poll overhead: the wall-clock cancellation hook must be free
+//! when nothing fires.
+//!
+//! Three configurations per workload:
+//!
+//! * `baseline`  — the machine's private (never-armed) handle;
+//! * `external`  — an externally attached `InterruptHandle` shared with a
+//!   (never-firing) watchdog, i.e. the supervised-evaluation setup;
+//! * `idle-chaos` — an armed but *empty* fault plan, so the per-step chaos
+//!   bookkeeping runs with nothing to deliver.
+//!
+//! Expected shape: all three within noise of each other — the per-step cost
+//! is one relaxed atomic load (plus cursor checks for `idle-chaos`), and no
+//! configuration allocates per step (asserted by
+//! `crates/bench/tests/poll_overhead.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urk_bench::{compile, run, workloads};
+use urk_machine::{FaultPlan, InterruptHandle, MachineConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interrupt_poll");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+
+    for w in workloads() {
+        if w.name != "fib" && w.name != "primes" {
+            continue;
+        }
+        let compiled = compile(&w);
+
+        group.bench_with_input(BenchmarkId::new("baseline", w.name), &compiled, |b, c| {
+            b.iter(|| run(c, MachineConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("external", w.name), &compiled, |b, c| {
+            b.iter(|| {
+                run(
+                    c,
+                    MachineConfig {
+                        interrupt: Some(InterruptHandle::new()),
+                        ..MachineConfig::default()
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("idle-chaos", w.name), &compiled, |b, c| {
+            b.iter(|| {
+                run(
+                    c,
+                    MachineConfig {
+                        chaos: Some(FaultPlan {
+                            horizon: u64::MAX,
+                            ..FaultPlan::default()
+                        }),
+                        ..MachineConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,12 +11,14 @@
 //! urk program.urk --input "abc"        # feed input without stdin
 //! urk program.urk --semantic --seed 7  # perform main under the §4.4 LTS
 //! urk program.urk --optimize --dump-core  # show the optimised core
+//! urk --expr "f 9" --timeout-ms 500    # cancel at a wall-clock deadline
+//! urk --expr "f 9" --chaos 42          # differential fault injection
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use urk::{IoResult, OrderPolicy, SemIoResult, Session};
+use urk::{Exception, IoResult, OrderPolicy, SemIoResult, Session, Supervisor};
 
 struct Args {
     file: Option<String>,
@@ -32,13 +34,20 @@ struct Args {
     concurrent: bool,
     seed: u64,
     trace: bool,
+    max_steps: Option<u64>,
+    max_heap: Option<usize>,
+    max_stack: Option<usize>,
+    timeout_ms: Option<u64>,
+    chaos: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: urk [FILE.urk] [--expr E | --type E | --denot E]\n\
          \x20          [--order l|r|s[:SEED]] [--optimize] [--input STR]\n\
-         \x20          [--semantic|--concurrent] [--seed N] [--trace] [--dump-core] [--stats]"
+         \x20          [--semantic|--concurrent] [--seed N] [--trace] [--dump-core] [--stats]\n\
+         \x20          [--max-steps N] [--max-heap N] [--max-stack N]\n\
+         \x20          [--timeout-ms N] [--chaos SEED]"
     );
     std::process::exit(2)
 }
@@ -58,10 +67,23 @@ fn parse_args() -> Args {
         concurrent: false,
         seed: 0,
         trace: false,
+        max_steps: None,
+        max_heap: None,
+        max_stack: None,
+        timeout_ms: None,
+        chaos: None,
     };
+    fn num<T: std::str::FromStr>(v: Option<String>) -> T {
+        v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+    }
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--max-steps" => out.max_steps = Some(num(args.next())),
+            "--max-heap" => out.max_heap = Some(num(args.next())),
+            "--max-stack" => out.max_stack = Some(num(args.next())),
+            "--timeout-ms" => out.timeout_ms = Some(num(args.next())),
+            "--chaos" => out.chaos = Some(num(args.next())),
             "--expr" => out.expr = Some(args.next().unwrap_or_else(|| usage())),
             "--type" => out.type_of = Some(args.next().unwrap_or_else(|| usage())),
             "--denot" => out.denot = Some(args.next().unwrap_or_else(|| usage())),
@@ -105,6 +127,15 @@ fn main() -> ExitCode {
     let args = parse_args();
     let mut session = Session::new();
     session.options.machine.order = args.order;
+    if let Some(n) = args.max_steps {
+        session.options.machine.max_steps = n;
+    }
+    if let Some(n) = args.max_heap {
+        session.options.machine.max_heap = n;
+    }
+    if let Some(n) = args.max_stack {
+        session.options.machine.max_stack = n;
+    }
 
     if let Some(path) = &args.file {
         let src = match std::fs::read_to_string(path) {
@@ -168,7 +199,61 @@ fn main() -> ExitCode {
         };
     }
 
+    if let Some(seed) = args.chaos {
+        let Some(e) = &args.expr else {
+            eprintln!("urk: --chaos needs --expr");
+            return ExitCode::FAILURE;
+        };
+        return match session.chaos_check(e, seed) {
+            Ok(r) => {
+                println!(
+                    "chaos seed {}: outcome {}  oracle {}",
+                    r.plan.seed, r.outcome, r.oracle
+                );
+                println!(
+                    "  injections: {:?}  forced-gc: {:?}  heap-budget: {:?}  faults fired: {}",
+                    r.plan.injections, r.plan.force_gc_at, r.plan.heap_budget, r.faults_fired
+                );
+                println!(
+                    "  sound: {}  heap-consistent: {}  re-eval agrees: {}",
+                    r.sound, r.heap_consistent, r.reeval_ok
+                );
+                if r.passed() {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("urk: chaos invariant violated (seed {seed})");
+                    ExitCode::FAILURE
+                }
+            }
+            Err(err) => {
+                eprintln!("urk: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if let Some(e) = &args.expr {
+        // Under a wall-clock deadline, evaluate supervised: a watchdog
+        // delivers Timeout through the machine's interrupt handle.
+        if let Some(ms) = args.timeout_ms {
+            return match session.eval_supervised(e, &Supervisor::with_deadline(ms)) {
+                Ok(sup) => {
+                    println!("{}", sup.result.rendered);
+                    if sup.timed_out {
+                        eprintln!("urk: cancelled at the {ms}ms deadline");
+                    }
+                    if sup.result.exception.is_some() {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(err) => {
+                    eprintln!("urk: {err}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         return match session.eval(e) {
             Ok(r) => {
                 println!("{}", r.rendered);
@@ -207,6 +292,18 @@ fn main() -> ExitCode {
             buf
         }
     };
+
+    // For IO actions the deadline is a detached watchdog arming the
+    // machine's interrupt handle: past it, `main` observes an asynchronous
+    // Timeout (uncaught unless the program runs under getException).
+    if let Some(ms) = args.timeout_ms {
+        let handle = urk::InterruptHandle::new();
+        session.options.machine.interrupt = Some(handle.clone());
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            handle.deliver(Exception::Timeout);
+        });
+    }
 
     if args.concurrent {
         return match session.run_main_concurrent(&input) {

@@ -13,8 +13,14 @@ pub enum Error {
     Data(urk_syntax::DataEnvError),
     /// Type inference or signature checking failed.
     Type(urk_types::TypeError),
-    /// The machine hit a hard limit.
-    Machine(urk_machine::MachineError),
+    /// The machine hit a hard limit (or panicked under supervision). The
+    /// stats gathered up to the abort are carried along when available, so
+    /// an aborted run is diagnosable (how many steps/allocations it burned
+    /// before dying).
+    Machine {
+        error: urk_machine::MachineError,
+        stats: Option<Box<urk_machine::Stats>>,
+    },
     /// A name was defined twice across loads.
     DuplicateDefinition(String),
     /// `main` (or another required binding) is missing.
@@ -28,7 +34,17 @@ impl fmt::Display for Error {
             Error::Desugar(e) => e.fmt(f),
             Error::Data(e) => e.fmt(f),
             Error::Type(e) => e.fmt(f),
-            Error::Machine(e) => e.fmt(f),
+            Error::Machine { error, stats } => {
+                error.fmt(f)?;
+                if let Some(s) = stats {
+                    write!(
+                        f,
+                        " (after {} steps, {} allocations)",
+                        s.steps, s.allocations
+                    )?;
+                }
+                Ok(())
+            }
             Error::DuplicateDefinition(n) => write!(f, "duplicate definition of '{n}'"),
             Error::MissingBinding(n) => write!(f, "no definition of '{n}'"),
         }
@@ -59,6 +75,9 @@ impl From<urk_types::TypeError> for Error {
 }
 impl From<urk_machine::MachineError> for Error {
     fn from(e: urk_machine::MachineError) -> Error {
-        Error::Machine(e)
+        Error::Machine {
+            error: e,
+            stats: None,
+        }
     }
 }

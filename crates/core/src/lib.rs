@@ -54,14 +54,19 @@
 
 pub mod error;
 pub mod session;
+pub mod supervise;
 
 pub use error::Error;
 pub use session::{EvalResult, Options, Session};
+pub use supervise::{SupervisedResult, Supervisor};
 
 // The vocabulary users need, re-exported.
 pub use urk_denot::{Denot, DenotConfig, ExnSet, Verdict};
+pub use urk_io::ChaosReport;
 pub use urk_io::{Event, IoResult, RunOutcome, SemIoResult, SemRunOutcome, Trace};
-pub use urk_machine::{BlackholeMode, MachineConfig, OrderPolicy, Stats};
+pub use urk_machine::{
+    BlackholeMode, FaultPlan, InterruptHandle, MachineConfig, MachineError, OrderPolicy, Stats,
+};
 pub use urk_syntax::Exception;
 pub use urk_transform::{classify_all, render_table, LawReport};
 

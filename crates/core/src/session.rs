@@ -184,7 +184,17 @@ impl Session {
     pub fn eval(&self, src: &str) -> Result<EvalResult, Error> {
         let e = self.compile_expr(src)?;
         let (mut m, env) = self.machine();
-        let out = m.eval(e, &env, false)?;
+        // An aborted run still burned steps and allocations; carry the
+        // counters into the error so hitting a limit is diagnosable.
+        let out = match m.eval(e, &env, false) {
+            Ok(out) => out,
+            Err(error) => {
+                return Err(Error::Machine {
+                    error,
+                    stats: Some(Box::new(m.stats().clone())),
+                })
+            }
+        };
         Ok(match out {
             Outcome::Value(n) => EvalResult {
                 rendered: m.render(n, 32),
@@ -232,6 +242,27 @@ impl Session {
             Denot::Ok(_) => Ok(None),
             Denot::Bad(s) => Ok(Some(s)),
         }
+    }
+
+    /// Runs the differential chaos check on an expression: a seeded
+    /// [`urk_io::chaos`] fault plan is injected into a machine evaluation
+    /// and the outcome is verified against the denotational oracle (see
+    /// the module docs for the two invariants). The session's machine and
+    /// denot options are used as the baseline configuration.
+    ///
+    /// # Errors
+    ///
+    /// Front-end errors.
+    pub fn chaos_check(&self, src: &str, seed: u64) -> Result<urk_io::ChaosReport, Error> {
+        let e = self.compile_expr(src)?;
+        Ok(urk_io::chaos_run(
+            &self.data,
+            &self.program.binds,
+            &e,
+            &self.options.machine,
+            self.options.denot.fuel,
+            seed,
+        ))
     }
 
     /// Performs `main` on the machine with the given input.

@@ -1,0 +1,239 @@
+//! Supervised evaluation: deadlines, budgets, panic isolation, retry.
+//!
+//! A [`Supervisor`] describes the envelope one request is allowed to
+//! consume; [`Session::eval_supervised`] runs an expression inside it:
+//!
+//! * **wall-clock deadline** — a watchdog thread arms the machine's
+//!   [`InterruptHandle`] with `Timeout` when the deadline passes, so a
+//!   runaway evaluation is cancelled asynchronously (§5.1: the trim
+//!   restores in-flight thunks; nothing is corrupted, and the exception is
+//!   observed as `Caught(Timeout)` like any other);
+//! * **resource budgets** — per-request step/heap/stack caps overriding
+//!   the session defaults;
+//! * **panic isolation** — an internal machine panic (a bug, not a user
+//!   condition) is caught with `catch_unwind`, converted into
+//!   [`MachineError::Internal`], and the poisoned machine is discarded;
+//!   the session itself is untouched and stays usable;
+//! * **retry with escalation** — a request killed by `HeapOverflow` or
+//!   `StackOverflow` is retried (boundedly) with multiplied budgets before
+//!   the failure is reported, since "the budget was too small" and "the
+//!   program is a hog" look identical on the first attempt.
+//!
+//! Every attempt runs on a *fresh* machine, so a failed attempt cannot
+//! leak poisoned thunks or a half-trimmed heap into the next one.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use urk_machine::{InterruptHandle, MEnv, Machine, MachineConfig, MachineError, Outcome};
+use urk_syntax::Exception;
+
+use crate::error::Error;
+use crate::session::{EvalResult, Session};
+
+/// The envelope one supervised request may consume.
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    /// Wall-clock deadline; past it a watchdog delivers `Timeout`.
+    pub deadline: Option<Duration>,
+    /// Per-request step cap (overrides the session's machine config).
+    pub max_steps: Option<u64>,
+    /// Per-request heap cap in nodes.
+    pub max_heap: Option<usize>,
+    /// Per-request stack cap in frames.
+    pub max_stack: Option<usize>,
+    /// How many times a `HeapOverflow`/`StackOverflow` death is retried
+    /// with escalated budgets before being reported.
+    pub retries: u32,
+    /// Budget multiplier per escalation.
+    pub growth: u32,
+}
+
+impl Default for Supervisor {
+    fn default() -> Supervisor {
+        Supervisor {
+            deadline: None,
+            max_steps: None,
+            max_heap: None,
+            max_stack: None,
+            retries: 1,
+            growth: 4,
+        }
+    }
+}
+
+impl Supervisor {
+    /// The default envelope: session budgets, no deadline, one retry.
+    pub fn new() -> Supervisor {
+        Supervisor::default()
+    }
+
+    /// An envelope with just a wall-clock deadline.
+    pub fn with_deadline(ms: u64) -> Supervisor {
+        Supervisor {
+            deadline: Some(Duration::from_millis(ms)),
+            ..Supervisor::default()
+        }
+    }
+}
+
+/// What a supervised evaluation produced, plus how hard it had to work.
+#[derive(Clone, Debug)]
+pub struct SupervisedResult {
+    /// The evaluation result (a `Timeout` cancellation appears here as the
+    /// caught exception, rendered `(raise Timeout)`).
+    pub result: EvalResult,
+    /// Attempts consumed (1 = no retry was needed).
+    pub attempts: u32,
+    /// True if the watchdog's `Timeout` ended the final attempt.
+    pub timed_out: bool,
+}
+
+impl Session {
+    /// Evaluates an expression under a [`Supervisor`]: wall-clock deadline,
+    /// per-request budgets, panic isolation, bounded retry. Evaluation
+    /// happens under a catch mark, so cancellations and budget deaths are
+    /// observed as caught exceptions rather than aborts.
+    ///
+    /// # Errors
+    ///
+    /// Front-end errors; [`Error::Machine`] with
+    /// [`MachineError::Internal`] if the machine panicked (the session
+    /// remains usable), or with the underlying error if a hard limit was
+    /// hit on the final attempt.
+    pub fn eval_supervised(
+        &self,
+        src: &str,
+        supervisor: &Supervisor,
+    ) -> Result<SupervisedResult, Error> {
+        let expr = self.compile_expr(src)?;
+        let mut cfg = self.options.machine.clone();
+        if let Some(s) = supervisor.max_steps {
+            cfg.max_steps = s;
+        }
+        if let Some(h) = supervisor.max_heap {
+            cfg.max_heap = h;
+        }
+        if let Some(s) = supervisor.max_stack {
+            cfg.max_stack = s;
+        }
+
+        let growth = u64::from(supervisor.growth.max(1));
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+
+            let handle = InterruptHandle::new();
+            let run_cfg = MachineConfig {
+                interrupt: Some(handle.clone()),
+                ..cfg.clone()
+            };
+
+            // The watchdog: sleeps in short slices so it both fires close
+            // to the deadline and exits promptly when the request finishes
+            // first (`done` flips before the join).
+            let done = Arc::new(AtomicBool::new(false));
+            let watchdog = supervisor.deadline.map(|d| {
+                let done = Arc::clone(&done);
+                let handle = handle.clone();
+                std::thread::spawn(move || {
+                    let deadline = Instant::now() + d;
+                    while !done.load(Ordering::Relaxed) {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            handle.deliver(Exception::Timeout);
+                            return;
+                        }
+                        std::thread::sleep((deadline - now).min(Duration::from_millis(1)));
+                    }
+                })
+            });
+
+            // One attempt on a fresh machine, panic-isolated. The machine
+            // is moved out so stats and rendering survive the unwind guard.
+            let binds = &self.program().binds;
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let mut m = Machine::new(run_cfg);
+                let env = m.bind_recursive(binds, &MEnv::empty());
+                let out = m.eval(expr.clone(), &env, true);
+                (m, out)
+            }));
+
+            done.store(true, Ordering::Relaxed);
+            if let Some(t) = watchdog {
+                let _ = t.join();
+            }
+
+            let (mut m, out) = match attempt {
+                Ok(pair) => pair,
+                Err(panic) => {
+                    // The machine died of a bug; discard it, keep the
+                    // session.
+                    return Err(Error::Machine {
+                        error: MachineError::Internal(panic_message(&panic)),
+                        stats: None,
+                    });
+                }
+            };
+            let out = match out {
+                Ok(out) => out,
+                Err(error) => {
+                    return Err(Error::Machine {
+                        error,
+                        stats: Some(Box::new(m.stats().clone())),
+                    });
+                }
+            };
+
+            let exception = match &out {
+                Outcome::Caught(e) | Outcome::Uncaught(e) => Some(e.clone()),
+                Outcome::Value(_) => None,
+            };
+
+            // Escalate resource deaths: grow the budgets and go again on a
+            // fresh machine.
+            if matches!(
+                exception,
+                Some(Exception::HeapOverflow | Exception::StackOverflow)
+            ) && attempts <= supervisor.retries
+            {
+                cfg.max_heap = cfg.max_heap.saturating_mul(growth as usize);
+                cfg.max_stack = cfg.max_stack.saturating_mul(growth as usize);
+                continue;
+            }
+
+            let timed_out =
+                matches!(exception, Some(Exception::Timeout)) && m.stats().async_injected > 0;
+            let result = match out {
+                Outcome::Value(n) => EvalResult {
+                    rendered: m.render(n, 32),
+                    exception: None,
+                    stats: m.stats().clone(),
+                },
+                Outcome::Caught(exn) | Outcome::Uncaught(exn) => EvalResult {
+                    rendered: format!("(raise {exn})"),
+                    exception: Some(exn),
+                    stats: m.stats().clone(),
+                },
+            };
+            return Ok(SupervisedResult {
+                result,
+                attempts,
+                timed_out,
+            });
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,258 @@
+//! The differential chaos driver: §5.1's robustness claim, checked.
+//!
+//! The claim: delivering an asynchronous exception at *any* machine step can
+//! only add members to the set of behaviours the denotational semantics
+//! already allows. A [`chaos_run`] makes that executable for one seed:
+//!
+//! 1. evaluate the query **denotationally** (the oracle — no faults exist
+//!    at this level; an expression simply *has* an exception set);
+//! 2. run the machine once undisturbed to learn the episode's step count,
+//!    and derive a [`FaultPlan`] whose faults land inside it;
+//! 3. run a fresh machine under the plan and check **soundness under
+//!    faults**: a caught exception must be a member of the denotational set
+//!    ∪ the plan's injectable asynchrony, and a normal value must render
+//!    exactly as the oracle says;
+//! 4. check **heap consistency**: [`urk_machine::Machine::audit_heap`]
+//!    must find no stranded black holes — every thunk interrupted by the
+//!    trim was restored (§5.1) or poisoned (§3.3);
+//! 5. disarm the plan and **re-evaluate on the same machine**: the answer
+//!    must agree with the oracle again (restored thunks resume; poisoned
+//!    thunks re-raise members of the set), and the heap must still audit
+//!    clean.
+//!
+//! Any failing seed reproduces exactly, because every fault in the plan is
+//! derived from the seed.
+
+use std::rc::Rc;
+
+use urk_denot::{show_denot, Denot, DenotConfig, DenotEvaluator, Env};
+use urk_machine::{FaultPlan, MEnv, Machine, MachineConfig, Outcome};
+use urk_syntax::core::Expr;
+use urk_syntax::{DataEnv, Symbol};
+
+/// The verdict of one fault-injected differential run.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// The plan that was executed (carries its seed).
+    pub plan: FaultPlan,
+    /// Human-readable description of the fault-injected run's outcome.
+    pub outcome: String,
+    /// The oracle's rendering of the denotation.
+    pub oracle: String,
+    /// Invariant (a): the observed behaviour is a member of the
+    /// denotational set ∪ the plan's injectable asynchrony.
+    pub sound: bool,
+    /// Invariant (b): zero stranded black holes and a coherent free list,
+    /// both right after the fault-injected episode and after re-evaluation.
+    pub heap_consistent: bool,
+    /// The same machine, chaos disarmed, agrees with the oracle again.
+    pub reeval_ok: bool,
+    /// Asynchronous deliveries + forced collections actually performed.
+    pub faults_fired: u64,
+}
+
+impl ChaosReport {
+    /// True if every invariant held.
+    pub fn passed(&self) -> bool {
+        self.sound && self.heap_consistent && self.reeval_ok
+    }
+}
+
+/// Runs the full differential check for one seed. The fault plan's horizon
+/// is calibrated from an undisturbed baseline run, so the faults land
+/// mid-evaluation rather than after the answer is already computed.
+pub fn chaos_run(
+    data: &DataEnv,
+    binds: &[(Symbol, Rc<Expr>)],
+    query: &Rc<Expr>,
+    base: &MachineConfig,
+    denot_fuel: u64,
+    seed: u64,
+) -> ChaosReport {
+    let horizon = baseline_steps(binds, query, base);
+    let plan = FaultPlan::generate(seed, horizon);
+    chaos_run_with_plan(data, binds, query, base, denot_fuel, plan)
+}
+
+/// As [`chaos_run`], but with a caller-supplied plan — used by the tests
+/// that arm `sabotage_async_restore` to prove the audit catches a broken
+/// restore, and usable to replay a hand-written fault schedule.
+pub fn chaos_run_with_plan(
+    data: &DataEnv,
+    binds: &[(Symbol, Rc<Expr>)],
+    query: &Rc<Expr>,
+    base: &MachineConfig,
+    denot_fuel: u64,
+    plan: FaultPlan,
+) -> ChaosReport {
+    // The oracle: faults do not exist at this level. The depth guard is
+    // raised above the default so moderately deep recursion (the kind the
+    // chaos corpus uses to give faults room to land) doesn't bottom out —
+    // but kept low enough for a 2 MiB test-thread stack.
+    let ev = DenotEvaluator::with_config(
+        data,
+        DenotConfig {
+            fuel: denot_fuel,
+            max_depth: 2_000,
+            ..DenotConfig::default()
+        },
+    );
+    let denv = ev.bind_recursive(binds, &Env::empty());
+    let denot = ev.eval(query, &denv);
+    let oracle = show_denot(&ev, &denot, 16);
+
+    // The fault-injected run.
+    let mut m = Machine::new(MachineConfig {
+        chaos: Some(plan.clone()),
+        ..base.clone()
+    });
+    let menv = m.bind_recursive(binds, &MEnv::empty());
+    let chaos_out = m.eval(query.clone(), &menv, true);
+    let faults_fired = m.stats().async_injected + m.stats().forced_gcs;
+
+    let (outcome, sound) = match &chaos_out {
+        Ok(Outcome::Value(n)) => {
+            // Rendering forces lazy fields; keep the plan out of it.
+            m.disarm_chaos();
+            let rendered = m.render(*n, 16);
+            let ok = match &denot {
+                Denot::Ok(_) => renders_agree(&rendered, &oracle),
+                Denot::Bad(_) => false,
+            };
+            (rendered, ok)
+        }
+        Ok(Outcome::Caught(e)) => {
+            let in_set = matches!(&denot, Denot::Bad(set) if set.contains(e));
+            (format!("Caught({e})"), in_set || plan.allows(e))
+        }
+        Ok(Outcome::Uncaught(e)) => (format!("Uncaught({e})"), false),
+        Err(err) => (format!("machine error: {err}"), false),
+    };
+
+    // Invariant (b): the machine must be reusable — no black hole survived
+    // the trim, and the allocator's books balance.
+    let first_audit = m.audit_heap();
+
+    // Same machine, faults disarmed: must agree with the oracle again.
+    m.disarm_chaos();
+    let reeval_ok = match m.eval(query.clone(), &menv, true) {
+        Ok(Outcome::Value(n)) => {
+            let rendered = m.render(n, 16);
+            matches!(&denot, Denot::Ok(_)) && renders_agree(&rendered, &oracle)
+        }
+        Ok(Outcome::Caught(e)) => matches!(&denot, Denot::Bad(set) if set.contains(&e)),
+        _ => false,
+    };
+    let heap_consistent = first_audit.is_consistent() && m.audit_heap().is_consistent();
+
+    ChaosReport {
+        plan,
+        outcome,
+        oracle,
+        sound,
+        heap_consistent,
+        reeval_ok,
+        faults_fired,
+    }
+}
+
+/// Step count of one undisturbed episode, for calibrating the horizon.
+/// Falls back to whatever was spent if the baseline itself hits a limit.
+fn baseline_steps(binds: &[(Symbol, Rc<Expr>)], query: &Rc<Expr>, base: &MachineConfig) -> u64 {
+    let mut m = Machine::new(base.clone());
+    let menv = m.bind_recursive(binds, &MEnv::empty());
+    let _ = m.eval(query.clone(), &menv, true);
+    m.stats().steps
+}
+
+/// Machine and oracle spell buried exceptional fields differently
+/// (`raise {...}` vs `Bad {...}`); compare spines only in that case, full
+/// renderings otherwise — the same normalization the soundness suite uses.
+fn renders_agree(machine: &str, denot: &str) -> bool {
+    if denot.contains("Bad {") {
+        machine.split_whitespace().next() == denot.split_whitespace().next()
+    } else {
+        machine == denot.replace("(Bad {", "(raise {")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urk_syntax::{desugar_expr, parse_expr_src, Exception};
+
+    fn core_of(data: &DataEnv, src: &str) -> Rc<Expr> {
+        Rc::new(desugar_expr(&parse_expr_src(src).expect("parses"), data).expect("desugars"))
+    }
+
+    #[test]
+    fn clean_plan_reproduces_the_oracle_exactly() {
+        let data = DataEnv::new();
+        let query = core_of(
+            &data,
+            "let f = \\n -> if n == 0 then 0 else n + f (n - 1) in f 50",
+        );
+        let plan = FaultPlan {
+            horizon: 64,
+            ..FaultPlan::default()
+        };
+        let r = chaos_run_with_plan(&data, &[], &query, &MachineConfig::default(), 200_000, plan);
+        assert!(r.passed(), "{r:?}");
+        assert_eq!(r.outcome, "1275");
+        assert_eq!(r.oracle, "1275");
+    }
+
+    #[test]
+    fn injected_interrupt_is_allowed_and_the_machine_recovers() {
+        let data = DataEnv::new();
+        let query = core_of(
+            &data,
+            "let f = \\n -> if n == 0 then 0 else n + f (n - 1) in f 200",
+        );
+        let plan = FaultPlan {
+            horizon: 10_000,
+            injections: vec![(100, Exception::Interrupt)],
+            ..FaultPlan::default()
+        };
+        let r = chaos_run_with_plan(&data, &[], &query, &MachineConfig::default(), 400_000, plan);
+        assert!(r.passed(), "{r:?}");
+        assert_eq!(r.outcome, "Caught(Interrupt)");
+        assert!(r.faults_fired >= 1);
+    }
+
+    #[test]
+    fn seeded_runs_hold_both_invariants() {
+        let data = DataEnv::new();
+        let query = core_of(
+            &data,
+            "let f = \\n -> if n == 0 then 1 else n * f (n - 1) in f 12",
+        );
+        for seed in 0..16 {
+            let r = chaos_run(&data, &[], &query, &MachineConfig::default(), 400_000, seed);
+            assert!(r.passed(), "seed {seed}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn sabotaged_restore_is_caught_by_the_audit() {
+        let data = DataEnv::new();
+        // The outer `s + 1` forces the thunk `s`, so an update frame for it
+        // is on the stack for the whole inner loop — the injected interrupt
+        // trims past it, and the sabotaged restore strands the black hole.
+        let query = core_of(
+            &data,
+            "let s = (let g = \\n -> if n == 0 then 0 else n + g (n - 1) in g 300) in s + 1",
+        );
+        let plan = FaultPlan {
+            horizon: 50_000,
+            injections: vec![(200, Exception::Interrupt)],
+            sabotage_async_restore: true,
+            ..FaultPlan::default()
+        };
+        let r = chaos_run_with_plan(&data, &[], &query, &MachineConfig::default(), 400_000, plan);
+        assert!(
+            !r.heap_consistent,
+            "a deliberately-broken restore must fail the audit: {r:?}"
+        );
+    }
+}

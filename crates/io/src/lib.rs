@@ -16,12 +16,14 @@
 //! non-determinism lives in the IO layer, and the machine's behaviour is
 //! one of the semantic runner's possible behaviours.
 
+pub mod chaos;
 pub mod concurrent;
 pub mod denot_run;
 pub mod machine_run;
 pub mod oracle;
 pub mod trace;
 
+pub use chaos::{chaos_run, chaos_run_with_plan, ChaosReport};
 pub use concurrent::{run_concurrent, ConcurrentOutcome, ThreadResult};
 pub use denot_run::{run_denot, AsyncSchedule, SemIoResult, SemRunOutcome};
 pub use machine_run::{run_machine, run_machine_node, IoResult, RunOutcome};

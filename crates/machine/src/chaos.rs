@@ -1,0 +1,226 @@
+//! Chaos fault injection for the machine (§5.1 made adversarial).
+//!
+//! The paper's key robustness property: injecting an asynchronous exception
+//! at *any* point can only add members to the set of behaviours the
+//! semantics already allows — it never manufactures a wrong value, and every
+//! in-flight thunk is restored resumably by the §5.1 trim. A [`FaultPlan`]
+//! turns that claim into a machine-checkable invariant by seeding a run
+//! with adversarial faults:
+//!
+//! * **asynchronous exceptions** (`Interrupt`/`Timeout`) at pseudo-random
+//!   step points;
+//! * **forced collections** at arbitrary moments, so GC races every phase
+//!   of evaluation (mid-trim, mid-update, mid-application);
+//! * **a shrinking heap budget**: past a step threshold the live-node cap
+//!   drops, so allocation fails (`HeapOverflow`) at moments the program
+//!   never chose.
+//!
+//! After such a run the differential driver (`urk-io::chaos`) checks the
+//! two invariants: the observed exception is a member of the denotational
+//! exception set ∪ the plan's injectable asynchrony (*soundness under
+//! faults*), and [`crate::Machine::audit_heap`] finds no stranded black
+//! holes (*heap consistency* — the machine is reusable for the next
+//! request).
+//!
+//! Every fault the plan can produce is derived deterministically from the
+//! seed, so a failing seed is a reproducible bug report.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use urk_syntax::Exception;
+
+/// A seeded, deterministic schedule of faults for one machine lifetime.
+///
+/// Steps are machine step counts (cumulative across episodes, like
+/// [`crate::MachineConfig::event_schedule`]). All fault activity stops at
+/// `horizon`, so a machine that outlives its plan returns to normal
+/// behaviour — which is what lets the driver re-evaluate on the same
+/// machine and still compare against the oracle.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The seed everything below was derived from (kept for reporting).
+    pub seed: u64,
+    /// No fault fires at or after this step.
+    pub horizon: u64,
+    /// Asynchronous exceptions delivered at these steps (sorted).
+    pub injections: Vec<(u64, Exception)>,
+    /// Full collections forced at these steps (sorted).
+    pub force_gc_at: Vec<u64>,
+    /// Shrinking live-heap caps: entry `(step, cap)` applies from `step`
+    /// until the next entry (or the horizon). Sorted by step, caps
+    /// non-increasing. Exceeding the active cap delivers `HeapOverflow`.
+    pub heap_budget: Vec<(u64, usize)>,
+    /// Test-only sabotage: skip the §5.1 restore when an asynchronous trim
+    /// passes an update frame, deliberately stranding black holes. Exists
+    /// so the heap audit can be shown to *fail* when the restore invariant
+    /// is actually violated; never set outside tests.
+    #[doc(hidden)]
+    pub sabotage_async_restore: bool,
+}
+
+impl FaultPlan {
+    /// Derives a fault plan from a seed. `horizon` should be on the order
+    /// of the undisturbed run's step count so the faults actually land
+    /// mid-evaluation (the differential driver measures a baseline run
+    /// first and passes its step count here).
+    pub fn generate(seed: u64, horizon: u64) -> FaultPlan {
+        let horizon = horizon.max(64);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let step = |rng: &mut SmallRng| rng.gen_range(1..horizon);
+
+        let n_inject = rng.gen_range(0..4u32);
+        let mut injections: Vec<(u64, Exception)> = (0..n_inject)
+            .map(|_| {
+                let e = if rng.gen_bool(0.5) {
+                    Exception::Interrupt
+                } else {
+                    Exception::Timeout
+                };
+                (step(&mut rng), e)
+            })
+            .collect();
+        injections.sort_by_key(|(at, _)| *at);
+
+        let n_gc = rng.gen_range(0..3u32);
+        let mut force_gc_at: Vec<u64> = (0..n_gc).map(|_| step(&mut rng)).collect();
+        force_gc_at.sort_unstable();
+
+        // A shrinking budget in roughly half the plans: one to three caps,
+        // each tighter than the last. The floor keeps the interned pool and
+        // a small top-level program representable, so the fault is "your
+        // allocation failed", not "the machine cannot exist".
+        let mut heap_budget = Vec::new();
+        if rng.gen_bool(0.5) {
+            let mut cap = rng.gen_range(2_048..16_384usize);
+            let mut steps: Vec<u64> = (0..rng.gen_range(1..4u32))
+                .map(|_| step(&mut rng))
+                .collect();
+            steps.sort_unstable();
+            for at in steps {
+                heap_budget.push((at, cap));
+                cap = (cap / 2).max(768);
+            }
+        }
+
+        FaultPlan {
+            seed,
+            horizon,
+            injections,
+            force_gc_at,
+            heap_budget,
+            sabotage_async_restore: false,
+        }
+    }
+
+    /// True if this plan could have delivered `e`: the soundness invariant
+    /// under faults is `observed ∈ denotational set ∪ {e : plan.allows(e)}`.
+    pub fn allows(&self, e: &Exception) -> bool {
+        self.injections.iter().any(|(_, i)| i == e)
+            || (!self.heap_budget.is_empty() && *e == Exception::HeapOverflow)
+    }
+
+    /// Every asynchronous exception this plan can deliver (for reports).
+    pub fn injectable(&self) -> Vec<Exception> {
+        let mut out: Vec<Exception> = self.injections.iter().map(|(_, e)| e.clone()).collect();
+        if !self.heap_budget.is_empty() {
+            out.push(Exception::HeapOverflow);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// True if the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty() && self.force_gc_at.is_empty() && self.heap_budget.is_empty()
+    }
+}
+
+/// The machine's progress through a plan (cursors into the sorted lists,
+/// plus the currently active heap cap).
+#[derive(Clone, Debug)]
+pub(crate) struct ChaosState {
+    pub(crate) plan: FaultPlan,
+    pub(crate) next_injection: usize,
+    pub(crate) next_gc: usize,
+    pub(crate) next_budget: usize,
+    pub(crate) active_cap: Option<usize>,
+}
+
+impl ChaosState {
+    pub(crate) fn new(plan: FaultPlan) -> ChaosState {
+        ChaosState {
+            plan,
+            next_injection: 0,
+            next_gc: 0,
+            next_budget: 0,
+            active_cap: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for seed in 0..32 {
+            let a = FaultPlan::generate(seed, 10_000);
+            let b = FaultPlan::generate(seed, 10_000);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+
+    #[test]
+    fn plans_vary_across_seeds_and_stay_in_the_horizon() {
+        let mut shapes = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            let p = FaultPlan::generate(seed, 5_000);
+            shapes.insert(format!("{p:?}"));
+            for (at, e) in &p.injections {
+                assert!(*at < p.horizon);
+                assert!(e.is_asynchronous());
+            }
+            for at in &p.force_gc_at {
+                assert!(*at < p.horizon);
+            }
+            assert!(
+                p.heap_budget.windows(2).all(|w| w[0].0 <= w[1].0),
+                "budget steps sorted"
+            );
+            assert!(
+                p.heap_budget.windows(2).all(|w| w[0].1 >= w[1].1),
+                "budget caps shrink"
+            );
+        }
+        assert!(shapes.len() > 32, "seeds should produce distinct plans");
+    }
+
+    #[test]
+    fn allows_covers_injections_and_budget_overflow() {
+        let p = FaultPlan {
+            seed: 0,
+            horizon: 100,
+            injections: vec![(10, Exception::Interrupt)],
+            force_gc_at: vec![],
+            heap_budget: vec![(50, 1_000)],
+            sabotage_async_restore: false,
+        };
+        assert!(p.allows(&Exception::Interrupt));
+        assert!(p.allows(&Exception::HeapOverflow));
+        assert!(!p.allows(&Exception::Timeout));
+        assert!(!p.allows(&Exception::DivideByZero));
+        assert_eq!(
+            p.injectable(),
+            vec![Exception::Interrupt, Exception::HeapOverflow]
+        );
+    }
+
+    #[test]
+    fn tiny_horizons_are_clamped() {
+        let p = FaultPlan::generate(1, 0);
+        assert!(p.horizon >= 64);
+    }
+}

@@ -147,6 +147,78 @@ impl Heap {
             _ => None,
         }
     }
+
+    /// Audits the heap's structural invariants (see [`HeapAudit`]).
+    ///
+    /// Only meaningful *between* evaluation episodes: mid-episode black
+    /// holes are the normal marker for thunks under evaluation, and a run
+    /// abandoned by `Err(StepLimit)` legitimately strands them. After a
+    /// completed episode — including one trimmed by an asynchronous
+    /// exception — every black hole must have been updated, poisoned, or
+    /// restored (§5.1), so `blackholes` must be zero.
+    pub fn audit(&self) -> HeapAudit {
+        let mut blackholes = 0usize;
+        let mut free_nodes = 0usize;
+        for node in &self.nodes {
+            match node {
+                Node::Blackhole { .. } => blackholes += 1,
+                Node::Free { .. } => free_nodes += 1,
+                _ => {}
+            }
+        }
+        // Walk the free list with a cycle guard: a corrupted list must
+        // surface as an inconsistency, not an infinite loop.
+        let mut free_list_len = 0usize;
+        let mut cursor = self.free;
+        while let Some(id) = cursor {
+            free_list_len += 1;
+            if free_list_len > self.nodes.len() {
+                break;
+            }
+            cursor = match self.get(id) {
+                Node::Free { next } => *next,
+                _ => break,
+            };
+        }
+        HeapAudit {
+            blackholes,
+            free_nodes,
+            free_list_len,
+            live_count: self.live,
+            live_actual: self.nodes.len() - free_nodes,
+        }
+    }
+}
+
+/// A consistency report over the whole heap, produced by [`Heap::audit`].
+///
+/// The chaos driver checks this after every fault-injected episode: a
+/// stranded black hole means an asynchronous trim failed to restore an
+/// in-flight thunk (the §5.1 invariant), and a free-list/live-counter
+/// mismatch means the allocator would misbehave on the next request.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct HeapAudit {
+    /// `Node::Blackhole` cells present. Must be zero between episodes.
+    pub blackholes: usize,
+    /// `Node::Free` cells present in the arena.
+    pub free_nodes: usize,
+    /// Cells reachable by walking the free list (cycle-guarded).
+    pub free_list_len: usize,
+    /// The allocator's live counter.
+    pub live_count: usize,
+    /// Actual non-free cells in the arena.
+    pub live_actual: usize,
+}
+
+impl HeapAudit {
+    /// True if the heap is safe to reuse for another episode: no stranded
+    /// black holes, every free cell on the free list, and the live counter
+    /// in agreement with the arena.
+    pub fn is_consistent(&self) -> bool {
+        self.blackholes == 0
+            && self.free_nodes == self.free_list_len
+            && self.live_count == self.live_actual
+    }
 }
 
 #[cfg(test)]

@@ -29,13 +29,17 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod chaos;
 pub mod env;
 pub mod gc;
 pub mod heap;
+pub mod interrupt;
 pub mod machine;
 
+pub use chaos::FaultPlan;
 pub use env::MEnv;
-pub use heap::{HValue, Heap, Node, NodeId};
+pub use heap::{HValue, Heap, HeapAudit, Node, NodeId};
+pub use interrupt::InterruptHandle;
 pub use machine::{
     BlackholeMode, Machine, MachineConfig, MachineError, OrderPolicy, Outcome, Stats,
 };

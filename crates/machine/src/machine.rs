@@ -27,8 +27,10 @@ use rand::{Rng, SeedableRng};
 use urk_syntax::core::{Alt, AltCon, Expr, PrimOp};
 use urk_syntax::{Exception, Symbol};
 
+use crate::chaos::{ChaosState, FaultPlan};
 use crate::env::MEnv;
-use crate::heap::{HValue, Heap, Node, NodeId};
+use crate::heap::{HValue, Heap, HeapAudit, Node, NodeId};
+use crate::interrupt::InterruptHandle;
 
 /// In which order the machine evaluates the operands of a binary primitive.
 ///
@@ -79,6 +81,16 @@ pub struct MachineConfig {
     pub gc_threshold: usize,
     /// Enable the garbage collector.
     pub gc: bool,
+    /// An externally shared asynchronous-exception cell. When set, the
+    /// machine polls this handle every step (one relaxed atomic load) and
+    /// delivers whatever a watchdog thread armed — real wall-clock
+    /// cancellation, §5.1 beyond the deterministic step schedule. When
+    /// unset the machine creates a private handle (reachable via
+    /// [`Machine::interrupt_handle`]).
+    pub interrupt: Option<InterruptHandle>,
+    /// A seeded chaos fault plan (async injections, forced collections, a
+    /// shrinking heap budget). `None` runs undisturbed.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for MachineConfig {
@@ -93,6 +105,8 @@ impl Default for MachineConfig {
             event_schedule: Vec::new(),
             gc_threshold: 1_000_000,
             gc: true,
+            interrupt: None,
+            chaos: None,
         }
     }
 }
@@ -128,6 +142,11 @@ pub struct Stats {
     pub gc_runs: u64,
     /// Nodes reclaimed by the collector.
     pub gc_freed: u64,
+    /// Asynchronous exceptions delivered from outside the step schedule
+    /// (interrupt handle or chaos plan).
+    pub async_injected: u64,
+    /// Collections forced by a chaos plan (a subset of `gc_runs`).
+    pub forced_gcs: u64,
 }
 
 /// How an evaluation episode ended.
@@ -149,12 +168,18 @@ pub enum Outcome {
 pub enum MachineError {
     /// The step limit was reached with `timeout_on_step_limit` off.
     StepLimit,
+    /// The machine panicked internally and was caught by a supervisor
+    /// (`urk::Supervisor`); the payload is the panic message. The machine
+    /// that produced this must be discarded — its heap may hold a
+    /// half-applied transition — but the embedding session is unaffected.
+    Internal(String),
 }
 
 impl std::fmt::Display for MachineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MachineError::StepLimit => f.write_str("machine step limit exceeded"),
+            MachineError::Internal(msg) => write!(f, "internal machine panic: {msg}"),
         }
     }
 }
@@ -229,6 +254,10 @@ pub struct Machine {
     next_gc_at: usize,
     /// Interned WHNF nodes handed out instead of fresh allocations.
     pool: InternPool,
+    /// The wall-clock asynchronous delivery cell, polled every step.
+    interrupt: InterruptHandle,
+    /// Progress through the chaos fault plan, if one is armed.
+    chaos: Option<ChaosState>,
 }
 
 /// The range of integers interned at construction (covers loop counters
@@ -291,6 +320,8 @@ impl Machine {
         let next_gc_at = config.gc_threshold;
         let mut heap = Heap::new();
         let pool = InternPool::build(&mut heap);
+        let interrupt = config.interrupt.clone().unwrap_or_default();
+        let chaos = config.chaos.clone().map(ChaosState::new);
         Machine {
             config,
             heap,
@@ -301,7 +332,35 @@ impl Machine {
             roots: Vec::new(),
             next_gc_at,
             pool,
+            interrupt,
+            chaos,
         }
+    }
+
+    /// The machine's asynchronous delivery cell. Clone it into a watchdog
+    /// thread (the handle is `Send + Sync`) and call
+    /// [`InterruptHandle::deliver`] to cancel the current evaluation at a
+    /// wall-clock deadline; the machine observes it within one step.
+    pub fn interrupt_handle(&self) -> InterruptHandle {
+        self.interrupt.clone()
+    }
+
+    /// Disarms the chaos plan (if any): no further injections, forced
+    /// collections, or budget caps. The differential driver calls this
+    /// before the post-fault re-evaluation, which must agree with the
+    /// undisturbed oracle.
+    pub fn disarm_chaos(&mut self) {
+        self.chaos = None;
+    }
+
+    /// Audits the heap for post-episode consistency — see
+    /// [`HeapAudit`]. Between episodes no black hole may survive: every
+    /// thunk that was in flight when an exception trimmed the stack must
+    /// have been restored (asynchronous, §5.1) or poisoned (synchronous,
+    /// §3.3). A stranded black hole would make the machine unsafe to reuse
+    /// (re-entering it misreports `NonTermination`).
+    pub fn audit_heap(&self) -> HeapAudit {
+        self.heap.audit()
     }
 
     /// The interned node for an integer value (allocated on first use,
@@ -570,6 +629,20 @@ impl Machine {
                     control = Control::Raising(exn.clone());
                 }
             }
+            // Wall-clock asynchronous delivery: one relaxed load per step;
+            // an armed handle stays pending across a trim in progress and
+            // is taken on the first non-raising step.
+            if self.interrupt.is_pending() && !matches!(control, Control::Raising(_)) {
+                if let Some(exn) = self.interrupt.take() {
+                    self.stats.async_injected += 1;
+                    control = Control::Raising(exn);
+                }
+            }
+            if self.chaos.is_some() {
+                if let Some(next) = self.chaos_tick(&control, &stack) {
+                    control = next;
+                }
+            }
             if self.stats.steps >= self.next_timeout_at {
                 if self.config.timeout_on_step_limit {
                     // Deliver Timeout and re-arm the watchdog.
@@ -608,6 +681,68 @@ impl Machine {
                 },
             };
         }
+    }
+
+    /// One step of the armed chaos plan: deliver at most one scheduled
+    /// injection, force at most one scheduled collection, advance the
+    /// shrinking heap budget, and enforce the active cap. Past the plan's
+    /// horizon the plan is dropped entirely, returning the machine to
+    /// undisturbed behaviour. Returns the replacement control when a fault
+    /// fires, `None` when this step is undisturbed (the common case — kept
+    /// out of the return value so the hot loop never moves `Control`).
+    fn chaos_tick(&mut self, control: &Control, stack: &[Frame]) -> Option<Control> {
+        let step = self.stats.steps;
+        let raising = matches!(control, Control::Raising(_));
+        let mut inject: Option<Exception> = None;
+        let mut force_gc = false;
+        let cap;
+        {
+            let st = self.chaos.as_mut().expect("chaos plan armed");
+            if step >= st.plan.horizon {
+                self.chaos = None;
+                return None;
+            }
+            if let Some((at, e)) = st.plan.injections.get(st.next_injection) {
+                if step >= *at && !raising {
+                    st.next_injection += 1;
+                    inject = Some(e.clone());
+                }
+            }
+            if let Some(at) = st.plan.force_gc_at.get(st.next_gc) {
+                if step >= *at {
+                    st.next_gc += 1;
+                    force_gc = true;
+                }
+            }
+            while let Some((at, c)) = st.plan.heap_budget.get(st.next_budget) {
+                if step >= *at {
+                    st.active_cap = Some(*c);
+                    st.next_budget += 1;
+                } else {
+                    break;
+                }
+            }
+            cap = st.active_cap;
+        }
+        if force_gc {
+            // Rooted at the pre-fault control: conservative (keeps at most
+            // one extra node alive for one cycle) and correct either way.
+            self.stats.forced_gcs += 1;
+            self.collect_during_run(control, stack);
+        }
+        if let Some(exn) = inject {
+            self.stats.async_injected += 1;
+            return Some(Control::Raising(exn));
+        }
+        if let Some(cap) = cap {
+            if self.heap.live() >= cap && !raising {
+                // The shrinking budget: allocation past the cap fails with
+                // an asynchronous HeapOverflow, as a real memory monitor
+                // would deliver it.
+                return Some(Control::Raising(Exception::HeapOverflow));
+            }
+        }
+        None
     }
 
     fn step_eval(&mut self, expr: Rc<Expr>, env: MEnv, stack: &mut Vec<Frame>) -> Control {
@@ -897,11 +1032,19 @@ impl Machine {
                 Frame::Update(target) => {
                     let target = self.heap.resolve(target);
                     if asynchronous {
+                        // Test-only sabotage: strand the black hole to
+                        // prove the heap audit catches a broken restore.
+                        let sabotaged = self
+                            .chaos
+                            .as_ref()
+                            .is_some_and(|st| st.plan.sabotage_async_restore);
                         // §5.1: restore a *resumable* suspension.
-                        if let Node::Blackhole { expr, env } = self.heap.get(target) {
-                            let (expr, env) = (expr.clone(), env.clone());
-                            self.heap.set(target, Node::Thunk { expr, env });
-                            self.stats.thunks_restored += 1;
+                        if !sabotaged {
+                            if let Node::Blackhole { expr, env } = self.heap.get(target) {
+                                let (expr, env) = (expr.clone(), env.clone());
+                                self.heap.set(target, Node::Thunk { expr, env });
+                                self.stats.thunks_restored += 1;
+                            }
                         }
                     } else {
                         // §3.3: overwrite with `raise ex`.

@@ -1,8 +1,14 @@
 //! Garbage-collection stress through the whole stack: long-running IO
 //! programs with a small collection threshold must keep working, including
-//! across `getException` boundaries, poisoned thunks, and async events.
+//! across `getException` boundaries, poisoned thunks, and async events —
+//! and after every interrupted episode the heap must audit clean (no
+//! stranded black holes: the §5.1 restore reached every in-flight thunk).
+
+use std::rc::Rc;
 
 use urk::{Exception, IoResult, Session};
+use urk_machine::{MEnv, Machine, MachineConfig, Outcome};
+use urk_syntax::{desugar_expr, parse_expr_src, DataEnv};
 
 fn small_heap_session() -> Session {
     let mut s = Session::new();
@@ -79,4 +85,80 @@ main = do
         "{}",
         out.trace.output()
     );
+}
+
+#[test]
+fn no_black_hole_survives_an_interrupted_episode() {
+    // Machine-level audit: interrupt episodes at many different step
+    // points (so the trim races every phase — mid-update, mid-apply,
+    // mid-GC) and after each completed episode check the heap holds zero
+    // black holes and the allocator's books balance.
+    let data = DataEnv::new();
+    let src = "let s = (let g = \\n -> if n == 0 then 0 else n + g (n - 1) in g 250) in s + 1";
+    let core =
+        Rc::new(desugar_expr(&parse_expr_src(src).expect("parses"), &data).expect("desugars"));
+    for at in (50u64..2_000).step_by(50) {
+        let mut m = Machine::new(MachineConfig {
+            event_schedule: vec![(at, Exception::Interrupt)],
+            gc_threshold: 500,
+            ..MachineConfig::default()
+        });
+        let out = m
+            .eval(core.clone(), &MEnv::empty(), true)
+            .expect("within limits");
+        let audit = m.audit_heap();
+        assert_eq!(
+            audit.blackholes, 0,
+            "episode interrupted at step {at} stranded black holes: {audit:?} ({out:?})"
+        );
+        assert!(
+            audit.is_consistent(),
+            "heap inconsistent after interrupt at step {at}: {audit:?}"
+        );
+    }
+}
+
+#[test]
+fn re_evaluation_after_interruption_agrees_with_the_denotational_oracle() {
+    // The §5.1 resumability claim, end to end: interrupt an episode, then
+    // evaluate the same expression again on the *same machine* (restored
+    // thunks and all) and compare with the oracle.
+    let data = DataEnv::new();
+    let src = "let s = (let g = \\n -> if n == 0 then 0 else n + g (n - 1) in g 250) in s + 1";
+    let core =
+        Rc::new(desugar_expr(&parse_expr_src(src).expect("parses"), &data).expect("desugars"));
+    let ev = urk_denot::DenotEvaluator::with_config(
+        &data,
+        urk::DenotConfig {
+            max_depth: 2_000,
+            ..urk::DenotConfig::default()
+        },
+    );
+    let oracle = urk_denot::show_denot(&ev, &ev.eval_closed(&core), 16);
+    assert_eq!(oracle, "31376");
+
+    for at in [100u64, 700, 1_500] {
+        let mut m = Machine::new(MachineConfig {
+            event_schedule: vec![(at, Exception::Interrupt)],
+            gc_threshold: 500,
+            ..MachineConfig::default()
+        });
+        let first = m
+            .eval(core.clone(), &MEnv::empty(), true)
+            .expect("within limits");
+        assert!(
+            matches!(first, Outcome::Caught(Exception::Interrupt)),
+            "interrupt at {at}: {first:?}"
+        );
+        // The schedule is exhausted; re-evaluation must now reach the
+        // oracle's value using whatever the trim left behind.
+        let second = m
+            .eval(core.clone(), &MEnv::empty(), true)
+            .expect("within limits");
+        let Outcome::Value(n) = second else {
+            panic!("re-evaluation after interrupt at {at}: {second:?}")
+        };
+        assert_eq!(m.render(n, 16), oracle, "after interrupt at {at}");
+        assert!(m.audit_heap().is_consistent());
+    }
 }

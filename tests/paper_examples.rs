@@ -256,7 +256,7 @@ fn black_hole_detection_is_permitted_but_not_required() {
     // Non-detecting implementation: spins until a limit.
     s.options.machine.blackholes = BlackholeMode::Loop;
     s.options.machine.max_steps = 5_000;
-    assert!(matches!(s.eval("black"), Err(urk::Error::Machine(_))));
+    assert!(matches!(s.eval("black"), Err(urk::Error::Machine { .. })));
 }
 
 // ----------------------------------------------------------------------
@@ -290,7 +290,7 @@ fn unsafe_is_exception_on_div_plus_loop() {
     let src = "let infy = infy in unsafeIsException ((1/0) + infy)";
     assert_eq!(s.eval(src).expect("terminates").rendered, "True");
     s.options.machine.order = OrderPolicy::RightToLeft;
-    assert!(matches!(s.eval(src), Err(urk::Error::Machine(_))));
+    assert!(matches!(s.eval(src), Err(urk::Error::Machine { .. })));
 }
 
 // ----------------------------------------------------------------------
