@@ -1,0 +1,102 @@
+//! Pool throughput: how batch latency scales with worker count, and
+//! what the shared result cache buys.
+//!
+//! Three groups:
+//!
+//! * `cpu` — a CPU-bound batch (cache disabled) at 1/2/4 workers. On a
+//!   multi-core host this scales with the worker count; on a single-CPU
+//!   host (CI containers) it is honestly flat — worker threads
+//!   timeshare one core.
+//! * `deadline` — a batch of diverging jobs cancelled by 25 ms
+//!   wall-clock deadlines, at 1 vs 4 workers. Deadline-bound work
+//!   overlaps genuinely even on one core: four concurrent 25 ms waits
+//!   cost ~max, not ~sum, so 4 workers approach a 4× speedup
+//!   regardless of core count. This is the realistic serving shape —
+//!   a pool exists to stop one slow request from queueing the rest.
+//! * `cache` — the same batch against a warm shared cache vs caching
+//!   disabled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urk::{EvalPool, Options, PoolConfig, Supervisor};
+
+fn pool(workers: usize, cache_cap: usize, supervisor: Supervisor) -> EvalPool {
+    EvalPool::start(
+        &[],
+        Options::default(),
+        PoolConfig {
+            workers,
+            cache_cap,
+            supervisor,
+            ..PoolConfig::default()
+        },
+    )
+    .expect("pool starts")
+}
+
+fn bench(c: &mut Criterion) {
+    // CPU-bound: eight distinct summations, no cache, so every job runs
+    // a machine to completion.
+    let cpu_jobs: Vec<String> = (0..8).map(|i| format!("sum [1 .. {}]", 2000 + i)).collect();
+    {
+        let mut group = c.benchmark_group("pool_throughput/cpu");
+        group
+            .sample_size(15)
+            .warm_up_time(std::time::Duration::from_millis(500))
+            .measurement_time(std::time::Duration::from_secs(3));
+        for workers in [1usize, 2, 4] {
+            let p = pool(workers, 0, Supervisor::default());
+            group.bench_with_input(BenchmarkId::from_parameter(workers), &p, |b, p| {
+                b.iter(|| p.eval_batch(&cpu_jobs))
+            });
+            p.shutdown();
+        }
+        group.finish();
+    }
+
+    // Deadline-bound: four runaway jobs, each cancelled at 25 ms. The
+    // batch costs ~sum of deadlines on one worker, ~max on four.
+    let runaway_jobs = vec!["let f = \\n -> f (n + 1) in f 0"; 4];
+    {
+        let mut group = c.benchmark_group("pool_throughput/deadline");
+        group
+            .sample_size(15)
+            .warm_up_time(std::time::Duration::from_millis(500))
+            .measurement_time(std::time::Duration::from_secs(4));
+        for workers in [1usize, 4] {
+            let p = pool(workers, 0, Supervisor::with_deadline(25));
+            group.bench_with_input(BenchmarkId::from_parameter(workers), &p, |b, p| {
+                b.iter(|| p.eval_batch(&runaway_jobs))
+            });
+            p.shutdown();
+        }
+        group.finish();
+    }
+
+    // Cache: the same batch served from a warm shared cache vs with
+    // caching disabled.
+    {
+        let mut group = c.benchmark_group("pool_throughput/cache");
+        group
+            .sample_size(15)
+            .warm_up_time(std::time::Duration::from_millis(500))
+            .measurement_time(std::time::Duration::from_secs(3));
+
+        let warm = pool(4, 256, Supervisor::default());
+        warm.eval_batch(&cpu_jobs); // populate
+        group.bench_with_input(BenchmarkId::from_parameter("warm"), &warm, |b, p| {
+            b.iter(|| p.eval_batch(&cpu_jobs))
+        });
+        assert!(warm.cache_stats().hits > 0, "the warm pool must be hitting");
+        warm.shutdown();
+
+        let cold = pool(4, 0, Supervisor::default());
+        group.bench_with_input(BenchmarkId::from_parameter("nocache"), &cold, |b, p| {
+            b.iter(|| p.eval_batch(&cpu_jobs))
+        });
+        cold.shutdown();
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,12 +13,16 @@
 //! urk program.urk --optimize --dump-core  # show the optimised core
 //! urk --expr "f 9" --timeout-ms 500    # cancel at a wall-clock deadline
 //! urk --expr "f 9" --chaos 42          # differential fault injection
+//! urk --jobs 4 --batch exprs.txt       # pooled evaluation, one expr per line
+//! urk --jobs 4 --batch exprs.txt --cache-cap 1024 --stats
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use urk::{Exception, IoResult, OrderPolicy, SemIoResult, Session, Supervisor};
+use urk::{
+    EvalPool, Exception, IoResult, OrderPolicy, PoolConfig, SemIoResult, Session, Supervisor,
+};
 
 struct Args {
     file: Option<String>,
@@ -39,6 +43,9 @@ struct Args {
     max_stack: Option<usize>,
     timeout_ms: Option<u64>,
     chaos: Option<u64>,
+    jobs: Option<usize>,
+    batch: Option<String>,
+    cache_cap: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -47,7 +54,8 @@ fn usage() -> ! {
          \x20          [--order l|r|s[:SEED]] [--optimize] [--input STR]\n\
          \x20          [--semantic|--concurrent] [--seed N] [--trace] [--dump-core] [--stats]\n\
          \x20          [--max-steps N] [--max-heap N] [--max-stack N]\n\
-         \x20          [--timeout-ms N] [--chaos SEED]"
+         \x20          [--timeout-ms N] [--chaos SEED]\n\
+         \x20          [--batch FILE] [--jobs N] [--cache-cap N]"
     );
     std::process::exit(2)
 }
@@ -72,6 +80,9 @@ fn parse_args() -> Args {
         max_stack: None,
         timeout_ms: None,
         chaos: None,
+        jobs: None,
+        batch: None,
+        cache_cap: None,
     };
     fn num<T: std::str::FromStr>(v: Option<String>) -> T {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
@@ -84,6 +95,9 @@ fn parse_args() -> Args {
             "--max-stack" => out.max_stack = Some(num(args.next())),
             "--timeout-ms" => out.timeout_ms = Some(num(args.next())),
             "--chaos" => out.chaos = Some(num(args.next())),
+            "--jobs" => out.jobs = Some(num(args.next())),
+            "--cache-cap" => out.cache_cap = Some(num(args.next())),
+            "--batch" => out.batch = Some(args.next().unwrap_or_else(|| usage())),
             "--expr" => out.expr = Some(args.next().unwrap_or_else(|| usage())),
             "--type" => out.type_of = Some(args.next().unwrap_or_else(|| usage())),
             "--denot" => out.denot = Some(args.next().unwrap_or_else(|| usage())),
@@ -137,6 +151,7 @@ fn main() -> ExitCode {
         session.options.machine.max_stack = n;
     }
 
+    let mut file_src: Option<String> = None;
     if let Some(path) = &args.file {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -149,6 +164,7 @@ fn main() -> ExitCode {
             eprintln!("urk: {e}");
             return ExitCode::FAILURE;
         }
+        file_src = Some(src);
     }
 
     if args.optimize {
@@ -196,6 +212,91 @@ fn main() -> ExitCode {
                 eprintln!("urk: {err}");
                 ExitCode::FAILURE
             }
+        };
+    }
+
+    // Pooled batch evaluation: one expression per line of the batch
+    // file, served by `--jobs` worker sessions sharing a result cache.
+    // Results print in submission order; exceptional outcomes render as
+    // `(raise E)` and are *successful* answers — only front-end or pool
+    // errors fail the run.
+    if let Some(path) = &args.batch {
+        let corpus_src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("urk: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let corpus: Vec<&str> = corpus_src
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+
+        let mut config = PoolConfig::default();
+        if let Some(n) = args.jobs {
+            config.workers = n;
+        }
+        if let Some(n) = args.cache_cap {
+            config.cache_cap = n;
+        }
+        if let Some(ms) = args.timeout_ms {
+            config.supervisor.deadline = Some(std::time::Duration::from_millis(ms));
+        }
+
+        let sources: Vec<&str> = file_src.as_deref().into_iter().collect();
+        let pool = match EvalPool::start(&sources, session.options.clone(), config) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("urk: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+        let started = std::time::Instant::now();
+        let results = pool.eval_batch(&corpus);
+        let elapsed = started.elapsed();
+
+        let mut failed = false;
+        for (i, result) in results.iter().enumerate() {
+            match result {
+                Ok(out) => println!("{}", out.rendered),
+                Err(e) => {
+                    println!("<error>");
+                    eprintln!("urk: job {i}: {e}");
+                    failed = true;
+                }
+            }
+        }
+        if args.stats {
+            let cache = pool.cache_stats();
+            let secs = elapsed.as_secs_f64();
+            eprintln!(
+                "jobs: {}  workers: {}  elapsed: {:.3}s  throughput: {:.1}/s",
+                results.len(),
+                args.jobs.unwrap_or(4),
+                secs,
+                if secs > 0.0 {
+                    results.len() as f64 / secs
+                } else {
+                    0.0
+                },
+            );
+            eprintln!(
+                "cache: {} hits  {} misses  ({:.0}% hit rate)  {} entries  {} evictions",
+                cache.hits,
+                cache.misses,
+                cache.hit_rate() * 100.0,
+                cache.entries,
+                cache.evictions,
+            );
+        }
+        pool.shutdown();
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
         };
     }
 

@@ -1,0 +1,382 @@
+//! A shared, sharded, content-addressed result cache for pure outcomes.
+//!
+//! The paper's refinement criterion is what makes this sound: an
+//! expression denotes a *set* of exceptions, and any implementation is
+//! free to return any member (or the value, if the set is empty). A
+//! cached answer is therefore just one more admissible witness — serving
+//! it again later, or to a different worker, never steps outside the
+//! denotation. Two restrictions keep that argument airtight:
+//!
+//! * only **pure** outcomes are cached: asynchronous exceptions
+//!   (`Timeout`, `Interrupt`, overflow kills, ...) come from the outside
+//!   world, not from the expression's denotation, and chaos-injected runs
+//!   are excluded wholesale ([`EvalPool`](crate::EvalPool) enforces this
+//!   at insert time);
+//! * the key captures everything the answer can depend on: the
+//!   alpha-invariant canonical serialization of the desugared Core
+//!   expression ([`urk_syntax::expr_canonical_bytes`]) plus the
+//!   semantics-relevant slice of the configuration — evaluation order,
+//!   blackhole mode, budgets, the async event schedule, GC policy, the
+//!   denotational fuel/depth/`unsafeIsException` settings, and the render
+//!   depth (the rendered string is part of the cached answer). Run-only
+//!   plumbing (the interrupt handle, the chaos plan) is deliberately
+//!   excluded from the key because chaos runs are never inserted.
+//!
+//! Keys carry the *full* canonical bytes, not just a hash, so a
+//! fingerprint collision degrades to a missed sharing opportunity rather
+//! than a wrong answer.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use urk_denot::DenotConfig;
+use urk_machine::{BlackholeMode, MachineConfig, OrderPolicy, Stats};
+use urk_syntax::core::Expr;
+use urk_syntax::{expr_canonical_bytes, fnv1a, Exception};
+
+/// The content address of one evaluation request.
+///
+/// Equality compares the full canonical bytes (collision-proof); the
+/// `Hash` impl forwards the precomputed FNV-1a fingerprint so probing a
+/// shard's map costs O(1) on the key, with the byte comparison paid only
+/// on a fingerprint match.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheKey {
+    /// FNV-1a fingerprint of `expr` and `config` — the shard selector
+    /// and hash-map probe.
+    pub fingerprint: u64,
+    /// Alpha-invariant canonical serialization of the desugared Core
+    /// expression.
+    pub expr: Vec<u8>,
+    /// Serialized semantics-relevant configuration slice.
+    pub config: Vec<u8>,
+}
+
+#[allow(clippy::derived_hash_with_manual_eq)]
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fingerprint);
+    }
+}
+
+/// Computes the content address of evaluating `expr` under the given
+/// configuration. Two requests get the same key exactly when they are
+/// the same desugared expression (up to alpha-renaming) under the same
+/// semantics-relevant settings.
+pub fn cache_key(
+    expr: &Expr,
+    machine: &MachineConfig,
+    denot: &DenotConfig,
+    render_depth: u32,
+) -> CacheKey {
+    let expr_bytes = expr_canonical_bytes(expr);
+    let config = config_slice_bytes(machine, denot, render_depth);
+    let mut all = Vec::with_capacity(expr_bytes.len() + config.len());
+    all.extend_from_slice(&expr_bytes);
+    all.extend_from_slice(&config);
+    CacheKey {
+        fingerprint: fnv1a(&all),
+        expr: expr_bytes,
+        config,
+    }
+}
+
+/// Serializes the semantics-relevant slice of the configuration: every
+/// knob that can change the rendered answer, the representative
+/// exception, or which member of the exception set the machine picks.
+fn config_slice_bytes(machine: &MachineConfig, denot: &DenotConfig, render_depth: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96);
+    match machine.order {
+        OrderPolicy::LeftToRight => out.push(0x01),
+        OrderPolicy::RightToLeft => out.push(0x02),
+        OrderPolicy::Seeded(seed) => {
+            out.push(0x03);
+            out.extend_from_slice(&seed.to_le_bytes());
+        }
+    }
+    out.push(match machine.blackholes {
+        BlackholeMode::Detect => 0x01,
+        BlackholeMode::Loop => 0x02,
+    });
+    out.extend_from_slice(&machine.max_steps.to_le_bytes());
+    out.extend_from_slice(&(machine.max_stack as u64).to_le_bytes());
+    out.extend_from_slice(&(machine.max_heap as u64).to_le_bytes());
+    out.push(u8::from(machine.timeout_on_step_limit));
+    out.push(u8::from(machine.gc));
+    out.extend_from_slice(&(machine.gc_threshold as u64).to_le_bytes());
+    out.extend_from_slice(&(machine.event_schedule.len() as u64).to_le_bytes());
+    for (step, exn) in &machine.event_schedule {
+        out.extend_from_slice(&step.to_le_bytes());
+        write_exception(&mut out, exn);
+    }
+    out.extend_from_slice(&denot.fuel.to_le_bytes());
+    out.extend_from_slice(&denot.max_depth.to_le_bytes());
+    out.push(u8::from(denot.pessimistic_is_exception));
+    out.extend_from_slice(&render_depth.to_le_bytes());
+    out
+}
+
+fn write_exception(out: &mut Vec<u8>, exn: &Exception) {
+    match exn {
+        Exception::DivideByZero => out.push(0x01),
+        Exception::Overflow => out.push(0x02),
+        Exception::UserError(s) => {
+            out.push(0x03);
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Exception::PatternMatchFail(s) => {
+            out.push(0x04);
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Exception::NonTermination => out.push(0x05),
+        Exception::Interrupt => out.push(0x06),
+        Exception::Timeout => out.push(0x07),
+        Exception::StackOverflow => out.push(0x08),
+        Exception::HeapOverflow => out.push(0x09),
+        Exception::BlockedIndefinitely => out.push(0x0a),
+    }
+}
+
+/// One cached answer: exactly what a fresh evaluation would have
+/// reported, minus the work.
+#[derive(Clone, Debug)]
+pub struct CachedEval {
+    /// The rendered value, or `(raise E)` for an exceptional outcome.
+    pub rendered: String,
+    /// The representative exception, if the outcome raised.
+    pub exception: Option<Exception>,
+    /// The stats of the evaluation that populated the entry (cache
+    /// counters zeroed; the serving layer stamps them per request).
+    pub stats: Stats,
+}
+
+/// A point-in-time snapshot of the cache's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced to respect the capacity bound.
+    pub evictions: u64,
+    /// Successful inserts (including overwrites of an existing key).
+    pub insertions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// The configured capacity bound (0 = caching disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0.0 when nothing was looked
+    /// up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One shard: a map plus FIFO insertion order for eviction.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, CachedEval>,
+    order: VecDeque<CacheKey>,
+}
+
+/// A sharded, capacity-bounded, content-addressed result cache.
+///
+/// Shard count is `capacity.min(16).max(1)` and each shard holds at most
+/// `capacity / nshards` entries, so the total population is always
+/// *strictly* within the configured capacity. Eviction is FIFO per
+/// shard. A capacity of 0 disables the cache entirely: lookups miss
+/// without counting and inserts are dropped.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries across all shards.
+    pub fn new(capacity: usize) -> ResultCache {
+        let nshards = capacity.clamp(1, 16);
+        ResultCache {
+            shards: (0..nshards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_cap: if capacity == 0 { 0 } else { capacity / nshards },
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.fingerprint % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a key, counting the hit or miss. Always misses (without
+    /// counting) when the cache is disabled.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedEval> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts an entry, evicting the shard's oldest key if it is full.
+    /// Dropped silently when the cache is disabled.
+    pub fn insert(&self, key: CacheKey, value: CachedEval) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if let Some(slot) = shard.map.get_mut(&key) {
+            *slot = value;
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        while shard.map.len() >= self.per_shard_cap {
+            match shard.order.pop_front() {
+                Some(old) => {
+                    shard.map.remove(&old);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        shard.order.push_back(key.clone());
+        shard.map.insert(key, value);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self.entries(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            fingerprint: n,
+            expr: n.to_le_bytes().to_vec(),
+            config: Vec::new(),
+        }
+    }
+
+    fn entry(tag: &str) -> CachedEval {
+        CachedEval {
+            rendered: tag.to_string(),
+            exception: None,
+            stats: Stats::default(),
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let cache = ResultCache::new(8);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), entry("one"));
+        let hit = cache.get(&key(1)).expect("just inserted");
+        assert_eq!(hit.rendered, "one");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_cache() {
+        let cache = ResultCache::new(0);
+        cache.insert(key(1), entry("one"));
+        assert!(cache.get(&key(1)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn population_never_exceeds_capacity() {
+        let cache = ResultCache::new(10);
+        for n in 0..1000 {
+            cache.insert(key(n), entry("x"));
+            assert!(cache.entries() <= 10, "population exceeded capacity");
+        }
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn fingerprint_collisions_do_not_alias() {
+        let cache = ResultCache::new(8);
+        let a = CacheKey {
+            fingerprint: 7,
+            expr: vec![1],
+            config: vec![],
+        };
+        let b = CacheKey {
+            fingerprint: 7,
+            expr: vec![2],
+            config: vec![],
+        };
+        cache.insert(a.clone(), entry("a"));
+        assert!(
+            cache.get(&b).is_none(),
+            "colliding fingerprints must not alias"
+        );
+        assert_eq!(cache.get(&a).expect("present").rendered, "a");
+    }
+
+    #[test]
+    fn overwriting_a_key_does_not_grow_the_population() {
+        let cache = ResultCache::new(4);
+        cache.insert(key(1), entry("a"));
+        cache.insert(key(1), entry("b"));
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.get(&key(1)).expect("present").rendered, "b");
+    }
+}

@@ -52,11 +52,15 @@
 //! | IO transition system | `urk-io` |
 //! | transformations, strictness, law validator | `urk-transform` |
 
+pub mod cache;
 pub mod error;
+pub mod pool;
 pub mod session;
 pub mod supervise;
 
+pub use cache::{cache_key, CacheKey, CacheStats, CachedEval, ResultCache};
 pub use error::Error;
+pub use pool::{EvalPool, JobOutcome, JobResult, PoolConfig, PoolError};
 pub use session::{EvalResult, Options, Session};
 pub use supervise::{SupervisedResult, Supervisor};
 

@@ -1,0 +1,463 @@
+//! A multi-worker evaluation service: session pool, batch scheduler,
+//! shared result cache.
+//!
+//! [`Session`] is deliberately single-threaded (`Rc` heaps, the works),
+//! so the pool runs **one fully-loaded session per worker thread** and
+//! moves *programs* (source strings), never sessions, across threads.
+//! Jobs flow through a bounded MPMC queue (submitters block when it is
+//! full — backpressure, not unbounded buffering), each job runs under
+//! the pool's [`Supervisor`] envelope (deadline, budgets, panic
+//! isolation, bounded retry), and results land in a
+//! [`SharedBatch`](urk_io::SharedBatch) keyed by submission index, so
+//! [`EvalPool::eval_batch`] returns answers in submission order no
+//! matter which worker finished first.
+//!
+//! All workers share one content-addressed [`ResultCache`]. That sharing
+//! is licensed by the paper's semantics: an expression denotes a *set*
+//! of exceptions and any member is an admissible answer, so an answer
+//! computed by worker 2 yesterday is exactly as valid as one computed by
+//! worker 7 now — provided it was a *pure* outcome. The pool therefore
+//! never caches asynchronous-exception results or chaos-mode runs (see
+//! [`crate::cache`] for the full argument).
+//!
+//! Shutdown comes in two strengths: [`EvalPool::shutdown`] closes the
+//! queue and drains everything already accepted; [`EvalPool::shutdown_now`]
+//! additionally cancels queued jobs (they complete with a
+//! [`PoolError`]) and delivers `Interrupt` to every in-flight machine
+//! through each worker's shared [`InterruptHandle`], then waits a
+//! bounded grace period for the workers to exit.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use urk_io::SharedBatch;
+use urk_machine::{InterruptHandle, Stats};
+use urk_syntax::Exception;
+
+use crate::cache::{cache_key, CacheStats, CachedEval, ResultCache};
+use crate::error::Error;
+use crate::session::{Options, Session};
+use crate::supervise::Supervisor;
+
+/// How a pool is shaped.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Worker threads, each owning a fully-loaded session (min 1).
+    pub workers: usize,
+    /// Bounded job-queue depth; submitters block when it is full.
+    pub queue_cap: usize,
+    /// Shared result-cache capacity in entries (0 disables caching).
+    pub cache_cap: usize,
+    /// The supervision envelope every job runs under.
+    pub supervisor: Supervisor,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            workers: 4,
+            queue_cap: 256,
+            cache_cap: 4096,
+            supervisor: Supervisor::default(),
+        }
+    }
+}
+
+/// One finished job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The rendered value, or `(raise E)` for an exceptional outcome.
+    pub rendered: String,
+    /// The representative exception, if the outcome raised.
+    pub exception: Option<Exception>,
+    /// Machine counters; on a cache hit these are the counters of the
+    /// evaluation that populated the entry, with `cache_hits` stamped.
+    pub stats: Stats,
+    /// True if the answer came from the shared cache (no machine ran).
+    pub cache_hit: bool,
+    /// Supervision attempts consumed (0 on a cache hit).
+    pub attempts: u32,
+    /// True if the supervisor's deadline ended the final attempt.
+    pub timed_out: bool,
+}
+
+/// Why a job failed: a front-end error, an evaluation error, a worker
+/// panic, or cancellation at shutdown. Stringified so job results stay
+/// `Send` regardless of what the underlying error carried.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolError(pub String);
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// What one submitted job comes back as.
+pub type JobResult = Result<JobOutcome, PoolError>;
+
+/// One unit of work in flight: the program, where its answer goes, and
+/// which submission slot it fills.
+struct Job {
+    src: String,
+    index: usize,
+    batch: SharedBatch<JobResult>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue: submitters block in [`JobQueue::push`] when
+/// full, workers block in [`JobQueue::pop`] when empty; closing wakes
+/// everyone.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks until there is room, then enqueues. Returns the job back
+    /// if the queue has been closed.
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut st = self.state.lock().expect("job queue poisoned");
+        loop {
+            if st.closed {
+                return Err(job);
+            }
+            if st.jobs.len() < self.cap {
+                st.jobs.push_back(job);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).expect("job queue poisoned");
+        }
+    }
+
+    /// Blocks until a job arrives; `None` once the queue is closed *and*
+    /// drained (workers exit on `None`).
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("job queue poisoned");
+        }
+    }
+
+    /// Closes the queue; optionally drains (and returns) jobs that were
+    /// accepted but not yet picked up, so a hard shutdown can fail them
+    /// instead of running them.
+    fn close(&self, drain_pending: bool) -> Vec<Job> {
+        let mut st = self.state.lock().expect("job queue poisoned");
+        st.closed = true;
+        let pending = if drain_pending {
+            st.jobs.drain(..).collect()
+        } else {
+            Vec::new()
+        };
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        pending
+    }
+}
+
+/// A pool of evaluation workers sharing a content-addressed result
+/// cache. See the module docs for the architecture.
+pub struct EvalPool {
+    queue: Arc<JobQueue>,
+    cache: Arc<ResultCache>,
+    /// One cancellation handle per worker; `shutdown_now` delivers
+    /// `Interrupt` through these to stop in-flight machines.
+    cancels: Vec<InterruptHandle>,
+    /// Behind a mutex so shutdown can run while another thread is
+    /// blocked in `eval_batch`.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Live-worker count; `shutdown_now`'s bounded join waits on this
+    /// instead of `JoinHandle::join`, which has no timeout.
+    alive: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl EvalPool {
+    /// Starts a pool of `config.workers` threads, each loading the
+    /// Prelude plus every program in `sources` into its own session
+    /// configured by `options`.
+    ///
+    /// The sources are compiled once on the calling thread first, so a
+    /// bad program is reported here as an [`Error`] rather than killing
+    /// workers asynchronously.
+    ///
+    /// # Errors
+    ///
+    /// Front-end errors from loading `sources`.
+    pub fn start(
+        sources: &[&str],
+        options: Options,
+        config: PoolConfig,
+    ) -> Result<EvalPool, Error> {
+        // Probe-load on the caller's thread: validates every source (and
+        // warms the global interner) before any worker exists.
+        {
+            let mut probe = Session::new();
+            probe.options = options.clone();
+            for src in sources {
+                probe.load(src)?;
+            }
+        }
+
+        let nworkers = config.workers.max(1);
+        let queue = Arc::new(JobQueue::new(config.queue_cap));
+        let cache = Arc::new(ResultCache::new(config.cache_cap));
+        let alive = Arc::new((Mutex::new(nworkers), Condvar::new()));
+        let owned_sources: Vec<String> = sources.iter().map(|s| (*s).to_string()).collect();
+
+        let mut cancels = Vec::with_capacity(nworkers);
+        let mut handles = Vec::with_capacity(nworkers);
+        for worker_id in 0..nworkers {
+            let cancel = InterruptHandle::new();
+            cancels.push(cancel.clone());
+
+            let queue = Arc::clone(&queue);
+            let cache = Arc::clone(&cache);
+            let alive = Arc::clone(&alive);
+            let options = options.clone();
+            let sources = owned_sources.clone();
+            let supervisor = Supervisor {
+                interrupt: Some(cancel),
+                ..config.supervisor.clone()
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("urk-pool-{worker_id}"))
+                    .spawn(move || {
+                        worker_loop(&queue, &cache, &supervisor, options, &sources);
+                        let (count, cond) = &*alive;
+                        *count.lock().expect("alive counter poisoned") -= 1;
+                        cond.notify_all();
+                    })
+                    .expect("spawning a pool worker failed"),
+            );
+        }
+
+        Ok(EvalPool {
+            queue,
+            cache,
+            cancels,
+            workers: Mutex::new(handles),
+            alive,
+        })
+    }
+
+    /// Evaluates a batch, blocking until every job has an answer.
+    /// Results come back in **submission order** regardless of worker
+    /// scheduling. A job rejected because the pool is shutting down
+    /// completes with a [`PoolError`] rather than being dropped.
+    pub fn eval_batch<S: AsRef<str>>(&self, exprs: &[S]) -> Vec<JobResult> {
+        let batch: SharedBatch<JobResult> = SharedBatch::new(exprs.len());
+        for (index, src) in exprs.iter().enumerate() {
+            let job = Job {
+                src: src.as_ref().to_string(),
+                index,
+                batch: batch.clone(),
+            };
+            if self.queue.push(job).is_err() {
+                batch.fulfil(index, Err(PoolError("pool is shut down".to_string())));
+            }
+        }
+        batch.wait()
+    }
+
+    /// Evaluates one expression through the pool (a one-job batch).
+    pub fn eval_one(&self, src: &str) -> JobResult {
+        self.eval_batch(&[src])
+            .pop()
+            .expect("a one-job batch has one result")
+    }
+
+    /// A snapshot of the shared cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Graceful shutdown: stop accepting jobs, run everything already
+    /// accepted to completion, join all workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.queue.close(false);
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Hard shutdown: close the queue, fail every job still waiting in
+    /// it, deliver `Interrupt` to every in-flight machine, and wait up
+    /// to `grace` for the workers to exit. Returns `true` if every
+    /// worker exited within the grace period (workers still running —
+    /// e.g. wedged in foreign code — are left detached, never blocking
+    /// the caller).
+    pub fn shutdown_now(&self, grace: Duration) -> bool {
+        let pending = self.queue.close(true);
+        for job in pending {
+            job.batch.fulfil(
+                job.index,
+                Err(PoolError("cancelled: pool shut down".to_string())),
+            );
+        }
+        for cancel in &self.cancels {
+            cancel.deliver(Exception::Interrupt);
+        }
+
+        // Bounded join: wait on the alive counter (JoinHandle::join has
+        // no timeout), then reap the handles only once all have exited.
+        let deadline = Instant::now() + grace;
+        let (count, cond) = &*self.alive;
+        let mut alive = count.lock().expect("alive counter poisoned");
+        while *alive > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = cond
+                .wait_timeout(alive, deadline - now)
+                .expect("alive counter poisoned");
+            alive = guard;
+        }
+        drop(alive);
+
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+        true
+    }
+}
+
+impl Drop for EvalPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: build a private session, then serve jobs until the queue
+/// closes. Each job is additionally wrapped in `catch_unwind` so even a
+/// panic outside the machine (the supervisor already isolates machine
+/// panics) fails one job, not the pool.
+fn worker_loop(
+    queue: &JobQueue,
+    cache: &ResultCache,
+    supervisor: &Supervisor,
+    options: Options,
+    sources: &[String],
+) {
+    let mut session = Session::new();
+    session.options = options;
+    for src in sources {
+        session
+            .load(src)
+            .expect("sources were validated by the probe load");
+    }
+
+    while let Some(job) = queue.pop() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            handle_job(&session, cache, supervisor, &job.src)
+        }))
+        .unwrap_or_else(|_| Err(PoolError("worker panicked while serving job".to_string())));
+        job.batch.fulfil(job.index, result);
+    }
+}
+
+/// Serve one job: compile, consult the cache, evaluate on a miss, and
+/// insert the answer back if (and only if) it is a pure outcome.
+fn handle_job(
+    session: &Session,
+    cache: &ResultCache,
+    supervisor: &Supervisor,
+    src: &str,
+) -> JobResult {
+    let expr = session
+        .compile_expr(src)
+        .map_err(|e| PoolError(e.to_string()))?;
+    let key = cache_key(
+        &expr,
+        &session.options.machine,
+        &session.options.denot,
+        session.options.render_depth,
+    );
+
+    if let Some(hit) = cache.get(&key) {
+        let mut stats = hit.stats;
+        stats.cache_hits = 1;
+        return Ok(JobOutcome {
+            rendered: hit.rendered,
+            exception: hit.exception,
+            stats,
+            cache_hit: true,
+            attempts: 0,
+            timed_out: false,
+        });
+    }
+
+    let supervised = session
+        .eval_supervised_expr(expr, supervisor)
+        .map_err(|e| PoolError(e.to_string()))?;
+    let result = supervised.result;
+
+    // Cache only pure outcomes: an asynchronous exception (or anything
+    // evaluated with async injections or under chaos) reflects external
+    // events, not the expression's denotation, and must not be replayed
+    // to later requests.
+    let pure = session.options.machine.chaos.is_none()
+        && result.stats.async_injected == 0
+        && !result
+            .exception
+            .as_ref()
+            .is_some_and(Exception::is_asynchronous);
+    if pure {
+        cache.insert(
+            key,
+            CachedEval {
+                rendered: result.rendered.clone(),
+                exception: result.exception.clone(),
+                stats: result.stats.clone(),
+            },
+        );
+    }
+
+    let mut stats = result.stats;
+    if cache.capacity() > 0 {
+        stats.cache_misses = 1;
+    }
+    Ok(JobOutcome {
+        rendered: result.rendered,
+        exception: result.exception,
+        stats,
+        cache_hit: false,
+        attempts: supervised.attempts,
+        timed_out: supervised.timed_out,
+    })
+}

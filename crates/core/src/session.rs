@@ -37,6 +37,11 @@ pub struct Options {
     /// Type-check loaded programs and evaluated expressions (default on;
     /// the evaluators assume well-typed input).
     pub typecheck: bool,
+    /// How deep [`Session::eval`] renders a value result (default 32).
+    /// Batch and server callers lower this to bound output size per
+    /// request; the serving cache keys on it, since the rendered string
+    /// is part of the cached answer.
+    pub render_depth: u32,
 }
 
 impl Default for Options {
@@ -45,6 +50,7 @@ impl Default for Options {
             machine: MachineConfig::default(),
             denot: DenotConfig::default(),
             typecheck: true,
+            render_depth: 32,
         }
     }
 }
@@ -52,8 +58,8 @@ impl Default for Options {
 /// The result of one machine evaluation.
 #[derive(Clone, Debug)]
 pub struct EvalResult {
-    /// The value rendered to depth 32, or `(raise E)` for an uncaught
-    /// exception.
+    /// The value rendered to [`Options::render_depth`], or `(raise E)`
+    /// for an uncaught exception.
     pub rendered: String,
     /// The representative exception, if evaluation raised.
     pub exception: Option<Exception>,
@@ -197,7 +203,7 @@ impl Session {
         };
         Ok(match out {
             Outcome::Value(n) => EvalResult {
-                rendered: m.render(n, 32),
+                rendered: m.render(n, self.options.render_depth),
                 exception: None,
                 stats: m.stats().clone(),
             },

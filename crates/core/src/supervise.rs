@@ -23,11 +23,13 @@
 //! leak poisoned thunks or a half-trimmed heap into the next one.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use urk_machine::{InterruptHandle, MEnv, Machine, MachineConfig, MachineError, Outcome};
+use urk_syntax::core::Expr;
 use urk_syntax::Exception;
 
 use crate::error::Error;
@@ -49,6 +51,14 @@ pub struct Supervisor {
     pub retries: u32,
     /// Budget multiplier per escalation.
     pub growth: u32,
+    /// An externally owned interrupt handle to run every attempt under.
+    /// A pool uses this to cancel an in-flight request from outside (e.g.
+    /// on shutdown) by delivering `Interrupt`; when unset, each request
+    /// gets a private handle only its own watchdog can reach. The handle
+    /// is disarmed when the request finishes, so a deadline that fires
+    /// just after completion cannot leak into the next request sharing
+    /// the handle.
+    pub interrupt: Option<InterruptHandle>,
 }
 
 impl Default for Supervisor {
@@ -60,6 +70,7 @@ impl Default for Supervisor {
             max_stack: None,
             retries: 1,
             growth: 4,
+            interrupt: None,
         }
     }
 }
@@ -109,6 +120,21 @@ impl Session {
         supervisor: &Supervisor,
     ) -> Result<SupervisedResult, Error> {
         let expr = self.compile_expr(src)?;
+        self.eval_supervised_expr(expr, supervisor)
+    }
+
+    /// As [`Session::eval_supervised`], starting from an already compiled
+    /// expression. The pool uses this split so one compilation serves
+    /// both the cache key and the evaluation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::eval_supervised`], minus the front-end errors.
+    pub fn eval_supervised_expr(
+        &self,
+        expr: Rc<Expr>,
+        supervisor: &Supervisor,
+    ) -> Result<SupervisedResult, Error> {
         let mut cfg = self.options.machine.clone();
         if let Some(s) = supervisor.max_steps {
             cfg.max_steps = s;
@@ -125,7 +151,7 @@ impl Session {
         loop {
             attempts += 1;
 
-            let handle = InterruptHandle::new();
+            let handle = supervisor.interrupt.clone().unwrap_or_default();
             let run_cfg = MachineConfig {
                 interrupt: Some(handle.clone()),
                 ..cfg.clone()
@@ -164,6 +190,11 @@ impl Session {
             done.store(true, Ordering::Relaxed);
             if let Some(t) = watchdog {
                 let _ = t.join();
+                // The watchdog may have fired in the instant the attempt
+                // finished; disarm the handle so a stale deadline cannot
+                // leak into a retry or (for a shared handle) the next
+                // request on the same worker.
+                handle.clear();
             }
 
             let (mut m, out) = match attempt {
@@ -208,7 +239,7 @@ impl Session {
                 matches!(exception, Some(Exception::Timeout)) && m.stats().async_injected > 0;
             let result = match out {
                 Outcome::Value(n) => EvalResult {
-                    rendered: m.render(n, 32),
+                    rendered: m.render(n, self.options.render_depth),
                     exception: None,
                     stats: m.stats().clone(),
                 },

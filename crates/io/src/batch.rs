@@ -1,0 +1,220 @@
+//! Submission-order result collection for batched evaluation.
+//!
+//! A worker pool completes jobs in whatever order scheduling happens to
+//! produce; callers care about the order they *submitted*. This is the
+//! serving-layer face of the paper's central claim: the choice of
+//! representative exception (and of completion interleaving) is confined
+//! non-determinism — a [`BatchOutcome`] nails each result to its
+//! submission index so the observable answer is a pure function of the
+//! submitted batch, not of which worker got there first.
+//!
+//! [`BatchOutcome`] is the plain single-threaded collector;
+//! [`SharedBatch`] wraps it in a `Mutex`/`Condvar` pair so pool workers
+//! can fulfil slots from any thread while the submitter blocks in
+//! [`SharedBatch::wait`].
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Results indexed by submission order, fulfilled in completion order.
+#[derive(Debug)]
+pub struct BatchOutcome<T> {
+    slots: Vec<Option<T>>,
+    remaining: usize,
+}
+
+impl<T> BatchOutcome<T> {
+    /// A batch expecting `n` results.
+    pub fn new(n: usize) -> BatchOutcome<T> {
+        BatchOutcome {
+            slots: (0..n).map(|_| None).collect(),
+            remaining: n,
+        }
+    }
+
+    /// Number of submitted jobs.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Records the result for submission index `index`. Returns `false`
+    /// (dropping `value`) if the index is out of range or already
+    /// fulfilled — the first completion wins, so a racing duplicate
+    /// cannot overwrite an observed result.
+    pub fn fulfil(&mut self, index: usize, value: T) -> bool {
+        match self.slots.get_mut(index) {
+            Some(slot @ None) => {
+                *slot = Some(value);
+                self.remaining -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True once every slot is fulfilled.
+    pub fn is_complete(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// The result at a submission index, if fulfilled.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.slots.get(index).and_then(|s| s.as_ref())
+    }
+
+    /// Consumes the batch, returning results in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is incomplete — callers gate on
+    /// [`BatchOutcome::is_complete`] (or go through [`SharedBatch::wait`],
+    /// which blocks until completion).
+    pub fn into_ordered(self) -> Vec<T> {
+        assert!(self.remaining == 0, "batch is incomplete");
+        self.slots
+            .into_iter()
+            .map(|s| s.expect("complete batch has no empty slot"))
+            .collect()
+    }
+}
+
+/// A [`BatchOutcome`] shared between a submitter and pool workers.
+///
+/// Cloning shares the underlying batch. Exactly one caller should
+/// [`wait`](SharedBatch::wait) — it drains the slots on completion.
+#[derive(Debug)]
+pub struct SharedBatch<T> {
+    inner: Arc<(Mutex<BatchOutcome<T>>, Condvar)>,
+}
+
+impl<T> Clone for SharedBatch<T> {
+    fn clone(&self) -> SharedBatch<T> {
+        SharedBatch {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> SharedBatch<T> {
+    /// A shared batch expecting `n` results.
+    pub fn new(n: usize) -> SharedBatch<T> {
+        SharedBatch {
+            inner: Arc::new((Mutex::new(BatchOutcome::new(n)), Condvar::new())),
+        }
+    }
+
+    /// Fulfils one slot (any thread); wakes the waiter when the batch
+    /// completes. Returns `false` for an out-of-range or duplicate index.
+    pub fn fulfil(&self, index: usize, value: T) -> bool {
+        let (lock, cond) = &*self.inner;
+        let mut batch = lock.lock().expect("batch lock poisoned");
+        let ok = batch.fulfil(index, value);
+        if batch.is_complete() {
+            cond.notify_all();
+        }
+        ok
+    }
+
+    /// Blocks until every slot is fulfilled, then returns the results in
+    /// submission order, draining the slots (single-consumer).
+    pub fn wait(&self) -> Vec<T> {
+        let (lock, cond) = &*self.inner;
+        let mut batch = lock.lock().expect("batch lock poisoned");
+        while !batch.is_complete() {
+            batch = cond.wait(batch).expect("batch lock poisoned");
+        }
+        drain(&mut batch)
+    }
+
+    /// As [`SharedBatch::wait`] with a deadline; `None` if the batch is
+    /// still incomplete when it passes (no slots are drained).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Vec<T>> {
+        let (lock, cond) = &*self.inner;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut batch = lock.lock().expect("batch lock poisoned");
+        while !batch.is_complete() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = cond
+                .wait_timeout(batch, deadline - now)
+                .expect("batch lock poisoned");
+            batch = guard;
+        }
+        Some(drain(&mut batch))
+    }
+}
+
+fn drain<T>(batch: &mut BatchOutcome<T>) -> Vec<T> {
+    batch.remaining = batch.slots.len();
+    batch
+        .slots
+        .iter_mut()
+        .map(|s| s.take().expect("complete batch has no empty slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let mut b = BatchOutcome::new(3);
+        assert!(!b.is_complete());
+        assert!(b.fulfil(2, "c"));
+        assert!(b.fulfil(0, "a"));
+        assert!(b.fulfil(1, "b"));
+        assert!(b.is_complete());
+        assert_eq!(b.into_ordered(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn first_completion_wins_and_bad_indices_are_rejected() {
+        let mut b = BatchOutcome::new(2);
+        assert!(b.fulfil(0, 1));
+        assert!(!b.fulfil(0, 2), "duplicate fulfilment must be rejected");
+        assert!(!b.fulfil(5, 3), "out-of-range index must be rejected");
+        assert!(b.fulfil(1, 4));
+        assert_eq!(b.into_ordered(), vec![1, 4]);
+    }
+
+    #[test]
+    fn empty_batches_are_trivially_complete() {
+        let b: BatchOutcome<i32> = BatchOutcome::new(0);
+        assert!(b.is_complete());
+        assert!(b.is_empty());
+        assert_eq!(b.into_ordered(), Vec::<i32>::new());
+        assert_eq!(SharedBatch::<i32>::new(0).wait(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn shared_batch_collects_across_threads() {
+        let batch: SharedBatch<usize> = SharedBatch::new(8);
+        let workers: Vec<_> = (0..8)
+            .map(|i| {
+                let b = batch.clone();
+                std::thread::spawn(move || b.fulfil(i, i * 10))
+            })
+            .collect();
+        let out = batch.wait();
+        assert_eq!(out, (0..8).map(|i| i * 10).collect::<Vec<_>>());
+        for w in workers {
+            assert!(w.join().expect("no panic"));
+        }
+    }
+
+    #[test]
+    fn wait_timeout_reports_incomplete_batches() {
+        let batch: SharedBatch<i32> = SharedBatch::new(1);
+        assert_eq!(batch.wait_timeout(Duration::from_millis(10)), None);
+        batch.fulfil(0, 7);
+        assert_eq!(batch.wait_timeout(Duration::from_millis(10)), Some(vec![7]));
+    }
+}

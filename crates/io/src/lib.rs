@@ -16,6 +16,7 @@
 //! non-determinism lives in the IO layer, and the machine's behaviour is
 //! one of the semantic runner's possible behaviours.
 
+pub mod batch;
 pub mod chaos;
 pub mod concurrent;
 pub mod denot_run;
@@ -23,6 +24,7 @@ pub mod machine_run;
 pub mod oracle;
 pub mod trace;
 
+pub use batch::{BatchOutcome, SharedBatch};
 pub use chaos::{chaos_run, chaos_run_with_plan, ChaosReport};
 pub use concurrent::{run_concurrent, ConcurrentOutcome, ThreadResult};
 pub use denot_run::{run_denot, AsyncSchedule, SemIoResult, SemRunOutcome};

@@ -147,6 +147,14 @@ pub struct Stats {
     pub async_injected: u64,
     /// Collections forced by a chaos plan (a subset of `gc_runs`).
     pub forced_gcs: u64,
+    /// Requests answered from the serving layer's shared result cache
+    /// (`urk::EvalPool`). The machine itself never sets this — a cache hit
+    /// means *no* machine ran; the pool stamps the counter onto the stats
+    /// it returns so hit rates are visible per result.
+    pub cache_hits: u64,
+    /// Requests that consulted the shared result cache and missed (also
+    /// stamped by the serving layer, never by the machine).
+    pub cache_misses: u64,
 }
 
 /// How an evaluation episode ended.

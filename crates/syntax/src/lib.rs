@@ -41,6 +41,7 @@ pub mod core;
 pub mod dataenv;
 pub mod desugar;
 pub mod exception;
+pub mod fingerprint;
 pub mod layout;
 pub mod lexer;
 pub mod matchc;
@@ -52,6 +53,7 @@ pub mod token;
 pub use crate::dataenv::{ConInfo, DataEnv, DataEnvError, TypeInfo};
 pub use crate::desugar::{desugar_expr, desugar_program};
 pub use crate::exception::Exception;
+pub use crate::fingerprint::{expr_canonical_bytes, expr_fingerprint, fnv1a};
 pub use crate::matchc::{potential_match_failures, DesugarError};
 pub use crate::parser::{parse_expr_src, parse_program, ParseError, SyntaxError};
 pub use crate::pretty::pretty;

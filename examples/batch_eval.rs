@@ -1,0 +1,53 @@
+//! Pooled batch evaluation over the checked-in corpus.
+//!
+//! Spins up an [`EvalPool`] — one fully-loaded session per worker
+//! thread, a bounded job queue, and a shared content-addressed result
+//! cache — then evaluates `examples/batch.corpus` through it and prints
+//! the answers in submission order next to the cache's verdict.
+//!
+//! ```text
+//! cargo run --example batch_eval
+//! ```
+
+use urk::{EvalPool, Options, PoolConfig, Supervisor};
+
+fn main() {
+    let corpus: Vec<&str> = include_str!("batch.corpus")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+
+    let pool = EvalPool::start(
+        &[],
+        Options::default(),
+        PoolConfig {
+            workers: 4,
+            cache_cap: 64,
+            supervisor: Supervisor::with_deadline(5_000),
+            ..PoolConfig::default()
+        },
+    )
+    .expect("the pool starts");
+
+    let results = pool.eval_batch(&corpus);
+    for (src, result) in corpus.iter().zip(&results) {
+        match result {
+            Ok(out) => {
+                let origin = if out.cache_hit { "cache" } else { "fresh" };
+                println!("[{origin}] {src}  =>  {}", out.rendered);
+            }
+            Err(e) => println!("[error] {src}  =>  {e}"),
+        }
+    }
+
+    let cache = pool.cache_stats();
+    println!(
+        "\ncache: {} hits, {} misses ({:.0}% hit rate), {} entries",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+        cache.entries,
+    );
+    pool.shutdown();
+}
