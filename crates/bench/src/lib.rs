@@ -12,8 +12,9 @@
 
 use std::collections::BTreeSet;
 use std::rc::Rc;
+use std::sync::Arc;
 
-use urk_machine::{MEnv, Machine, MachineConfig, Outcome, Stats};
+use urk_machine::{compile_program, Code, MEnv, Machine, MachineConfig, Outcome, Stats};
 use urk_syntax::core::{CoreProgram, Expr};
 use urk_syntax::{desugar_expr, desugar_program, parse_expr_src, parse_program, DataEnv, Symbol};
 
@@ -69,6 +70,23 @@ pub fn workloads() -> Vec<Workload> {
             first_order: true,
         },
     ]
+}
+
+/// A lazy first-order pipeline (build / map / filter / fold over a list):
+/// the interpretive-overhead-dominated shape the flat-code backend is
+/// built for. Self-contained like the standard workloads.
+pub fn pipeline_workload() -> Workload {
+    Workload {
+        name: "pipeline",
+        program: "upto n = if n == 0 then [] else n : upto (n - 1)\n\
+                  mapmul xs = case xs of { [] -> []; y:ys -> (y * 3) : mapmul ys }\n\
+                  keepeven xs = case xs of { [] -> []; y:ys -> if y % 2 == 0 then y : keepeven ys else keepeven ys }\n\
+                  total xs = case xs of { [] -> 0; y:ys -> y + total ys }\n\
+                  pipe n = total (keepeven (mapmul (upto n)))",
+        query: "pipe 400".into(),
+        expected: "120600",
+        first_order: true,
+    }
 }
 
 /// A compiled workload: data environment plus core program.
@@ -132,6 +150,32 @@ pub fn run(c: &Compiled, config: MachineConfig) -> (String, Stats) {
 /// Panics if the machine hits a hard limit.
 pub fn run_caught(c: &Compiled, config: MachineConfig) -> (String, Stats) {
     run_inner(c, config, true)
+}
+
+/// Lowers a workload's program to the flat code image once, for sharing
+/// across measured runs (as the pool shares one `Arc<Code>` per program).
+pub fn lower(c: &Compiled) -> Arc<Code> {
+    Arc::new(compile_program(&c.program.binds))
+}
+
+/// Runs a workload through the flat-code executor. The image is linked
+/// per run (cheap: an `Arc` clone plus the query lowering), mirroring a
+/// pool worker picking up a job.
+///
+/// # Panics
+///
+/// Panics if the machine hits a hard limit.
+pub fn run_flat(c: &Compiled, code: &Arc<Code>, config: MachineConfig) -> (String, Stats) {
+    let mut m = Machine::new(config);
+    m.link_code(Arc::clone(code));
+    let out = m
+        .eval_code_expr(&c.query, false)
+        .expect("workload within limits");
+    let rendered = match out {
+        Outcome::Value(n) => m.render(n, 16),
+        Outcome::Caught(e) | Outcome::Uncaught(e) => format!("(raise {e})"),
+    };
+    (rendered, m.stats().clone())
 }
 
 /// The §2.2 explicit encoding of a compiled workload (program and query).
@@ -235,6 +279,21 @@ mod tests {
             let (t, _) = apply_cbv(&c);
             let (got, _) = run(&t, MachineConfig::default());
             assert_eq!(got, w.expected, "workload {}", w.name);
+        }
+    }
+
+    #[test]
+    fn the_flat_executor_computes_every_expected_answer() {
+        let mut all = workloads();
+        all.push(pipeline_workload());
+        for w in all {
+            let c = compile(&w);
+            let code = lower(&c);
+            let (got, _) = run_flat(&c, &code, MachineConfig::default());
+            assert_eq!(got, w.expected, "workload {}", w.name);
+            // And it agrees with the tree-walker byte for byte.
+            let (tree, _) = run(&c, MachineConfig::default());
+            assert_eq!(got, tree, "workload {}", w.name);
         }
     }
 

@@ -15,13 +15,15 @@
 //! urk --expr "f 9" --chaos 42          # differential fault injection
 //! urk --jobs 4 --batch exprs.txt       # pooled evaluation, one expr per line
 //! urk --jobs 4 --batch exprs.txt --cache-cap 1024 --stats
+//! urk --expr "f 9" --backend compiled  # run on the flat-code backend
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use urk::{
-    EvalPool, Exception, IoResult, OrderPolicy, PoolConfig, SemIoResult, Session, Supervisor,
+    Backend, EvalPool, Exception, IoResult, OrderPolicy, PoolConfig, SemIoResult, Session,
+    Supervisor,
 };
 
 struct Args {
@@ -30,6 +32,7 @@ struct Args {
     type_of: Option<String>,
     denot: Option<String>,
     order: OrderPolicy,
+    backend: Backend,
     optimize: bool,
     dump_core: bool,
     stats: bool,
@@ -51,7 +54,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: urk [FILE.urk] [--expr E | --type E | --denot E]\n\
-         \x20          [--order l|r|s[:SEED]] [--optimize] [--input STR]\n\
+         \x20          [--order l|r|s[:SEED]] [--backend tree|compiled] [--optimize] [--input STR]\n\
          \x20          [--semantic|--concurrent] [--seed N] [--trace] [--dump-core] [--stats]\n\
          \x20          [--max-steps N] [--max-heap N] [--max-stack N]\n\
          \x20          [--timeout-ms N] [--chaos SEED]\n\
@@ -67,6 +70,7 @@ fn parse_args() -> Args {
         type_of: None,
         denot: None,
         order: OrderPolicy::LeftToRight,
+        backend: Backend::Tree,
         optimize: false,
         dump_core: false,
         stats: false,
@@ -129,6 +133,14 @@ fn parse_args() -> Args {
                     _ => usage(),
                 };
             }
+            "--backend" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                out.backend = match v.as_str() {
+                    "tree" => Backend::Tree,
+                    "compiled" => Backend::Compiled,
+                    _ => usage(),
+                };
+            }
             "--help" | "-h" => usage(),
             f if !f.starts_with('-') && out.file.is_none() => out.file = Some(f.to_string()),
             _ => usage(),
@@ -141,6 +153,7 @@ fn main() -> ExitCode {
     let args = parse_args();
     let mut session = Session::new();
     session.options.machine.order = args.order;
+    session.options.backend = args.backend;
     if let Some(n) = args.max_steps {
         session.options.machine.max_steps = n;
     }
@@ -360,7 +373,8 @@ fn main() -> ExitCode {
                 println!("{}", r.rendered);
                 if args.stats {
                     eprintln!(
-                        "steps: {}  allocations: {}  updates: {}  max-stack: {}  gc-runs: {}  gc-freed: {}",
+                        "backend: {}  steps: {}  allocations: {}  updates: {}  max-stack: {}  gc-runs: {}  gc-freed: {}",
+                        r.stats.backend.name(),
                         r.stats.steps,
                         r.stats.allocations,
                         r.stats.thunk_updates,
@@ -368,6 +382,12 @@ fn main() -> ExitCode {
                         r.stats.gc_runs,
                         r.stats.gc_freed,
                     );
+                    if r.stats.backend == Backend::Compiled {
+                        eprintln!(
+                            "compile: {} ops in {}µs (program + query lowering)",
+                            r.stats.compile_ops, r.stats.compile_micros,
+                        );
+                    }
                 }
                 if r.exception.is_some() {
                     ExitCode::FAILURE

@@ -17,8 +17,9 @@
 //!   expression ([`urk_syntax::expr_canonical_bytes`]) plus the
 //!   semantics-relevant slice of the configuration — evaluation order,
 //!   blackhole mode, budgets, the async event schedule, GC policy, the
-//!   denotational fuel/depth/`unsafeIsException` settings, and the render
-//!   depth (the rendered string is part of the cached answer). Run-only
+//!   denotational fuel/depth/`unsafeIsException` settings, the render
+//!   depth (the rendered string is part of the cached answer), and the
+//!   executing backend (tree-walker vs compiled code). Run-only
 //!   plumbing (the interrupt handle, the chaos plan) is deliberately
 //!   excluded from the key because chaos runs are never inserted.
 //!
@@ -32,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use urk_denot::DenotConfig;
-use urk_machine::{BlackholeMode, MachineConfig, OrderPolicy, Stats};
+use urk_machine::{Backend, BlackholeMode, MachineConfig, OrderPolicy, Stats};
 use urk_syntax::core::Expr;
 use urk_syntax::{expr_canonical_bytes, fnv1a, Exception};
 
@@ -70,9 +71,10 @@ pub fn cache_key(
     machine: &MachineConfig,
     denot: &DenotConfig,
     render_depth: u32,
+    backend: Backend,
 ) -> CacheKey {
     let expr_bytes = expr_canonical_bytes(expr);
-    let config = config_slice_bytes(machine, denot, render_depth);
+    let config = config_slice_bytes(machine, denot, render_depth, backend);
     let mut all = Vec::with_capacity(expr_bytes.len() + config.len());
     all.extend_from_slice(&expr_bytes);
     all.extend_from_slice(&config);
@@ -86,7 +88,12 @@ pub fn cache_key(
 /// Serializes the semantics-relevant slice of the configuration: every
 /// knob that can change the rendered answer, the representative
 /// exception, or which member of the exception set the machine picks.
-fn config_slice_bytes(machine: &MachineConfig, denot: &DenotConfig, render_depth: u32) -> Vec<u8> {
+fn config_slice_bytes(
+    machine: &MachineConfig,
+    denot: &DenotConfig,
+    render_depth: u32,
+    backend: Backend,
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(96);
     match machine.order {
         OrderPolicy::LeftToRight => out.push(0x01),
@@ -115,6 +122,14 @@ fn config_slice_bytes(machine: &MachineConfig, denot: &DenotConfig, render_depth
     out.extend_from_slice(&denot.max_depth.to_le_bytes());
     out.push(u8::from(denot.pessimistic_is_exception));
     out.extend_from_slice(&render_depth.to_le_bytes());
+    // The backend is part of the key even though both executors must
+    // agree on outcomes: keeping the dimensions separate means a
+    // divergence bug degrades to a duplicated entry, never to one
+    // backend serving the other's (possibly wrong) answer.
+    out.push(match backend {
+        Backend::Tree => 0x01,
+        Backend::Compiled => 0x02,
+    });
     out
 }
 

@@ -69,7 +69,8 @@ pub use urk_denot::{Denot, DenotConfig, ExnSet, Verdict};
 pub use urk_io::ChaosReport;
 pub use urk_io::{Event, IoResult, RunOutcome, SemIoResult, SemRunOutcome, Trace};
 pub use urk_machine::{
-    BlackholeMode, FaultPlan, InterruptHandle, MachineConfig, MachineError, OrderPolicy, Stats,
+    Backend, BlackholeMode, Code, FaultPlan, InterruptHandle, MachineConfig, MachineError,
+    OrderPolicy, Stats,
 };
 pub use urk_syntax::Exception;
 pub use urk_transform::{classify_all, render_table, LawReport};

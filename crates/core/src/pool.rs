@@ -34,7 +34,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use urk_io::SharedBatch;
-use urk_machine::{InterruptHandle, Stats};
+use urk_machine::{Backend, Code, InterruptHandle, Stats};
 use urk_syntax::Exception;
 
 use crate::cache::{cache_key, CacheStats, CachedEval, ResultCache};
@@ -221,14 +221,18 @@ impl EvalPool {
         config: PoolConfig,
     ) -> Result<EvalPool, Error> {
         // Probe-load on the caller's thread: validates every source (and
-        // warms the global interner) before any worker exists.
-        {
+        // warms the global interner) before any worker exists. On the
+        // compiled backend the probe also lowers the program to flat code
+        // once; every worker links this same `Arc<Code>` image instead of
+        // recompiling it per thread.
+        let shared_code = {
             let mut probe = Session::new();
             probe.options = options.clone();
             for src in sources {
                 probe.load(src)?;
             }
-        }
+            (options.backend == Backend::Compiled).then(|| probe.compiled_code())
+        };
 
         let nworkers = config.workers.max(1);
         let queue = Arc::new(JobQueue::new(config.queue_cap));
@@ -247,6 +251,7 @@ impl EvalPool {
             let alive = Arc::clone(&alive);
             let options = options.clone();
             let sources = owned_sources.clone();
+            let code = shared_code.clone();
             let supervisor = Supervisor {
                 interrupt: Some(cancel),
                 ..config.supervisor.clone()
@@ -255,7 +260,7 @@ impl EvalPool {
                 std::thread::Builder::new()
                     .name(format!("urk-pool-{worker_id}"))
                     .spawn(move || {
-                        worker_loop(&queue, &cache, &supervisor, options, &sources);
+                        worker_loop(&queue, &cache, &supervisor, options, &sources, code);
                         let (count, cond) = &*alive;
                         *count.lock().expect("alive counter poisoned") -= 1;
                         cond.notify_all();
@@ -373,6 +378,7 @@ fn worker_loop(
     supervisor: &Supervisor,
     options: Options,
     sources: &[String],
+    code: Option<Arc<Code>>,
 ) {
     let mut session = Session::new();
     session.options = options;
@@ -380,6 +386,12 @@ fn worker_loop(
         session
             .load(src)
             .expect("sources were validated by the probe load");
+    }
+    if let Some(code) = code {
+        // The worker's program is byte-for-byte the probe's (same
+        // sources, same Prelude), so the probe's compiled image is its
+        // compiled image.
+        session.set_compiled_code(code);
     }
 
     while let Some(job) = queue.pop() {
@@ -407,6 +419,7 @@ fn handle_job(
         &session.options.machine,
         &session.options.denot,
         session.options.render_depth,
+        session.options.backend,
     );
 
     if let Some(hit) = cache.get(&key) {

@@ -7,15 +7,17 @@
 //! [`Session::exception_set`]), or performed as IO
 //! ([`Session::run_main`], [`Session::run_main_semantic`]).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use urk_denot::{show_denot, Denot, DenotConfig, DenotEvaluator, Env as DEnv, ExnSet, Thunk};
 use urk_io::{
     run_denot, run_machine, AsyncSchedule, ExceptionOracle, RunOutcome, SeededOracle,
     SemRunOutcome, StringInput,
 };
-use urk_machine::{MEnv, Machine, MachineConfig, Outcome, Stats};
+use urk_machine::{compile_program, Backend, Code, MEnv, Machine, MachineConfig, Outcome, Stats};
 use urk_syntax::core::{CoreProgram, Expr};
 use urk_syntax::{
     desugar_expr, desugar_program, parse_expr_src, parse_program, DataEnv, Exception, Symbol,
@@ -42,6 +44,12 @@ pub struct Options {
     /// request; the serving cache keys on it, since the rendered string
     /// is part of the cached answer.
     pub render_depth: u32,
+    /// Which execution engine machine evaluations run on: the
+    /// tree-walking interpreter (default) or the flat-code compiled
+    /// backend. Both implement the same semantics; the compiled backend
+    /// trades a one-time lowering of the program for cheaper dispatch
+    /// on every step.
+    pub backend: Backend,
 }
 
 impl Default for Options {
@@ -51,6 +59,7 @@ impl Default for Options {
             denot: DenotConfig::default(),
             typecheck: true,
             render_depth: 32,
+            backend: Backend::Tree,
         }
     }
 }
@@ -72,6 +81,10 @@ pub struct Session {
     data: DataEnv,
     program: CoreProgram,
     types: HashMap<Symbol, Scheme>,
+    /// The program lowered to flat code, compiled on first use and
+    /// invalidated whenever the program changes. Shared (`Arc`) so the
+    /// pool can hand one compiled image to every worker.
+    compiled: RefCell<Option<Arc<Code>>>,
     /// Pipeline options (freely adjustable between calls).
     pub options: Options,
 }
@@ -103,6 +116,7 @@ impl Session {
             data: DataEnv::new(),
             program: CoreProgram::default(),
             types: HashMap::new(),
+            compiled: RefCell::new(None),
             options: Options::default(),
         }
     }
@@ -123,6 +137,7 @@ impl Session {
         }
         self.program.binds.extend(new.binds);
         self.program.sigs.extend(new.sigs);
+        self.compiled.replace(None);
         if self.options.typecheck {
             self.types = infer_program(&self.program, &self.data)?;
         }
@@ -181,18 +196,72 @@ impl Session {
         (m, env)
     }
 
+    /// The session program lowered to flat code, compiling it on first
+    /// use and caching the result until the program changes
+    /// ([`Session::load`] and the optimisation passes invalidate it).
+    /// The returned `Arc` is the image every compiled-backend machine
+    /// links; the pool shares one across all workers.
+    pub fn compiled_code(&self) -> Arc<Code> {
+        if let Some(code) = self.compiled.borrow().as_ref() {
+            return Arc::clone(code);
+        }
+        let code = Arc::new(compile_program(&self.program.binds));
+        self.compiled.replace(Some(Arc::clone(&code)));
+        code
+    }
+
+    /// Whether the program is already lowered — i.e. whether the next
+    /// compiled-backend evaluation will reuse a cached image rather than
+    /// paying the lowering cost.
+    pub fn has_compiled_code(&self) -> bool {
+        self.compiled.borrow().is_some()
+    }
+
+    /// Installs an already-compiled image of the session program, so
+    /// pool workers reuse the probe session's single `Arc<Code>` instead
+    /// of each lowering the same program again. The caller must ensure
+    /// `code` was compiled from an identical program (the pool loads
+    /// every worker from the same sources).
+    pub fn set_compiled_code(&self, code: Arc<Code>) {
+        self.compiled.replace(Some(code));
+    }
+
+    /// A fresh machine with the compiled program linked (globals
+    /// allocated and rooted), ready for [`Machine::eval_code_expr`].
+    pub fn compiled_machine(&self) -> Machine {
+        let mut m = Machine::new(self.options.machine.clone());
+        m.link_code(self.compiled_code());
+        m
+    }
+
     /// Evaluates an expression on the machine (no catch mark: an
-    /// exception is reported as uncaught).
+    /// exception is reported as uncaught), on whichever backend
+    /// [`Options::backend`] selects.
     ///
     /// # Errors
     ///
     /// Front-end errors, or [`Error::Machine`] on hard limits.
     pub fn eval(&self, src: &str) -> Result<EvalResult, Error> {
         let e = self.compile_expr(src)?;
-        let (mut m, env) = self.machine();
+        // If this evaluation is the one that pays the program's one-time
+        // lowering cost, stamp that cost onto its stats below.
+        let first_compile =
+            self.options.backend == Backend::Compiled && self.compiled.borrow().is_none();
+        let (mut m, out) = match self.options.backend {
+            Backend::Tree => {
+                let (mut m, env) = self.machine();
+                let out = m.eval(e, &env, false);
+                (m, out)
+            }
+            Backend::Compiled => {
+                let mut m = self.compiled_machine();
+                let out = m.eval_code_expr(&e, false);
+                (m, out)
+            }
+        };
         // An aborted run still burned steps and allocations; carry the
         // counters into the error so hitting a limit is diagnosable.
-        let out = match m.eval(e, &env, false) {
+        let out = match out {
             Ok(out) => out,
             Err(error) => {
                 return Err(Error::Machine {
@@ -201,16 +270,22 @@ impl Session {
                 })
             }
         };
+        let mut stats = m.stats().clone();
+        if first_compile {
+            let code = self.compiled_code();
+            stats.compile_ops += code.compile_ops();
+            stats.compile_micros += code.compile_micros();
+        }
         Ok(match out {
             Outcome::Value(n) => EvalResult {
                 rendered: m.render(n, self.options.render_depth),
                 exception: None,
-                stats: m.stats().clone(),
+                stats,
             },
             Outcome::Caught(exn) | Outcome::Uncaught(exn) => EvalResult {
                 rendered: format!("(raise {exn})"),
                 exception: Some(exn),
-                stats: m.stats().clone(),
+                stats,
             },
         })
     }
@@ -261,14 +336,25 @@ impl Session {
     /// Front-end errors.
     pub fn chaos_check(&self, src: &str, seed: u64) -> Result<urk_io::ChaosReport, Error> {
         let e = self.compile_expr(src)?;
-        Ok(urk_io::chaos_run(
-            &self.data,
-            &self.program.binds,
-            &e,
-            &self.options.machine,
-            self.options.denot.fuel,
-            seed,
-        ))
+        Ok(match self.options.backend {
+            Backend::Tree => urk_io::chaos_run(
+                &self.data,
+                &self.program.binds,
+                &e,
+                &self.options.machine,
+                self.options.denot.fuel,
+                seed,
+            ),
+            Backend::Compiled => urk_io::chaos_run_compiled(
+                &self.data,
+                &self.program.binds,
+                &self.compiled_code(),
+                &e,
+                &self.options.machine,
+                self.options.denot.fuel,
+                seed,
+            ),
+        })
     }
 
     /// Performs `main` on the machine with the given input.
@@ -383,6 +469,7 @@ impl Session {
             self.types = infer_program(&out, &self.data)?;
         }
         self.program = out;
+        self.compiled.replace(None);
         Ok(report)
     }
 
@@ -409,6 +496,7 @@ impl Session {
                 self.types = infer_program(&out, &self.data)?;
             }
             self.program = out;
+            self.compiled.replace(None);
         }
         Ok(report)
     }

@@ -24,9 +24,10 @@
 //! derived from the seed.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use urk_denot::{show_denot, Denot, DenotConfig, DenotEvaluator, Env};
-use urk_machine::{FaultPlan, MEnv, Machine, MachineConfig, Outcome};
+use urk_machine::{Code, FaultPlan, MEnv, Machine, MachineConfig, Outcome};
 use urk_syntax::core::Expr;
 use urk_syntax::{DataEnv, Symbol};
 
@@ -74,12 +75,62 @@ pub fn chaos_run(
     chaos_run_with_plan(data, binds, query, base, denot_fuel, plan)
 }
 
+/// As [`chaos_run`], but the fault-injected machine executes the
+/// *compiled* backend: the program image in `code` is linked and the
+/// query runs through [`Machine::eval_code_expr`]. The oracle is the
+/// same denotational evaluator — the whole point is that §5.1's
+/// robustness claim is representation-independent, so the compiled
+/// executor must satisfy exactly the invariants the tree-walker does.
+pub fn chaos_run_compiled(
+    data: &DataEnv,
+    binds: &[(Symbol, Rc<Expr>)],
+    code: &Arc<Code>,
+    query: &Rc<Expr>,
+    base: &MachineConfig,
+    denot_fuel: u64,
+    seed: u64,
+) -> ChaosReport {
+    let horizon = baseline_steps_compiled(code, query, base);
+    let plan = FaultPlan::generate(seed, horizon);
+    chaos_run_with_plan_compiled(data, binds, code, query, base, denot_fuel, plan)
+}
+
 /// As [`chaos_run`], but with a caller-supplied plan — used by the tests
 /// that arm `sabotage_async_restore` to prove the audit catches a broken
 /// restore, and usable to replay a hand-written fault schedule.
 pub fn chaos_run_with_plan(
     data: &DataEnv,
     binds: &[(Symbol, Rc<Expr>)],
+    query: &Rc<Expr>,
+    base: &MachineConfig,
+    denot_fuel: u64,
+    plan: FaultPlan,
+) -> ChaosReport {
+    chaos_run_inner(data, binds, None, query, base, denot_fuel, plan)
+}
+
+/// As [`chaos_run_compiled`] with a caller-supplied plan.
+pub fn chaos_run_with_plan_compiled(
+    data: &DataEnv,
+    binds: &[(Symbol, Rc<Expr>)],
+    code: &Arc<Code>,
+    query: &Rc<Expr>,
+    base: &MachineConfig,
+    denot_fuel: u64,
+    plan: FaultPlan,
+) -> ChaosReport {
+    chaos_run_inner(data, binds, Some(code), query, base, denot_fuel, plan)
+}
+
+/// The shared driver: the oracle and every invariant check are identical
+/// for both backends; only how the machine is prepared and entered
+/// differs (recursive environment + tree `eval` vs linked image +
+/// `eval_code_expr`).
+#[allow(clippy::too_many_arguments)]
+fn chaos_run_inner(
+    data: &DataEnv,
+    binds: &[(Symbol, Rc<Expr>)],
+    code: Option<&Arc<Code>>,
     query: &Rc<Expr>,
     base: &MachineConfig,
     denot_fuel: u64,
@@ -106,8 +157,17 @@ pub fn chaos_run_with_plan(
         chaos: Some(plan.clone()),
         ..base.clone()
     });
-    let menv = m.bind_recursive(binds, &MEnv::empty());
-    let chaos_out = m.eval(query.clone(), &menv, true);
+    let menv = match code {
+        Some(code) => {
+            m.link_code(Arc::clone(code));
+            MEnv::empty()
+        }
+        None => m.bind_recursive(binds, &MEnv::empty()),
+    };
+    let chaos_out = match code {
+        Some(_) => m.eval_code_expr(query, true),
+        None => m.eval(query.clone(), &menv, true),
+    };
     let faults_fired = m.stats().async_injected + m.stats().forced_gcs;
 
     let (outcome, sound) = match &chaos_out {
@@ -135,7 +195,11 @@ pub fn chaos_run_with_plan(
 
     // Same machine, faults disarmed: must agree with the oracle again.
     m.disarm_chaos();
-    let reeval_ok = match m.eval(query.clone(), &menv, true) {
+    let reeval_out = match code {
+        Some(_) => m.eval_code_expr(query, true),
+        None => m.eval(query.clone(), &menv, true),
+    };
+    let reeval_ok = match reeval_out {
         Ok(Outcome::Value(n)) => {
             let rendered = m.render(n, 16);
             matches!(&denot, Denot::Ok(_)) && renders_agree(&rendered, &oracle)
@@ -162,6 +226,16 @@ fn baseline_steps(binds: &[(Symbol, Rc<Expr>)], query: &Rc<Expr>, base: &Machine
     let mut m = Machine::new(base.clone());
     let menv = m.bind_recursive(binds, &MEnv::empty());
     let _ = m.eval(query.clone(), &menv, true);
+    m.stats().steps
+}
+
+/// As [`baseline_steps`], on the compiled backend (each backend gets its
+/// own horizon: their step counts differ, and the faults must land inside
+/// the episode actually being disturbed).
+fn baseline_steps_compiled(code: &Arc<Code>, query: &Rc<Expr>, base: &MachineConfig) -> u64 {
+    let mut m = Machine::new(base.clone());
+    m.link_code(Arc::clone(code));
+    let _ = m.eval_code_expr(query, true);
     m.stats().steps
 }
 

@@ -25,7 +25,9 @@ pub mod oracle;
 pub mod trace;
 
 pub use batch::{BatchOutcome, SharedBatch};
-pub use chaos::{chaos_run, chaos_run_with_plan, ChaosReport};
+pub use chaos::{
+    chaos_run, chaos_run_compiled, chaos_run_with_plan, chaos_run_with_plan_compiled, ChaosReport,
+};
 pub use concurrent::{run_concurrent, ConcurrentOutcome, ThreadResult};
 pub use denot_run::{run_denot, AsyncSchedule, SemIoResult, SemRunOutcome};
 pub use machine_run::{run_machine, run_machine_node, IoResult, RunOutcome};

@@ -1,0 +1,543 @@
+//! Core lowered to a flat, arena-indexed code format.
+//!
+//! The tree-walking machine interprets `Rc<Expr>` nodes, cloning
+//! refcounted children every step and resolving every variable by
+//! scanning `Symbol` entries in chunked environment frames. This module
+//! compiles a desugared program once into a single flat [`Code`] arena:
+//!
+//! * every expression node becomes one `u32`-indexed [`COp`] in a
+//!   contiguous `Vec` — the executor copies a small `Copy` op instead of
+//!   touching refcounts;
+//! * variables are resolved **at compile time** to lexical back-indices
+//!   ("slot `k` from the top of the runtime environment"), so lookup is
+//!   indexed loads through the chunk chain instead of a `Symbol` scan —
+//!   and top-level names become direct indices into a per-machine global
+//!   table;
+//! * case alternatives are pre-lowered into dispatch arms keyed by
+//!   constructor tag (a `Symbol` is a globally interned `u32`, so the
+//!   runtime match is an integer compare);
+//! * string literals are interned once per program in an `Arc<str>`
+//!   table.
+//!
+//! `Code` holds no `Rc` and no thread-local state, so it is `Send + Sync`:
+//! the evaluation pool compiles the program once and shares one
+//! `Arc<Code>` across all worker machines. Per-query expressions compile
+//! into a machine-local *extension* buffer ([`LinkedCode`]); `CodeId`s
+//! below the base length address the shared program, the rest address the
+//! extension.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use urk_syntax::core::{Alt, AltCon, Expr, PrimOp};
+use urk_syntax::Symbol;
+
+use crate::heap::NodeId;
+
+/// An index into a [`Code`] arena (base program or machine extension).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CodeId(pub(crate) u32);
+
+/// One flat code op. `Copy`, so the executor never clones refcounts on
+/// the hot path; children are referenced by [`CodeId`] or by ranges into
+/// the side tables ([`CodeBuf::kids`], [`CodeBuf::arms`],
+/// [`CodeBuf::strs`]).
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum COp {
+    /// A local variable, resolved to "slot `k` back from the top" of the
+    /// runtime environment.
+    Local(u32),
+    /// A top-level binding, resolved to an index into the machine's
+    /// global node table.
+    Global(u32),
+    Int(i64),
+    Char(char),
+    /// A string literal (index into the interned string table).
+    Str(u32),
+    /// A saturated constructor; `n` argument ops at `kids[args..]`.
+    Con {
+        tag: Symbol,
+        args: u32,
+        n: u16,
+    },
+    App {
+        f: CodeId,
+        a: CodeId,
+    },
+    Lam {
+        body: CodeId,
+    },
+    Let {
+        rhs: CodeId,
+        body: CodeId,
+    },
+    /// A recursive group; `n` right-hand sides at `kids[rhss..]`.
+    LetRec {
+        rhss: u32,
+        n: u16,
+        body: CodeId,
+    },
+    /// A case dispatch; `n` pre-lowered arms at `arms[arms_at..]`.
+    Case {
+        scrut: CodeId,
+        arms_at: u32,
+        n: u16,
+    },
+    /// A strict unary primitive.
+    Prim1 {
+        op: PrimOp,
+        a: CodeId,
+    },
+    /// A strict binary primitive (operand order stays a machine policy).
+    Prim2 {
+        op: PrimOp,
+        a: CodeId,
+        b: CodeId,
+    },
+    Seq {
+        a: CodeId,
+        b: CodeId,
+    },
+    MapExn {
+        f: CodeId,
+        a: CodeId,
+    },
+    IsExn {
+        a: CodeId,
+    },
+    GetExn {
+        a: CodeId,
+    },
+    Raise {
+        a: CodeId,
+    },
+}
+
+/// What one pre-lowered case arm matches. Constructor dispatch is a
+/// `Symbol` compare — an interned `u32` equality, no name scan.
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum CPat {
+    Con(Symbol),
+    Int(i64),
+    Char(char),
+    Str(u32),
+    Default,
+}
+
+/// One pre-lowered case arm. `binders` is how many scrutinee fields the
+/// arm pushes (for `Default`, `bind_scrut` pushes the scrutinee itself);
+/// the rhs was compiled under exactly that many extra slots.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct CArm {
+    pub(crate) pat: CPat,
+    pub(crate) rhs: CodeId,
+    pub(crate) binders: u16,
+    pub(crate) bind_scrut: bool,
+}
+
+/// The contiguous storage one compilation unit emits into.
+#[derive(Debug, Default)]
+pub struct CodeBuf {
+    pub(crate) ops: Vec<COp>,
+    pub(crate) kids: Vec<CodeId>,
+    pub(crate) arms: Vec<CArm>,
+    pub(crate) strs: Vec<Arc<str>>,
+}
+
+impl CodeBuf {
+    fn len_of(&self) -> Bases {
+        Bases {
+            ops: self.ops.len() as u32,
+            kids: self.kids.len() as u32,
+            arms: self.arms.len() as u32,
+            strs: self.strs.len() as u32,
+        }
+    }
+}
+
+/// Table offsets a compilation starts from, so extension code emits
+/// absolute indices that address past the shared base tables.
+#[derive(Copy, Clone, Debug, Default)]
+struct Bases {
+    ops: u32,
+    kids: u32,
+    arms: u32,
+    strs: u32,
+}
+
+/// A whole compiled program: the flat op arena plus the top-level
+/// binding table. Immutable and `Send + Sync` — one `Arc<Code>` serves
+/// every worker in a pool.
+#[derive(Debug)]
+pub struct Code {
+    pub(crate) buf: CodeBuf,
+    /// Top-level bindings in program order: `(name, rhs entry point)`.
+    pub(crate) globals: Vec<(Symbol, CodeId)>,
+    /// Name → global-table index (later bindings shadow earlier ones,
+    /// matching the tree machine's environment order).
+    pub(crate) global_index: HashMap<Symbol, u32>,
+    /// Ops emitted compiling the program (observability).
+    pub(crate) compile_ops: u64,
+    /// Wall-clock microseconds spent compiling the program.
+    pub(crate) compile_micros: u64,
+}
+
+impl Code {
+    /// Number of ops in the program arena.
+    pub fn op_count(&self) -> usize {
+        self.buf.ops.len()
+    }
+
+    /// Ops emitted compiling the program (same as [`Code::op_count`],
+    /// typed for stats accumulation).
+    pub fn compile_ops(&self) -> u64 {
+        self.compile_ops
+    }
+
+    /// Wall-clock microseconds spent compiling the program.
+    pub fn compile_micros(&self) -> u64 {
+        self.compile_micros
+    }
+}
+
+// `Code` must stay shareable across pool workers; a compile error here
+// means an `Rc` or thread-bound type leaked into the arena.
+#[allow(dead_code)]
+fn code_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Code>();
+}
+
+/// Compiles a desugared top-level binding group into one flat [`Code`]
+/// arena. Free variables of every right-hand side must be bound by the
+/// group itself (the session's combined Prelude + loads satisfy this).
+///
+/// # Panics
+///
+/// Panics on an unbound variable — like the tree machine, which panics
+/// when `MEnv::lookup` misses; the front end guarantees closedness.
+pub fn compile_program(binds: &[(Symbol, Rc<Expr>)]) -> Code {
+    let t0 = std::time::Instant::now();
+    let mut buf = CodeBuf::default();
+    let mut global_index: HashMap<Symbol, u32> = HashMap::with_capacity(binds.len());
+    for (i, (name, _)) in binds.iter().enumerate() {
+        // Later bindings shadow earlier ones, as in `bind_recursive`.
+        global_index.insert(*name, i as u32);
+    }
+    let mut globals = Vec::with_capacity(binds.len());
+    for (name, rhs) in binds {
+        let mut c = Compiler {
+            buf: &mut buf,
+            globals: &global_index,
+            scope: Vec::new(),
+            bases: Bases::default(),
+        };
+        globals.push((*name, c.compile(rhs)));
+    }
+    let compile_ops = buf.ops.len() as u64;
+    Code {
+        buf,
+        globals,
+        global_index,
+        compile_ops,
+        compile_micros: t0.elapsed().as_micros() as u64,
+    }
+}
+
+/// Compiles one query expression into `ext`, resolving free variables
+/// against `base`'s global table. Returns the entry point and the number
+/// of ops emitted.
+pub(crate) fn compile_query(base: &Code, ext: &mut CodeBuf, expr: &Expr) -> (CodeId, u64) {
+    let before = ext.ops.len();
+    // Absolute addressing offsets by the base tables only: `ext` may
+    // already hold earlier queries, and the emit helpers index as
+    // `bases + ext.len()`, which accounts for that existing content.
+    let bases = base.buf.len_of();
+    let mut c = Compiler {
+        buf: ext,
+        globals: &base.global_index,
+        scope: Vec::new(),
+        bases,
+    };
+    let entry = c.compile(expr);
+    (entry, (ext.ops.len() - before) as u64)
+}
+
+/// The one-pass lowering walk. `scope` is the compile-time mirror of the
+/// runtime environment: code compiled with `scope.len() == n` always
+/// executes under an environment of exactly `n` slots, so a variable at
+/// scope position `i` is slot `n - 1 - i` back from the top.
+struct Compiler<'a> {
+    buf: &'a mut CodeBuf,
+    globals: &'a HashMap<Symbol, u32>,
+    scope: Vec<Symbol>,
+    /// Zero for program compilation; `compile_query` sets it so
+    /// extension indices address past the shared base tables.
+    bases: Bases,
+}
+
+impl Compiler<'_> {
+    fn emit(&mut self, op: COp) -> CodeId {
+        let id = CodeId(self.bases.ops + self.buf.ops.len() as u32);
+        self.buf.ops.push(op);
+        id
+    }
+
+    fn push_kids(&mut self, kids: &[CodeId]) -> u32 {
+        let at = self.bases.kids + self.buf.kids.len() as u32;
+        self.buf.kids.extend_from_slice(kids);
+        at
+    }
+
+    fn intern_str(&mut self, s: &str) -> u32 {
+        // Program-level literals are few; a linear scan keeps the table
+        // deduplicated without a side map.
+        if let Some(i) = self.buf.strs.iter().position(|t| &**t == s) {
+            return self.bases.strs + i as u32;
+        }
+        let i = self.bases.strs + self.buf.strs.len() as u32;
+        self.buf.strs.push(Arc::from(s));
+        i
+    }
+
+    fn compile(&mut self, e: &Expr) -> CodeId {
+        match e {
+            Expr::Var(v) => {
+                if let Some(i) = self.scope.iter().rposition(|s| s == v) {
+                    let back = (self.scope.len() - 1 - i) as u32;
+                    return self.emit(COp::Local(back));
+                }
+                if let Some(g) = self.globals.get(v) {
+                    return self.emit(COp::Global(*g));
+                }
+                panic!("unbound variable '{v}' while compiling");
+            }
+            Expr::Int(n) => self.emit(COp::Int(*n)),
+            Expr::Char(c) => self.emit(COp::Char(*c)),
+            Expr::Str(s) => {
+                let i = self.intern_str(s);
+                self.emit(COp::Str(i))
+            }
+            Expr::Con(c, args) => {
+                let kid_ids: Vec<CodeId> = args.iter().map(|a| self.compile(a)).collect();
+                let args_at = self.push_kids(&kid_ids);
+                self.emit(COp::Con {
+                    tag: *c,
+                    args: args_at,
+                    n: u16::try_from(kid_ids.len()).expect("constructor arity fits u16"),
+                })
+            }
+            Expr::App(f, a) => {
+                let f = self.compile(f);
+                let a = self.compile(a);
+                self.emit(COp::App { f, a })
+            }
+            Expr::Lam(x, b) => {
+                self.scope.push(*x);
+                let body = self.compile(b);
+                self.scope.pop();
+                self.emit(COp::Lam { body })
+            }
+            Expr::Let(x, rhs, body) => {
+                let rhs = self.compile(rhs);
+                self.scope.push(*x);
+                let body = self.compile(body);
+                self.scope.pop();
+                self.emit(COp::Let { rhs, body })
+            }
+            Expr::LetRec(binds, body) => {
+                for (name, _) in binds {
+                    self.scope.push(*name);
+                }
+                let rhs_ids: Vec<CodeId> = binds.iter().map(|(_, r)| self.compile(r)).collect();
+                let body = self.compile(body);
+                self.scope.truncate(self.scope.len() - binds.len());
+                let rhss = self.push_kids(&rhs_ids);
+                self.emit(COp::LetRec {
+                    rhss,
+                    n: u16::try_from(rhs_ids.len()).expect("letrec group fits u16"),
+                    body,
+                })
+            }
+            Expr::Case(scrut, alts) => {
+                let scrut = self.compile(scrut);
+                let lowered: Vec<CArm> = alts.iter().map(|a| self.compile_arm(a)).collect();
+                let arms_at = self.bases.arms + self.buf.arms.len() as u32;
+                self.buf.arms.extend_from_slice(&lowered);
+                self.emit(COp::Case {
+                    scrut,
+                    arms_at,
+                    n: u16::try_from(lowered.len()).expect("alternative count fits u16"),
+                })
+            }
+            Expr::Prim(op, args) => match op {
+                PrimOp::Seq => {
+                    let a = self.compile(&args[0]);
+                    let b = self.compile(&args[1]);
+                    self.emit(COp::Seq { a, b })
+                }
+                PrimOp::MapExn => {
+                    let f = self.compile(&args[0]);
+                    let a = self.compile(&args[1]);
+                    self.emit(COp::MapExn { f, a })
+                }
+                PrimOp::UnsafeIsException => {
+                    let a = self.compile(&args[0]);
+                    self.emit(COp::IsExn { a })
+                }
+                PrimOp::UnsafeGetException => {
+                    let a = self.compile(&args[0]);
+                    self.emit(COp::GetExn { a })
+                }
+                _ if args.len() == 1 => {
+                    let a = self.compile(&args[0]);
+                    self.emit(COp::Prim1 { op: *op, a })
+                }
+                _ => {
+                    let a = self.compile(&args[0]);
+                    let b = self.compile(&args[1]);
+                    self.emit(COp::Prim2 { op: *op, a, b })
+                }
+            },
+            Expr::Raise(e) => {
+                let a = self.compile(e);
+                self.emit(COp::Raise { a })
+            }
+        }
+    }
+
+    fn compile_arm(&mut self, alt: &Alt) -> CArm {
+        match &alt.con {
+            AltCon::Default => {
+                // A default arm may bind the forced scrutinee (only the
+                // first binder, matching the tree machine's `select`).
+                let bind_scrut = !alt.binders.is_empty();
+                if bind_scrut {
+                    self.scope.push(alt.binders[0]);
+                }
+                let rhs = self.compile(&alt.rhs);
+                if bind_scrut {
+                    self.scope.pop();
+                }
+                CArm {
+                    pat: CPat::Default,
+                    rhs,
+                    binders: 0,
+                    bind_scrut,
+                }
+            }
+            AltCon::Con(c) => {
+                for b in &alt.binders {
+                    self.scope.push(*b);
+                }
+                let rhs = self.compile(&alt.rhs);
+                self.scope.truncate(self.scope.len() - alt.binders.len());
+                CArm {
+                    pat: CPat::Con(*c),
+                    rhs,
+                    binders: u16::try_from(alt.binders.len()).expect("binder count fits u16"),
+                    bind_scrut: false,
+                }
+            }
+            AltCon::Int(n) => self.literal_arm(CPat::Int(*n), alt),
+            AltCon::Char(c) => self.literal_arm(CPat::Char(*c), alt),
+            AltCon::Str(s) => {
+                let i = self.intern_str(s);
+                self.literal_arm(CPat::Str(i), alt)
+            }
+        }
+    }
+
+    fn literal_arm(&mut self, pat: CPat, alt: &Alt) -> CArm {
+        let rhs = self.compile(&alt.rhs);
+        CArm {
+            pat,
+            rhs,
+            binders: 0,
+            bind_scrut: false,
+        }
+    }
+}
+
+/// The machine's view of its compiled code: the shared program base plus
+/// a machine-local extension holding per-query entry points. Heap thunks
+/// carry `CodeId`s valid for the machine's whole life — the extension
+/// only grows.
+#[derive(Debug)]
+pub(crate) struct LinkedCode {
+    pub(crate) base: Arc<Code>,
+    pub(crate) ext: CodeBuf,
+    /// One heap node per top-level binding, knot-tied through this table
+    /// (global code refers here by index, so global thunks carry empty
+    /// environments).
+    pub(crate) global_nodes: Vec<NodeId>,
+}
+
+impl LinkedCode {
+    pub(crate) fn new(base: Arc<Code>) -> LinkedCode {
+        LinkedCode {
+            base,
+            ext: CodeBuf::default(),
+            global_nodes: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn op(&self, id: CodeId) -> COp {
+        let base = &self.base.buf.ops;
+        let i = id.0 as usize;
+        if i < base.len() {
+            base[i]
+        } else {
+            self.ext.ops[i - base.len()]
+        }
+    }
+
+    #[inline]
+    pub(crate) fn kid(&self, i: u32) -> CodeId {
+        let base = &self.base.buf.kids;
+        let i = i as usize;
+        if i < base.len() {
+            base[i]
+        } else {
+            self.ext.kids[i - base.len()]
+        }
+    }
+
+    #[inline]
+    pub(crate) fn arm(&self, i: u32) -> CArm {
+        let base = &self.base.buf.arms;
+        let i = i as usize;
+        if i < base.len() {
+            base[i]
+        } else {
+            self.ext.arms[i - base.len()]
+        }
+    }
+
+    /// Borrowed view of an interned string literal (for comparisons that
+    /// need no allocation, e.g. string-pattern dispatch).
+    #[inline]
+    pub(crate) fn str_ref(&self, i: u32) -> &str {
+        let base = &self.base.buf.strs;
+        let i = i as usize;
+        if i < base.len() {
+            &base[i]
+        } else {
+            &self.ext.strs[i - base.len()]
+        }
+    }
+
+    #[inline]
+    pub(crate) fn str_at(&self, i: u32) -> Rc<str> {
+        let base = &self.base.buf.strs;
+        let i = i as usize;
+        let s: &Arc<str> = if i < base.len() {
+            &base[i]
+        } else {
+            &self.ext.strs[i - base.len()]
+        };
+        Rc::from(&**s)
+    }
+}

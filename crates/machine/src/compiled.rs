@@ -1,0 +1,1193 @@
+//! The compiled-code execution mode: the same abstract machine as
+//! [`crate::machine`], running flat [`crate::code`] ops instead of
+//! `Rc<Expr>` trees.
+//!
+//! Everything semantics-bearing is byte-for-byte the tree loop's logic —
+//! the step prologue (event schedule, interrupt poll, chaos tick, timeout
+//! watchdog, stack/heap limits, GC), §3.3's stack-trimming raise with
+//! thunk poisoning, §5.1's resumable-thunk restore under asynchronous
+//! trims, §5.2's detectable black holes, and the operand-order policy
+//! (§3.5) — only the *representation* differs:
+//!
+//! * control evaluates a `CodeId` under a slot-addressed [`CEnv`] instead
+//!   of an `Rc<Expr>` under a `Symbol`-keyed `MEnv`;
+//! * suspensions are [`Node::CThunk`]/[`Node::CBlackhole`] (a `Copy`
+//!   `CodeId` plus environment — no refcount traffic to suspend);
+//! * case dispatch walks pre-lowered [`crate::code::CArm`]s, matching
+//!   constructor tags by interned-`u32` compare;
+//! * top-level names are direct indices into the machine's global node
+//!   table ([`Machine::link_code`] ties the knot through it, so global
+//!   thunks carry *empty* environments).
+//!
+//! Both executors share one heap, one `Stats`, and one GC, so a value
+//! built by either backend renders identically ([`Machine::eval_node`]
+//! routes each forced node to the loop that understands its suspension).
+
+use rand::Rng;
+use std::sync::Arc;
+
+use urk_syntax::core::{Expr, PrimOp};
+use urk_syntax::{Exception, Symbol};
+
+use crate::code::{compile_query, COp, CPat, Code, CodeId, LinkedCode};
+use crate::env::CEnv;
+use crate::heap::{HValue, Node, NodeId};
+use crate::machine::{Backend, BlackholeMode, Machine, MachineError, Outcome, PrimResult};
+use crate::OrderPolicy;
+
+/// The compiled loop's control register (the tree loop's `Control` with
+/// `CodeId`/`CEnv` in place of `Rc<Expr>`/`MEnv`).
+enum CControl {
+    Eval(CodeId, CEnv),
+    Enter(NodeId),
+    Return(NodeId),
+    Raising(Exception),
+}
+
+/// Compiled stack frames — the same frame discipline as the tree loop's
+/// `Frame`, with code ids for the deferred work.
+enum CFrame {
+    Update(NodeId),
+    Apply(NodeId),
+    /// Scrutinise with the pre-lowered arms at `arms_at..arms_at + n`.
+    Select {
+        arms_at: u32,
+        n: u16,
+        env: CEnv,
+    },
+    PrimArgs {
+        op: PrimOp,
+        env: CEnv,
+        current: u8,
+        pending: Option<(u8, CodeId)>,
+        results: [Option<NodeId>; 2],
+    },
+    SeqSecond {
+        code: CodeId,
+        env: CEnv,
+    },
+    RaiseEval,
+    RaisePayload {
+        con: Symbol,
+    },
+    IsExnCatch,
+    UnsafeGetExnCatch,
+    MapExnCatch {
+        f: CodeId,
+        env: CEnv,
+    },
+    Catch,
+}
+
+enum CStep {
+    Continue(CControl),
+    Done(Outcome),
+}
+
+impl Machine {
+    /// Links a compiled program into this machine: allocates one knot-tied
+    /// thunk per top-level binding (rooted for the machine's life) and
+    /// switches the machine's backend tag. The `Arc<Code>` is shared —
+    /// an evaluation pool links the same program into every worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if compiled code is already linked (one program per
+    /// machine; build a fresh machine to swap programs).
+    pub fn link_code(&mut self, base: Arc<Code>) {
+        assert!(
+            self.code.is_none(),
+            "compiled code already linked into this machine"
+        );
+        let entries: Vec<CodeId> = base.globals.iter().map(|(_, e)| *e).collect();
+        let mut linked = LinkedCode::new(base);
+        for entry in entries {
+            // Global rhs code resolves cross-references through the
+            // global node table itself, so the environment stays empty —
+            // this *is* the recursive knot, tied by indices.
+            let node = self.alloc(Node::CThunk {
+                code: entry,
+                env: CEnv::empty(),
+            });
+            self.roots.push(node);
+            linked.global_nodes.push(node);
+        }
+        self.code = Some(linked);
+        self.stats.backend = Backend::Compiled;
+    }
+
+    /// Compiles a query expression against the linked program (into the
+    /// machine-local extension buffer) and evaluates it to WHNF — the
+    /// compiled counterpart of [`Machine::eval`].
+    pub fn eval_code_expr(&mut self, expr: &Expr, catch: bool) -> Result<Outcome, MachineError> {
+        let t0 = std::time::Instant::now();
+        let code = self
+            .code
+            .as_mut()
+            .expect("no compiled code linked (call link_code first)");
+        let (entry, ops) = compile_query(&code.base, &mut code.ext, expr);
+        self.stats.compile_ops += ops;
+        self.stats.compile_micros += t0.elapsed().as_micros() as u64;
+        self.run_compiled(CControl::Eval(entry, CEnv::empty()), catch)
+    }
+
+    /// Compiles a query expression and suspends it as a heap thunk — the
+    /// compiled counterpart of [`Machine::alloc_expr`] for a whole closed
+    /// expression. Forcing the node (with [`Machine::eval_node`]) runs the
+    /// compiled loop, and an asynchronous trim restores it resumably.
+    pub fn alloc_code_thunk(&mut self, expr: &Expr) -> NodeId {
+        let t0 = std::time::Instant::now();
+        let code = self
+            .code
+            .as_mut()
+            .expect("no compiled code linked (call link_code first)");
+        let (entry, ops) = compile_query(&code.base, &mut code.ext, expr);
+        self.stats.compile_ops += ops;
+        self.stats.compile_micros += t0.elapsed().as_micros() as u64;
+        self.alloc(Node::CThunk {
+            code: entry,
+            env: CEnv::empty(),
+        })
+    }
+
+    /// Forces a compiled suspension to WHNF (dispatched to from
+    /// [`Machine::eval_node`]).
+    pub(crate) fn enter_compiled(
+        &mut self,
+        node: NodeId,
+        catch: bool,
+    ) -> Result<Outcome, MachineError> {
+        self.run_compiled(CControl::Enter(node), catch)
+    }
+
+    fn linked(&self) -> &LinkedCode {
+        self.code
+            .as_ref()
+            .expect("compiled node reached a machine with no linked code")
+    }
+
+    fn run_compiled(
+        &mut self,
+        mut control: CControl,
+        catch: bool,
+    ) -> Result<Outcome, MachineError> {
+        let mut stack: Vec<CFrame> = Vec::with_capacity(64);
+        if catch {
+            stack.push(CFrame::Catch);
+        }
+        loop {
+            // --- step accounting, limits, and asynchronous events -------
+            // (kept in lockstep with the tree loop: same order, same
+            // conditions, so every §5.1 delivery point exists here too)
+            self.stats.steps += 1;
+            if stack.len() > self.stats.max_stack_depth {
+                self.stats.max_stack_depth = stack.len();
+            }
+            if let Some((at, exn)) = self.config.event_schedule.get(self.next_event) {
+                if self.stats.steps >= *at && !matches!(control, CControl::Raising(_)) {
+                    self.next_event += 1;
+                    control = CControl::Raising(exn.clone());
+                }
+            }
+            if self.interrupt.is_pending() && !matches!(control, CControl::Raising(_)) {
+                if let Some(exn) = self.interrupt.take() {
+                    self.stats.async_injected += 1;
+                    control = CControl::Raising(exn);
+                }
+            }
+            if self.chaos.is_some() {
+                if let Some(next) = self.chaos_ctick(&control, &stack) {
+                    control = next;
+                }
+            }
+            if self.stats.steps >= self.next_timeout_at {
+                if self.config.timeout_on_step_limit {
+                    self.next_timeout_at = self.stats.steps + self.config.max_steps;
+                    if !matches!(control, CControl::Raising(ref e) if e.is_asynchronous()) {
+                        control = CControl::Raising(Exception::Timeout);
+                    }
+                } else {
+                    return Err(MachineError::StepLimit);
+                }
+            }
+            if stack.len() >= self.config.max_stack && !matches!(control, CControl::Raising(_)) {
+                control = CControl::Raising(Exception::StackOverflow);
+            }
+            if self.config.gc
+                && self.heap.live() >= self.next_gc_at
+                && self.heap.live() < self.config.max_heap
+            {
+                self.collect_during_crun(&control, &stack);
+            }
+            if self.heap.live() >= self.config.max_heap && !matches!(control, CControl::Raising(_))
+            {
+                control = CControl::Raising(Exception::HeapOverflow);
+            }
+
+            // --- the transition function --------------------------------
+            control = match control {
+                CControl::Eval(code, env) => self.step_ceval(code, env, &mut stack),
+                CControl::Enter(node) => self.step_center(node, &mut stack),
+                CControl::Return(node) => CControl::Return(node),
+                CControl::Raising(exn) => match self.step_craise(exn, &mut stack) {
+                    CStep::Continue(c) => c,
+                    CStep::Done(outcome) => return Ok(outcome),
+                },
+            };
+            // Return-processing is fused into the producing step: frames
+            // are popped until control leaves `Return`, without paying the
+            // prologue per pop. Flat code makes this safe — a `Return`
+            // never allocates unboundedly or loops (every pop consumes a
+            // frame), so limits and asynchronous delivery points are
+            // preserved at every step that can actually run code. This is
+            // where the compiled backend's step count drops below the
+            // tree-walker's.
+            while let CControl::Return(node) = control {
+                match self.step_creturn(node, &mut stack) {
+                    CStep::Continue(c) => control = c,
+                    CStep::Done(outcome) => return Ok(outcome),
+                }
+            }
+        }
+    }
+
+    /// The compiled chaos step: identical decisions to the tree loop's
+    /// `chaos_tick` (shared via [`Machine::chaos_decide`]), applied with
+    /// this loop's control/stack types for GC rooting.
+    fn chaos_ctick(&mut self, control: &CControl, stack: &[CFrame]) -> Option<CControl> {
+        let raising = matches!(control, CControl::Raising(_));
+        let d = self.chaos_decide(raising)?;
+        if d.force_gc {
+            self.stats.forced_gcs += 1;
+            self.collect_during_crun(control, stack);
+        }
+        if let Some(exn) = d.inject {
+            self.stats.async_injected += 1;
+            return Some(CControl::Raising(exn));
+        }
+        if let Some(cap) = d.cap {
+            if self.heap.live() >= cap && !raising {
+                return Some(CControl::Raising(Exception::HeapOverflow));
+            }
+        }
+        None
+    }
+
+    /// Mid-run collection rooted at the compiled loop's transient state.
+    fn collect_during_crun(&mut self, control: &CControl, stack: &[CFrame]) {
+        let mut c = crate::gc::Collector::new(self.heap.len());
+        self.pool.mark(&mut c);
+        match control {
+            CControl::Eval(_, env) => c.mark_cenv(env),
+            CControl::Enter(n) | CControl::Return(n) => c.mark_root(*n),
+            CControl::Raising(_) => {}
+        }
+        for f in stack {
+            match f {
+                CFrame::Update(n) | CFrame::Apply(n) => c.mark_root(*n),
+                CFrame::Select { env, .. }
+                | CFrame::SeqSecond { env, .. }
+                | CFrame::MapExnCatch { env, .. } => c.mark_cenv(env),
+                CFrame::PrimArgs { env, results, .. } => {
+                    c.mark_cenv(env);
+                    for r in results.iter().flatten() {
+                        c.mark_root(*r);
+                    }
+                }
+                CFrame::RaiseEval
+                | CFrame::RaisePayload { .. }
+                | CFrame::IsExnCatch
+                | CFrame::UnsafeGetExnCatch
+                | CFrame::Catch => {}
+            }
+        }
+        // Registered roots include the global node table (pushed by
+        // `link_code`), so every top-level binding survives.
+        for r in &self.roots {
+            c.mark_root(*r);
+        }
+        c.trace(&self.heap);
+        let prev_free = self.heap.free_list();
+        let (freed, head) = c.sweep(&mut self.heap, prev_free);
+        self.heap.set_free_list(head, freed);
+        self.stats.gc_runs += 1;
+        self.stats.gc_freed += freed;
+        let live = self.heap.live();
+        self.next_gc_at = (live + live / 2).max(self.config.gc_threshold);
+    }
+
+    /// Allocates a node for an operand op — the compiled counterpart of
+    /// `alloc_expr`, with the same fast paths: slot loads reuse the bound
+    /// node (sharing preserved), literals go straight to (interned) WHNF,
+    /// everything else suspends as a `CThunk`.
+    fn alloc_code(&mut self, code: CodeId, env: &CEnv) -> NodeId {
+        match self.linked().op(code) {
+            COp::Local(back) => env.get_back(back),
+            COp::Global(g) => self.linked().global_nodes[g as usize],
+            COp::Int(n) => self.int_node(n),
+            COp::Char(c) => self.alloc_value(HValue::Char(c)),
+            COp::Str(i) => {
+                let s = self.linked().str_at(i);
+                self.alloc_value(HValue::Str(s))
+            }
+            COp::Con { tag, n: 0, .. } => self.nullary_con_node(tag),
+            _ => self.alloc(Node::CThunk {
+                code,
+                env: env.clone(),
+            }),
+        }
+    }
+
+    /// Entering a node without paying a separate `Enter` step: values
+    /// return directly (the fused-return loop then pops frames in the
+    /// same step) and thunks blackhole + push their update frame here,
+    /// leaving control at the thunk body — exactly `step_center`'s two
+    /// transitions, minus the prologue passes between them. Black holes,
+    /// poisoned nodes and foreign suspensions take the full
+    /// [`Machine::step_center`] path (they are rare and some — §5.2
+    /// detection — must observe the prologue's state).
+    fn enter_fused(&mut self, node: NodeId, stack: &mut Vec<CFrame>) -> CControl {
+        let node = self.heap.resolve(node);
+        match self.heap.get(node) {
+            Node::Value(_) => CControl::Return(node),
+            Node::CThunk { code, env } => {
+                let (code, env) = (*code, env.clone());
+                // A thunk whose body is already a weak-head normal form
+                // (constructor, lambda, literal) or a primitive over
+                // immediate operands forces right here: build or apply,
+                // update, return — no black-hole write, no Update frame,
+                // no extra prologue pass. A synchronous raise poisons the
+                // node exactly as trimming past its update frame would
+                // (§3.3).
+                if let Some(result) = self.fused_force_body(code, &env) {
+                    return match result {
+                        Ok(v) => {
+                            self.stats.thunk_updates += 1;
+                            self.heap.set(node, Node::Ind(v));
+                            CControl::Return(v)
+                        }
+                        Err(exn) => {
+                            self.heap.set(node, Node::Poisoned(exn.clone()));
+                            CControl::Raising(exn)
+                        }
+                    };
+                }
+                self.heap.set(
+                    node,
+                    Node::CBlackhole {
+                        code,
+                        env: env.clone(),
+                    },
+                );
+                stack.push(CFrame::Update(node));
+                CControl::Eval(code, env)
+            }
+            _ => CControl::Enter(node),
+        }
+    }
+
+    /// Evaluates an operand position with variable references fused: a
+    /// slot or global is entered in this step (forced value or thunk
+    /// body), anything structured becomes a fresh `Eval` step.
+    fn eval_code_fused(
+        &mut self,
+        mut code: CodeId,
+        env: &CEnv,
+        stack: &mut Vec<CFrame>,
+    ) -> CControl {
+        loop {
+            match self.linked().op(code) {
+                COp::Local(back) => return self.enter_fused(env.get_back(back), stack),
+                COp::Global(g) => {
+                    let node = self.linked().global_nodes[g as usize];
+                    return self.enter_fused(node, stack);
+                }
+                COp::App { f, a } => {
+                    // The application transition, spine-iterated: each
+                    // level suspends its argument and either jumps
+                    // straight into a forced callee (direct-call fusion)
+                    // or pushes its Apply frame and walks down — the
+                    // whole curried spine costs one prologue pass. The
+                    // stack-limit check lands on the next prologue, after
+                    // the frames are pushed, exactly as a single deep
+                    // push would.
+                    let arg = self.alloc_code(a, env);
+                    let callee = match self.linked().op(f) {
+                        COp::Local(back) => Some(env.get_back(back)),
+                        COp::Global(g) => Some(self.linked().global_nodes[g as usize]),
+                        _ => None,
+                    };
+                    if let Some(node) = callee {
+                        let node = self.heap.resolve(node);
+                        if let Some(HValue::CFun { body, env: fenv }) = self.heap.value(node) {
+                            let (body, fenv) = (*body, fenv.clone());
+                            return CControl::Eval(body, fenv.push(arg));
+                        }
+                    }
+                    stack.push(CFrame::Apply(arg));
+                    code = f;
+                }
+                _ => {
+                    // Anything already in WHNF — a literal, constructor,
+                    // lambda, or primitive over immediates — returns (or
+                    // raises) in the parent's step; the frame the parent
+                    // pushed pops in the fused-return loop (or trims in
+                    // the raise path) exactly as it would after a stepped
+                    // evaluation.
+                    return match self.fused_force_body(code, env) {
+                        Some(Ok(v)) => CControl::Return(v),
+                        Some(Err(exn)) => CControl::Raising(exn),
+                        None => CControl::Eval(code, env.clone()),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Evaluates a code body that is guaranteed to finish within the
+    /// current step — a weak-head normal form to build (constructor,
+    /// lambda, literal, forced slot) or a primitive over immediate
+    /// operands — without any frame traffic. `None` means the body needs
+    /// real stepped evaluation.
+    fn fused_force_body(&mut self, code: CodeId, env: &CEnv) -> Option<Result<NodeId, Exception>> {
+        match self.linked().op(code) {
+            COp::Con { tag, args, n } => {
+                if n == 0 {
+                    return Some(Ok(self.nullary_con_node(tag)));
+                }
+                let mut fields = Vec::with_capacity(usize::from(n));
+                for i in 0..u32::from(n) {
+                    let k = self.linked().kid(args + i);
+                    fields.push(self.alloc_code(k, env));
+                }
+                Some(Ok(self.alloc_value(HValue::Con(tag, fields))))
+            }
+            COp::Lam { body } => Some(Ok(self.alloc_value(HValue::CFun {
+                body,
+                env: env.clone(),
+            }))),
+            COp::Prim1 { .. } | COp::Prim2 { .. } => self.immediate_prim(code, env),
+            _ => self.immediate_node(code, env).map(Ok),
+        }
+    }
+
+    /// Evaluates a primitive whose operands are all immediate, in place.
+    /// The §3.5 Seeded draw still advances exactly once per binary
+    /// primitive evaluation — after the immediacy check, so a bail-out
+    /// (which re-evaluates through the stepped path, drawing there)
+    /// never double-draws.
+    fn immediate_prim(&mut self, code: CodeId, env: &CEnv) -> Option<Result<NodeId, Exception>> {
+        match self.linked().op(code) {
+            COp::Prim1 { op, a } => {
+                let na = self.immediate_node(a, env)?;
+                Some(match self.apply_prim(op, &[na]) {
+                    PrimResult::Value(v) => Ok(v),
+                    PrimResult::Raise(exn) => Err(exn),
+                })
+            }
+            COp::Prim2 { op, a, b } => {
+                let na = self.immediate_node(a, env)?;
+                let nb = self.immediate_node(b, env)?;
+                if let OrderPolicy::Seeded(_) = self.config.order {
+                    self.rng.gen_bool(0.5);
+                }
+                Some(match self.apply_prim(op, &[na, nb]) {
+                    PrimResult::Value(v) => Ok(v),
+                    PrimResult::Raise(exn) => Err(exn),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Classifies an operand as already-in-WHNF — a literal or a slot
+    /// holding a forced value — and materialises its node. Immediate
+    /// operands cannot raise and cannot be interrupted mid-evaluation,
+    /// so a parent primitive/case may consume them in its own step
+    /// without losing any §3.3/§5.1 behaviour.
+    fn immediate_node(&mut self, code: CodeId, env: &CEnv) -> Option<NodeId> {
+        match self.linked().op(code) {
+            COp::Local(back) => {
+                let n = self.heap.resolve(env.get_back(back));
+                matches!(self.heap.get(n), Node::Value(_)).then_some(n)
+            }
+            COp::Global(g) => {
+                let n = self.heap.resolve(self.linked().global_nodes[g as usize]);
+                matches!(self.heap.get(n), Node::Value(_)).then_some(n)
+            }
+            COp::Int(n) => Some(self.int_node(n)),
+            COp::Char(c) => Some(self.alloc_value(HValue::Char(c))),
+            COp::Con { tag, n: 0, .. } => Some(self.nullary_con_node(tag)),
+            _ => None,
+        }
+    }
+
+    fn step_ceval(&mut self, code: CodeId, env: CEnv, stack: &mut Vec<CFrame>) -> CControl {
+        match self.linked().op(code) {
+            COp::Local(back) => self.enter_fused(env.get_back(back), stack),
+            COp::Global(g) => {
+                let node = self.linked().global_nodes[g as usize];
+                self.enter_fused(node, stack)
+            }
+            COp::Int(n) => CControl::Return(self.int_node(n)),
+            COp::Char(c) => CControl::Return(self.alloc_value(HValue::Char(c))),
+            COp::Str(i) => {
+                let s = self.linked().str_at(i);
+                CControl::Return(self.alloc_value(HValue::Str(s)))
+            }
+            COp::Con { tag, args, n } => {
+                if n == 0 {
+                    return CControl::Return(self.nullary_con_node(tag));
+                }
+                let mut fields = Vec::with_capacity(usize::from(n));
+                for i in 0..u32::from(n) {
+                    let k = self.linked().kid(args + i);
+                    fields.push(self.alloc_code(k, &env));
+                }
+                CControl::Return(self.alloc_value(HValue::Con(tag, fields)))
+            }
+            COp::Lam { body } => CControl::Return(self.alloc_value(HValue::CFun { body, env })),
+            COp::App { .. } => self.eval_code_fused(code, &env, stack),
+            COp::Let { rhs, body } => {
+                let t = self.alloc_code(rhs, &env);
+                CControl::Eval(body, env.push(t))
+            }
+            COp::LetRec { rhss, n, body } => {
+                // Tie the knot exactly as `bind_recursive_inner`: allocate
+                // empty-environment thunks, extend, then rewrite each with
+                // the extended environment.
+                let mut nodes = Vec::with_capacity(usize::from(n));
+                for i in 0..u32::from(n) {
+                    let k = self.linked().kid(rhss + i);
+                    nodes.push((
+                        k,
+                        self.alloc(Node::CThunk {
+                            code: k,
+                            env: CEnv::empty(),
+                        }),
+                    ));
+                }
+                let mut env2 = env;
+                for (_, nd) in &nodes {
+                    env2 = env2.push(*nd);
+                }
+                for (k, nd) in nodes {
+                    self.heap.set(
+                        nd,
+                        Node::CThunk {
+                            code: k,
+                            env: env2.clone(),
+                        },
+                    );
+                }
+                CControl::Eval(body, env2)
+            }
+            COp::Case { scrut, arms_at, n } => {
+                // A forced scrutinee dispatches in this step — no Select
+                // frame, no Eval round trip.
+                if let Some(node) = self.immediate_node(scrut, &env) {
+                    return self.select_arms(node, arms_at, n, &env);
+                }
+                stack.push(CFrame::Select {
+                    arms_at,
+                    n,
+                    env: env.clone(),
+                });
+                self.eval_code_fused(scrut, &env, stack)
+            }
+            COp::Prim1 { op, a } => {
+                if let Some(na) = self.immediate_node(a, &env) {
+                    return match self.apply_prim(op, &[na]) {
+                        PrimResult::Value(v) => CControl::Return(v),
+                        PrimResult::Raise(exn) => CControl::Raising(exn),
+                    };
+                }
+                stack.push(CFrame::PrimArgs {
+                    op,
+                    env: env.clone(),
+                    current: 0,
+                    pending: None,
+                    results: [None, None],
+                });
+                self.eval_code_fused(a, &env, stack)
+            }
+            COp::Prim2 { op, a, b } => {
+                // The operand-order policy (§3.5). The Seeded draw must
+                // stay one `gen_bool` per binary primitive so a seeded
+                // machine agrees with the tree backend's sequence —
+                // including on the fused path below, where the order is
+                // unobservable (both operands are values already) but the
+                // stream position must still advance.
+                let left_first = match self.config.order {
+                    OrderPolicy::LeftToRight => true,
+                    OrderPolicy::RightToLeft => false,
+                    OrderPolicy::Seeded(_) => self.rng.gen_bool(0.5),
+                };
+                if let Some(na) = self.immediate_node(a, &env) {
+                    if let Some(nb) = self.immediate_node(b, &env) {
+                        return match self.apply_prim(op, &[na, nb]) {
+                            PrimResult::Value(v) => CControl::Return(v),
+                            PrimResult::Raise(exn) => CControl::Raising(exn),
+                        };
+                    }
+                }
+                let (current, first, pending) = if left_first {
+                    (0u8, a, Some((1u8, b)))
+                } else {
+                    (1u8, b, Some((0u8, a)))
+                };
+                stack.push(CFrame::PrimArgs {
+                    op,
+                    env: env.clone(),
+                    current,
+                    pending,
+                    results: [None, None],
+                });
+                self.eval_code_fused(first, &env, stack)
+            }
+            COp::Seq { a, b } => {
+                // `seq` on a value that already exists is the identity on
+                // control: go straight to `b`.
+                if self.immediate_node(a, &env).is_some() {
+                    return CControl::Eval(b, env);
+                }
+                stack.push(CFrame::SeqSecond {
+                    code: b,
+                    env: env.clone(),
+                });
+                self.eval_code_fused(a, &env, stack)
+            }
+            COp::MapExn { f, a } => {
+                stack.push(CFrame::MapExnCatch {
+                    f,
+                    env: env.clone(),
+                });
+                CControl::Eval(a, env)
+            }
+            COp::IsExn { a } => {
+                stack.push(CFrame::IsExnCatch);
+                CControl::Eval(a, env)
+            }
+            COp::GetExn { a } => {
+                stack.push(CFrame::UnsafeGetExnCatch);
+                CControl::Eval(a, env)
+            }
+            COp::Raise { a } => {
+                stack.push(CFrame::RaiseEval);
+                CControl::Eval(a, env)
+            }
+        }
+    }
+
+    fn step_center(&mut self, node: NodeId, stack: &mut Vec<CFrame>) -> CControl {
+        let node = self.heap.resolve(node);
+        match self.heap.get(node) {
+            Node::Value(_) => CControl::Return(node),
+            Node::Ind(_) => unreachable!("resolved"),
+            Node::Free { .. } => {
+                panic!("entered a freed node — a live node escaped the GC roots")
+            }
+            Node::Poisoned(exn) => CControl::Raising(exn.clone()),
+            // §5.2: a black hole of either representation is the same
+            // detectable bottom.
+            Node::Blackhole { .. } | Node::CBlackhole { .. } => match self.config.blackholes {
+                BlackholeMode::Detect => {
+                    self.stats.blackholes_detected += 1;
+                    CControl::Raising(Exception::NonTermination)
+                }
+                BlackholeMode::Loop => CControl::Enter(node),
+            },
+            Node::CThunk { code, env } => {
+                let (code, env) = (*code, env.clone());
+                self.heap.set(
+                    node,
+                    Node::CBlackhole {
+                        code,
+                        env: env.clone(),
+                    },
+                );
+                stack.push(CFrame::Update(node));
+                CControl::Eval(code, env)
+            }
+            Node::Thunk { .. } => {
+                // Episodes never mix executors: `eval_node` routes tree
+                // suspensions to the tree loop up front, and compiled code
+                // can only reference nodes it (or `link_code`) built.
+                panic!("tree thunk entered by the compiled executor")
+            }
+        }
+    }
+
+    fn step_creturn(&mut self, node: NodeId, stack: &mut Vec<CFrame>) -> CStep {
+        let Some(frame) = stack.pop() else {
+            return CStep::Done(Outcome::Value(node));
+        };
+        CStep::Continue(match frame {
+            CFrame::Update(target) => {
+                self.stats.thunk_updates += 1;
+                self.heap.set(target, Node::Ind(node));
+                CControl::Return(node)
+            }
+            CFrame::Apply(arg) => {
+                let Some(HValue::CFun { body, env }) = self.heap.value(node) else {
+                    panic!("application of a non-function (ill-typed program)");
+                };
+                let (body, env) = (*body, env.clone());
+                // The compiler reserved the top slot for the argument.
+                CControl::Eval(body, env.push(arg))
+            }
+            CFrame::Select { arms_at, n, env } => self.select_arms(node, arms_at, n, &env),
+            CFrame::PrimArgs {
+                op,
+                env,
+                current,
+                mut pending,
+                mut results,
+            } => {
+                results[current as usize] = Some(node);
+                if let Some((idx, code)) = pending.take() {
+                    stack.push(CFrame::PrimArgs {
+                        op,
+                        env: env.clone(),
+                        current: idx,
+                        pending: None,
+                        results,
+                    });
+                    self.eval_code_fused(code, &env, stack)
+                } else {
+                    let mut nodes = [NodeId(0); 2];
+                    let mut n = 0;
+                    for r in results.into_iter().flatten() {
+                        nodes[n] = r;
+                        n += 1;
+                    }
+                    match self.apply_prim(op, &nodes[..n]) {
+                        PrimResult::Value(v) => CControl::Return(v),
+                        PrimResult::Raise(exn) => CControl::Raising(exn),
+                    }
+                }
+            }
+            CFrame::SeqSecond { code, env } => self.eval_code_fused(code, &env, stack),
+            CFrame::RaiseEval => self.convert_and_craise(node, stack),
+            CFrame::RaisePayload { con } => {
+                let Some(HValue::Str(s)) = self.heap.value(node) else {
+                    panic!("exception payload is not a string (ill-typed program)");
+                };
+                let exn = Exception::from_constructor(con, Some(s))
+                    .unwrap_or_else(|| panic!("unknown exception constructor '{con}'"));
+                CControl::Raising(exn)
+            }
+            CFrame::IsExnCatch => CControl::Return(self.bool_node(false)),
+            CFrame::UnsafeGetExnCatch => {
+                let ok = HValue::Con(Symbol::intern("OK"), vec![node]);
+                CControl::Return(self.alloc_value(ok))
+            }
+            CFrame::MapExnCatch { .. } => CControl::Return(node),
+            CFrame::Catch => CControl::Return(node),
+        })
+    }
+
+    /// Matches a WHNF value against the pre-lowered arms — the tree
+    /// machine's `select` over the dispatch table, with constructor match
+    /// an interned-tag compare and binders pushed positionally.
+    fn select_arms(&mut self, node: NodeId, arms_at: u32, n: u16, env: &CEnv) -> CControl {
+        let v = self.heap.value(node).expect("select on a non-value");
+        for i in 0..u32::from(n) {
+            let arm = self.linked().arm(arms_at + i);
+            let matched = match (arm.pat, v) {
+                (CPat::Default, _) => Some(if arm.bind_scrut {
+                    env.push(node)
+                } else {
+                    env.clone()
+                }),
+                (CPat::Int(a), HValue::Int(b)) if a == *b => Some(env.clone()),
+                (CPat::Char(a), HValue::Char(b)) if a == *b => Some(env.clone()),
+                (CPat::Str(si), HValue::Str(s)) if self.linked().str_ref(si) == &**s => {
+                    Some(env.clone())
+                }
+                (CPat::Con(c), HValue::Con(d, fields)) if c == *d => {
+                    let mut env2 = env.clone();
+                    for f in fields.iter().take(arm.binders as usize) {
+                        env2 = env2.push(*f);
+                    }
+                    Some(env2)
+                }
+                _ => None,
+            };
+            if let Some(env2) = matched {
+                return CControl::Eval(arm.rhs, env2);
+            }
+        }
+        CControl::Raising(Exception::PatternMatchFail("case".into()))
+    }
+
+    /// Converts a WHNF `Exception` constructor value into a raise (the
+    /// compiled counterpart of `convert_and_raise`).
+    fn convert_and_craise(&mut self, node: NodeId, stack: &mut Vec<CFrame>) -> CControl {
+        let Some(HValue::Con(name, fields)) = self.heap.value(node) else {
+            panic!("raise applied to a non-Exception value (ill-typed program)");
+        };
+        let (name, fields) = (*name, fields.clone());
+        match fields.first() {
+            None => {
+                let exn = Exception::from_constructor(name, None)
+                    .unwrap_or_else(|| panic!("unknown exception constructor '{name}'"));
+                CControl::Raising(exn)
+            }
+            Some(payload) => {
+                stack.push(CFrame::RaisePayload { con: name });
+                CControl::Enter(*payload)
+            }
+        }
+    }
+
+    /// §3.3's stack trim for the compiled loop: identical frame-by-frame
+    /// policy to `step_raise` — synchronous raises poison in-flight thunks,
+    /// asynchronous ones restore them (§5.1), handler marks intercept
+    /// synchronous exceptions only.
+    fn step_craise(&mut self, exn: Exception, stack: &mut Vec<CFrame>) -> CStep {
+        let asynchronous = exn.is_asynchronous();
+        loop {
+            let Some(frame) = stack.pop() else {
+                return CStep::Done(Outcome::Uncaught(exn));
+            };
+            match frame {
+                CFrame::Catch => return CStep::Done(Outcome::Caught(exn)),
+                CFrame::Update(target) => {
+                    let target = self.heap.resolve(target);
+                    if asynchronous {
+                        let sabotaged = self
+                            .chaos
+                            .as_ref()
+                            .is_some_and(|st| st.plan.sabotage_async_restore);
+                        // §5.1: restore a *resumable* suspension.
+                        if !sabotaged {
+                            if let Node::CBlackhole { code, env } = self.heap.get(target) {
+                                let (code, env) = (*code, env.clone());
+                                self.heap.set(target, Node::CThunk { code, env });
+                                self.stats.thunks_restored += 1;
+                            }
+                        }
+                    } else {
+                        // §3.3: overwrite with `raise ex`.
+                        self.heap.set(target, Node::Poisoned(exn.clone()));
+                        self.stats.thunks_poisoned += 1;
+                    }
+                    self.stats.frames_trimmed += 1;
+                }
+                CFrame::IsExnCatch if !asynchronous => {
+                    let t = self.bool_node(true);
+                    return CStep::Continue(CControl::Return(t));
+                }
+                CFrame::UnsafeGetExnCatch if !asynchronous => {
+                    let ev = self.alloc_exception_value(&exn);
+                    let bad = HValue::Con(Symbol::intern("Bad"), vec![ev]);
+                    let t = self.alloc_value(bad);
+                    return CStep::Continue(CControl::Return(t));
+                }
+                CFrame::MapExnCatch { f, env } if !asynchronous => {
+                    // Rewrite the representative exception through f: no
+                    // synthetic application node needed — push the Apply
+                    // frame directly and evaluate f.
+                    let exn_node = self.alloc_exception_value(&exn);
+                    stack.push(CFrame::RaiseEval);
+                    stack.push(CFrame::Apply(exn_node));
+                    return CStep::Continue(CControl::Eval(f, env));
+                }
+                _ => {
+                    self.stats.frames_trimmed += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::compile_program;
+    use crate::machine::{MachineConfig, Stats};
+    use crate::MEnv;
+    use std::rc::Rc;
+    use urk_syntax::{desugar_expr, desugar_program, parse_expr_src, parse_program, DataEnv};
+
+    fn compiled_render(prog_src: &str, query: &str) -> String {
+        let mut data = DataEnv::new();
+        let prog = desugar_program(&parse_program(prog_src).expect("parses"), &mut data)
+            .expect("desugars");
+        let code = Arc::new(compile_program(&prog.binds));
+        let mut m = Machine::new(MachineConfig::default());
+        m.link_code(code);
+        let e = desugar_expr(&parse_expr_src(query).expect("parses"), &data).expect("desugars");
+        match m.eval_code_expr(&e, false).expect("no machine error") {
+            Outcome::Value(n) => m.render(n, 16),
+            Outcome::Caught(e) | Outcome::Uncaught(e) => format!("(raise {e})"),
+        }
+    }
+
+    fn tree_render(prog_src: &str, query: &str) -> String {
+        let mut data = DataEnv::new();
+        let prog = desugar_program(&parse_program(prog_src).expect("parses"), &mut data)
+            .expect("desugars");
+        let mut m = Machine::new(MachineConfig::default());
+        let env = m.bind_recursive(&prog.binds, &MEnv::empty());
+        let e = desugar_expr(&parse_expr_src(query).expect("parses"), &data).expect("desugars");
+        match m.eval(Rc::new(e), &env, false).expect("no machine error") {
+            Outcome::Value(n) => m.render(n, 16),
+            Outcome::Caught(e) | Outcome::Uncaught(e) => format!("(raise {e})"),
+        }
+    }
+
+    fn agree(prog: &str, query: &str) {
+        assert_eq!(
+            tree_render(prog, query),
+            compiled_render(prog, query),
+            "{query}"
+        );
+    }
+
+    #[test]
+    fn successive_queries_on_one_machine_address_the_extension_correctly() {
+        // Regression: the second query compiles into an extension that
+        // already holds the first one's ops/kids/arms/strs, and every
+        // absolute index must account for that exactly once. Each query
+        // exercises all four side tables (constructors, case arms, and
+        // string literals).
+        let mut data = DataEnv::new();
+        let prog = desugar_program(
+            &parse_program("classify n = case n of { 0 -> \"zero\"; m -> \"other\" }")
+                .expect("parses"),
+            &mut data,
+        )
+        .expect("desugars");
+        let code = Arc::new(compile_program(&prog.binds));
+        let mut m = Machine::new(MachineConfig::default());
+        m.link_code(code);
+        for (query, want) in [
+            (
+                "case classify 0 of { \"zero\" -> Just 1; s -> Nothing }",
+                "Just 1",
+            ),
+            (
+                "case classify 5 of { \"zero\" -> Just 1; s -> Nothing }",
+                "Nothing",
+            ),
+            (
+                "case classify 0 of { \"zero\" -> Just 2; s -> Nothing }",
+                "Just 2",
+            ),
+        ] {
+            let e = desugar_expr(&parse_expr_src(query).expect("parses"), &data).expect("desugars");
+            let got = match m.eval_code_expr(&e, false).expect("no machine error") {
+                Outcome::Value(n) => m.render(n, 16),
+                Outcome::Caught(e) | Outcome::Uncaught(e) => format!("(raise {e})"),
+            };
+            assert_eq!(got, want, "{query}");
+        }
+    }
+
+    #[test]
+    fn compiled_arithmetic_and_structures() {
+        agree("id x = x", "1 + 2 * 3");
+        agree("id x = x", "[1, 2]");
+        agree("id x = x", r#"strAppend "ab" "cd""#);
+        agree("id x = x", "if 1 < 2 then 10 else 20");
+        agree("id x = x", "(id 1, id 'a')");
+    }
+
+    #[test]
+    fn compiled_globals_and_recursion() {
+        agree(
+            "fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)",
+            "fib 15",
+        );
+        agree("double x = x + x\nten = double 5", "ten + double 100");
+    }
+
+    #[test]
+    fn compiled_letrec_and_case_dispatch() {
+        agree(
+            "id x = x",
+            "let { mk = \\n -> if n == 0 then [] else n : mk (n - 1)
+                 ; len = \\xs -> case xs of { [] -> 0; y:ys -> 1 + len ys } }
+             in len (mk 100)",
+        );
+        agree("id x = x", "case 'x' of { 'a' -> 1; 'x' -> 2; c -> 3 }");
+        agree("id x = x", r#"case "hi" of { "lo" -> 1; "hi" -> 2 }"#);
+        agree("id x = x", "case Nothing of { Just n -> n }");
+    }
+
+    #[test]
+    fn compiled_exceptions_trim_and_poison() {
+        agree("id x = x", "1/0");
+        agree("id x = x", r#"raise (UserError "Urk")"#);
+        agree("id x = x", "raise (UserError (showInt (1/0)))");
+        agree("id x = x", r#"mapException (\x -> UserError "Urk") (1/0)"#);
+        agree("id x = x", "unsafeIsException (1/0)");
+        agree("id x = x", "unsafeIsException 3");
+        agree(
+            "zipWith f [] [] = []\n\
+             zipWith f (x:xs) (y:ys) = f x y : zipWith f xs ys\n\
+             zipWith f xs ys = raise (UserError \"Unequal lists\")",
+            "zipWith (/) [1, 2] [1, 0]",
+        );
+    }
+
+    #[test]
+    fn compiled_laziness_and_sharing() {
+        agree("id x = x", r"(\x -> 3) (1/0)");
+        agree("id x = x", "let x = 1/0 in 42");
+        let mut m = Machine::new(MachineConfig::default());
+        m.link_code(Arc::new(compile_program(&[])));
+        let data = DataEnv::new();
+        let e = desugar_expr(
+            &parse_expr_src("let x = 10 * 10 in x + x").expect("parses"),
+            &data,
+        )
+        .expect("desugars");
+        let out = m.eval_code_expr(&e, false).expect("no machine error");
+        assert!(matches!(out, Outcome::Value(_)));
+        assert_eq!(m.stats().thunk_updates, 1, "shared thunk forced once");
+    }
+
+    #[test]
+    fn compiled_async_interrupt_restores_thunks_and_resumes() {
+        let mut m = Machine::new(MachineConfig {
+            event_schedule: vec![(1_000, Exception::Interrupt)],
+            ..MachineConfig::default()
+        });
+        m.link_code(Arc::new(compile_program(&[])));
+        let data = DataEnv::new();
+        let e = desugar_expr(
+            &parse_expr_src("let f = \\n -> if n == 0 then 42 else f (n - 1) in f 100000")
+                .expect("parses"),
+            &data,
+        )
+        .expect("desugars");
+        // A shared suspension (as the tree test does with `alloc_expr`),
+        // so the §5.1 restore is observable and resumable.
+        let work = m.alloc_code_thunk(&e);
+        let first = m.eval_node(work, true).expect("no machine error");
+        assert!(matches!(first, Outcome::Caught(Exception::Interrupt)));
+        assert!(m.stats().thunks_restored >= 1, "{:?}", m.stats());
+        assert_eq!(m.stats().thunks_poisoned, 0);
+        assert!(m.audit_heap().is_consistent(), "{:?}", m.audit_heap());
+        // The schedule is exhausted; evaluation resumes and completes.
+        let second = m.eval_node(work, true).expect("no machine error");
+        let Outcome::Value(n) = second else {
+            panic!("resumed evaluation should complete, got {second:?}")
+        };
+        assert_eq!(m.render(n, 4), "42");
+    }
+
+    #[test]
+    fn compiled_blackhole_detection() {
+        assert_eq!(
+            compiled_render("id x = x", "let black = black + 1 in black"),
+            "(raise NonTermination)"
+        );
+    }
+
+    #[test]
+    fn compiled_gc_under_low_threshold_preserves_results() {
+        let mut data = DataEnv::new();
+        let prog = desugar_program(
+            &parse_program(
+                "mk n = if n == 0 then [] else n : mk (n - 1)\n\
+                 len xs = case xs of { [] -> 0; y:ys -> 1 + len ys }\n\
+                 go i acc = if i == 0 then acc else go (i - 1) (acc + len (mk 50))",
+            )
+            .expect("parses"),
+            &mut data,
+        )
+        .expect("desugars");
+        let mut m = Machine::new(MachineConfig {
+            gc_threshold: 2_000,
+            ..MachineConfig::default()
+        });
+        m.link_code(Arc::new(compile_program(&prog.binds)));
+        let e =
+            desugar_expr(&parse_expr_src("go 100 0").expect("parses"), &data).expect("desugars");
+        let out = m.eval_code_expr(&e, false).expect("no machine error");
+        let Outcome::Value(n) = out else {
+            panic!("{out:?}")
+        };
+        assert_eq!(m.render(n, 4), "5000");
+        assert!(m.stats().gc_runs >= 1, "{:?}", m.stats());
+        assert!(m.stats().gc_freed > 0);
+    }
+
+    #[test]
+    fn compiled_seeded_order_matches_tree_backend() {
+        // Same seed, same program: the Seeded policy must surface the same
+        // representative exception on both backends (one rng draw per
+        // binary strict primitive).
+        for seed in 0..16 {
+            let cfg = MachineConfig {
+                order: OrderPolicy::Seeded(seed),
+                ..MachineConfig::default()
+            };
+            let data = DataEnv::new();
+            let e = desugar_expr(
+                &parse_expr_src(
+                    r#"((1/0) + raise (UserError "a")) * ((2/0) - raise (UserError "b"))"#,
+                )
+                .expect("parses"),
+                &data,
+            )
+            .expect("desugars");
+            let mut mt = Machine::new(cfg.clone());
+            let t = mt
+                .eval(Rc::new(e.clone()), &MEnv::empty(), true)
+                .expect("no machine error");
+            let mut mc = Machine::new(cfg);
+            mc.link_code(Arc::new(compile_program(&[])));
+            let c = mc.eval_code_expr(&e, true).expect("no machine error");
+            let (Outcome::Caught(a), Outcome::Caught(b)) = (t, c) else {
+                panic!("both catch");
+            };
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn compiled_stats_tag_backend_and_compile_cost() {
+        let mut m = Machine::new(MachineConfig::default());
+        assert_eq!(m.stats().backend, Backend::Tree);
+        m.link_code(Arc::new(compile_program(&[])));
+        assert_eq!(m.stats().backend, Backend::Compiled);
+        let data = DataEnv::new();
+        let e = desugar_expr(&parse_expr_src("1 + 2").expect("parses"), &data).expect("desugars");
+        let _ = m.eval_code_expr(&e, false).expect("no machine error");
+        assert!(m.stats().compile_ops >= 3, "{:?}", m.stats());
+        m.reset_stats();
+        assert_eq!(m.stats().backend, Backend::Compiled, "tag survives reset");
+        assert_eq!(m.stats().compile_ops, 0);
+        let _ = Stats::default();
+    }
+
+    #[test]
+    fn shared_arc_code_serves_multiple_machines() {
+        let mut data = DataEnv::new();
+        let prog = desugar_program(
+            &parse_program("fib n = if n < 2 then n else fib (n - 1) + fib (n - 2)")
+                .expect("parses"),
+            &mut data,
+        )
+        .expect("desugars");
+        let code = Arc::new(compile_program(&prog.binds));
+        let e = desugar_expr(&parse_expr_src("fib 12").expect("parses"), &data).expect("desugars");
+        let mut outs = Vec::new();
+        for _ in 0..3 {
+            let mut m = Machine::new(MachineConfig::default());
+            m.link_code(Arc::clone(&code));
+            let out = m.eval_code_expr(&e, false).expect("no machine error");
+            let Outcome::Value(n) = out else {
+                panic!("{out:?}")
+            };
+            outs.push(m.render(n, 4));
+        }
+        assert_eq!(outs, vec!["144", "144", "144"]);
+        assert_eq!(Arc::strong_count(&code), 1, "machines dropped their links");
+    }
+}

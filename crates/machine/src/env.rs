@@ -8,7 +8,7 @@
 //! bindings instead of one per binding — and lookup chases one pointer per
 //! chunk instead of one per binding.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use urk_syntax::Symbol;
@@ -122,6 +122,122 @@ impl MEnv {
 impl std::fmt::Debug for MEnv {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "MEnv({} bindings)", self.len())
+    }
+}
+
+struct CChunk {
+    /// Append-only within a chunk's lifetime, as in [`Chunk`] — but
+    /// stored inline as a fixed array, so starting a chunk is a single
+    /// allocation (the `Rc`) instead of two. Only the first `init` slots
+    /// are meaningful; slots below any view's `len` are never mutated.
+    entries: RefCell<[NodeId; CHUNK]>,
+    init: Cell<usize>,
+    parent: CEnv,
+}
+
+/// The compiled backend's environment: the same chunked persistent
+/// structure as [`MEnv`], minus the names. The compiler resolved every
+/// variable to a back-index at compile time, so slots are addressed by
+/// position — `get_back(k)` walks whole chunks instead of scanning
+/// `Symbol` entries.
+#[derive(Clone, Default)]
+pub struct CEnv {
+    chunk: Option<Rc<CChunk>>,
+    len: u32,
+}
+
+impl CEnv {
+    /// The empty environment.
+    pub fn empty() -> CEnv {
+        CEnv {
+            chunk: None,
+            len: 0,
+        }
+    }
+
+    /// Extends with one slot.
+    pub fn push(&self, node: NodeId) -> CEnv {
+        if let Some(c) = &self.chunk {
+            let init = c.init.get();
+            if init == self.len as usize && init < CHUNK {
+                c.entries.borrow_mut()[init] = node;
+                c.init.set(init + 1);
+                return CEnv {
+                    chunk: self.chunk.clone(),
+                    len: self.len + 1,
+                };
+            }
+        }
+        let mut entries = [NodeId(0); CHUNK];
+        entries[0] = node;
+        CEnv {
+            chunk: Some(Rc::new(CChunk {
+                entries: RefCell::new(entries),
+                init: Cell::new(1),
+                parent: self.clone(),
+            })),
+            len: 1,
+        }
+    }
+
+    /// The slot `back` positions from the top (0 = innermost binding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `back` exceeds the environment depth — which would mean
+    /// compile-time scope resolution and the runtime environment
+    /// disagree, a compiler bug.
+    pub fn get_back(&self, back: u32) -> NodeId {
+        let mut back = back as usize;
+        let mut chunk = self.chunk.as_ref();
+        let mut len = self.len as usize;
+        while let Some(c) = chunk {
+            if back < len {
+                return c.entries.borrow()[len - 1 - back];
+            }
+            back -= len;
+            chunk = c.parent.chunk.as_ref();
+            len = c.parent.len as usize;
+        }
+        panic!("slot {back} past the end of the environment (compiler bug)");
+    }
+
+    /// Number of slots (diagnostics only).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut chunk = self.chunk.as_ref();
+        let mut len = self.len as usize;
+        while let Some(c) = chunk {
+            n += len;
+            chunk = c.parent.chunk.as_ref();
+            len = c.parent.len as usize;
+        }
+        n
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.chunk.is_none()
+    }
+
+    /// Visits every slot, innermost first. Used by the collector.
+    pub fn for_each_node(&self, mut f: impl FnMut(NodeId)) {
+        let mut chunk = self.chunk.as_ref();
+        let mut len = self.len as usize;
+        while let Some(c) = chunk {
+            let entries = c.entries.borrow();
+            for id in entries[..len].iter().rev() {
+                f(*id);
+            }
+            chunk = c.parent.chunk.as_ref();
+            len = c.parent.len as usize;
+        }
+    }
+}
+
+impl std::fmt::Debug for CEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CEnv({} slots)", self.len())
     }
 }
 

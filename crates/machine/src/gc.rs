@@ -17,7 +17,7 @@
 //! * nothing else: unreachable thunks, values, and poisoned cells are
 //!   reclaimed.
 
-use crate::env::MEnv;
+use crate::env::{CEnv, MEnv};
 use crate::heap::{HValue, Heap, Node, NodeId};
 
 /// Mark-phase worklist traversal over a root set.
@@ -49,6 +49,10 @@ impl Collector {
         env.for_each_node(|n| self.mark_root(n));
     }
 
+    pub(crate) fn mark_cenv(&mut self, env: &CEnv) {
+        env.for_each_node(|n| self.mark_root(n));
+    }
+
     /// Traces the object graph from the marked roots.
     pub(crate) fn trace(&mut self, heap: &Heap) {
         while let Some(id) = self.worklist.pop() {
@@ -57,6 +61,10 @@ impl Collector {
                 Node::Thunk { env, .. } | Node::Blackhole { env, .. } => {
                     let env = env.clone();
                     self.mark_env(&env);
+                }
+                Node::CThunk { env, .. } | Node::CBlackhole { env, .. } => {
+                    let env = env.clone();
+                    self.mark_cenv(&env);
                 }
                 Node::Ind(t) => {
                     let t = *t;
@@ -71,6 +79,10 @@ impl Collector {
                     HValue::Fun { env, .. } => {
                         let env = env.clone();
                         self.mark_env(&env);
+                    }
+                    HValue::CFun { env, .. } => {
+                        let env = env.clone();
+                        self.mark_cenv(&env);
                     }
                     HValue::Int(_) | HValue::Char(_) | HValue::Str(_) => {}
                 },

@@ -19,7 +19,8 @@ use std::rc::Rc;
 use urk_syntax::core::Expr;
 use urk_syntax::{Exception, Symbol};
 
-use crate::env::MEnv;
+use crate::code::CodeId;
+use crate::env::{CEnv, MEnv};
 
 /// An index into the heap.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -33,6 +34,12 @@ pub enum Node {
     /// A thunk currently under evaluation. Keeps its payload so an
     /// asynchronous interruption can restore it (§5.1).
     Blackhole { expr: Rc<Expr>, env: MEnv },
+    /// An unevaluated suspension of *compiled* code: the same semantics
+    /// as [`Node::Thunk`] with a `CodeId` instead of an `Rc<Expr>`.
+    CThunk { code: CodeId, env: CEnv },
+    /// A compiled thunk under evaluation; restorable exactly like
+    /// [`Node::Blackhole`] (§5.1 is representation-independent).
+    CBlackhole { code: CodeId, env: CEnv },
     /// An indirection to the updated value.
     Ind(NodeId),
     /// A weak-head-normal-form value.
@@ -57,6 +64,12 @@ pub enum HValue {
         param: Symbol,
         body: Rc<Expr>,
         env: MEnv,
+    },
+    /// A compiled function closure; the body's code was compiled
+    /// expecting its argument as the top environment slot.
+    CFun {
+        body: CodeId,
+        env: CEnv,
     },
 }
 
@@ -161,7 +174,7 @@ impl Heap {
         let mut free_nodes = 0usize;
         for node in &self.nodes {
             match node {
-                Node::Blackhole { .. } => blackholes += 1,
+                Node::Blackhole { .. } | Node::CBlackhole { .. } => blackholes += 1,
                 Node::Free { .. } => free_nodes += 1,
                 _ => {}
             }

@@ -30,6 +30,8 @@
 //! ```
 
 pub mod chaos;
+pub mod code;
+pub mod compiled;
 pub mod env;
 pub mod gc;
 pub mod heap;
@@ -37,11 +39,12 @@ pub mod interrupt;
 pub mod machine;
 
 pub use chaos::FaultPlan;
-pub use env::MEnv;
+pub use code::{compile_program, Code};
+pub use env::{CEnv, MEnv};
 pub use heap::{HValue, Heap, HeapAudit, Node, NodeId};
 pub use interrupt::InterruptHandle;
 pub use machine::{
-    BlackholeMode, Machine, MachineConfig, MachineError, OrderPolicy, Outcome, Stats,
+    Backend, BlackholeMode, Machine, MachineConfig, MachineError, OrderPolicy, Outcome, Stats,
 };
 
 #[cfg(test)]

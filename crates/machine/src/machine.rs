@@ -28,6 +28,7 @@ use urk_syntax::core::{Alt, AltCon, Expr, PrimOp};
 use urk_syntax::{Exception, Symbol};
 
 use crate::chaos::{ChaosState, FaultPlan};
+use crate::code::LinkedCode;
 use crate::env::MEnv;
 use crate::heap::{HValue, Heap, HeapAudit, Node, NodeId};
 use crate::interrupt::InterruptHandle;
@@ -45,6 +46,25 @@ pub enum OrderPolicy {
     RightToLeft,
     /// Pseudo-random per-operation order from the given seed.
     Seeded(u64),
+}
+
+/// Which execution mode produced a result: the `Rc<Expr>` tree-walker or
+/// the flat arena-indexed compiled code (see [`crate::code`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Backend {
+    #[default]
+    Tree,
+    Compiled,
+}
+
+impl Backend {
+    /// The CLI/stats spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Tree => "tree",
+            Backend::Compiled => "compiled",
+        }
+    }
 }
 
 /// What entering a black hole does (§5.2: implementations are "permitted,
@@ -155,6 +175,17 @@ pub struct Stats {
     /// Requests that consulted the shared result cache and missed (also
     /// stamped by the serving layer, never by the machine).
     pub cache_misses: u64,
+    /// Flat code ops emitted by the compiler for this machine's work
+    /// (query-expression lowering; the serving layer additionally stamps
+    /// the program's one-time compile cost on the evaluation that paid
+    /// it, so pool consumers can see the amortisation).
+    pub compile_ops: u64,
+    /// Wall-clock microseconds spent compiling (same attribution as
+    /// `compile_ops`).
+    pub compile_micros: u64,
+    /// Which execution mode this machine ran (`Tree` until compiled code
+    /// is linked).
+    pub backend: Backend,
 }
 
 /// How an evaluation episode ended.
@@ -199,6 +230,21 @@ enum Control {
     Enter(NodeId),
     Return(NodeId),
     Raising(Exception),
+}
+
+/// What an armed chaos plan wants done on this step (shared by both
+/// backends' run loops; see [`Machine::chaos_decide`]).
+pub(crate) struct ChaosDecision {
+    pub(crate) force_gc: bool,
+    pub(crate) inject: Option<Exception>,
+    pub(crate) cap: Option<usize>,
+}
+
+/// A strict primitive's outcome, independent of the executor's control
+/// representation.
+pub(crate) enum PrimResult {
+    Value(NodeId),
+    Raise(Exception),
 }
 
 enum Frame {
@@ -246,26 +292,29 @@ enum Frame {
 /// between actions.
 pub struct Machine {
     pub config: MachineConfig,
-    heap: Heap,
-    stats: Stats,
-    rng: SmallRng,
-    next_event: usize,
+    pub(crate) heap: Heap,
+    pub(crate) stats: Stats,
+    pub(crate) rng: SmallRng,
+    pub(crate) next_event: usize,
     /// The watchdog deadline: when `timeout_on_step_limit` is set, a
     /// `Timeout` is delivered at this step count and the watchdog re-arms
     /// (deadline += max_steps), like a real external monitor.
-    next_timeout_at: u64,
+    pub(crate) next_timeout_at: u64,
     /// Registered roots: nodes the embedder still needs across GC (the
     /// top-level program environment, the IO runner's continuations, ...).
-    roots: Vec<NodeId>,
+    pub(crate) roots: Vec<NodeId>,
     /// The collector re-arms at this live count (grows if a collection
     /// fails to get below the configured threshold).
-    next_gc_at: usize,
+    pub(crate) next_gc_at: usize,
     /// Interned WHNF nodes handed out instead of fresh allocations.
-    pool: InternPool,
+    pub(crate) pool: InternPool,
     /// The wall-clock asynchronous delivery cell, polled every step.
-    interrupt: InterruptHandle,
+    pub(crate) interrupt: InterruptHandle,
     /// Progress through the chaos fault plan, if one is armed.
-    chaos: Option<ChaosState>,
+    pub(crate) chaos: Option<ChaosState>,
+    /// The linked compiled program + query extension, once
+    /// [`Machine::link_code`] has run (the compiled backend's state).
+    pub(crate) code: Option<LinkedCode>,
 }
 
 /// The range of integers interned at construction (covers loop counters
@@ -280,7 +329,7 @@ const INT_POOL_MAX: i64 = 4095;
 /// `42` or `True` is observationally invisible. All pool nodes are
 /// permanent GC roots. Filling lazily keeps `Machine::new` cheap for
 /// short-lived machines (the oracle builds thousands of them).
-struct InternPool {
+pub(crate) struct InternPool {
     /// Slot `i` caches the node for `INT_POOL_MIN + i` once allocated.
     ints: Vec<Option<NodeId>>,
     ints_filled: usize,
@@ -307,7 +356,7 @@ impl InternPool {
         }
     }
 
-    fn mark(&self, c: &mut crate::gc::Collector) {
+    pub(crate) fn mark(&self, c: &mut crate::gc::Collector) {
         for id in self.ints.iter().flatten() {
             c.mark_root(*id);
         }
@@ -342,6 +391,7 @@ impl Machine {
             pool,
             interrupt,
             chaos,
+            code: None,
         }
     }
 
@@ -373,7 +423,7 @@ impl Machine {
 
     /// The interned node for an integer value (allocated on first use,
     /// shared ever after).
-    fn int_node(&mut self, n: i64) -> NodeId {
+    pub(crate) fn int_node(&mut self, n: i64) -> NodeId {
         if (INT_POOL_MIN..=INT_POOL_MAX).contains(&n) {
             let slot = (n - INT_POOL_MIN) as usize;
             if let Some(id) = self.pool.ints[slot] {
@@ -389,7 +439,7 @@ impl Machine {
     }
 
     /// The interned `True`/`False` node.
-    fn bool_node(&mut self, b: bool) -> NodeId {
+    pub(crate) fn bool_node(&mut self, b: bool) -> NodeId {
         self.stats.interned_hits += 1;
         if b {
             self.pool.true_node
@@ -400,7 +450,7 @@ impl Machine {
 
     /// The interned node for a zero-field constructor value (allocated on
     /// first use, shared ever after).
-    fn nullary_con_node(&mut self, c: Symbol) -> NodeId {
+    pub(crate) fn nullary_con_node(&mut self, c: Symbol) -> NodeId {
         if let Some(id) = self.pool.cons.get(&c) {
             self.stats.interned_hits += 1;
             return *id;
@@ -415,9 +465,13 @@ impl Machine {
         &self.stats
     }
 
-    /// Resets counters (the heap is kept).
+    /// Resets counters (the heap is kept, and so is the backend tag — it
+    /// describes the machine's mode, not one episode's work).
     pub fn reset_stats(&mut self) {
-        self.stats = Stats::default();
+        self.stats = Stats {
+            backend: self.stats.backend,
+            ..Stats::default()
+        };
     }
 
     /// Read-only access to the heap.
@@ -552,7 +606,7 @@ impl Machine {
         self.heap.resolve(id)
     }
 
-    fn alloc(&mut self, node: Node) -> NodeId {
+    pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
         self.stats.allocations += 1;
         if self.heap.free_list().is_some() {
             self.stats.freelist_reuses += 1;
@@ -560,7 +614,7 @@ impl Machine {
         self.heap.alloc(node)
     }
 
-    fn alloc_value(&mut self, v: HValue) -> NodeId {
+    pub(crate) fn alloc_value(&mut self, v: HValue) -> NodeId {
         self.alloc(Node::Value(v))
     }
 
@@ -612,8 +666,17 @@ impl Machine {
         self.run(Control::Eval(expr, env.clone()), catch)
     }
 
-    /// Forces an existing node to WHNF.
+    /// Forces an existing node to WHNF. Compiled suspensions are routed to
+    /// the compiled run loop, so rendering a constructor whose fields were
+    /// built by either backend just works.
     pub fn eval_node(&mut self, node: NodeId, catch: bool) -> Result<Outcome, MachineError> {
+        let r = self.heap.resolve(node);
+        if matches!(
+            self.heap.get(r),
+            Node::CThunk { .. } | Node::CBlackhole { .. }
+        ) {
+            return self.enter_compiled(node, catch);
+        }
         self.run(Control::Enter(node), catch)
     }
 
@@ -699,50 +762,19 @@ impl Machine {
     /// fires, `None` when this step is undisturbed (the common case — kept
     /// out of the return value so the hot loop never moves `Control`).
     fn chaos_tick(&mut self, control: &Control, stack: &[Frame]) -> Option<Control> {
-        let step = self.stats.steps;
         let raising = matches!(control, Control::Raising(_));
-        let mut inject: Option<Exception> = None;
-        let mut force_gc = false;
-        let cap;
-        {
-            let st = self.chaos.as_mut().expect("chaos plan armed");
-            if step >= st.plan.horizon {
-                self.chaos = None;
-                return None;
-            }
-            if let Some((at, e)) = st.plan.injections.get(st.next_injection) {
-                if step >= *at && !raising {
-                    st.next_injection += 1;
-                    inject = Some(e.clone());
-                }
-            }
-            if let Some(at) = st.plan.force_gc_at.get(st.next_gc) {
-                if step >= *at {
-                    st.next_gc += 1;
-                    force_gc = true;
-                }
-            }
-            while let Some((at, c)) = st.plan.heap_budget.get(st.next_budget) {
-                if step >= *at {
-                    st.active_cap = Some(*c);
-                    st.next_budget += 1;
-                } else {
-                    break;
-                }
-            }
-            cap = st.active_cap;
-        }
-        if force_gc {
+        let d = self.chaos_decide(raising)?;
+        if d.force_gc {
             // Rooted at the pre-fault control: conservative (keeps at most
             // one extra node alive for one cycle) and correct either way.
             self.stats.forced_gcs += 1;
             self.collect_during_run(control, stack);
         }
-        if let Some(exn) = inject {
+        if let Some(exn) = d.inject {
             self.stats.async_injected += 1;
             return Some(Control::Raising(exn));
         }
-        if let Some(cap) = cap {
+        if let Some(cap) = d.cap {
             if self.heap.live() >= cap && !raising {
                 // The shrinking budget: allocation past the cap fails with
                 // an asynchronous HeapOverflow, as a real memory monitor
@@ -751,6 +783,48 @@ impl Machine {
             }
         }
         None
+    }
+
+    /// The backend-independent half of a chaos step: advance the plan's
+    /// cursors and report what should happen (the per-backend run loops
+    /// perform the collection/raise themselves, since rooting a collection
+    /// needs the backend's own control/stack types). `None` means the step
+    /// is undisturbed or the plan's horizon has passed (the plan is then
+    /// dropped entirely).
+    pub(crate) fn chaos_decide(&mut self, raising: bool) -> Option<ChaosDecision> {
+        let step = self.stats.steps;
+        let st = self.chaos.as_mut()?;
+        if step >= st.plan.horizon {
+            self.chaos = None;
+            return None;
+        }
+        let mut inject: Option<Exception> = None;
+        let mut force_gc = false;
+        if let Some((at, e)) = st.plan.injections.get(st.next_injection) {
+            if step >= *at && !raising {
+                st.next_injection += 1;
+                inject = Some(e.clone());
+            }
+        }
+        if let Some(at) = st.plan.force_gc_at.get(st.next_gc) {
+            if step >= *at {
+                st.next_gc += 1;
+                force_gc = true;
+            }
+        }
+        while let Some((at, c)) = st.plan.heap_budget.get(st.next_budget) {
+            if step >= *at {
+                st.active_cap = Some(*c);
+                st.next_budget += 1;
+            } else {
+                break;
+            }
+        }
+        Some(ChaosDecision {
+            force_gc,
+            inject,
+            cap: st.active_cap,
+        })
     }
 
     fn step_eval(&mut self, expr: Rc<Expr>, env: MEnv, stack: &mut Vec<Frame>) -> Control {
@@ -896,6 +970,11 @@ impl Machine {
                 stack.push(Frame::Update(node));
                 Control::Eval(expr, env)
             }
+            Node::CThunk { .. } | Node::CBlackhole { .. } => {
+                // Episodes never mix executors: `eval_node` routes whole
+                // compiled suspensions to the compiled loop up front.
+                panic!("compiled thunk entered by the tree executor")
+            }
         }
     }
 
@@ -946,7 +1025,10 @@ impl Machine {
                         nodes[n] = r;
                         n += 1;
                     }
-                    self.apply_prim(op, &nodes[..n])
+                    match self.apply_prim(op, &nodes[..n]) {
+                        PrimResult::Value(v) => Control::Return(v),
+                        PrimResult::Raise(exn) => Control::Raising(exn),
+                    }
                 }
             }
             Frame::SeqSecond { expr, env } => Control::Eval(expr, env),
@@ -1088,7 +1170,7 @@ impl Machine {
         }
     }
 
-    fn apply_prim(&mut self, op: PrimOp, nodes: &[NodeId]) -> Control {
+    pub(crate) fn apply_prim(&mut self, op: PrimOp, nodes: &[NodeId]) -> PrimResult {
         use PrimOp::*;
         let int = |m: &Machine, i: usize| -> i64 {
             match m.heap.value(nodes[i]) {
@@ -1114,13 +1196,13 @@ impl Machine {
             Mul => return self.arith(int(self, 0).checked_mul(int(self, 1))),
             Div => {
                 if int(self, 1) == 0 {
-                    return Control::Raising(Exception::DivideByZero);
+                    return PrimResult::Raise(Exception::DivideByZero);
                 }
                 return self.arith(int(self, 0).checked_div(int(self, 1)));
             }
             Mod => {
                 if int(self, 1) == 0 {
-                    return Control::Raising(Exception::DivideByZero);
+                    return PrimResult::Raise(Exception::DivideByZero);
                 }
                 return self.arith(int(self, 0).checked_rem(int(self, 1)));
             }
@@ -1140,24 +1222,25 @@ impl Machine {
             Ord => return self.arith(Some(chr(self, 0) as i64)),
             Chr => match u32::try_from(int(self, 0)).ok().and_then(char::from_u32) {
                 Some(c) => HValue::Char(c),
-                None => return Control::Raising(Exception::Overflow),
+                None => return PrimResult::Raise(Exception::Overflow),
             },
             Seq | MapExn | UnsafeIsException | UnsafeGetException => {
                 unreachable!("special-cased")
             }
         };
-        Control::Return(self.alloc_value(result))
+        let n = self.alloc_value(result);
+        PrimResult::Value(n)
     }
 
-    fn arith(&mut self, n: Option<i64>) -> Control {
+    fn arith(&mut self, n: Option<i64>) -> PrimResult {
         match n {
-            Some(n) => Control::Return(self.int_node(n)),
-            None => Control::Raising(Exception::Overflow),
+            Some(n) => PrimResult::Value(self.int_node(n)),
+            None => PrimResult::Raise(Exception::Overflow),
         }
     }
 
-    fn boolean(&mut self, b: bool) -> Control {
-        Control::Return(self.bool_node(b))
+    fn boolean(&mut self, b: bool) -> PrimResult {
+        PrimResult::Value(self.bool_node(b))
     }
 
     /// Allocates the in-language value for a runtime exception (interned
@@ -1198,7 +1281,7 @@ impl Machine {
             HValue::Int(n) => n.to_string(),
             HValue::Char(c) => format!("{c:?}"),
             HValue::Str(s) => format!("{s:?}"),
-            HValue::Fun { .. } => "<function>".into(),
+            HValue::Fun { .. } | HValue::CFun { .. } => "<function>".into(),
             HValue::Con(c, fields) if fields.is_empty() => c.to_string(),
             HValue::Con(c, fields) => {
                 if depth == 0 {

@@ -16,68 +16,124 @@ pub trait Transform {
 }
 
 /// Applies `t` bottom-up over the whole expression, returning the result
-/// and the number of rewrites performed.
+/// and the number of rewrites performed. When nothing fires the input
+/// comes back with its structure shared, not rebuilt.
 pub fn apply_everywhere(t: &dyn Transform, e: &Expr) -> (Expr, usize) {
     let mut count = 0;
-    let out = go(t, e, &mut count);
-    (out, count)
+    match go(t, e, &mut count) {
+        Some(out) => (out, count),
+        None => (e.clone(), 0),
+    }
 }
 
 /// Applies `t` repeatedly (bottom-up sweeps) until no rewrite fires or the
-/// sweep limit is reached.
+/// sweep limit is reached. The closing zero-rewrite sweep — and a wholly
+/// inapplicable transform — cost no reconstruction at all: `current`
+/// stays `None` until a sweep actually changes something.
 pub fn apply_to_fixpoint(t: &dyn Transform, e: &Expr, max_sweeps: usize) -> (Expr, usize) {
-    let mut current = e.clone();
+    let mut current: Option<Expr> = None;
     let mut total = 0;
     for _ in 0..max_sweeps {
-        let (next, n) = apply_everywhere(t, &current);
-        total += n;
-        current = next;
-        if n == 0 {
-            break;
+        let mut n = 0;
+        match go(t, current.as_ref().unwrap_or(e), &mut n) {
+            Some(next) => {
+                total += n;
+                current = Some(next);
+            }
+            None => break,
         }
     }
-    (current, total)
+    (current.unwrap_or_else(|| e.clone()), total)
 }
 
-fn go(t: &dyn Transform, e: &Expr, count: &mut usize) -> Expr {
-    // First rebuild children, then try the root.
+/// One bottom-up pass; `None` means no rewrite fired anywhere in the
+/// subtree, so the caller keeps its existing node (and `Rc`s) untouched.
+/// Rebuilding happens only on the spine above an actual rewrite;
+/// unchanged siblings are shared via `Rc::clone`.
+fn go(t: &dyn Transform, e: &Expr, count: &mut usize) -> Option<Expr> {
+    // First rebuild children (where anything fired), then try the root.
     let rebuilt = match e {
-        Expr::Var(_) | Expr::Int(_) | Expr::Char(_) | Expr::Str(_) => e.clone(),
-        Expr::Con(c, args) => {
-            Expr::Con(*c, args.iter().map(|a| Rc::new(go(t, a, count))).collect())
+        Expr::Var(_) | Expr::Int(_) | Expr::Char(_) | Expr::Str(_) => None,
+        Expr::Con(c, args) => go_args(t, args, count).map(|args| Expr::Con(*c, args)),
+        Expr::Prim(op, args) => go_args(t, args, count).map(|args| Expr::Prim(*op, args)),
+        Expr::App(f, x) => {
+            let nf = go_rc(t, f, count);
+            let nx = go_rc(t, x, count);
+            (nf.is_some() || nx.is_some()).then(|| {
+                Expr::App(
+                    nf.unwrap_or_else(|| Rc::clone(f)),
+                    nx.unwrap_or_else(|| Rc::clone(x)),
+                )
+            })
         }
-        Expr::Prim(op, args) => {
-            Expr::Prim(*op, args.iter().map(|a| Rc::new(go(t, a, count))).collect())
+        Expr::Lam(x, b) => go_rc(t, b, count).map(|b| Expr::Lam(*x, b)),
+        Expr::Let(x, r, b) => {
+            let nr = go_rc(t, r, count);
+            let nb = go_rc(t, b, count);
+            (nr.is_some() || nb.is_some()).then(|| {
+                Expr::Let(
+                    *x,
+                    nr.unwrap_or_else(|| Rc::clone(r)),
+                    nb.unwrap_or_else(|| Rc::clone(b)),
+                )
+            })
         }
-        Expr::App(f, x) => Expr::App(Rc::new(go(t, f, count)), Rc::new(go(t, x, count))),
-        Expr::Lam(x, b) => Expr::Lam(*x, Rc::new(go(t, b, count))),
-        Expr::Let(x, r, b) => Expr::Let(*x, Rc::new(go(t, r, count)), Rc::new(go(t, b, count))),
-        Expr::LetRec(binds, b) => Expr::LetRec(
-            binds
-                .iter()
-                .map(|(n, r)| (*n, Rc::new(go(t, r, count))))
-                .collect(),
-            Rc::new(go(t, b, count)),
-        ),
-        Expr::Case(s, alts) => Expr::Case(
-            Rc::new(go(t, s, count)),
-            alts.iter()
-                .map(|a| Alt {
-                    con: a.con.clone(),
-                    binders: a.binders.clone(),
-                    rhs: Rc::new(go(t, &a.rhs, count)),
-                })
-                .collect(),
-        ),
-        Expr::Raise(x) => Expr::Raise(Rc::new(go(t, x, count))),
+        Expr::LetRec(binds, b) => {
+            let news: Vec<Option<Rc<Expr>>> =
+                binds.iter().map(|(_, r)| go_rc(t, r, count)).collect();
+            let nb = go_rc(t, b, count);
+            (news.iter().any(Option::is_some) || nb.is_some()).then(|| {
+                Expr::LetRec(
+                    binds
+                        .iter()
+                        .zip(news)
+                        .map(|((n, r), new)| (*n, new.unwrap_or_else(|| Rc::clone(r))))
+                        .collect(),
+                    nb.unwrap_or_else(|| Rc::clone(b)),
+                )
+            })
+        }
+        Expr::Case(s, alts) => {
+            let ns = go_rc(t, s, count);
+            let news: Vec<Option<Rc<Expr>>> =
+                alts.iter().map(|a| go_rc(t, &a.rhs, count)).collect();
+            (ns.is_some() || news.iter().any(Option::is_some)).then(|| {
+                Expr::Case(
+                    ns.unwrap_or_else(|| Rc::clone(s)),
+                    alts.iter()
+                        .zip(news)
+                        .map(|(a, new)| Alt {
+                            con: a.con.clone(),
+                            binders: a.binders.clone(),
+                            rhs: new.unwrap_or_else(|| Rc::clone(&a.rhs)),
+                        })
+                        .collect(),
+                )
+            })
+        }
+        Expr::Raise(x) => go_rc(t, x, count).map(Expr::Raise),
     };
-    match t.apply_root(&rebuilt) {
+    match t.apply_root(rebuilt.as_ref().unwrap_or(e)) {
         Some(next) => {
             *count += 1;
-            next
+            Some(next)
         }
         None => rebuilt,
     }
+}
+
+fn go_rc(t: &dyn Transform, e: &Rc<Expr>, count: &mut usize) -> Option<Rc<Expr>> {
+    go(t, e, count).map(Rc::new)
+}
+
+fn go_args(t: &dyn Transform, args: &[Rc<Expr>], count: &mut usize) -> Option<Vec<Rc<Expr>>> {
+    let news: Vec<Option<Rc<Expr>>> = args.iter().map(|a| go_rc(t, a, count)).collect();
+    news.iter().any(Option::is_some).then(|| {
+        args.iter()
+            .zip(news)
+            .map(|(a, new)| new.unwrap_or_else(|| Rc::clone(a)))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -114,5 +170,38 @@ mod tests {
         let (out, n) = apply_to_fixpoint(&DropZeroAdd, &e, 10);
         assert_eq!(n, 0);
         assert!(out.alpha_eq(&e));
+    }
+
+    #[test]
+    fn noop_sweeps_share_the_input_structure() {
+        // A transform that never fires must hand back the very same
+        // subtrees, not deep copies of them.
+        let shared = Rc::new(Expr::add(Expr::int(1), Expr::int(2)));
+        let e = Expr::Lam(urk_syntax::Symbol::intern("x"), Rc::clone(&shared));
+        let (out, n) = apply_to_fixpoint(&DropZeroAdd, &e, 10);
+        assert_eq!(n, 0);
+        let Expr::Lam(_, body) = &out else {
+            panic!("shape preserved")
+        };
+        assert!(
+            Rc::ptr_eq(body, &shared),
+            "a zero-rewrite fixpoint must not rebuild the expression"
+        );
+    }
+
+    #[test]
+    fn partial_rewrites_share_untouched_siblings() {
+        // Lam body rewrites; the untouched sibling arm of the App must be
+        // the original Rc.
+        let untouched = Rc::new(Expr::add(Expr::int(1), Expr::int(2)));
+        let rewritable = Rc::new(Expr::add(Expr::int(0), Expr::int(5)));
+        let e = Expr::App(Rc::clone(&untouched), Rc::clone(&rewritable));
+        let (out, n) = apply_everywhere(&DropZeroAdd, &e);
+        assert_eq!(n, 1);
+        let Expr::App(f, x) = &out else {
+            panic!("shape preserved")
+        };
+        assert!(Rc::ptr_eq(f, &untouched), "unchanged sibling was rebuilt");
+        assert!(x.alpha_eq(&Expr::int(5)));
     }
 }

@@ -3,8 +3,8 @@
 //! *insensitivity* to spelling, and the capacity bound under stress.
 
 use urk::{
-    cache_key, CacheKey, CachedEval, DenotConfig, EvalPool, MachineConfig, Options, OrderPolicy,
-    PoolConfig, ResultCache, Session, Stats,
+    cache_key, Backend, CacheKey, CachedEval, DenotConfig, EvalPool, MachineConfig, Options,
+    OrderPolicy, PoolConfig, ResultCache, Session, Stats,
 };
 
 #[test]
@@ -52,49 +52,50 @@ fn every_semantics_relevant_config_field_changes_the_key() {
     let expr = session.compile_expr("1 + 2").expect("compiles");
     let m = MachineConfig::default();
     let d = DenotConfig::default();
-    let base = cache_key(&expr, &m, &d, 32);
+    let base = cache_key(&expr, &m, &d, 32, Backend::Tree);
 
     type Mutation = (
         &'static str,
-        Box<dyn Fn(&mut MachineConfig, &mut DenotConfig, &mut u32)>,
+        Box<dyn Fn(&mut MachineConfig, &mut DenotConfig, &mut u32, &mut Backend)>,
     );
     let mutations: Vec<Mutation> = vec![
         (
             "order=r",
-            Box::new(|m, _, _| m.order = OrderPolicy::RightToLeft),
+            Box::new(|m, _, _, _| m.order = OrderPolicy::RightToLeft),
         ),
         (
             "order=s7",
-            Box::new(|m, _, _| m.order = OrderPolicy::Seeded(7)),
+            Box::new(|m, _, _, _| m.order = OrderPolicy::Seeded(7)),
         ),
         (
             "order=s8",
-            Box::new(|m, _, _| m.order = OrderPolicy::Seeded(8)),
+            Box::new(|m, _, _, _| m.order = OrderPolicy::Seeded(8)),
         ),
         (
             "blackholes",
-            Box::new(|m, _, _| m.blackholes = urk::BlackholeMode::Loop),
+            Box::new(|m, _, _, _| m.blackholes = urk::BlackholeMode::Loop),
         ),
-        ("max_steps", Box::new(|m, _, _| m.max_steps += 1)),
-        ("max_stack", Box::new(|m, _, _| m.max_stack += 1)),
-        ("max_heap", Box::new(|m, _, _| m.max_heap += 1)),
+        ("max_steps", Box::new(|m, _, _, _| m.max_steps += 1)),
+        ("max_stack", Box::new(|m, _, _, _| m.max_stack += 1)),
+        ("max_heap", Box::new(|m, _, _, _| m.max_heap += 1)),
         (
             "timeout_on_step_limit",
-            Box::new(|m, _, _| m.timeout_on_step_limit = true),
+            Box::new(|m, _, _, _| m.timeout_on_step_limit = true),
         ),
-        ("gc", Box::new(|m, _, _| m.gc = false)),
-        ("gc_threshold", Box::new(|m, _, _| m.gc_threshold += 1)),
+        ("gc", Box::new(|m, _, _, _| m.gc = false)),
+        ("gc_threshold", Box::new(|m, _, _, _| m.gc_threshold += 1)),
         (
             "event_schedule",
-            Box::new(|m, _, _| m.event_schedule.push((10, urk::Exception::Interrupt))),
+            Box::new(|m, _, _, _| m.event_schedule.push((10, urk::Exception::Interrupt))),
         ),
-        ("fuel", Box::new(|_, d, _| d.fuel += 1)),
-        ("max_depth", Box::new(|_, d, _| d.max_depth += 1)),
+        ("fuel", Box::new(|_, d, _, _| d.fuel += 1)),
+        ("max_depth", Box::new(|_, d, _, _| d.max_depth += 1)),
         (
             "pessimistic",
-            Box::new(|_, d, _| d.pessimistic_is_exception = true),
+            Box::new(|_, d, _, _| d.pessimistic_is_exception = true),
         ),
-        ("render_depth", Box::new(|_, _, r| *r = 16)),
+        ("render_depth", Box::new(|_, _, r, _| *r = 16)),
+        ("backend", Box::new(|_, _, _, b| *b = Backend::Compiled)),
     ];
 
     let mut seen = vec![base.clone()];
@@ -102,8 +103,9 @@ fn every_semantics_relevant_config_field_changes_the_key() {
         let mut m2 = m.clone();
         let mut d2 = d.clone();
         let mut rd = 32u32;
-        mutate(&mut m2, &mut d2, &mut rd);
-        let key = cache_key(&expr, &m2, &d2, rd);
+        let mut be = Backend::Tree;
+        mutate(&mut m2, &mut d2, &mut rd, &mut be);
+        let key = cache_key(&expr, &m2, &d2, rd, be);
         assert_ne!(key, base, "changing {name} must change the cache key");
         assert!(
             !seen.contains(&key),
@@ -115,7 +117,7 @@ fn every_semantics_relevant_config_field_changes_the_key() {
     // Run-only plumbing is deliberately *not* part of the key.
     let mut m3 = m.clone();
     m3.interrupt = Some(urk::InterruptHandle::new());
-    assert_eq!(cache_key(&expr, &m3, &d, 32), base);
+    assert_eq!(cache_key(&expr, &m3, &d, 32, Backend::Tree), base);
 }
 
 #[test]
@@ -123,7 +125,15 @@ fn keys_are_invariant_under_spelling_and_recompilation() {
     let session = Session::new();
     let m = MachineConfig::default();
     let d = DenotConfig::default();
-    let key = |src: &str| cache_key(&session.compile_expr(src).expect("compiles"), &m, &d, 32);
+    let key = |src: &str| {
+        cache_key(
+            &session.compile_expr(src).expect("compiles"),
+            &m,
+            &d,
+            32,
+            Backend::Tree,
+        )
+    };
 
     // Alpha-renaming and whitespace don't change the program.
     assert_eq!(key("\\x -> x + 1"), key("\\y -> y + 1"));
