@@ -1,0 +1,200 @@
+//! The abstract domain: a conservative *effect* for each expression.
+//!
+//! The paper's §4.2 semantics makes every exceptional value denote a *set*
+//! of exceptions, with `⊥` identified with the set of **all** exceptions
+//! (§4.1). An [`Effect`] is the static image of that domain: a finite
+//! over-approximation of the proper exceptions an expression may raise
+//! when forced to weak head normal form, a may-diverge bit (divergence
+//! folds into the lattice as `All`, exactly as `⊥` does in the
+//! denotational semantics), a must-raise bit (the expression certainly
+//! denotes an exceptional value), and an optional known WHNF constant for
+//! constant propagation.
+//!
+//! Soundness contract, checked differentially by `tests/analysis.rs`:
+//! for every closed expression `e`, the denoted exception set of `e` is
+//! `⊆` [`Effect::predicted`]. `exns`/`diverges`/`opaque` are *may*
+//! over-approximations (safe to grow); `must_raise` and `val` are *must*
+//! under-approximations (safe to drop, never safe to invent).
+
+use std::rc::Rc;
+
+use urk_denot::ExnSet;
+use urk_syntax::Symbol;
+
+/// A known weak-head-normal-form constant, for constant propagation.
+///
+/// Constructor values are tracked by *tag only* — that is all `case`
+/// selection needs — so `Con` covers both nullary constructors and
+/// applications with unknown fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Val {
+    /// A known integer.
+    Int(i64),
+    /// A known character.
+    Char(char),
+    /// A known string.
+    Str(Rc<str>),
+    /// A constructor with a known tag (fields unknown).
+    Con(Symbol),
+}
+
+/// The effect triple (plus constant) for one expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Effect {
+    /// Over-approximation of the *proper* exceptions forcing the
+    /// expression to WHNF may raise. Divergence is tracked separately in
+    /// [`Effect::diverges`]; `ExnSet::bottom()` (`All`) here means "could
+    /// be anything".
+    pub exns: ExnSet,
+    /// May the expression fail to terminate when forced? Per §4.1 this is
+    /// the same as "may denote the set of all exceptions".
+    pub diverges: bool,
+    /// Forcing this expression *certainly* yields an exceptional value
+    /// (or diverges). A must-property: `false` is always sound.
+    pub must_raise: bool,
+    /// The expression's WHNF may be an exceptional value contributed by a
+    /// function parameter whose exceptions are accounted *at the call
+    /// site* (via [`crate::Summary::uses`]) rather than in `exns`. An
+    /// opaque effect must never license a rewrite that branches on the
+    /// value being normal — see [`Effect::whnf_safe`].
+    pub opaque: bool,
+    /// Known WHNF constant. Invariant (restored by [`Effect::normalize`]):
+    /// only present when the effect is [`Effect::whnf_safe`].
+    pub val: Option<Val>,
+}
+
+impl Effect {
+    /// The effect of an expression that certainly evaluates to a normal
+    /// value without raising: empty set, terminating.
+    pub fn pure() -> Effect {
+        Effect {
+            exns: ExnSet::empty(),
+            diverges: false,
+            must_raise: false,
+            opaque: false,
+            val: None,
+        }
+    }
+
+    /// `pure` with a known constant.
+    pub fn of_val(v: Val) -> Effect {
+        Effect {
+            val: Some(v),
+            ..Effect::pure()
+        }
+    }
+
+    /// The bottom of the analysis: nothing is known. May raise anything,
+    /// may diverge. Used for unknown applications, `letrec`-bound locals,
+    /// unbound variables of open terms, and recursive globals.
+    pub fn bottom() -> Effect {
+        Effect {
+            exns: ExnSet::bottom(),
+            diverges: true,
+            must_raise: false,
+            opaque: false,
+            val: None,
+        }
+    }
+
+    /// The effect of a function parameter inside a summary body: treated
+    /// as raising nothing (the caller compensates through
+    /// [`crate::Summary::uses`]) but *opaque*, so no rewrite is licensed
+    /// by pretending the argument is a normal value.
+    pub fn opaque_arg() -> Effect {
+        Effect {
+            opaque: true,
+            ..Effect::pure()
+        }
+    }
+
+    /// Provably evaluates to a normal value: cannot raise, cannot
+    /// diverge, and is not standing in for an unknown argument.
+    pub fn whnf_safe(&self) -> bool {
+        self.exns.is_empty() && !self.diverges && !self.must_raise && !self.opaque
+    }
+
+    /// The statically predicted exception set, with divergence folded in
+    /// as `All` per §4.1. The soundness battery checks the denoted set of
+    /// every corpus term is `⊆` this.
+    pub fn predicted(&self) -> ExnSet {
+        if self.diverges {
+            ExnSet::bottom()
+        } else {
+            self.exns.clone()
+        }
+    }
+
+    /// Restores the `val`-only-when-safe invariant.
+    pub fn normalize(mut self) -> Effect {
+        if self.val.is_some() && !self.whnf_safe() {
+            self.val = None;
+        }
+        self
+    }
+
+    /// Least upper bound of two alternative outcomes (e.g. two `case`
+    /// branches): may-properties union, must-properties intersect.
+    pub fn join(&self, other: &Effect) -> Effect {
+        Effect {
+            exns: self.exns.union(&other.exns),
+            diverges: self.diverges || other.diverges,
+            must_raise: self.must_raise && other.must_raise,
+            opaque: self.opaque || other.opaque,
+            val: match (&self.val, &other.val) {
+                (Some(a), Some(b)) if a == b => Some(a.clone()),
+                _ => None,
+            },
+        }
+        .normalize()
+    }
+}
+
+impl Default for Effect {
+    fn default() -> Effect {
+        Effect::bottom()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urk_syntax::Exception;
+
+    #[test]
+    fn predicted_folds_divergence_into_all() {
+        let mut e = Effect::pure();
+        e.exns.insert(Exception::DivideByZero);
+        assert!(!e.predicted().is_all());
+        e.diverges = true;
+        assert!(e.predicted().is_all());
+    }
+
+    #[test]
+    fn join_unions_may_and_intersects_must() {
+        let a = Effect {
+            exns: ExnSet::singleton(Exception::Overflow),
+            diverges: false,
+            must_raise: true,
+            opaque: false,
+            val: None,
+        };
+        let b = Effect::of_val(Val::Int(3));
+        let j = a.join(&b);
+        assert!(j.exns.contains(&Exception::Overflow));
+        assert!(!j.must_raise);
+        assert_eq!(j.val, None);
+        let same = Effect::of_val(Val::Int(3)).join(&Effect::of_val(Val::Int(3)));
+        assert_eq!(same.val, Some(Val::Int(3)));
+    }
+
+    #[test]
+    fn opaque_blocks_whnf_safety_and_vals() {
+        assert!(!Effect::opaque_arg().whnf_safe());
+        let e = Effect {
+            val: Some(Val::Int(1)),
+            ..Effect::opaque_arg()
+        };
+        assert_eq!(e.normalize().val, None);
+    }
+}

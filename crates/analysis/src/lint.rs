@@ -1,0 +1,461 @@
+//! `urk lint`: diagnostics derived from the effect analysis.
+//!
+//! Codes are stable:
+//!
+//! * **URK001** — an expression that always raises (and is not itself a
+//!   `raise`, which is taken as intentional). Reported at the *origin*:
+//!   the outermost such expression none of whose forced children already
+//!   always raises.
+//! * **URK002** — a provably unreachable `case` alternative (follows the
+//!   default, duplicates an earlier pattern, or cannot match a
+//!   statically-known scrutinee).
+//! * **URK003** — same unreachability, but on an
+//!   `unsafeIsException`/`unsafeGetException` scrutinee: a dead
+//!   exception-handler branch (§5.4/§6).
+//! * **URK004** — a `case` whose `PatternMatchFail` is statically
+//!   reachable (no default and the patterns do not exhaust the
+//!   constructor family), as compiled by the `matchc` pattern-match
+//!   compiler.
+//!
+//! Core expressions carry no source spans, so positions are a *path*:
+//! the binding name plus a dotted breadcrumb from its right-hand side
+//! (e.g. `case.alt[2].rhs`). Paths are deterministic, which the CI lint
+//! golden relies on.
+
+use std::fmt;
+use std::rc::Rc;
+
+use urk_syntax::core::{Alt, AltCon, CoreProgram, Expr, PrimOp};
+use urk_syntax::{DataEnv, Symbol};
+
+use crate::analyze::{analyze_program, Analysis, Analyzer};
+use crate::effect::{Effect, Val};
+
+/// Stable diagnostic codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintCode {
+    /// URK001: the expression always raises.
+    AlwaysRaises,
+    /// URK002: unreachable case alternative.
+    UnreachableAlt,
+    /// URK003: dead `isException`/`getException` branch.
+    DeadExceptionBranch,
+    /// URK004: reachable pattern-match failure.
+    MatchMayFail,
+}
+
+impl LintCode {
+    /// The stable code string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LintCode::AlwaysRaises => "URK001",
+            LintCode::UnreachableAlt => "URK002",
+            LintCode::DeadExceptionBranch => "URK003",
+            LintCode::MatchMayFail => "URK004",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: LintCode,
+    /// The top-level binding the finding is in.
+    pub binding: Symbol,
+    /// Dotted breadcrumb from the binding's right-hand side.
+    pub path: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.code,
+            self.binding,
+            if self.path.is_empty() {
+                "rhs"
+            } else {
+                self.path.as_str()
+            },
+            self.message
+        )
+    }
+}
+
+/// Lint a whole program: analyse, then walk every binding.
+pub fn lint_program(prog: &CoreProgram, data: &DataEnv) -> Vec<Diagnostic> {
+    let analysis = analyze_program(prog, data);
+    let mut out = Vec::new();
+    for (name, rhs) in &prog.binds {
+        lint_binding(&analysis, data, *name, rhs, &mut out);
+    }
+    out
+}
+
+/// Lint one expression as if it were the right-hand side of `binding`,
+/// against an existing program analysis (used for `--expr` queries).
+pub fn lint_expr(
+    analysis: &Analysis,
+    data: &DataEnv,
+    binding: Symbol,
+    e: &Expr,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    lint_binding(analysis, data, binding, e, &mut out);
+    out
+}
+
+fn lint_binding(
+    analysis: &Analysis,
+    data: &DataEnv,
+    name: Symbol,
+    rhs: &Expr,
+    out: &mut Vec<Diagnostic>,
+) {
+    let an = Analyzer {
+        data,
+        summaries: &analysis.summaries,
+    };
+    let mut w = Walker {
+        an,
+        binding: name,
+        path: Vec::new(),
+        out,
+    };
+    w.walk(rhs, &mut Vec::new());
+}
+
+struct Walker<'a, 'd> {
+    an: Analyzer<'d>,
+    binding: Symbol,
+    path: Vec<String>,
+    out: &'a mut Vec<Diagnostic>,
+}
+
+impl Walker<'_, '_> {
+    fn report(&mut self, code: LintCode, message: String) {
+        self.out.push(Diagnostic {
+            code,
+            binding: self.binding,
+            path: self.path.join("."),
+            message,
+        });
+    }
+
+    fn walk(&mut self, e: &Expr, env: &mut Vec<(Symbol, Effect)>) {
+        let eff = self.an.effect(e, env);
+
+        // URK001: always-raising origins. Bare variables point at their
+        // binding and `raise` is intentional; neither is reported.
+        if eff.must_raise
+            && !matches!(e, Expr::Raise(_) | Expr::Var(_))
+            && !self.forced_child_must_raise(e, env)
+        {
+            let set = eff.predicted();
+            self.report(
+                LintCode::AlwaysRaises,
+                format!("this expression always raises {set}"),
+            );
+        }
+
+        if let Expr::Case(s, alts) = e {
+            self.lint_case(s, alts, env);
+        }
+
+        self.walk_children(e, env);
+    }
+
+    /// Does any child forced at `e`'s WHNF already always raise? If so,
+    /// that child (or something inside it) is the origin, not `e`.
+    fn forced_child_must_raise(&self, e: &Expr, env: &mut Vec<(Symbol, Effect)>) -> bool {
+        match e {
+            Expr::Let(x, r, b) => {
+                let re = self.an.effect(r, env);
+                env.push((*x, re));
+                let m = self.an.effect(b, env).must_raise;
+                env.pop();
+                m
+            }
+            Expr::LetRec(binds, b) => {
+                for (x, _) in binds {
+                    env.push((*x, Effect::bottom()));
+                }
+                let m = self.an.effect(b, env).must_raise;
+                env.truncate(env.len() - binds.len());
+                m
+            }
+            Expr::Case(s, alts) => {
+                let se = self.an.effect(s, env);
+                if se.must_raise {
+                    return true;
+                }
+                alts.iter().any(|alt| {
+                    let bound = bind_alt_for_walk(&self.an, alt, &se, env);
+                    let m = self.an.effect(&alt.rhs, env).must_raise;
+                    env.truncate(env.len() - bound);
+                    m
+                })
+            }
+            Expr::Prim(_, args) => args.iter().any(|a| self.an.effect(a, env).must_raise),
+            Expr::App(_, _) => {
+                let mut head = e;
+                let mut any = false;
+                while let Expr::App(f, a) = head {
+                    any = any || self.an.effect(a, env).must_raise;
+                    head = f;
+                }
+                any || self.an.effect(head, env).must_raise
+            }
+            _ => false,
+        }
+    }
+
+    fn lint_case(&mut self, s: &Rc<Expr>, alts: &[Alt], env: &mut Vec<(Symbol, Effect)>) {
+        let se = self.an.effect(s, env);
+        let exn_scrut = matches!(
+            &**s,
+            Expr::Prim(PrimOp::UnsafeIsException | PrimOp::UnsafeGetException, _)
+        );
+        let mut seen_default = false;
+        let mut matched = false;
+        let mut seen: Vec<&AltCon> = Vec::new();
+        for (i, alt) in alts.iter().enumerate() {
+            let mut reason: Option<(LintCode, String)> = None;
+            if seen_default {
+                reason = Some((
+                    LintCode::UnreachableAlt,
+                    "unreachable: follows the default alternative".into(),
+                ));
+            } else if matched {
+                let code = if exn_scrut {
+                    LintCode::DeadExceptionBranch
+                } else {
+                    LintCode::UnreachableAlt
+                };
+                reason = Some((
+                    code,
+                    "unreachable: a preceding alternative always matches".into(),
+                ));
+            } else if alt.con != AltCon::Default && seen.contains(&&alt.con) {
+                reason = Some((
+                    LintCode::UnreachableAlt,
+                    "unreachable: duplicates an earlier pattern".into(),
+                ));
+            } else if let Some(v) = &se.val {
+                if alt_matches_val(v, &alt.con) {
+                    matched = true;
+                } else {
+                    let code = if exn_scrut {
+                        LintCode::DeadExceptionBranch
+                    } else {
+                        LintCode::UnreachableAlt
+                    };
+                    reason = Some((
+                        code,
+                        format!("unreachable: the scrutinee is always {}", show_val(v)),
+                    ));
+                }
+            }
+            if alt.con == AltCon::Default {
+                seen_default = true;
+            }
+            seen.push(&alt.con);
+            match reason {
+                Some((code, msg)) => {
+                    self.path.push(format!("alt[{i}]"));
+                    self.report(code, msg);
+                    self.path.pop();
+                }
+                // URK004: `matchc` desugars a non-exhaustive match into an
+                // explicit `_ -> raise (PatternMatchFail "case")` default;
+                // if it is not provably unreachable, the failure is live.
+                None if alt.con == AltCon::Default
+                    && alt.binders.is_empty()
+                    && is_pmf_raise(&alt.rhs)
+                    && se.val.is_none()
+                    && !se.must_raise
+                    && !self.covers_without_defaults(alts) =>
+                {
+                    self.path.push(format!("alt[{i}]"));
+                    self.report(
+                        LintCode::MatchMayFail,
+                        "pattern match may fail: the alternatives do not cover every \
+                         constructor, so PatternMatchFail \"case\" is reachable"
+                            .into(),
+                    );
+                    self.path.pop();
+                }
+                None => {}
+            }
+        }
+        // URK004 for hand-built Core with no default at all.
+        if !self.an.covers(alts) && se.val.is_none() && !se.must_raise {
+            self.report(
+                LintCode::MatchMayFail,
+                "pattern match may fail: no default and the alternatives do not cover \
+                 every constructor (raises PatternMatchFail \"case\")"
+                    .into(),
+            );
+        }
+    }
+
+    /// Do the non-default alternatives already exhaust the family?
+    fn covers_without_defaults(&self, alts: &[Alt]) -> bool {
+        let proper: Vec<Alt> = alts
+            .iter()
+            .filter(|a| a.con != AltCon::Default)
+            .cloned()
+            .collect();
+        self.an.covers(&proper)
+    }
+
+    fn walk_children(&mut self, e: &Expr, env: &mut Vec<(Symbol, Effect)>) {
+        match e {
+            Expr::Var(_) | Expr::Int(_) | Expr::Char(_) | Expr::Str(_) => {}
+            Expr::Con(_, args) => {
+                for (i, a) in args.iter().enumerate() {
+                    self.path.push(format!("con[{i}]"));
+                    self.walk(a, env);
+                    self.path.pop();
+                }
+            }
+            Expr::App(f, a) => {
+                self.path.push("fun".into());
+                self.walk(f, env);
+                self.path.pop();
+                self.path.push("arg".into());
+                self.walk(a, env);
+                self.path.pop();
+            }
+            Expr::Lam(x, b) => {
+                env.push((*x, Effect::opaque_arg()));
+                self.path.push(format!("\\{x}"));
+                self.walk(b, env);
+                self.path.pop();
+                env.pop();
+            }
+            Expr::Let(x, r, b) => {
+                self.path.push(format!("let[{x}]"));
+                self.walk(r, env);
+                self.path.pop();
+                let re = self.an.effect(r, env);
+                env.push((*x, re));
+                self.path.push("in".into());
+                self.walk(b, env);
+                self.path.pop();
+                env.pop();
+            }
+            Expr::LetRec(binds, b) => {
+                for (x, _) in binds {
+                    env.push((*x, Effect::bottom()));
+                }
+                for (x, r) in binds {
+                    self.path.push(format!("letrec[{x}]"));
+                    self.walk(r, env);
+                    self.path.pop();
+                }
+                self.path.push("in".into());
+                self.walk(b, env);
+                self.path.pop();
+                env.truncate(env.len() - binds.len());
+            }
+            Expr::Case(s, alts) => {
+                self.path.push("case".into());
+                self.walk(s, env);
+                self.path.pop();
+                let se = self.an.effect(s, env);
+                for (i, alt) in alts.iter().enumerate() {
+                    let bound = bind_alt_for_walk(&self.an, alt, &se, env);
+                    self.path.push(format!("alt[{i}]"));
+                    self.walk(&alt.rhs, env);
+                    self.path.pop();
+                    env.truncate(env.len() - bound);
+                }
+            }
+            Expr::Prim(_, args) => {
+                for (i, a) in args.iter().enumerate() {
+                    self.path.push(format!("prim[{i}]"));
+                    self.walk(a, env);
+                    self.path.pop();
+                }
+            }
+            Expr::Raise(x) => {
+                self.path.push("raise".into());
+                self.walk(x, env);
+                self.path.pop();
+            }
+        }
+    }
+}
+
+/// Mirror of the analyzer's alternative binding discipline for the walk.
+fn bind_alt_for_walk(
+    an: &Analyzer<'_>,
+    alt: &Alt,
+    se: &Effect,
+    env: &mut Vec<(Symbol, Effect)>,
+) -> usize {
+    let _ = an;
+    match &alt.con {
+        AltCon::Con(_) => {
+            for b in &alt.binders {
+                env.push((*b, Effect::bottom()));
+            }
+            alt.binders.len()
+        }
+        AltCon::Default => match alt.binders.first() {
+            Some(b) => {
+                let eff = if se.whnf_safe() {
+                    se.clone()
+                } else {
+                    Effect::opaque_arg()
+                };
+                env.push((*b, eff));
+                1
+            }
+            None => 0,
+        },
+        _ => 0,
+    }
+}
+
+/// Is this the `matchc`-synthesised `raise (PatternMatchFail _)`?
+fn is_pmf_raise(e: &Expr) -> bool {
+    if let Expr::Raise(inner) = e {
+        if let Expr::Con(c, args) = &**inner {
+            return c.as_str() == "PatternMatchFail"
+                && matches!(args.as_slice(), [a] if matches!(&**a, Expr::Str(_)));
+        }
+    }
+    false
+}
+
+fn alt_matches_val(v: &Val, con: &AltCon) -> bool {
+    match (v, con) {
+        (_, AltCon::Default) => true,
+        (Val::Con(t), AltCon::Con(c)) => t == c,
+        (Val::Int(n), AltCon::Int(m)) => n == m,
+        (Val::Char(a), AltCon::Char(b)) => a == b,
+        (Val::Str(a), AltCon::Str(b)) => **a == **b,
+        _ => false,
+    }
+}
+
+fn show_val(v: &Val) -> String {
+    match v {
+        Val::Int(n) => n.to_string(),
+        Val::Char(c) => format!("{c:?}"),
+        Val::Str(s) => format!("{s:?}"),
+        Val::Con(c) => c.to_string(),
+    }
+}

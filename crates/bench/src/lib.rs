@@ -201,7 +201,10 @@ pub fn apply_cbv(c: &Compiled) -> (Compiled, usize) {
     let sigs = urk_transform::analyze_program(&c.program);
     let pred = |x: Symbol, b: &Expr| urk_transform::strict_in(x, b, &sigs);
     let let_to_case = urk_transform::LetToCase { is_strict: &pred };
-    let call_sites = urk_transform::StrictCallSites { sigs: &sigs };
+    let call_sites = urk_transform::StrictCallSites {
+        sigs: &sigs,
+        arg_safe: None,
+    };
     let mut program = CoreProgram::default();
     let mut total = 0;
     let rewrite = |e: &Expr, total: &mut usize| -> Expr {

@@ -16,6 +16,9 @@
 //! urk --jobs 4 --batch exprs.txt       # pooled evaluation, one expr per line
 //! urk --jobs 4 --batch exprs.txt --cache-cap 1024 --stats
 //! urk --expr "f 9" --backend compiled  # run on the flat-code backend
+//! urk lint program.urk                 # static exception-effect lint
+//! urk lint --expr "head []"            # lint one expression
+//! urk program.urk --backend compiled --verify-code   # check arenas in release
 //! ```
 
 use std::io::Read;
@@ -49,6 +52,8 @@ struct Args {
     jobs: Option<usize>,
     batch: Option<String>,
     cache_cap: Option<usize>,
+    lint: bool,
+    verify_code: bool,
 }
 
 fn usage() -> ! {
@@ -57,8 +62,9 @@ fn usage() -> ! {
          \x20          [--order l|r|s[:SEED]] [--backend tree|compiled] [--optimize] [--input STR]\n\
          \x20          [--semantic|--concurrent] [--seed N] [--trace] [--dump-core] [--stats]\n\
          \x20          [--max-steps N] [--max-heap N] [--max-stack N]\n\
-         \x20          [--timeout-ms N] [--chaos SEED]\n\
-         \x20          [--batch FILE] [--jobs N] [--cache-cap N]"
+         \x20          [--timeout-ms N] [--chaos SEED] [--verify-code]\n\
+         \x20          [--batch FILE] [--jobs N] [--cache-cap N]\n\
+         \x20      urk lint [FILE.urk] [--expr E] [--optimize]"
     );
     std::process::exit(2)
 }
@@ -87,6 +93,8 @@ fn parse_args() -> Args {
         jobs: None,
         batch: None,
         cache_cap: None,
+        lint: false,
+        verify_code: false,
     };
     fn num<T: std::str::FromStr>(v: Option<String>) -> T {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
@@ -141,7 +149,11 @@ fn parse_args() -> Args {
                     _ => usage(),
                 };
             }
+            "--verify-code" => out.verify_code = true,
             "--help" | "-h" => usage(),
+            // The `lint` subcommand, intercepted before the bare
+            // positional is taken as a file name.
+            "lint" if !out.lint && out.file.is_none() => out.lint = true,
             f if !f.starts_with('-') && out.file.is_none() => out.file = Some(f.to_string()),
             _ => usage(),
         }
@@ -153,6 +165,7 @@ fn main() -> ExitCode {
     let args = parse_args();
     let mut session = Session::new();
     session.options.machine.order = args.order;
+    session.options.machine.verify_code = args.verify_code;
     session.options.backend = args.backend;
     if let Some(n) = args.max_steps {
         session.options.machine.max_steps = n;
@@ -193,6 +206,30 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    // Static exception-effect lint: report and stop (exit 1 when the
+    // analysis found something, so scripts can gate on it).
+    if args.lint {
+        let mut diags = session.lint();
+        if let Some(e) = &args.expr {
+            match session.lint_expr(e) {
+                Ok(more) => diags.extend(more),
+                Err(err) => {
+                    eprintln!("urk: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        for d in &diags {
+            println!("{d}");
+        }
+        eprintln!("urk: lint reported {} finding(s)", diags.len());
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
     }
 
     if args.dump_core {
@@ -387,6 +424,9 @@ fn main() -> ExitCode {
                             "compile: {} ops in {}µs (program + query lowering)",
                             r.stats.compile_ops, r.stats.compile_micros,
                         );
+                    }
+                    if let Ok(set) = session.predicted_exceptions(e) {
+                        eprintln!("predicted exceptions: {set}");
                     }
                 }
                 if r.exception.is_some() {

@@ -20,8 +20,9 @@
 //!   denotational fuel/depth/`unsafeIsException` settings, the render
 //!   depth (the rendered string is part of the cached answer), and the
 //!   executing backend (tree-walker vs compiled code). Run-only
-//!   plumbing (the interrupt handle, the chaos plan) is deliberately
-//!   excluded from the key because chaos runs are never inserted.
+//!   plumbing (the interrupt handle, the chaos plan, and the
+//!   `verify_code` arena check — a pure pass/panic gate that cannot
+//!   change an answer) is deliberately excluded from the key.
 //!
 //! Keys carry the *full* canonical bytes, not just a hash, so a
 //! fingerprint collision degrades to a missed sharing opportunity rather

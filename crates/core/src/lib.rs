@@ -65,6 +65,7 @@ pub use session::{EvalResult, Options, Session};
 pub use supervise::{SupervisedResult, Supervisor};
 
 // The vocabulary users need, re-exported.
+pub use urk_analysis::{Analysis, Diagnostic, Effect, LintCode};
 pub use urk_denot::{Denot, DenotConfig, ExnSet, Verdict};
 pub use urk_io::ChaosReport;
 pub use urk_io::{Event, IoResult, RunOutcome, SemIoResult, SemRunOutcome, Trace};

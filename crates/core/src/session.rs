@@ -85,6 +85,9 @@ pub struct Session {
     /// invalidated whenever the program changes. Shared (`Arc`) so the
     /// pool can hand one compiled image to every worker.
     compiled: RefCell<Option<Arc<Code>>>,
+    /// How many leading bindings are the Prelude's, so user-facing
+    /// diagnostics ([`Session::lint`]) skip them.
+    prelude_len: usize,
     /// Pipeline options (freely adjustable between calls).
     pub options: Options,
 }
@@ -106,6 +109,7 @@ impl Session {
         let mut s = Session::bare();
         s.load(prelude_source())
             .expect("the embedded Prelude must compile");
+        s.prelude_len = s.program.binds.len();
         s
     }
 
@@ -117,6 +121,7 @@ impl Session {
             program: CoreProgram::default(),
             types: HashMap::new(),
             compiled: RefCell::new(None),
+            prelude_len: 0,
             options: Options::default(),
         }
     }
@@ -452,6 +457,62 @@ impl Session {
         urk_transform::analyze_program(&self.program)
     }
 
+    /// The whole-program exception-effect analysis: per-binding summaries
+    /// whose predicted sets conservatively over-approximate the §4
+    /// denotational exception sets (⊥ — the analysis cannot bound the
+    /// behaviour — is the full set, per §4.1).
+    pub fn analyze(&self) -> urk_analysis::Analysis {
+        urk_analysis::analyze_program(&self.program, &self.data)
+    }
+
+    /// The statically predicted exception set of an expression — a
+    /// superset of what [`Session::exception_set`] denotes, and of any
+    /// representative either machine backend can raise.
+    ///
+    /// # Errors
+    ///
+    /// Front-end errors from the expression.
+    pub fn predicted_exceptions(&self, src: &str) -> Result<ExnSet, Error> {
+        let e = self.compile_expr(src)?;
+        Ok(self.analyze().predicted_set(&e, &self.data))
+    }
+
+    /// Lints the user-loaded bindings (the Prelude is analysed for
+    /// summaries but not reported on): always-raising expressions
+    /// (URK001), unreachable alternatives (URK002), dead
+    /// `unsafeIsException`/`unsafeGetException` branches (URK003), and
+    /// reachable pattern-match failures (URK004).
+    pub fn lint(&self) -> Vec<urk_analysis::Diagnostic> {
+        let user: std::collections::HashSet<Symbol> = self
+            .program
+            .binds
+            .iter()
+            .skip(self.prelude_len)
+            .map(|(n, _)| *n)
+            .collect();
+        urk_analysis::lint_program(&self.program, &self.data)
+            .into_iter()
+            .filter(|d| user.contains(&d.binding))
+            .collect()
+    }
+
+    /// Lints a single expression against the session program (reported
+    /// under the pseudo-binding `it`, like a REPL result).
+    ///
+    /// # Errors
+    ///
+    /// Front-end errors from the expression.
+    pub fn lint_expr(&self, src: &str) -> Result<Vec<urk_analysis::Diagnostic>, Error> {
+        let e = self.compile_expr(src)?;
+        let analysis = self.analyze();
+        Ok(urk_analysis::lint_expr(
+            &analysis,
+            &self.data,
+            Symbol::intern("it"),
+            &e,
+        ))
+    }
+
     /// Runs the optimisation pipeline over the session program (Prelude
     /// included): simplifier to a fixpoint, then the strictness-driven
     /// call-by-value pass. The optimised program replaces the current one
@@ -464,7 +525,7 @@ impl Session {
     /// this).
     pub fn optimize(&mut self) -> Result<urk_transform::OptimizeReport, Error> {
         let optimizer = urk_transform::Optimizer::new();
-        let (out, report) = optimizer.optimize(&self.program);
+        let (out, report) = optimizer.optimize_with_data(&self.program, &self.data);
         if self.options.typecheck {
             self.types = infer_program(&out, &self.data)?;
         }

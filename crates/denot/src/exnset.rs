@@ -238,17 +238,8 @@ impl ExnSet {
 
 impl fmt::Display for ExnSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_all() {
-            return f.write_str("{ALL}");
-        }
-        f.write_str("{")?;
-        for (i, e) in self.iter().enumerate() {
-            if i > 0 {
-                f.write_str(", ")?;
-            }
-            write!(f, "{e}")?;
-        }
-        f.write_str("}")
+        // One shared rendering for every layer that shows a set.
+        f.write_str(&urk_syntax::pretty_exception_set(self.members().as_deref()))
     }
 }
 

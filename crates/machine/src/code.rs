@@ -209,6 +209,252 @@ fn code_is_send_sync() {
     assert_send_sync::<Code>();
 }
 
+/// A structural defect found by [`Code::verify`]: the op index it was
+/// found at and what is wrong with it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodeVerifyError {
+    /// Absolute op index the defect was found at.
+    pub at: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CodeVerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt code arena at op {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for CodeVerifyError {}
+
+/// A read-only view over a base arena plus an optional extension, for
+/// verification (mirrors [`LinkedCode`]'s base-then-ext indexing).
+struct VerifyView<'a> {
+    base: &'a CodeBuf,
+    ext: Option<&'a CodeBuf>,
+    globals_len: usize,
+}
+
+impl VerifyView<'_> {
+    fn ops_total(&self) -> usize {
+        self.base.ops.len() + self.ext.map_or(0, |e| e.ops.len())
+    }
+    fn kids_total(&self) -> usize {
+        self.base.kids.len() + self.ext.map_or(0, |e| e.kids.len())
+    }
+    fn arms_total(&self) -> usize {
+        self.base.arms.len() + self.ext.map_or(0, |e| e.arms.len())
+    }
+    fn strs_total(&self) -> usize {
+        self.base.strs.len() + self.ext.map_or(0, |e| e.strs.len())
+    }
+    fn op(&self, i: usize) -> Option<COp> {
+        if i < self.base.ops.len() {
+            Some(self.base.ops[i])
+        } else {
+            self.ext
+                .and_then(|e| e.ops.get(i - self.base.ops.len()).copied())
+        }
+    }
+    fn kid(&self, i: usize) -> CodeId {
+        if i < self.base.kids.len() {
+            self.base.kids[i]
+        } else {
+            self.ext.expect("in range").kids[i - self.base.kids.len()]
+        }
+    }
+    fn arm(&self, i: usize) -> CArm {
+        if i < self.base.arms.len() {
+            self.base.arms[i]
+        } else {
+            self.ext.expect("in range").arms[i - self.base.arms.len()]
+        }
+    }
+}
+
+impl Code {
+    /// Statically checks the arena's structural invariants, the ones the
+    /// executor relies on without checking on the hot path:
+    ///
+    /// * every referenced op index is in bounds, and every child's
+    ///   [`CodeId`] is strictly below its parent's (the compiler emits
+    ///   children first, which also makes the arena acyclic);
+    /// * `Local(back)` back-indices stay inside the lexical depth the op
+    ///   is executed at (tracked exactly as the [`Compiler`] scope does:
+    ///   lambda and let bodies one deeper, `letrec` groups `n` deeper,
+    ///   case arms deeper by their binder count);
+    /// * `Global`, string, kid-range, and arm-range indices address their
+    ///   tables in bounds.
+    ///
+    /// Runs on every program compile in debug builds, and in release
+    /// under `--verify-code` (see `MachineConfig::verify_code`).
+    pub fn verify(&self) -> Result<(), CodeVerifyError> {
+        let view = VerifyView {
+            base: &self.buf,
+            ext: None,
+            globals_len: self.globals.len(),
+        };
+        for (_, entry) in &self.globals {
+            verify_entry(&view, *entry, 0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies one query entry point compiled into `ext` against `base`.
+pub(crate) fn verify_query(
+    base: &Code,
+    ext: &CodeBuf,
+    entry: CodeId,
+) -> Result<(), CodeVerifyError> {
+    let view = VerifyView {
+        base: &base.buf,
+        ext: Some(ext),
+        globals_len: base.globals.len(),
+    };
+    verify_entry(&view, entry, 0)
+}
+
+/// Walks the tree rooted at `entry`, tracking the lexical depth each op
+/// executes at, and checks every structural invariant along the way.
+fn verify_entry(view: &VerifyView<'_>, entry: CodeId, depth: u32) -> Result<(), CodeVerifyError> {
+    let err = |at: CodeId, message: String| CodeVerifyError { at: at.0, message };
+    let mut work: Vec<(CodeId, u32)> = vec![(entry, depth)];
+    // The arena is tree-shaped (one parent per op), so the walk visits
+    // each op at most once per entry; the budget is a defensive bound
+    // against corrupted arenas re-sharing children.
+    let mut budget = 4 * view.ops_total() as u64 + 16;
+    while let Some((id, depth)) = work.pop() {
+        budget = budget.checked_sub(1).ok_or_else(|| {
+            err(
+                id,
+                "arena walk exceeded its budget (not tree-shaped)".into(),
+            )
+        })?;
+        let Some(op) = view.op(id.0 as usize) else {
+            return Err(err(
+                id,
+                format!("op index out of range ({})", view.ops_total()),
+            ));
+        };
+        let kid = |child: CodeId, d: u32, work: &mut Vec<(CodeId, u32)>| {
+            if child.0 >= id.0 {
+                return Err(err(
+                    id,
+                    format!("child {} not strictly before its parent", child.0),
+                ));
+            }
+            work.push((child, d));
+            Ok(())
+        };
+        match op {
+            COp::Local(back) => {
+                if back >= depth {
+                    return Err(err(
+                        id,
+                        format!("local back-index {back} escapes env depth {depth}"),
+                    ));
+                }
+            }
+            COp::Global(g) => {
+                if g as usize >= view.globals_len {
+                    return Err(err(
+                        id,
+                        format!("global index {g} out of range ({})", view.globals_len),
+                    ));
+                }
+            }
+            COp::Int(_) | COp::Char(_) => {}
+            COp::Str(s) => {
+                if s as usize >= view.strs_total() {
+                    return Err(err(
+                        id,
+                        format!("string index {s} out of range ({})", view.strs_total()),
+                    ));
+                }
+            }
+            COp::Con { args, n, .. } => {
+                let end = args as u64 + n as u64;
+                if end > view.kids_total() as u64 {
+                    return Err(err(
+                        id,
+                        format!(
+                            "constructor kid range {args}..{end} out of range ({})",
+                            view.kids_total()
+                        ),
+                    ));
+                }
+                for i in args..args + n as u32 {
+                    kid(view.kid(i as usize), depth, &mut work)?;
+                }
+            }
+            COp::App { f, a } => {
+                kid(f, depth, &mut work)?;
+                kid(a, depth, &mut work)?;
+            }
+            COp::Lam { body } => kid(body, depth + 1, &mut work)?,
+            COp::Let { rhs, body } => {
+                kid(rhs, depth, &mut work)?;
+                kid(body, depth + 1, &mut work)?;
+            }
+            COp::LetRec { rhss, n, body } => {
+                let end = rhss as u64 + n as u64;
+                if end > view.kids_total() as u64 {
+                    return Err(err(
+                        id,
+                        format!(
+                            "letrec kid range {rhss}..{end} out of range ({})",
+                            view.kids_total()
+                        ),
+                    ));
+                }
+                let inner = depth + n as u32;
+                for i in rhss..rhss + n as u32 {
+                    kid(view.kid(i as usize), inner, &mut work)?;
+                }
+                kid(body, inner, &mut work)?;
+            }
+            COp::Case { scrut, arms_at, n } => {
+                kid(scrut, depth, &mut work)?;
+                let end = arms_at as u64 + n as u64;
+                if end > view.arms_total() as u64 {
+                    return Err(err(
+                        id,
+                        format!(
+                            "case arm range {arms_at}..{end} out of range ({})",
+                            view.arms_total()
+                        ),
+                    ));
+                }
+                for i in arms_at..arms_at + n as u32 {
+                    let arm = view.arm(i as usize);
+                    if let CPat::Str(s) = arm.pat {
+                        if s as usize >= view.strs_total() {
+                            return Err(err(
+                                id,
+                                format!(
+                                    "arm string index {s} out of range ({})",
+                                    view.strs_total()
+                                ),
+                            ));
+                        }
+                    }
+                    let d = depth + arm.binders as u32 + u32::from(arm.bind_scrut);
+                    kid(arm.rhs, d, &mut work)?;
+                }
+            }
+            COp::Prim2 { a, b, .. } | COp::Seq { a, b } | COp::MapExn { f: a, a: b } => {
+                kid(a, depth, &mut work)?;
+                kid(b, depth, &mut work)?;
+            }
+            COp::Prim1 { a, .. } | COp::IsExn { a } | COp::GetExn { a } | COp::Raise { a } => {
+                kid(a, depth, &mut work)?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Compiles a desugared top-level binding group into one flat [`Code`]
 /// arena. Free variables of every right-hand side must be bound by the
 /// group itself (the session's combined Prelude + loads satisfy this).
@@ -539,5 +785,138 @@ impl LinkedCode {
             &self.ext.strs[i - base.len()]
         };
         Rc::from(&**s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urk_syntax::{desugar_program, parse_program, DataEnv};
+
+    fn compiled(src: &str) -> Code {
+        let mut data = DataEnv::new();
+        let prog =
+            desugar_program(&parse_program(src).expect("parses"), &mut data).expect("desugars");
+        compile_program(&prog.binds)
+    }
+
+    #[test]
+    fn verify_accepts_compiler_output() {
+        let code = compiled(
+            "double x = x + x\n\
+             classify n = case n of { 0 -> \"zero\"; _ -> \"other\" }\n\
+             len xs = case xs of { [] -> 0; y:ys -> 1 + len ys }\n\
+             observe e = if unsafeIsException e then 0 else e\n\
+             main = double (len [1, 2, 3]) + classify 0 `seq` 9",
+        );
+        code.verify()
+            .expect("compiler-emitted arenas are well-formed");
+    }
+
+    #[test]
+    fn verify_rejects_an_escaping_local_back_index() {
+        let mut code = compiled("id x = x");
+        let at = code
+            .buf
+            .ops
+            .iter()
+            .position(|op| matches!(op, COp::Local(_)))
+            .expect("the identity body is a local");
+        // Sabotage: point the variable five slots past the lambda's
+        // one-deep environment.
+        code.buf.ops[at] = COp::Local(5);
+        let err = code.verify().expect_err("escaping back-index");
+        assert_eq!(err.at, at as u32);
+        assert!(
+            err.message.contains("escapes env depth"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn verify_rejects_a_dangling_kid_range() {
+        let mut code = compiled("pair = Pair 1 2");
+        let at = code
+            .buf
+            .ops
+            .iter()
+            .position(|op| matches!(op, COp::Con { .. }))
+            .expect("a constructor op");
+        let COp::Con { tag, args, .. } = code.buf.ops[at] else {
+            unreachable!()
+        };
+        code.buf.ops[at] = COp::Con { tag, args, n: 200 };
+        let err = code.verify().expect_err("dangling kid range");
+        assert!(
+            err.message.contains("kid range"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn verify_rejects_forward_references_and_cycles() {
+        let mut code = compiled("loopy = 1 + 2");
+        let at = code
+            .buf
+            .ops
+            .iter()
+            .position(|op| matches!(op, COp::Prim2 { .. }))
+            .expect("an addition op");
+        let COp::Prim2 { op, b, .. } = code.buf.ops[at] else {
+            unreachable!()
+        };
+        // Sabotage: the op's own id as a child — a self-cycle. The
+        // strictly-decreasing child rule catches it immediately (and the
+        // walk budget would bound it even if it did not).
+        code.buf.ops[at] = COp::Prim2 {
+            op,
+            a: CodeId(at as u32),
+            b,
+        };
+        let err = code.verify().expect_err("self-cycle");
+        assert!(
+            err.message.contains("not strictly before"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn verify_rejects_out_of_range_globals_and_strings() {
+        let mut code = compiled("greeting = \"hello\"");
+        let at = code
+            .buf
+            .ops
+            .iter()
+            .position(|op| matches!(op, COp::Str(_)))
+            .expect("a string literal");
+        code.buf.ops[at] = COp::Str(99);
+        let err = code.verify().expect_err("dangling string index");
+        assert!(err.message.contains("string index"), "{err}");
+
+        let mut code = compiled("seven = 7");
+        code.buf.ops[0] = COp::Global(42);
+        let err = code.verify().expect_err("dangling global index");
+        assert!(err.message.contains("global index"), "{err}");
+    }
+
+    #[test]
+    fn verify_query_checks_extension_code_against_the_base() {
+        use urk_syntax::{desugar_expr, parse_expr_src};
+        let base = compiled("double x = x + x");
+        let data = DataEnv::new();
+        let query =
+            desugar_expr(&parse_expr_src("double 21").expect("parses"), &data).expect("desugars");
+        let mut ext = CodeBuf::default();
+        let (entry, _) = compile_query(&base, &mut ext, &query);
+        verify_query(&base, &ext, entry).expect("well-formed query");
+        // Sabotage the extension: a local in a depth-zero query.
+        let at = ext
+            .ops
+            .iter()
+            .position(|op| matches!(op, COp::Global(_)))
+            .expect("the call head resolves globally");
+        ext.ops[at] = COp::Local(0);
+        let err = verify_query(&base, &ext, entry).expect_err("no slots at depth 0");
+        assert!(err.message.contains("escapes env depth"), "{err}");
     }
 }

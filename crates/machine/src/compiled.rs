@@ -99,6 +99,11 @@ impl Machine {
             self.code.is_none(),
             "compiled code already linked into this machine"
         );
+        if cfg!(debug_assertions) || self.config.verify_code {
+            if let Err(e) = base.verify() {
+                panic!("refusing to link corrupt compiled code: {e}");
+            }
+        }
         let entries: Vec<CodeId> = base.globals.iter().map(|(_, e)| *e).collect();
         let mut linked = LinkedCode::new(base);
         for entry in entries {
@@ -126,6 +131,11 @@ impl Machine {
             .as_mut()
             .expect("no compiled code linked (call link_code first)");
         let (entry, ops) = compile_query(&code.base, &mut code.ext, expr);
+        if cfg!(debug_assertions) || self.config.verify_code {
+            if let Err(e) = crate::code::verify_query(&code.base, &code.ext, entry) {
+                panic!("compiled query failed verification: {e}");
+            }
+        }
         self.stats.compile_ops += ops;
         self.stats.compile_micros += t0.elapsed().as_micros() as u64;
         self.run_compiled(CControl::Eval(entry, CEnv::empty()), catch)
@@ -142,6 +152,11 @@ impl Machine {
             .as_mut()
             .expect("no compiled code linked (call link_code first)");
         let (entry, ops) = compile_query(&code.base, &mut code.ext, expr);
+        if cfg!(debug_assertions) || self.config.verify_code {
+            if let Err(e) = crate::code::verify_query(&code.base, &code.ext, entry) {
+                panic!("compiled query failed verification: {e}");
+            }
+        }
         self.stats.compile_ops += ops;
         self.stats.compile_micros += t0.elapsed().as_micros() as u64;
         self.alloc(Node::CThunk {

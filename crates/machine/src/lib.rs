@@ -39,7 +39,7 @@ pub mod interrupt;
 pub mod machine;
 
 pub use chaos::FaultPlan;
-pub use code::{compile_program, Code};
+pub use code::{compile_program, Code, CodeVerifyError};
 pub use env::{CEnv, MEnv};
 pub use heap::{HValue, Heap, HeapAudit, Node, NodeId};
 pub use interrupt::InterruptHandle;

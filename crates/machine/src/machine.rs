@@ -111,6 +111,12 @@ pub struct MachineConfig {
     /// A seeded chaos fault plan (async injections, forced collections, a
     /// shrinking heap budget). `None` runs undisturbed.
     pub chaos: Option<FaultPlan>,
+    /// Run the [`crate::Code::verify`] static checker on every compiled
+    /// arena this machine links or extends. Always on in debug builds;
+    /// this opts release builds in (the CLI's `--verify-code`). Run-only
+    /// plumbing: deliberately excluded from pool cache keys, like
+    /// `interrupt` and `chaos`.
+    pub verify_code: bool,
 }
 
 impl Default for MachineConfig {
@@ -127,6 +133,7 @@ impl Default for MachineConfig {
             gc: true,
             interrupt: None,
             chaos: None,
+            verify_code: false,
         }
     }
 }

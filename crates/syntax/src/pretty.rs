@@ -8,11 +8,31 @@
 use std::fmt::Write as _;
 
 use crate::core::{Alt, AltCon, Expr, PrimOp};
+use crate::exception::Exception;
 
 /// Renders a core expression as a string.
 pub fn pretty(e: &Expr) -> String {
     let mut out = String::new();
     go(e, 0, &mut out);
+    out
+}
+
+/// Renders an exception set as `{DivideByZero, UserError "Urk"}`;
+/// `None` — no finite bound, the semantics' ⊥ — renders as `{ALL}`.
+/// The one rendering every layer shares: the denotational `ExnSet`
+/// display and the static analysis' predicted sets both delegate here.
+pub fn pretty_exception_set(members: Option<&[Exception]>) -> String {
+    let Some(members) = members else {
+        return "{ALL}".into();
+    };
+    let mut out = String::from("{");
+    for (i, e) in members.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{e}");
+    }
+    out.push('}');
     out
 }
 

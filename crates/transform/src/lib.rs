@@ -8,6 +8,10 @@
 //!   with the [`rewrite`] engine;
 //! * [`strictness`] — the two-point strictness analysis that licenses
 //!   §3.4's "crucial" call-by-need → call-by-value transformation;
+//! * [`licensed`] — rewrites that fire only under proofs from the
+//!   `urk-analysis` exception-effect analysis (dead-alternative pruning,
+//!   `unsafeIsException`/`unsafeGetException` folding, licensed
+//!   alternative collapse);
 //! * [`exval`] — the §2.2 explicit `ExVal` encoding baseline, used by the
 //!   benchmarks to regenerate the paper's efficiency claims;
 //! * [`laws`] — the law corpus and validator regenerating §4.5's
@@ -16,6 +20,7 @@
 
 pub mod exval;
 pub mod laws;
+pub mod licensed;
 pub mod pipeline;
 pub mod rewrite;
 pub mod strictness;
@@ -23,6 +28,7 @@ pub mod transforms;
 
 pub use exval::{encode_expr, encode_program, EncodeError};
 pub use laws::{classify, classify_all, render_table, standard_laws, LawInstance, LawReport};
+pub use licensed::LicensedRewriter;
 pub use pipeline::{InlineWorkSafe, OptimizeOptions, OptimizeReport, Optimizer};
 pub use rewrite::{apply_everywhere, apply_to_fixpoint, Transform};
 pub use strictness::{analyze_program, forces, strict_in, StrictSigs};

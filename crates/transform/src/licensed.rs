@@ -1,0 +1,273 @@
+//! Rewrites licensed by the static exception-effect analysis.
+//!
+//! The simplifier in [`crate::transforms`] is purely syntactic; the
+//! passes here fire only when `urk-analysis` *proves* the licence:
+//!
+//! * **`licensed-prune-alt`** — drop a `case` alternative that can never
+//!   be selected: it follows the default, duplicates an earlier pattern,
+//!   or cannot match a statically-known scrutinee. On a normal scrutinee
+//!   this is semantics-preserving; on an exceptional one the §4.3
+//!   exception-finding mode explores *every* alternative, so dropping
+//!   one can only shrink the denoted set — a refinement, valid by §4.5.
+//! * **`licensed-is-exn`** — fold `case unsafeIsException e of …` to its
+//!   `False` branch when `e` is provably WHNF-safe, or its `True` branch
+//!   when `e` provably raises (without the possibility of divergence).
+//!   This is precisely the fragment of §5.4's `isException` that *is*
+//!   implementable: the cases where the imprecise set never needs to be
+//!   inspected.
+//! * **`licensed-get-exn`** — fold `case unsafeGetException e of { OK v
+//!   -> r; … }` to `let v = e in r` when `e` is provably safe.
+//! * **`licensed-collapse-alts`** — `case e of { … -> r }` with every
+//!   alternative binder-free and alpha-equal collapses to `r` when the
+//!   alternatives cover and `e`'s proper exception set is provably
+//!   empty. `e` may still diverge: collapsing `⊥` to `r` is a
+//!   refinement (the syntactic [`crate::transforms::CollapseIdenticalAlts`]
+//!   is *invalid* in general — `crate::tests` exhibits the `Incomparable`
+//!   verdict — which is exactly why this licensed form exists).
+//!
+//! Every pass is exercised under [`crate::Optimizer::optimize_validated`],
+//! whose §4.5 check accepts identities and refinements only.
+
+use std::rc::Rc;
+
+use urk_analysis::analyze::{Analyzer, LEnv};
+use urk_analysis::{Analysis, Effect, Val};
+use urk_syntax::core::{Alt, AltCon, Expr, PrimOp};
+use urk_syntax::{DataEnv, Symbol};
+
+/// An environment-carrying rewriter (the env-free [`crate::Transform`]
+/// protocol cannot see binder effects, which these rewrites need).
+pub struct LicensedRewriter<'a> {
+    an: Analyzer<'a>,
+    counts: Vec<(&'static str, usize)>,
+}
+
+impl<'a> LicensedRewriter<'a> {
+    /// A rewriter over a program analysis.
+    pub fn new(analysis: &'a Analysis, data: &'a DataEnv) -> LicensedRewriter<'a> {
+        LicensedRewriter {
+            an: analysis.analyzer(data),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Rewrites fired so far, by rule name.
+    pub fn counts(&self) -> &[(&'static str, usize)] {
+        &self.counts
+    }
+
+    /// Total rewrites fired so far.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|(_, n)| n).sum()
+    }
+
+    fn bump(&mut self, rule: &'static str) {
+        match self.counts.iter_mut().find(|(r, _)| *r == rule) {
+            Some((_, n)) => *n += 1,
+            None => self.counts.push((rule, 1)),
+        }
+    }
+
+    /// Rewrite a top-level right-hand side.
+    pub fn rewrite(&mut self, e: &Expr) -> Expr {
+        self.go(e, &mut Vec::new())
+    }
+
+    fn go(&mut self, e: &Expr, env: &mut LEnv) -> Expr {
+        match e {
+            Expr::Var(_) | Expr::Int(_) | Expr::Char(_) | Expr::Str(_) => e.clone(),
+            Expr::Con(c, args) => {
+                Expr::Con(*c, args.iter().map(|a| Rc::new(self.go(a, env))).collect())
+            }
+            Expr::App(f, a) => Expr::App(Rc::new(self.go(f, env)), Rc::new(self.go(a, env))),
+            Expr::Lam(x, b) => {
+                env.push((*x, Effect::opaque_arg()));
+                let b2 = self.go(b, env);
+                env.pop();
+                Expr::Lam(*x, Rc::new(b2))
+            }
+            Expr::Let(x, r, b) => {
+                let r2 = self.go(r, env);
+                let re = self.an.effect(&r2, env);
+                env.push((*x, re));
+                let b2 = self.go(b, env);
+                env.pop();
+                Expr::Let(*x, Rc::new(r2), Rc::new(b2))
+            }
+            Expr::LetRec(binds, b) => {
+                for (x, _) in binds {
+                    env.push((*x, Effect::bottom()));
+                }
+                let binds2: Vec<(Symbol, Rc<Expr>)> = binds
+                    .iter()
+                    .map(|(x, r)| (*x, Rc::new(self.go(r, env))))
+                    .collect();
+                let b2 = self.go(b, env);
+                env.truncate(env.len() - binds.len());
+                Expr::LetRec(binds2, Rc::new(b2))
+            }
+            Expr::Case(s, alts) => self.go_case(s, alts, env),
+            Expr::Prim(op, args) => {
+                Expr::Prim(*op, args.iter().map(|a| Rc::new(self.go(a, env))).collect())
+            }
+            Expr::Raise(x) => Expr::Raise(Rc::new(self.go(x, env))),
+        }
+    }
+
+    fn go_case(&mut self, s: &Rc<Expr>, alts: &[Alt], env: &mut LEnv) -> Expr {
+        let s2 = Rc::new(self.go(s, env));
+        let se = self.an.effect(&s2, env);
+
+        // Fold the §5.4 observers when the analysis proves the answer.
+        if let Some(folded) = self.fold_observer(&s2, alts, &se, env) {
+            return folded;
+        }
+
+        // Rewrite the alternatives under their binders.
+        let mut alts2: Vec<Alt> = Vec::with_capacity(alts.len());
+        for alt in alts {
+            let bound = bind_alt(alt, &se, env);
+            let rhs2 = self.go(&alt.rhs, env);
+            env.truncate(env.len() - bound);
+            alts2.push(Alt {
+                con: alt.con.clone(),
+                binders: alt.binders.clone(),
+                rhs: Rc::new(rhs2),
+            });
+        }
+
+        // Prune provably unreachable alternatives.
+        let mut kept: Vec<Alt> = Vec::with_capacity(alts2.len());
+        let mut seen_default = false;
+        let mut matched = false;
+        for alt in alts2 {
+            let dup = alt.con != AltCon::Default && kept.iter().any(|k| k.con == alt.con);
+            let unmatchable = match &se.val {
+                Some(v) => !alt_matches_val(v, &alt.con),
+                None => false,
+            };
+            if seen_default || matched || dup || unmatchable {
+                self.bump("licensed-prune-alt");
+                continue;
+            }
+            if let Some(v) = &se.val {
+                matched = matched || alt_matches_val(v, &alt.con);
+            }
+            seen_default = seen_default || alt.con == AltCon::Default;
+            kept.push(alt);
+        }
+
+        // Collapse alpha-equal binder-free alternatives when the
+        // scrutinee's proper set is provably empty (divergence may
+        // collapse too: a refinement; opacity vetoes).
+        if kept.len() > 1
+            && kept.iter().all(|a| a.binders.is_empty())
+            && kept[1..].iter().all(|a| a.rhs.alpha_eq(&kept[0].rhs))
+            && self.an.covers(&kept)
+            && se.exns.is_empty()
+            && !se.opaque
+        {
+            self.bump("licensed-collapse-alts");
+            return (*kept[0].rhs).clone();
+        }
+
+        Expr::Case(s2, kept)
+    }
+
+    /// `case unsafeIsException e of …` / `case unsafeGetException e of …`
+    /// with a provable subject: select the branch statically.
+    fn fold_observer(
+        &mut self,
+        s: &Rc<Expr>,
+        alts: &[Alt],
+        se: &Effect,
+        env: &mut LEnv,
+    ) -> Option<Expr> {
+        let Expr::Prim(op, args) = &**s else {
+            return None;
+        };
+        match op {
+            PrimOp::UnsafeIsException => {
+                // `se.val` already folds both directions (whnf-safe ->
+                // False, must-raise-without-divergence -> True) — reuse it.
+                let Some(Val::Con(tag)) = &se.val else {
+                    return None;
+                };
+                let tag = *tag;
+                let picked = pick_con_alt(alts, tag)?;
+                let out = match (&picked.con, picked.binders.first()) {
+                    (AltCon::Default, Some(b)) => {
+                        Expr::Let(*b, Rc::new(Expr::Con(tag, Vec::new())), picked.rhs.clone())
+                    }
+                    _ => (*picked.rhs).clone(),
+                };
+                self.bump("licensed-is-exn");
+                Some(self.go(&out, env))
+            }
+            PrimOp::UnsafeGetException => {
+                let subject = self.an.effect(&args[0], env);
+                if !subject.whnf_safe() {
+                    return None;
+                }
+                // The observer yields `OK <subject>`: bind the payload.
+                let ok = Symbol::intern("OK");
+                let picked = pick_con_alt(alts, ok)?;
+                let out = match (&picked.con, picked.binders.as_slice()) {
+                    (AltCon::Con(_), [v]) => Expr::Let(*v, args[0].clone(), picked.rhs.clone()),
+                    (AltCon::Default, [b]) => Expr::Let(
+                        *b,
+                        Rc::new(Expr::Con(ok, vec![args[0].clone()])),
+                        picked.rhs.clone(),
+                    ),
+                    (AltCon::Default, []) => (*picked.rhs).clone(),
+                    _ => return None,
+                };
+                self.bump("licensed-get-exn");
+                Some(self.go(&out, env))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// First alternative a value with constructor `tag` selects.
+fn pick_con_alt(alts: &[Alt], tag: Symbol) -> Option<&Alt> {
+    alts.iter()
+        .find(|a| a.con == AltCon::Con(tag) || a.con == AltCon::Default)
+}
+
+/// Mirror of the analyzer's binder discipline.
+fn bind_alt(alt: &Alt, se: &Effect, env: &mut LEnv) -> usize {
+    match &alt.con {
+        AltCon::Con(_) => {
+            for b in &alt.binders {
+                env.push((*b, Effect::bottom()));
+            }
+            alt.binders.len()
+        }
+        AltCon::Default => match alt.binders.first() {
+            Some(b) => {
+                let eff = if se.whnf_safe() {
+                    se.clone()
+                } else {
+                    Effect::opaque_arg()
+                };
+                env.push((*b, eff));
+                1
+            }
+            None => 0,
+        },
+        _ => 0,
+    }
+}
+
+fn alt_matches_val(v: &Val, con: &AltCon) -> bool {
+    match (v, con) {
+        (_, AltCon::Default) => true,
+        (Val::Con(t), AltCon::Con(c)) => t == c,
+        (Val::Int(n), AltCon::Int(m)) => n == m,
+        (Val::Char(a), AltCon::Char(b)) => a == b,
+        (Val::Str(a), AltCon::Str(b)) => **a == **b,
+        _ => false,
+    }
+}

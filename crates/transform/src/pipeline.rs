@@ -21,6 +21,7 @@ use urk_denot::{compare_denots, DenotConfig, DenotEvaluator, Env, Verdict};
 use urk_syntax::core::{CoreProgram, Expr};
 use urk_syntax::{DataEnv, Symbol};
 
+use crate::licensed::LicensedRewriter;
 use crate::rewrite::{apply_everywhere, Transform};
 use crate::strictness::{analyze_program, strict_in};
 use crate::transforms::{
@@ -28,9 +29,36 @@ use crate::transforms::{
 };
 
 /// Work-safe let inlining: inline when the right-hand side is atomic (no
-/// work to duplicate) or the binder occurs at most once (no duplication
-/// at all).
+/// work to duplicate) or the binder occurs at most once — and that one
+/// occurrence is not under a lambda. A single occurrence inside a lambda
+/// body re-evaluates the right-hand side on *every call*, where the `let`
+/// evaluated (and shared) it once; such occurrences count as many.
 pub struct InlineWorkSafe;
+
+/// Does `v` occur free under a lambda within `e`?
+fn occurs_under_lambda(e: &Expr, v: Symbol) -> bool {
+    match e {
+        Expr::Var(_) | Expr::Int(_) | Expr::Char(_) | Expr::Str(_) => false,
+        Expr::Con(_, args) | Expr::Prim(_, args) => args.iter().any(|a| occurs_under_lambda(a, v)),
+        Expr::App(f, a) => occurs_under_lambda(f, v) || occurs_under_lambda(a, v),
+        Expr::Lam(x, b) => *x != v && b.count_var(v) > 0,
+        Expr::Let(x, r, b) => occurs_under_lambda(r, v) || (*x != v && occurs_under_lambda(b, v)),
+        Expr::LetRec(binds, b) => {
+            if binds.iter().any(|(x, _)| *x == v) {
+                false
+            } else {
+                binds.iter().any(|(_, r)| occurs_under_lambda(r, v)) || occurs_under_lambda(b, v)
+            }
+        }
+        Expr::Case(s, alts) => {
+            occurs_under_lambda(s, v)
+                || alts
+                    .iter()
+                    .any(|a| !a.binders.contains(&v) && occurs_under_lambda(&a.rhs, v))
+        }
+        Expr::Raise(x) => occurs_under_lambda(x, v),
+    }
+}
 
 impl Transform for InlineWorkSafe {
     fn name(&self) -> &'static str {
@@ -42,7 +70,7 @@ impl Transform for InlineWorkSafe {
             &**r,
             Expr::Var(_) | Expr::Int(_) | Expr::Char(_) | Expr::Str(_)
         );
-        if atomic || b.count_var(*x) <= 1 {
+        if atomic || (b.count_var(*x) <= 1 && !occurs_under_lambda(b, *x)) {
             Some(b.subst(*x, r))
         } else {
             None
@@ -58,6 +86,11 @@ pub struct OptimizeOptions {
     pub max_sweeps: usize,
     /// Run the strictness analysis and the §3.4 call-by-value passes.
     pub call_by_value: bool,
+    /// Run the whole-program exception-effect analysis and the rewrites
+    /// it licenses (dead-alternative pruning, `unsafeIsException` /
+    /// `unsafeGetException` folding, licensed alternative collapse, and
+    /// the WHNF-safety upgrade to the call-by-value pass).
+    pub exception_analysis: bool,
 }
 
 impl Default for OptimizeOptions {
@@ -65,6 +98,7 @@ impl Default for OptimizeOptions {
         OptimizeOptions {
             max_sweeps: 8,
             call_by_value: true,
+            exception_analysis: true,
         }
     }
 }
@@ -106,8 +140,21 @@ impl Optimizer {
         Optimizer::default()
     }
 
-    /// Optimises one binding group.
+    /// Optimises one binding group with an empty [`DataEnv`] (the
+    /// licensed rewrites then only see the built-in constructor
+    /// families; see [`Optimizer::optimize_with_data`]).
     pub fn optimize(&self, prog: &CoreProgram) -> (CoreProgram, OptimizeReport) {
+        self.optimize_with_data(prog, &DataEnv::new())
+    }
+
+    /// Optimises one binding group against the program's data
+    /// environment, enabling the analysis-licensed rewrites to reason
+    /// about user-declared constructor families.
+    pub fn optimize_with_data(
+        &self,
+        prog: &CoreProgram,
+        data: &DataEnv,
+    ) -> (CoreProgram, OptimizeReport) {
         let mut report = OptimizeReport {
             size_before: prog.size(),
             ..OptimizeReport::default()
@@ -150,7 +197,48 @@ impl Optimizer {
             }
         }
 
-        // The §3.4 worker: strictness-driven call-by-value.
+        // The exception-effect analysis and the rewrites it licenses.
+        let effects = if self.options.exception_analysis {
+            let group = CoreProgram {
+                binds: binds.clone(),
+                sigs: Vec::new(),
+            };
+            let analysis = urk_analysis::analyze_program(&group, data);
+            let mut rewriter = LicensedRewriter::new(&analysis, data);
+            for (_, rhs) in binds.iter_mut() {
+                *rhs = Rc::new(rewriter.rewrite(rhs));
+            }
+            let fired = rewriter.total();
+            for (rule, n) in rewriter.counts() {
+                bump(rule, *n, &mut report);
+            }
+            if fired > 0 {
+                // Licensed folds expose fresh syntactic redexes; one
+                // more cleanup sweep picks them up.
+                for (_, rhs) in binds.iter_mut() {
+                    let mut current: Expr = (**rhs).clone();
+                    for pass in &simplifier {
+                        let (next, n) = apply_everywhere(pass.as_ref(), &current);
+                        bump(pass.name(), n, &mut report);
+                        current = next;
+                    }
+                    *rhs = Rc::new(current);
+                }
+            }
+            // Re-analyse the rewritten group for the call-by-value
+            // upgrade below.
+            let group = CoreProgram {
+                binds: binds.clone(),
+                sigs: Vec::new(),
+            };
+            Some(urk_analysis::analyze_program(&group, data))
+        } else {
+            None
+        };
+
+        // The §3.4 worker: strictness-driven call-by-value, upgraded to
+        // also fire on provably WHNF-safe arguments when the effect
+        // analysis ran.
         if self.options.call_by_value {
             let group = CoreProgram {
                 binds: binds.clone(),
@@ -158,7 +246,13 @@ impl Optimizer {
             };
             let sigs = analyze_program(&group);
             let pred = |x: Symbol, b: &Expr| strict_in(x, b, &sigs);
-            let call_sites = StrictCallSites { sigs: &sigs };
+            let safe = effects
+                .as_ref()
+                .map(|a| move |e: &Expr| a.effect_of(e, data).whnf_safe());
+            let call_sites = StrictCallSites {
+                sigs: &sigs,
+                arg_safe: safe.as_ref().map(|f| f as &dyn Fn(&Expr) -> bool),
+            };
             let let_to_case = LetToCase { is_strict: &pred };
             for (_, rhs) in binds.iter_mut() {
                 let (a, n1) = crate::rewrite::apply_to_fixpoint(&call_sites, rhs, 8);
@@ -186,7 +280,7 @@ impl Optimizer {
         data: &DataEnv,
         queries: &[Rc<Expr>],
     ) -> (CoreProgram, OptimizeReport) {
-        let (out, mut report) = self.optimize(prog);
+        let (out, mut report) = self.optimize_with_data(prog, data);
         let config = DenotConfig {
             fuel: 2_000_000,
             ..DenotConfig::default()
@@ -303,6 +397,115 @@ mod tests {
         let (out3, n3) = apply_everywhere(&InlineWorkSafe, &once);
         assert_eq!(n3, 1);
         assert!(out3.alpha_eq(&query("(1 + 2) * 3", &data)));
+    }
+
+    #[test]
+    fn inline_work_safe_keeps_work_out_of_lambdas() {
+        let data = DataEnv::new();
+        // One syntactic occurrence — but under a lambda, so inlining
+        // would redo `1 + 2` on every call where the let shared it.
+        let shared = query(r"let x = 1 + 2 in \y -> x + y", &data);
+        let (_, n) = apply_everywhere(&InlineWorkSafe, &shared);
+        assert_eq!(n, 0, "must not inline work into a lambda body");
+
+        // Atomic right-hand sides are still fine anywhere.
+        let atomic = query(r"let x = 3 in \y -> x + y", &data);
+        let (out, n2) = apply_everywhere(&InlineWorkSafe, &atomic);
+        assert_eq!(n2, 1);
+        assert!(out.alpha_eq(&query(r"\y -> 3 + y", &data)));
+
+        // A shadowed occurrence under a lambda does not count.
+        let shadowed = query(r"let x = 1 + 2 in (\x -> x) x", &data);
+        let (_, n3) = apply_everywhere(&InlineWorkSafe, &shadowed);
+        assert_eq!(n3, 1, "the under-lambda x is a different binder");
+    }
+
+    #[test]
+    fn licensed_rewrites_fire_and_validate() {
+        let (data, prog) = program(
+            "deadIs = case unsafeIsException 42 of { True -> 1 / 0; False -> 7 }\n\
+             getOk = case unsafeGetException (3 + 4) of { OK v -> v; Bad e -> 0 }\n\
+             pruned = let k = 10 / 2 in case k of { 5 -> 1; 6 -> 2 }\n\
+             collapse x = case unsafeIsException x of { True -> 9; False -> 9 }",
+        );
+        let opt = Optimizer::new();
+        let queries = vec![
+            query("deadIs", &data),
+            query("getOk", &data),
+            query("pruned", &data),
+            query("collapse 1", &data),
+            query("collapse (1 / 0)", &data),
+        ];
+        let (out, report) = opt.optimize_validated(&prog, &data, &queries);
+        let fired: Vec<&str> = report
+            .rewrites
+            .iter()
+            .filter(|(name, _)| name.starts_with("licensed-"))
+            .map(|(name, _)| name.as_str())
+            .collect();
+        assert!(fired.contains(&"licensed-is-exn"), "{:?}", report.rewrites);
+        assert!(fired.contains(&"licensed-get-exn"), "{:?}", report.rewrites);
+        assert!(
+            fired.contains(&"licensed-prune-alt"),
+            "{:?}",
+            report.rewrites
+        );
+        assert!(
+            fired.contains(&"licensed-collapse-alts"),
+            "{:?}",
+            report.rewrites
+        );
+        assert!(report.validated(), "{:?}", report.validation);
+        assert!(out.size() < prog.size());
+    }
+
+    #[test]
+    fn licensed_rewrites_respect_opacity() {
+        // `x` is an unknown argument: the observer must NOT fold, because
+        // the caller may pass an exceptional value.
+        let (data, prog) =
+            program("observe x = case unsafeIsException x of { True -> 1; False -> 2 }");
+        let opt = Optimizer::new();
+        let queries = vec![query("observe 5", &data), query("observe (1 / 0)", &data)];
+        let (_, report) = opt.optimize_validated(&prog, &data, &queries);
+        assert!(
+            report
+                .rewrites
+                .iter()
+                .all(|(name, _)| name != "licensed-is-exn"),
+            "{:?}",
+            report.rewrites
+        );
+        assert!(report.validated(), "{:?}", report.validation);
+    }
+
+    #[test]
+    fn analysis_upgrades_strict_call_sites_on_safe_args() {
+        // `lazyf` is lazy in `y` (only one branch forces it), so plain
+        // strictness cannot pre-evaluate the argument — but `5 * 5` is
+        // provably WHNF-safe, so the analysis licenses it anyway.
+        let (data, prog) = program(
+            "lazyf x y = case x of { True -> y + 1; False -> 0 }\n\
+             use = lazyf True (5 * 5)",
+        );
+        let opt = Optimizer {
+            options: OptimizeOptions {
+                // Keep the simplifier from folding `use` away first.
+                max_sweeps: 0,
+                ..OptimizeOptions::default()
+            },
+        };
+        let queries = vec![query("use", &data)];
+        let (_, report) = opt.optimize_validated(&prog, &data, &queries);
+        assert!(
+            report
+                .rewrites
+                .iter()
+                .any(|(name, n)| name.contains("call-by-value") && *n > 0),
+            "{:?}",
+            report.rewrites
+        );
+        assert!(report.validated(), "{:?}", report.validation);
     }
 
     #[test]

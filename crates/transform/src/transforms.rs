@@ -281,6 +281,12 @@ impl Transform for LetToCase<'_> {
 /// the exception-set semantics licenses.
 pub struct StrictCallSites<'a> {
     pub sigs: &'a crate::strictness::StrictSigs,
+    /// Optional upgrade from the exception-effect analysis: an argument
+    /// this predicate proves WHNF-safe (cannot raise, cannot diverge) may
+    /// be pre-evaluated even in a position plain strictness is
+    /// inconclusive about — moving a provably-effect-free evaluation
+    /// earlier is invisible.
+    pub arg_safe: Option<&'a dyn Fn(&Expr) -> bool>,
 }
 
 /// Arguments that are already values (or variables) gain nothing from
@@ -311,7 +317,9 @@ impl Transform for StrictCallSites<'_> {
             return None; // partial or over-saturated application
         }
         let worth_it: Vec<usize> = (0..args.len())
-            .filter(|&i| sig[i] && !is_atomic(&args[i]))
+            .filter(|&i| {
+                (sig[i] || self.arg_safe.is_some_and(|safe| safe(&args[i]))) && !is_atomic(&args[i])
+            })
             .collect();
         if worth_it.is_empty() {
             return None;
@@ -443,7 +451,10 @@ mod tests {
             vec![true, false], // strict in the first argument only
         );
         let e = core("f (1 + 2) (3 + 4)");
-        let t = StrictCallSites { sigs: &sigs };
+        let t = StrictCallSites {
+            sigs: &sigs,
+            arg_safe: None,
+        };
         let (out, n) = apply_everywhere(&t, &e);
         assert_eq!(n, 1);
         // Shape: case (1+2) of v { _ -> f v (3+4) }
@@ -467,7 +478,10 @@ mod tests {
         let mut sigs = StrictSigs::new();
         sigs.insert(urk_syntax::Symbol::intern("g"), vec![true]);
         let e = core("g (g (1 + 2))");
-        let t = StrictCallSites { sigs: &sigs };
+        let t = StrictCallSites {
+            sigs: &sigs,
+            arg_safe: None,
+        };
         let (out, n) = apply_to_fixpoint(&t, &e, 8);
         assert_eq!(n, 2);
         // No further rewrites.

@@ -306,6 +306,57 @@ fn disabling_the_cache_leaves_counters_untouched() {
 }
 
 #[test]
+fn verify_code_does_not_perturb_the_cache_key() {
+    // The arena verifier is run-only plumbing: it can panic on a corrupt
+    // arena but never change an answer, so toggling it must address the
+    // same cache entries (like the interrupt handle and the chaos plan).
+    let session = Session::new();
+    let expr = session.compile_expr("sum [1 .. 10]").expect("compiles");
+    let options = Options::default();
+    let plain = urk::cache::cache_key(
+        &expr,
+        &options.machine,
+        &options.denot,
+        options.render_depth,
+        urk::Backend::Compiled,
+    );
+    let verifying = urk::cache::cache_key(
+        &expr,
+        &urk::MachineConfig {
+            verify_code: true,
+            ..options.machine.clone()
+        },
+        &options.denot,
+        options.render_depth,
+        urk::Backend::Compiled,
+    );
+    assert_eq!(
+        plain, verifying,
+        "verify_code must not address different cache entries"
+    );
+}
+
+#[test]
+fn optimized_sessions_match_pooled_answers() {
+    // The optimiser now runs the exception-effect analysis and its
+    // licensed rewrites over the whole program (Prelude included); an
+    // optimised session must still answer exactly as the pool's plain
+    // workers do on the golden corpus.
+    let pool = pool_with(2, 64);
+    let golden = observable(&pool.eval_batch(CORPUS));
+
+    let mut optimized = Session::new();
+    let report = optimized.optimize().expect("optimizes");
+    assert!(report.total_rewrites() > 0);
+    for (src, expected) in CORPUS.iter().zip(&golden) {
+        let out = optimized.eval(src).expect("evals");
+        let expected = expected.as_ref().expect("golden jobs succeed");
+        assert_eq!(out.rendered, expected.0, "{src}");
+        assert_eq!(out.exception, expected.1, "{src}");
+    }
+}
+
+#[test]
 fn pools_serve_user_programs_loaded_into_every_worker() {
     let pool = EvalPool::start(
         &["double x = x + x", "quad x = double (double x)"],
