@@ -19,14 +19,16 @@
 //! urk lint program.urk                 # static exception-effect lint
 //! urk lint --expr "head []"            # lint one expression
 //! urk program.urk --backend compiled --verify-code   # check arenas in release
+//! urk serve --listen 127.0.0.1:7199 --jobs 4          # network serving tier
+//! urk serve program.urk --listen 127.0.0.1:0 --queue-cap 64 --cache-cap 1024
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use urk::{
-    Backend, EvalPool, Exception, IoResult, OrderPolicy, PoolConfig, SemIoResult, Session,
-    Supervisor,
+    Backend, EvalPool, Exception, IoResult, OrderPolicy, PoolConfig, SemIoResult, ServeConfig,
+    Server, Session, Supervisor,
 };
 
 struct Args {
@@ -54,6 +56,9 @@ struct Args {
     cache_cap: Option<usize>,
     lint: bool,
     verify_code: bool,
+    serve: bool,
+    listen: Option<String>,
+    queue_cap: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -64,7 +69,9 @@ fn usage() -> ! {
          \x20          [--max-steps N] [--max-heap N] [--max-stack N]\n\
          \x20          [--timeout-ms N] [--chaos SEED] [--verify-code]\n\
          \x20          [--batch FILE] [--jobs N] [--cache-cap N]\n\
-         \x20      urk lint [FILE.urk] [--expr E] [--optimize]"
+         \x20      urk lint [FILE.urk] [--expr E] [--optimize]\n\
+         \x20      urk serve [FILE.urk] --listen ADDR [--jobs N] [--queue-cap N]\n\
+         \x20          [--cache-cap N] [--timeout-ms N] [--backend tree|compiled]"
     );
     std::process::exit(2)
 }
@@ -95,6 +102,9 @@ fn parse_args() -> Args {
         cache_cap: None,
         lint: false,
         verify_code: false,
+        serve: false,
+        listen: None,
+        queue_cap: None,
     };
     fn num<T: std::str::FromStr>(v: Option<String>) -> T {
         v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
@@ -109,6 +119,8 @@ fn parse_args() -> Args {
             "--chaos" => out.chaos = Some(num(args.next())),
             "--jobs" => out.jobs = Some(num(args.next())),
             "--cache-cap" => out.cache_cap = Some(num(args.next())),
+            "--queue-cap" => out.queue_cap = Some(num(args.next())),
+            "--listen" => out.listen = Some(args.next().unwrap_or_else(|| usage())),
             "--batch" => out.batch = Some(args.next().unwrap_or_else(|| usage())),
             "--expr" => out.expr = Some(args.next().unwrap_or_else(|| usage())),
             "--type" => out.type_of = Some(args.next().unwrap_or_else(|| usage())),
@@ -151,9 +163,10 @@ fn parse_args() -> Args {
             }
             "--verify-code" => out.verify_code = true,
             "--help" | "-h" => usage(),
-            // The `lint` subcommand, intercepted before the bare
-            // positional is taken as a file name.
-            "lint" if !out.lint && out.file.is_none() => out.lint = true,
+            // The `lint`/`serve` subcommands, intercepted before the
+            // bare positional is taken as a file name.
+            "lint" if !out.lint && !out.serve && out.file.is_none() => out.lint = true,
+            "serve" if !out.lint && !out.serve && out.file.is_none() => out.serve = true,
             f if !f.starts_with('-') && out.file.is_none() => out.file = Some(f.to_string()),
             _ => usage(),
         }
@@ -191,6 +204,58 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         file_src = Some(src);
+    }
+
+    // The network serving tier: a TCP front-end over the worker pool.
+    // Blocks until a client sends a `shutdown` frame.
+    if args.serve {
+        let Some(listen) = &args.listen else {
+            eprintln!("urk: serve needs --listen ADDR (e.g. --listen 127.0.0.1:0)");
+            return ExitCode::from(2);
+        };
+        // The pool's queue constructor clamps capacity 0 to 1 to keep
+        // blocking submitters deadlock-free; for a *server* a zero
+        // queue means "shed everything", which is never what an
+        // operator wants — reject it up front instead of serving a
+        // silently different configuration.
+        if args.queue_cap == Some(0) {
+            eprintln!("urk: --queue-cap 0 would shed every request; use a capacity of at least 1");
+            return ExitCode::from(2);
+        }
+
+        let mut config = ServeConfig {
+            addr: listen.clone(),
+            pool: PoolConfig::default(),
+        };
+        if let Some(n) = args.jobs {
+            config.pool.workers = n;
+        }
+        if let Some(n) = args.queue_cap {
+            config.pool.queue_cap = n;
+        }
+        if let Some(n) = args.cache_cap {
+            config.pool.cache_cap = n;
+        }
+        if let Some(ms) = args.timeout_ms {
+            config.pool.supervisor.deadline = Some(std::time::Duration::from_millis(ms));
+        }
+
+        let sources: Vec<&str> = file_src.as_deref().into_iter().collect();
+        let server = match Server::start(&sources, session.options.clone(), config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("urk: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // The one line scripts parse to find the port (`--listen ...:0`
+        // binds an ephemeral one).
+        println!("listening on {}", server.local_addr());
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        server.join();
+        eprintln!("urk: server stopped");
+        return ExitCode::SUCCESS;
     }
 
     if args.optimize {

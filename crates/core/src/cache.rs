@@ -209,15 +209,26 @@ struct Shard {
 
 /// A sharded, capacity-bounded, content-addressed result cache.
 ///
-/// Shard count is `capacity.min(16).max(1)` and each shard holds at most
-/// `capacity / nshards` entries, so the total population is always
-/// *strictly* within the configured capacity. Eviction is FIFO per
-/// shard. A capacity of 0 disables the cache entirely: lookups miss
-/// without counting and inserts are dropped.
+/// Shard count is `capacity.clamp(1, 16)`; the configured capacity is
+/// distributed across the shards with the division remainder spread one
+/// entry at a time over the leading shards, so the per-shard bounds sum
+/// to *exactly* `capacity` — the total population is always within the
+/// configured capacity and every configured slot is reachable (a
+/// capacity of 31 over 16 shards really holds 31 entries, not
+/// `16 × ⌊31/16⌋ = 16`). Eviction is FIFO per shard. A capacity of 0
+/// disables the cache entirely: lookups miss without counting and
+/// inserts are dropped.
+///
+/// Shard locks recover from poisoning: a shard is a plain map-plus-queue
+/// value with no invariant spanning the lock, so if a thread dies while
+/// holding one (e.g. a panic payload's `Drop` firing inside
+/// `catch_unwind` isolation), the next locker resumes with the state as
+/// it stands instead of cascading the panic into every other worker.
 #[derive(Debug)]
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
-    per_shard_cap: usize,
+    /// Per-shard capacity bounds; `shard_caps.iter().sum() == capacity`.
+    shard_caps: Vec<usize>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -225,13 +236,22 @@ pub struct ResultCache {
     insertions: AtomicU64,
 }
 
+/// Recovers the guard from a poisoned shard lock (see the type docs).
+fn relock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    shard.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 impl ResultCache {
-    /// A cache holding at most `capacity` entries across all shards.
+    /// A cache holding at most — and, under enough distinct keys per
+    /// shard, exactly — `capacity` entries across all shards.
     pub fn new(capacity: usize) -> ResultCache {
         let nshards = capacity.clamp(1, 16);
+        let (base, extra) = (capacity / nshards, capacity % nshards);
         ResultCache {
             shards: (0..nshards).map(|_| Mutex::new(Shard::default())).collect(),
-            per_shard_cap: if capacity == 0 { 0 } else { capacity / nshards },
+            shard_caps: (0..nshards)
+                .map(|i| base + usize::from(i < extra))
+                .collect(),
             capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -240,8 +260,8 @@ impl ResultCache {
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
-        &self.shards[(key.fingerprint % self.shards.len() as u64) as usize]
+    fn shard_index(&self, key: &CacheKey) -> usize {
+        (key.fingerprint % self.shards.len() as u64) as usize
     }
 
     /// Looks up a key, counting the hit or miss. Always misses (without
@@ -250,7 +270,7 @@ impl ResultCache {
         if self.capacity == 0 {
             return None;
         }
-        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        let shard = relock(&self.shards[self.shard_index(key)]);
         match shard.map.get(key) {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -269,13 +289,15 @@ impl ResultCache {
         if self.capacity == 0 {
             return;
         }
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let index = self.shard_index(&key);
+        let cap = self.shard_caps[index];
+        let mut shard = relock(&self.shards[index]);
         if let Some(slot) = shard.map.get_mut(&key) {
             *slot = value;
             self.insertions.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        while shard.map.len() >= self.per_shard_cap {
+        while shard.map.len() >= cap {
             match shard.order.pop_front() {
                 Some(old) => {
                     shard.map.remove(&old);
@@ -291,15 +313,35 @@ impl ResultCache {
 
     /// Entries currently resident across all shards.
     pub fn entries(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
-            .sum()
+        self.shards.iter().map(|s| relock(s).map.len()).sum()
     }
 
     /// The configured capacity bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// How many shards the capacity is distributed over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Poisons the lock of shard `index` by panicking on another thread
+    /// while it is held — a test hook for the poison-recovery guarantee
+    /// (a worker death must degrade to one lost lock acquisition, never
+    /// cascade into other workers). Exposed because integration tests
+    /// cannot reach the private shard mutexes.
+    #[doc(hidden)]
+    pub fn poison_shard_for_test(&self, index: usize) {
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = self.shards[index].lock().expect("not yet poisoned");
+                    panic!("deliberate test poison");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the poisoning thread must panic");
     }
 
     /// A snapshot of the counters.
@@ -364,6 +406,64 @@ mod tests {
             assert!(cache.entries() <= 10, "population exceeded capacity");
         }
         assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn non_divisible_capacities_are_fully_reachable() {
+        // 31 over 16 shards used to truncate to 16×1 = 16 slots; the
+        // remainder must instead be spread over the leading shards.
+        let cache = ResultCache::new(31);
+        assert_eq!(cache.shard_count(), 16);
+        // Fill every shard to exactly its bound: shard s receives keys
+        // with fingerprints s, s+16, s+32, … (fingerprint % 16 routes).
+        for shard in 0..16u64 {
+            let cap = if shard < 15 { 2 } else { 1 };
+            for k in 0..cap {
+                cache.insert(key(shard + 16 * k), entry("x"));
+            }
+        }
+        assert_eq!(
+            cache.entries(),
+            31,
+            "the full configured population must be reachable"
+        );
+        assert_eq!(cache.stats().evictions, 0);
+        // One more insert anywhere (shard 0 here) stays within the bound
+        // via eviction.
+        cache.insert(key(16 * 7), entry("y"));
+        assert_eq!(cache.entries(), 31);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn shard_cap_distribution_sums_to_capacity() {
+        for capacity in [1, 2, 7, 15, 16, 17, 31, 33, 100, 1000, 4097] {
+            let cache = ResultCache::new(capacity);
+            assert_eq!(
+                cache.shard_caps.iter().sum::<usize>(),
+                capacity,
+                "capacity {capacity} must be fully distributed"
+            );
+            let (min, max) = (
+                cache.shard_caps.iter().min().expect("non-empty"),
+                cache.shard_caps.iter().max().expect("non-empty"),
+            );
+            assert!(max - min <= 1, "distribution must be balanced");
+        }
+    }
+
+    #[test]
+    fn a_poisoned_shard_recovers_instead_of_cascading() {
+        let cache = ResultCache::new(8);
+        cache.insert(key(3), entry("before"));
+        for shard in 0..cache.shard_count() {
+            cache.poison_shard_for_test(shard);
+        }
+        // Every operation still works: reads survive, writes land.
+        assert_eq!(cache.get(&key(3)).expect("still cached").rendered, "before");
+        cache.insert(key(4), entry("after"));
+        assert_eq!(cache.get(&key(4)).expect("inserted").rendered, "after");
+        assert_eq!(cache.entries(), 2);
     }
 
     #[test]

@@ -55,12 +55,14 @@
 pub mod cache;
 pub mod error;
 pub mod pool;
+pub mod serve;
 pub mod session;
 pub mod supervise;
 
 pub use cache::{cache_key, CacheKey, CacheStats, CachedEval, ResultCache};
 pub use error::Error;
-pub use pool::{EvalPool, JobOutcome, JobResult, PoolConfig, PoolError};
+pub use pool::{EvalPool, JobLimits, JobOutcome, JobResult, PoolConfig, PoolError, SubmitError};
+pub use serve::{Client, RemoteOutcome, ServeConfig, ServeError, Server};
 pub use session::{EvalResult, Options, Session};
 pub use supervise::{SupervisedResult, Supervisor};
 

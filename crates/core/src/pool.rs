@@ -29,7 +29,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -101,12 +101,71 @@ impl std::error::Error for PoolError {}
 /// What one submitted job comes back as.
 pub type JobResult = Result<JobOutcome, PoolError>;
 
-/// One unit of work in flight: the program, where its answer goes, and
-/// which submission slot it fills.
+/// Per-job overrides of the pool's supervision envelope. The network
+/// tier maps a client's `deadline_ms`/budget fields here, so one slow
+/// remote request can be put on a short leash without reconfiguring the
+/// pool. `None` fields inherit the pool supervisor's values.
+#[derive(Clone, Debug, Default)]
+pub struct JobLimits {
+    /// Wall-clock deadline for this job.
+    pub deadline: Option<Duration>,
+    /// Machine-step budget for this job.
+    pub max_steps: Option<u64>,
+    /// Heap budget (nodes) for this job.
+    pub max_heap: Option<usize>,
+    /// Stack budget (frames) for this job.
+    pub max_stack: Option<usize>,
+}
+
+impl JobLimits {
+    fn is_default(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_steps.is_none()
+            && self.max_heap.is_none()
+            && self.max_stack.is_none()
+    }
+
+    /// The pool supervisor with this job's overrides applied (the
+    /// job-level value wins where both are set).
+    fn apply(&self, base: &Supervisor) -> Supervisor {
+        Supervisor {
+            deadline: self.deadline.or(base.deadline),
+            max_steps: self.max_steps.or(base.max_steps),
+            max_heap: self.max_heap.or(base.max_heap),
+            max_stack: self.max_stack.or(base.max_stack),
+            ..base.clone()
+        }
+    }
+}
+
+/// Why a non-blocking submission was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — the caller should shed load
+    /// (the network tier answers `overloaded`) rather than block.
+    QueueFull,
+    /// The pool is shutting down; no further jobs are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("job queue is full"),
+            SubmitError::Closed => f.write_str("pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One unit of work in flight: the program, where its answer goes,
+/// which submission slot it fills, and its supervision overrides.
 struct Job {
     src: String,
     index: usize,
     batch: SharedBatch<JobResult>,
+    limits: JobLimits,
 }
 
 struct QueueState {
@@ -115,8 +174,14 @@ struct QueueState {
 }
 
 /// A bounded MPMC queue: submitters block in [`JobQueue::push`] when
-/// full, workers block in [`JobQueue::pop`] when empty; closing wakes
-/// everyone.
+/// full (or bounce immediately via [`JobQueue::try_push`]), workers
+/// block in [`JobQueue::pop`] when empty; closing wakes everyone.
+///
+/// The state lock recovers from poisoning (`into_inner`): the queue is a
+/// plain `VecDeque` plus a flag with no invariant spanning the lock, so
+/// a panic escaping one worker (e.g. from a panic payload's `Drop`
+/// outside `catch_unwind`) must cost that worker only, never cascade
+/// `PoisonError` panics into every other worker and the submitter.
 struct JobQueue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
@@ -124,7 +189,19 @@ struct JobQueue {
     cap: usize,
 }
 
+/// Recovers the guard from a poisoned lock (see [`JobQueue`] docs).
+fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 impl JobQueue {
+    /// A queue admitting at most `cap` pending jobs.
+    ///
+    /// A `cap` of 0 is **clamped to 1**: a zero-capacity blocking queue
+    /// could never accept a job, deadlocking every submitter. Callers
+    /// for whom "capacity 0" means "shed everything" must reject the
+    /// configuration up front instead of relying on the clamp — the
+    /// `urk serve --queue-cap 0` CLI validation does exactly that.
     fn new(cap: usize) -> JobQueue {
         JobQueue {
             state: Mutex::new(QueueState {
@@ -140,7 +217,7 @@ impl JobQueue {
     /// Blocks until there is room, then enqueues. Returns the job back
     /// if the queue has been closed.
     fn push(&self, job: Job) -> Result<(), Job> {
-        let mut st = self.state.lock().expect("job queue poisoned");
+        let mut st = relock(&self.state);
         loop {
             if st.closed {
                 return Err(job);
@@ -150,14 +227,35 @@ impl JobQueue {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            st = self.not_full.wait(st).expect("job queue poisoned");
+            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Enqueues without blocking; refuses with the job and the reason
+    /// when the queue is full or closed. This is the admission path the
+    /// network tier sheds load on.
+    fn try_push(&self, job: Job) -> Result<(), (Job, SubmitError)> {
+        let mut st = relock(&self.state);
+        if st.closed {
+            return Err((job, SubmitError::Closed));
+        }
+        if st.jobs.len() >= self.cap {
+            return Err((job, SubmitError::QueueFull));
+        }
+        st.jobs.push_back(job);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting (admitted, not yet picked up).
+    fn len(&self) -> usize {
+        relock(&self.state).jobs.len()
     }
 
     /// Blocks until a job arrives; `None` once the queue is closed *and*
     /// drained (workers exit on `None`).
     fn pop(&self) -> Option<Job> {
-        let mut st = self.state.lock().expect("job queue poisoned");
+        let mut st = relock(&self.state);
         loop {
             if let Some(job) = st.jobs.pop_front() {
                 self.not_full.notify_one();
@@ -166,7 +264,7 @@ impl JobQueue {
             if st.closed {
                 return None;
             }
-            st = self.not_empty.wait(st).expect("job queue poisoned");
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -174,7 +272,7 @@ impl JobQueue {
     /// accepted but not yet picked up, so a hard shutdown can fail them
     /// instead of running them.
     fn close(&self, drain_pending: bool) -> Vec<Job> {
-        let mut st = self.state.lock().expect("job queue poisoned");
+        let mut st = relock(&self.state);
         st.closed = true;
         let pending = if drain_pending {
             st.jobs.drain(..).collect()
@@ -201,6 +299,8 @@ pub struct EvalPool {
     /// Live-worker count; `shutdown_now`'s bounded join waits on this
     /// instead of `JoinHandle::join`, which has no timeout.
     alive: Arc<(Mutex<usize>, Condvar)>,
+    /// Worker-thread count (after the min-1 clamp), for observers.
+    nworkers: usize,
 }
 
 impl EvalPool {
@@ -262,7 +362,7 @@ impl EvalPool {
                     .spawn(move || {
                         worker_loop(&queue, &cache, &supervisor, options, &sources, code);
                         let (count, cond) = &*alive;
-                        *count.lock().expect("alive counter poisoned") -= 1;
+                        *relock(count) -= 1;
                         cond.notify_all();
                     })
                     .expect("spawning a pool worker failed"),
@@ -275,6 +375,7 @@ impl EvalPool {
             cancels,
             workers: Mutex::new(handles),
             alive,
+            nworkers,
         })
     }
 
@@ -289,12 +390,42 @@ impl EvalPool {
                 src: src.as_ref().to_string(),
                 index,
                 batch: batch.clone(),
+                limits: JobLimits::default(),
             };
             if self.queue.push(job).is_err() {
                 batch.fulfil(index, Err(PoolError("pool is shut down".to_string())));
             }
         }
         batch.wait()
+    }
+
+    /// Submits one job **without blocking**: the job fills `batch` slot
+    /// `index` when a worker finishes it. When the bounded queue is at
+    /// capacity the job is refused with [`SubmitError::QueueFull`] and
+    /// nothing is enqueued — the network tier's load-shedding hook: a
+    /// full queue becomes an explicit `overloaded` answer instead of a
+    /// blocked accept loop.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under backpressure;
+    /// [`SubmitError::Closed`] once shutdown has begun. In both cases
+    /// the caller still owns slot `index` and must fulfil it (or answer
+    /// the client directly).
+    pub fn try_submit(
+        &self,
+        src: &str,
+        limits: JobLimits,
+        index: usize,
+        batch: &SharedBatch<JobResult>,
+    ) -> Result<(), SubmitError> {
+        let job = Job {
+            src: src.to_string(),
+            index,
+            batch: batch.clone(),
+            limits,
+        };
+        self.queue.try_push(job).map_err(|(_, reason)| reason)
     }
 
     /// Evaluates one expression through the pool (a one-job batch).
@@ -304,16 +435,40 @@ impl EvalPool {
             .expect("a one-job batch has one result")
     }
 
+    /// Jobs admitted but not yet picked up by a worker — the
+    /// backpressure signal the serving tier surfaces in its `stats`
+    /// response.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The bounded queue's capacity (after the min-1 clamp).
+    pub fn queue_cap(&self) -> usize {
+        self.queue.cap
+    }
+
+    /// How many worker threads the pool runs.
+    pub fn worker_count(&self) -> usize {
+        self.nworkers
+    }
+
     /// A snapshot of the shared cache's counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The shared result cache itself (tests use this to poison shard
+    /// locks and prove the pool keeps serving).
+    #[doc(hidden)]
+    pub fn shared_cache(&self) -> &ResultCache {
+        &self.cache
     }
 
     /// Graceful shutdown: stop accepting jobs, run everything already
     /// accepted to completion, join all workers. Idempotent.
     pub fn shutdown(&self) {
         self.queue.close(false);
-        let mut workers = self.workers.lock().expect("worker list poisoned");
+        let mut workers = relock(&self.workers);
         for handle in workers.drain(..) {
             let _ = handle.join();
         }
@@ -341,7 +496,7 @@ impl EvalPool {
         // no timeout), then reap the handles only once all have exited.
         let deadline = Instant::now() + grace;
         let (count, cond) = &*self.alive;
-        let mut alive = count.lock().expect("alive counter poisoned");
+        let mut alive = relock(count);
         while *alive > 0 {
             let now = Instant::now();
             if now >= deadline {
@@ -349,12 +504,12 @@ impl EvalPool {
             }
             let (guard, _) = cond
                 .wait_timeout(alive, deadline - now)
-                .expect("alive counter poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             alive = guard;
         }
         drop(alive);
 
-        let mut workers = self.workers.lock().expect("worker list poisoned");
+        let mut workers = relock(&self.workers);
         for handle in workers.drain(..) {
             let _ = handle.join();
         }
@@ -395,8 +550,17 @@ fn worker_loop(
     }
 
     while let Some(job) = queue.pop() {
+        // Per-job limits tighten (or relax) the pool envelope for this
+        // job only; the common no-override case skips the clone.
+        let sup;
+        let effective = if job.limits.is_default() {
+            supervisor
+        } else {
+            sup = job.limits.apply(supervisor);
+            &sup
+        };
         let result = catch_unwind(AssertUnwindSafe(|| {
-            handle_job(&session, cache, supervisor, &job.src)
+            handle_job(&session, cache, effective, &job.src)
         }))
         .unwrap_or_else(|_| Err(PoolError("worker panicked while serving job".to_string())));
         job.batch.fulfil(job.index, result);

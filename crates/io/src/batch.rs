@@ -11,10 +11,23 @@
 //! [`BatchOutcome`] is the plain single-threaded collector;
 //! [`SharedBatch`] wraps it in a `Mutex`/`Condvar` pair so pool workers
 //! can fulfil slots from any thread while the submitter blocks in
-//! [`SharedBatch::wait`].
+//! [`SharedBatch::wait`] — or streams results one submission index at a
+//! time with [`SharedBatch::take`], which is how the network tier sends
+//! each answer as soon as it (and everything before it) is ready.
+//!
+//! Lock poisoning is recovered, not propagated: a slot table is a plain
+//! value (no invariant spans the lock), so if a fulfilling thread dies
+//! mid-call the next locker resumes with the state as it stands rather
+//! than cascading the panic into every waiter.
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Recovers the guard from a poisoned lock: the protected state is a
+/// plain value, safe to resume (see the module docs).
+fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Results indexed by submission order, fulfilled in completion order.
 #[derive(Debug)]
@@ -108,13 +121,15 @@ impl<T> SharedBatch<T> {
         }
     }
 
-    /// Fulfils one slot (any thread); wakes the waiter when the batch
-    /// completes. Returns `false` for an out-of-range or duplicate index.
+    /// Fulfils one slot (any thread); wakes every waiter (the batch
+    /// waiter checks completion, a [`SharedBatch::take`] streamer checks
+    /// its index). Returns `false` for an out-of-range or duplicate
+    /// index.
     pub fn fulfil(&self, index: usize, value: T) -> bool {
         let (lock, cond) = &*self.inner;
-        let mut batch = lock.lock().expect("batch lock poisoned");
+        let mut batch = relock(lock);
         let ok = batch.fulfil(index, value);
-        if batch.is_complete() {
+        if ok {
             cond.notify_all();
         }
         ok
@@ -124,11 +139,35 @@ impl<T> SharedBatch<T> {
     /// submission order, draining the slots (single-consumer).
     pub fn wait(&self) -> Vec<T> {
         let (lock, cond) = &*self.inner;
-        let mut batch = lock.lock().expect("batch lock poisoned");
+        let mut batch = relock(lock);
         while !batch.is_complete() {
-            batch = cond.wait(batch).expect("batch lock poisoned");
+            batch = cond.wait(batch).unwrap_or_else(|e| e.into_inner());
         }
         drain(&mut batch)
+    }
+
+    /// Blocks until the slot at `index` is fulfilled, then takes its
+    /// value. This is the streaming consumer: calling it for
+    /// `0, 1, …, n-1` yields results in submission order, each as soon
+    /// as it and its predecessors are ready, without waiting for the
+    /// whole batch. Mixing `take` with [`SharedBatch::wait`] on the same
+    /// batch is not supported (both consume slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or was already taken.
+    pub fn take(&self, index: usize) -> T {
+        let (lock, cond) = &*self.inner;
+        let mut batch = relock(lock);
+        assert!(index < batch.slots.len(), "take: index out of range");
+        loop {
+            if batch.remaining == 0 || batch.slots[index].is_some() {
+                return batch.slots[index]
+                    .take()
+                    .expect("take: slot already consumed");
+            }
+            batch = cond.wait(batch).unwrap_or_else(|e| e.into_inner());
+        }
     }
 
     /// As [`SharedBatch::wait`] with a deadline; `None` if the batch is
@@ -136,7 +175,7 @@ impl<T> SharedBatch<T> {
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Vec<T>> {
         let (lock, cond) = &*self.inner;
         let deadline = std::time::Instant::now() + timeout;
-        let mut batch = lock.lock().expect("batch lock poisoned");
+        let mut batch = relock(lock);
         while !batch.is_complete() {
             let now = std::time::Instant::now();
             if now >= deadline {
@@ -144,7 +183,7 @@ impl<T> SharedBatch<T> {
             }
             let (guard, _) = cond
                 .wait_timeout(batch, deadline - now)
-                .expect("batch lock poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             batch = guard;
         }
         Some(drain(&mut batch))
@@ -208,6 +247,54 @@ mod tests {
         for w in workers {
             assert!(w.join().expect("no panic"));
         }
+    }
+
+    #[test]
+    fn take_streams_results_in_submission_order() {
+        let batch: SharedBatch<usize> = SharedBatch::new(4);
+        // Fulfil out of order from another thread, with pauses, while the
+        // consumer takes 0..4 in order.
+        let producer = {
+            let b = batch.clone();
+            std::thread::spawn(move || {
+                for i in [2, 0, 3, 1] {
+                    b.fulfil(i, i * 10);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        let got: Vec<usize> = (0..4).map(|i| batch.take(i)).collect();
+        assert_eq!(got, vec![0, 10, 20, 30]);
+        producer.join().expect("no panic");
+    }
+
+    #[test]
+    fn take_can_consume_an_early_slot_before_the_batch_completes() {
+        let batch: SharedBatch<i32> = SharedBatch::new(2);
+        batch.fulfil(0, 7);
+        // Slot 1 is still pending; taking slot 0 must not block on it.
+        assert_eq!(batch.take(0), 7);
+        batch.fulfil(1, 8);
+        assert_eq!(batch.take(1), 8);
+    }
+
+    #[test]
+    fn a_poisoned_batch_lock_recovers_instead_of_cascading() {
+        let batch: SharedBatch<i32> = SharedBatch::new(2);
+        // Poison the lock: panic while holding it on another thread.
+        let poisoner = {
+            let b = batch.clone();
+            std::thread::spawn(move || {
+                let (lock, _) = &*b.inner;
+                let _guard = lock.lock().expect("first lock");
+                panic!("deliberate poison");
+            })
+        };
+        assert!(poisoner.join().is_err(), "the poisoner must panic");
+        // The batch still works end to end.
+        assert!(batch.fulfil(0, 1));
+        assert!(batch.fulfil(1, 2));
+        assert_eq!(batch.wait(), vec![1, 2]);
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! A minimal JSON value type, parser, and writer.
+//!
+//! The serving tier speaks length-prefixed JSON frames, and the build
+//! environment has no crates.io access (see the workspace manifest's
+//! vendored-deps note), so this is the API subset the wire protocol
+//! needs and nothing more: the six JSON value kinds, a recursive-descent
+//! parser with a depth bound, and a writer with full string escaping.
+//! Objects keep insertion order (a `Vec` of pairs, not a map) so encoded
+//! frames are byte-stable — the protocol goldens depend on that.
+//!
+//! Numbers are `f64`, which is exact for every counter the protocol
+//! carries up to 2^53; the writer renders integral values without a
+//! fractional part so `u64` counters round-trip textually.
+
+use std::fmt;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// Where and why parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting deeper than this is rejected — the parser recurses, and a
+/// frame of `[[[[…` must not overflow the server's stack.
+const MAX_DEPTH: u32 = 64;
+
+impl Json {
+    /// An integer-valued number (exact up to 2^53).
+    pub fn int(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// The field of an object, if this is an object that has it.
+    pub fn get(&self, field: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == field).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if this is a
+    /// number that is one (rejects fractions, negatives, and values
+    /// beyond 2^53 where `f64` stops being exact).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_num()?;
+        ((0.0..=9_007_199_254_740_992.0).contains(&n) && n.fract() == 0.0).then_some(n as u64)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_num(*n, out),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Compact serialization (no whitespace); `to_string()` is the encoder
+/// the wire protocol uses.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; the protocol never produces them, but
+        // degrade to null rather than emitting an unparseable token.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON value from `src`, requiring nothing but whitespace
+/// after it.
+///
+/// # Errors
+///
+/// [`JsonError`] with the byte offset of the first problem.
+pub fn parse_json(src: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue; // unicode_escape advanced pos itself
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the `uXXXX` part of a unicode escape (the `\` is already
+    /// consumed and `pos` sits on the `u`), including surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let hex4 = |p: &mut Parser| -> Result<u32, JsonError> {
+            p.pos += 1; // the 'u'
+            let end = p.pos + 4;
+            if end > p.bytes.len() {
+                return Err(p.err("truncated \\u escape"));
+            }
+            let digits = std::str::from_utf8(&p.bytes[p.pos..end])
+                .ok()
+                .and_then(|s| u32::from_str_radix(s, 16).ok())
+                .ok_or_else(|| p.err("invalid \\u escape"))?;
+            p.pos = end;
+            Ok(digits)
+        };
+        let first = hex4(self)?;
+        let cp = if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: a low surrogate must follow.
+            if self.peek() != Some(b'\\') {
+                return Err(self.err("lone high surrogate"));
+            }
+            self.pos += 1;
+            if self.peek() != Some(b'u') {
+                return Err(self.err("lone high surrogate"));
+            }
+            let second = hex4(self)?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+        } else if (0xDC00..0xE000).contains(&first) {
+            return Err(self.err("lone low surrogate"));
+        } else {
+            first
+        };
+        char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number chars are ASCII");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for src in ["null", "true", "false", "0", "-17", "3.5", "\"hi\""] {
+            let v = parse_json(src).expect(src);
+            assert_eq!(v.to_string(), src, "{src}");
+        }
+    }
+
+    #[test]
+    fn structures_round_trip_preserving_order() {
+        let src = r#"{"b":1,"a":[true,null,{"x":"y"}],"c":-2.5}"#;
+        let v = parse_json(src).expect("parses");
+        assert_eq!(v.to_string(), src);
+        assert_eq!(v.get("b"), Some(&Json::Num(1.0)));
+        assert_eq!(
+            v.get("a").and_then(|a| a.as_arr()).map(<[Json]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Json::str("a\"b\\c\nd\te\u{1}–\u{1F600}");
+        let text = v.to_string();
+        assert_eq!(parse_json(&text).expect("parses"), v);
+        // And escapes written by others (incl. surrogate pairs) parse.
+        let parsed = parse_json(r#""\u0041\ud83d\ude00\/""#).expect("parses");
+        assert_eq!(parsed, Json::str("A\u{1F600}/"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_with_offsets() {
+        for src in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{a:1}",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "01x",
+        ] {
+            assert!(parse_json(src).is_err(), "{src:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn depth_bound_rejects_pathological_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse_json(&deep).is_err());
+        let ok = "[".repeat(32) + &"]".repeat(32);
+        assert!(parse_json(&ok).is_ok());
+    }
+
+    #[test]
+    fn u64_accessor_rejects_non_integers() {
+        assert_eq!(parse_json("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse_json("-1").unwrap().as_u64(), None);
+        assert_eq!(parse_json("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse_json("\"7\"").unwrap().as_u64(), None);
+    }
+}

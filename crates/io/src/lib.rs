@@ -20,9 +20,11 @@ pub mod batch;
 pub mod chaos;
 pub mod concurrent;
 pub mod denot_run;
+pub mod json;
 pub mod machine_run;
 pub mod oracle;
 pub mod trace;
+pub mod wire;
 
 pub use batch::{BatchOutcome, SharedBatch};
 pub use chaos::{
@@ -30,9 +32,14 @@ pub use chaos::{
 };
 pub use concurrent::{run_concurrent, ConcurrentOutcome, ThreadResult};
 pub use denot_run::{run_denot, AsyncSchedule, SemIoResult, SemRunOutcome};
+pub use json::{parse_json, Json, JsonError};
 pub use machine_run::{run_machine, run_machine_node, IoResult, RunOutcome};
 pub use oracle::{ExceptionOracle, MinOracle, OracleChoice, SeededOracle};
 pub use trace::{Event, Input, StringInput, Trace};
+pub use wire::{
+    read_frame, write_frame, FrameError, Request, Response, WireCacheStats, WireError, WireStats,
+    WireTotals, MAX_FRAME_LEN,
+};
 
 #[cfg(test)]
 mod tests {

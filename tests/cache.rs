@@ -181,6 +181,50 @@ fn capacity_is_respected_under_ten_thousand_inserts() {
 }
 
 #[test]
+fn non_divisible_capacities_hold_their_full_population_under_stress() {
+    // `ResultCache::new` used to compute one per-shard cap by integer
+    // division, silently discarding `capacity % nshards` slots — a
+    // `--cache-cap 31` cache (16 shards) could never hold more than 16
+    // entries. The remainder is now spread over the leading shards, so
+    // the full configured population must be reachable — and still
+    // never exceeded — for capacities that don't divide evenly.
+    for capacity in [17, 31, 100, 257] {
+        let cache = ResultCache::new(capacity);
+        let nshards = cache.shard_count() as u64;
+        // Keys striped round-robin across shards (the fingerprint *is*
+        // the shard selector modulo nshards), so every shard sees its
+        // share and the remainder slots actually fill.
+        for n in 0..4_000u64 {
+            let key = CacheKey {
+                fingerprint: n % nshards + (n / nshards) * nshards,
+                expr: n.to_le_bytes().to_vec(),
+                config: Vec::new(),
+            };
+            cache.insert(
+                key,
+                CachedEval {
+                    rendered: n.to_string(),
+                    exception: None,
+                    stats: Stats::default(),
+                },
+            );
+            assert!(
+                cache.entries() <= capacity,
+                "capacity {capacity}: population exceeded the bound at insert {n}"
+            );
+        }
+        assert_eq!(
+            cache.entries(),
+            capacity,
+            "capacity {capacity}: the full configured population must be reachable"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 4_000);
+        assert_eq!(stats.evictions, 4_000 - capacity as u64);
+    }
+}
+
+#[test]
 fn pooled_eviction_respects_the_bound_end_to_end() {
     let pool = EvalPool::start(
         &[],

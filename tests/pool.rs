@@ -254,6 +254,42 @@ fn shutdown_now_cancels_in_flight_jobs_within_a_bounded_join() {
 }
 
 #[test]
+fn a_poisoned_cache_shard_does_not_stop_the_pool() {
+    // A panic while holding a shard lock used to poison it, and every
+    // later `.expect("...poisoned")` lookup cascaded that one panic into
+    // every worker that touched the shard. The locks now recover
+    // (`into_inner`): the cache state is a plain map with no cross-lock
+    // invariant, so the pool must keep serving — including through the
+    // poisoned shard itself.
+    let pool = pool_with(2, 64);
+    assert_eq!(pool.eval_one("1 + 1").expect("warm").rendered, "2");
+
+    for shard in 0..pool.shared_cache().shard_count() {
+        pool.shared_cache().poison_shard_for_test(shard);
+    }
+
+    // Fresh evaluations route to (formerly) poisoned shards on both the
+    // lookup and insert paths and still answer.
+    let exprs: Vec<String> = (0..32).map(|i| format!("{i} * 2")).collect();
+    let results = pool.eval_batch(&exprs);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(
+            r.as_ref().expect("pool keeps serving").rendered,
+            (i * 2).to_string()
+        );
+    }
+
+    // The cache itself still works: a repeat of the batch hits it.
+    let before = pool.cache_stats().hits;
+    pool.eval_batch(&exprs);
+    assert!(
+        pool.cache_stats().hits >= before + exprs.len() as u64,
+        "recovered shards must keep caching: {:?}",
+        pool.cache_stats()
+    );
+}
+
+#[test]
 fn cache_hit_and_miss_counters_are_stamped_onto_per_result_stats() {
     // One worker makes hit/miss accounting deterministic: the first job
     // populates the cache, the next four hit it.
