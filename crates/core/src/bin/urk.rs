@@ -21,6 +21,9 @@
 //! urk program.urk --backend compiled --verify-code   # check arenas in release
 //! urk serve --listen 127.0.0.1:7199 --jobs 4          # network serving tier
 //! urk serve program.urk --listen 127.0.0.1:0 --queue-cap 64 --cache-cap 1024
+//! urk fuzz --seed 1 --execs 2000 --corpus corpus       # coverage-guided fuzzing
+//! urk fuzz --replay corpus/cx-0123456789abcdef.urk     # replay one case
+//! urk soak --duration-secs 60 --jobs 4 --serve         # long-run soak harness
 //! ```
 
 use std::io::Read;
@@ -71,9 +74,154 @@ fn usage() -> ! {
          \x20          [--batch FILE] [--jobs N] [--cache-cap N]\n\
          \x20      urk lint [FILE.urk] [--expr E] [--optimize]\n\
          \x20      urk serve [FILE.urk] --listen ADDR [--jobs N] [--queue-cap N]\n\
-         \x20          [--cache-cap N] [--timeout-ms N] [--backend tree|compiled]"
+         \x20          [--cache-cap N] [--timeout-ms N] [--backend tree|compiled]\n\
+         \x20      urk fuzz [--seed N] [--execs N] [--max-depth N] [--chaos-rounds N]\n\
+         \x20          [--sabotage] [--interrupt-every N] [--corpus DIR] [--out DIR]\n\
+         \x20          [--replay FILE]\n\
+         \x20      urk soak [--duration-secs N] [--jobs N] [--seed N] [--batch N]\n\
+         \x20          [--ring N] [--serve] [--report-every-secs N]"
     );
     std::process::exit(2)
+}
+
+/// `urk fuzz`: the coverage-guided differential fuzzer. Exit codes:
+/// 0 = budget spent cleanly, 1 = counterexample found (or a replayed
+/// case fails), 2 = usage/setup error.
+fn fuzz_main(argv: &[String]) -> ExitCode {
+    let mut cfg = urk_fuzz::FuzzConfig {
+        execs: 2_000,
+        ..urk_fuzz::FuzzConfig::default()
+    };
+    let mut replay: Option<String> = None;
+    fn num<T: std::str::FromStr>(v: Option<&String>) -> T {
+        v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+    }
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => cfg.seed = num(it.next()),
+            "--execs" => cfg.execs = num(it.next()),
+            "--max-depth" => cfg.max_depth = num(it.next()),
+            "--chaos-rounds" => cfg.chaos_rounds = num(it.next()),
+            "--interrupt-every" => cfg.interrupt_every = num(it.next()),
+            "--sabotage" => cfg.sabotage = true,
+            "--corpus" => cfg.corpus_dir = Some(num::<String>(it.next()).into()),
+            "--out" => cfg.out_dir = Some(num::<String>(it.next()).into()),
+            "--replay" => replay = Some(num(it.next())),
+            _ => usage(),
+        }
+    }
+
+    if let Some(path) = replay {
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("urk: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let case = match urk_fuzz::load_case(&src) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("urk: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let oracle_cfg = urk_fuzz::OracleConfig {
+            chaos_seeds: (0..cfg.chaos_rounds).collect(),
+            sabotage: cfg.sabotage,
+            ..urk_fuzz::OracleConfig::default()
+        };
+        let v = urk_fuzz::run_oracle(&case.ctx, &case.query, &oracle_cfg);
+        return match v.failure {
+            None => {
+                println!(
+                    "replay {path}: {}",
+                    if v.skipped { "skipped" } else { "pass" }
+                );
+                ExitCode::SUCCESS
+            }
+            Some(f) => {
+                println!("replay {path}: FAIL {} — {}", f.kind, f.detail);
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match urk_fuzz::run_fuzz(&cfg) {
+        Err(e) => {
+            eprintln!("urk: fuzz: {e}");
+            ExitCode::from(2)
+        }
+        Ok(report) => {
+            println!("{}", report.deterministic_summary());
+            eprintln!(
+                "elapsed {} ms ({:.0} execs/s)",
+                report.elapsed_ms,
+                report.execs as f64 / (report.elapsed_ms.max(1) as f64 / 1000.0)
+            );
+            match &report.counterexample {
+                None => ExitCode::SUCCESS,
+                Some(cx) => {
+                    println!("counterexample ({}): {}", cx.kind, cx.minimized);
+                    println!("  original: {}", cx.original);
+                    println!("  detail:   {}", cx.detail);
+                    if let Some(p) = &cx.path {
+                        println!("  saved:    {}", p.display());
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}
+
+/// `urk soak`: the long-run invariant harness. Exit codes: 0 = clean,
+/// 1 = violations recorded, 2 = setup error.
+fn soak_main(argv: &[String]) -> ExitCode {
+    let mut cfg = urk::SoakConfig::default();
+    fn num<T: std::str::FromStr>(v: Option<&String>) -> T {
+        v.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+    }
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--duration-secs" => {
+                cfg.duration = std::time::Duration::from_secs(num(it.next()));
+            }
+            "--report-every-secs" => {
+                cfg.report_every = std::time::Duration::from_secs(num(it.next()));
+            }
+            "--jobs" => cfg.jobs = num(it.next()),
+            "--seed" => cfg.seed = num(it.next()),
+            "--batch" => cfg.batch = num(it.next()),
+            "--ring" => cfg.ring = num(it.next()),
+            "--serve" => cfg.serve = true,
+            _ => usage(),
+        }
+    }
+    match urk::run_soak(&cfg) {
+        Err(e) => {
+            eprintln!("urk: soak: {e}");
+            ExitCode::from(2)
+        }
+        Ok(report) => {
+            println!("{}", report.to_json());
+            if report.is_clean() {
+                eprintln!(
+                    "soak clean: {} evaluations in {} ms",
+                    report.evals, report.elapsed_ms
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    eprintln!("violation: {v}");
+                }
+                eprintln!("soak FAILED: {} violations", report.violation_count);
+                ExitCode::FAILURE
+            }
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -175,6 +323,14 @@ fn parse_args() -> Args {
 }
 
 fn main() -> ExitCode {
+    // `fuzz`/`soak` own their flag namespaces; intercept them before the
+    // main parser sees the argument list.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("fuzz") => return fuzz_main(&argv[1..]),
+        Some("soak") => return soak_main(&argv[1..]),
+        _ => {}
+    }
     let args = parse_args();
     let mut session = Session::new();
     session.options.machine.order = args.order;

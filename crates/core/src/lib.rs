@@ -57,6 +57,7 @@ pub mod error;
 pub mod pool;
 pub mod serve;
 pub mod session;
+pub mod soak;
 pub mod supervise;
 
 pub use cache::{cache_key, CacheKey, CacheStats, CachedEval, ResultCache};
@@ -64,6 +65,7 @@ pub use error::Error;
 pub use pool::{EvalPool, JobLimits, JobOutcome, JobResult, PoolConfig, PoolError, SubmitError};
 pub use serve::{Client, RemoteOutcome, ServeConfig, ServeError, Server};
 pub use session::{EvalResult, Options, Session};
+pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use supervise::{SupervisedResult, Supervisor};
 
 // The vocabulary users need, re-exported.

@@ -1,0 +1,213 @@
+//! Wire-level frame fuzzing for `urk serve`.
+//!
+//! The serving tier has a two-tier failure policy: a frame whose *payload*
+//! is malformed (bad JSON, unknown type, missing fields) earns one
+//! `Response::Error` and the connection stays usable, while a frame whose
+//! *length prefix* exceeds [`MAX_FRAME_LEN`] means the stream itself can
+//! no longer be trusted and the server must disconnect. [`FrameMutator`]
+//! deterministically generates attacks across both tiers — plus
+//! mid-frame hangups, which exercise the reader's EOF handling — and tags
+//! each with the policy outcome the server is expected to apply.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use urk_io::wire::{Request, MAX_FRAME_LEN};
+
+/// What the server must do after receiving the attack bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// Tier 1: answer with one `Response::Error` frame and keep serving
+    /// this connection.
+    ErrorAndKeep,
+    /// The bytes decode as a valid request; some well-formed response
+    /// comes back and the connection stays alive.
+    AnswerAndKeep,
+    /// Tier 2: the length prefix is poisoned — the server closes the
+    /// connection without writing a response to this frame.
+    Disconnect,
+    /// The client hangs up mid-frame; the server just reaps the
+    /// connection. Nothing to assert beyond "no panic, other clients
+    /// unaffected".
+    ClientCloses,
+}
+
+/// One generated attack: raw bytes to write, and the policy tier they
+/// should land in.
+#[derive(Clone, Debug)]
+pub struct FrameAttack {
+    pub name: &'static str,
+    pub bytes: Vec<u8>,
+    pub expect: Expectation,
+}
+
+/// Deterministic attack generator: a seed fully determines the attack
+/// stream.
+pub struct FrameMutator {
+    rng: SmallRng,
+    next_id: u64,
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+impl FrameMutator {
+    pub fn new(seed: u64) -> FrameMutator {
+        FrameMutator {
+            rng: SmallRng::seed_from_u64(seed),
+            next_id: 1,
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// A syntactically valid request to mutate.
+    fn valid_payload(&mut self) -> Vec<u8> {
+        let id = self.fresh_id();
+        if self.rng.gen_bool(0.5) {
+            Request::Ping { id }.encode()
+        } else {
+            Request::Batch {
+                id,
+                exprs: vec!["1 + 2".into()],
+                deadline_ms: None,
+                max_steps: None,
+                max_heap: None,
+                max_stack: None,
+            }
+            .encode()
+        }
+    }
+
+    /// The next attack in the seeded stream.
+    pub fn next_attack(&mut self) -> FrameAttack {
+        match self.rng.gen_range(0..7u32) {
+            // Tier 1: garbage bytes that are not JSON at all.
+            0 => {
+                let n = self.rng.gen_range(1..64usize);
+                let bytes: Vec<u8> = (0..n)
+                    .map(|_| self.rng.gen_range(0..=255u32) as u8)
+                    .collect();
+                FrameAttack {
+                    name: "garbage-payload",
+                    bytes: frame(&bytes),
+                    expect: Expectation::ErrorAndKeep,
+                }
+            }
+            // Tier 1: valid JSON, wrong shape.
+            1 => FrameAttack {
+                name: "wrong-shape-json",
+                bytes: frame(br#"{"type":"no-such-request","id":0}"#),
+                expect: Expectation::ErrorAndKeep,
+            },
+            // Tier 1: a valid request truncated mid-payload (framed with
+            // the *truncated* length, so it reads fine and fails decode).
+            2 => {
+                let payload = self.valid_payload();
+                let cut = self.rng.gen_range(1..payload.len().max(2));
+                FrameAttack {
+                    name: "truncated-json",
+                    bytes: frame(&payload[..cut]),
+                    expect: Expectation::ErrorAndKeep,
+                }
+            }
+            // A bitflipped valid request: may or may not still decode, but
+            // the payload length is honest, so the connection survives.
+            3 => {
+                let mut payload = self.valid_payload();
+                let i = self.rng.gen_range(0..payload.len());
+                let bit = self.rng.gen_range(0..8u32);
+                payload[i] ^= 1 << bit;
+                FrameAttack {
+                    name: "bitflip",
+                    bytes: frame(&payload),
+                    expect: Expectation::AnswerAndKeep,
+                }
+            }
+            // Tier 2: oversized length prefix. No payload follows; the
+            // server must give up on the stream after reading the header.
+            4 => {
+                let len = MAX_FRAME_LEN as u32 + 1 + self.rng.gen_range(0..1024u32);
+                FrameAttack {
+                    name: "oversized-length",
+                    bytes: len.to_be_bytes().to_vec(),
+                    expect: Expectation::Disconnect,
+                }
+            }
+            // Mid-frame hangup: the header promises more bytes than we
+            // send before closing.
+            5 => {
+                let payload = self.valid_payload();
+                let mut bytes = frame(&payload);
+                let keep = 4 + self.rng.gen_range(0..payload.len());
+                bytes.truncate(keep);
+                FrameAttack {
+                    name: "midframe-close",
+                    bytes,
+                    expect: Expectation::ClientCloses,
+                }
+            }
+            // Control: an untouched valid request, so the stream mixes
+            // good and bad traffic the way a confused client would.
+            _ => {
+                let payload = self.valid_payload();
+                FrameAttack {
+                    name: "valid-request",
+                    bytes: frame(&payload),
+                    expect: Expectation::AnswerAndKeep,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_stream_is_deterministic_and_mixed() {
+        let collect = |seed: u64| {
+            let mut m = FrameMutator::new(seed);
+            (0..64).map(|_| m.next_attack()).collect::<Vec<_>>()
+        };
+        let a = collect(7);
+        let b = collect(7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.bytes, y.bytes);
+            assert_eq!(x.expect, y.expect);
+        }
+        // Every tier appears in a 64-attack stream.
+        for want in [
+            Expectation::ErrorAndKeep,
+            Expectation::AnswerAndKeep,
+            Expectation::Disconnect,
+            Expectation::ClientCloses,
+        ] {
+            assert!(
+                a.iter().any(|at| at.expect == want),
+                "{want:?} never generated"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_attacks_really_exceed_the_bound() {
+        let mut m = FrameMutator::new(3);
+        for _ in 0..200 {
+            let at = m.next_attack();
+            if at.expect == Expectation::Disconnect {
+                let len = u32::from_be_bytes(at.bytes[..4].try_into().unwrap()) as usize;
+                assert!(len > MAX_FRAME_LEN);
+            }
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! Structure-aware term mutation.
+//!
+//! Mutation sites are collected by a typed walk that mirrors the
+//! generator's discipline: every site records its tree path and the local
+//! `Int` binders in scope, so a mutation can swap subterms between
+//! compatible scopes, grow a site with a freshly generated subterm, or
+//! splice a prelude call around it without breaking closedness. The walk's
+//! typing is structural (the grammar is `Int`-centred); the authoritative
+//! gate is [`crate::FuzzCtx::well_typed`], which the fuzz loop applies to
+//! every mutant — a misclassified mutation is discarded, deterministically,
+//! not executed.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use urk_syntax::core::{Alt, AltCon, Expr, PrimOp};
+use urk_syntax::Symbol;
+
+use crate::gen::TermGen;
+
+/// The structural type a mutation site expects.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Ty {
+    Int,
+    Bool,
+    MaybeInt,
+    Exn,
+    Fun,
+    Other,
+}
+
+/// One mutable position: where it is and which `Int` binders it sees.
+#[derive(Clone, Debug)]
+pub struct Site {
+    pub path: Vec<u16>,
+    pub scope: Vec<Symbol>,
+}
+
+/// Every site class the mutator targets, from one walk.
+#[derive(Default, Debug)]
+pub struct Sites {
+    /// Positions expecting an `Int` (swap/grow/shrink/splice targets).
+    pub ints: Vec<Site>,
+    /// Positions holding a literal `Expr::Int` (constant perturbation).
+    pub literals: Vec<Site>,
+    /// Positions holding an `Expr::Raise` (raise perturbation).
+    pub raises: Vec<Site>,
+    /// Positions holding an `Expr::Case` (alternative grow/shrink).
+    pub cases: Vec<Site>,
+}
+
+/// Collects every mutation site in `e` (expected type `Int` at the root).
+pub fn collect_sites(e: &Expr) -> Sites {
+    let mut sites = Sites::default();
+    let mut path = Vec::new();
+    let mut scope = Vec::new();
+    walk(e, Ty::Int, &mut path, &mut scope, &mut sites);
+    sites
+}
+
+fn walk(e: &Expr, expected: Ty, path: &mut Vec<u16>, scope: &mut Vec<Symbol>, out: &mut Sites) {
+    if expected == Ty::Int {
+        out.ints.push(Site {
+            path: path.clone(),
+            scope: scope.clone(),
+        });
+        if matches!(e, Expr::Int(_)) {
+            out.literals.push(Site {
+                path: path.clone(),
+                scope: scope.clone(),
+            });
+        }
+        if matches!(e, Expr::Raise(_)) {
+            out.raises.push(Site {
+                path: path.clone(),
+                scope: scope.clone(),
+            });
+        }
+        if matches!(e, Expr::Case(..)) {
+            out.cases.push(Site {
+                path: path.clone(),
+                scope: scope.clone(),
+            });
+        }
+    }
+    match e {
+        Expr::Var(_) | Expr::Int(_) | Expr::Char(_) | Expr::Str(_) => {}
+        Expr::Con(tag, args) => {
+            let just = *tag == Symbol::intern("Just");
+            for (i, a) in args.iter().enumerate() {
+                let t = if just && i == 0 { Ty::Int } else { Ty::Other };
+                path.push(i as u16);
+                walk(a, t, path, scope, out);
+                path.pop();
+            }
+        }
+        Expr::App(f, a) => {
+            path.push(0);
+            walk(f, Ty::Fun, path, scope, out);
+            path.pop();
+            path.push(1);
+            walk(a, arg_type(f), path, scope, out);
+            path.pop();
+        }
+        Expr::Lam(x, b) => {
+            scope.push(*x);
+            path.push(0);
+            walk(b, Ty::Int, path, scope, out);
+            path.pop();
+            scope.pop();
+        }
+        Expr::Let(x, r, b) => {
+            path.push(0);
+            walk(r, Ty::Int, path, scope, out);
+            path.pop();
+            scope.push(*x);
+            path.push(1);
+            walk(b, expected, path, scope, out);
+            path.pop();
+            scope.pop();
+        }
+        Expr::LetRec(binds, b) => {
+            // The grammar never emits letrec (the prelude carries the
+            // recursion); walk conservatively so spliced-in cases survive.
+            for (x, _) in binds {
+                scope.push(*x);
+            }
+            for (i, (_, r)) in binds.iter().enumerate() {
+                path.push(i as u16);
+                walk(r, Ty::Other, path, scope, out);
+                path.pop();
+            }
+            path.push(binds.len() as u16);
+            walk(b, expected, path, scope, out);
+            path.pop();
+            for _ in binds {
+                scope.pop();
+            }
+        }
+        Expr::Case(s, alts) => {
+            path.push(0);
+            walk(s, scrut_type(alts), path, scope, out);
+            path.pop();
+            for (i, alt) in alts.iter().enumerate() {
+                let int_binders =
+                    matches!(&alt.con, AltCon::Con(c) if *c == Symbol::intern("Just"));
+                let pushed = if int_binders { alt.binders.len() } else { 0 };
+                for b in alt.binders.iter().take(pushed) {
+                    scope.push(*b);
+                }
+                path.push((i + 1) as u16);
+                walk(&alt.rhs, expected, path, scope, out);
+                path.pop();
+                for _ in 0..pushed {
+                    scope.pop();
+                }
+            }
+        }
+        Expr::Prim(op, args) => {
+            for (i, a) in args.iter().enumerate() {
+                path.push(i as u16);
+                walk(a, prim_arg_type(*op, i, expected), path, scope, out);
+                path.pop();
+            }
+        }
+        Expr::Raise(p) => {
+            path.push(0);
+            walk(p, Ty::Exn, path, scope, out);
+            path.pop();
+        }
+    }
+}
+
+fn scrut_type(alts: &[Alt]) -> Ty {
+    for alt in alts {
+        match &alt.con {
+            AltCon::Int(_) => return Ty::Int,
+            AltCon::Con(c) => {
+                let n = c.as_str();
+                if n == "True" || n == "False" {
+                    return Ty::Bool;
+                }
+                if n == "Just" || n == "Nothing" {
+                    return Ty::MaybeInt;
+                }
+                return Ty::Other;
+            }
+            _ => {}
+        }
+    }
+    Ty::Int
+}
+
+fn arg_type(f: &Expr) -> Ty {
+    match f {
+        Expr::Lam(..) => Ty::Int,
+        Expr::Var(g) => match g.as_str().as_str() {
+            "fzsum" | "fzpick" => Ty::Int,
+            "fzdiv" => Ty::Int,
+            "fztwice" => Ty::Fun,
+            _ => Ty::Other,
+        },
+        Expr::App(inner, _) => match inner.as_ref() {
+            Expr::Var(g) => match g.as_str().as_str() {
+                "fzdiv" | "fztwice" => Ty::Int,
+                _ => Ty::Other,
+            },
+            _ => Ty::Other,
+        },
+        _ => Ty::Other,
+    }
+}
+
+fn prim_arg_type(op: PrimOp, i: usize, expected: Ty) -> Ty {
+    match op {
+        PrimOp::Add
+        | PrimOp::Sub
+        | PrimOp::Mul
+        | PrimOp::Div
+        | PrimOp::Mod
+        | PrimOp::Neg
+        | PrimOp::IntEq
+        | PrimOp::IntLt
+        | PrimOp::IntLe
+        | PrimOp::IntGt
+        | PrimOp::IntGe => Ty::Int,
+        PrimOp::Seq => {
+            if i == 0 {
+                Ty::Int
+            } else {
+                expected
+            }
+        }
+        _ => Ty::Other,
+    }
+}
+
+/// Reads the node at `path`.
+///
+/// # Panics
+///
+/// If the path does not address a node of `e` (paths come from
+/// [`collect_sites`] over the same term, so this is a caller bug).
+pub fn get_at<'a>(e: &'a Expr, path: &[u16]) -> &'a Expr {
+    let Some((&step, rest)) = path.split_first() else {
+        return e;
+    };
+    let i = step as usize;
+    match e {
+        Expr::Con(_, args) => get_at(&args[i], rest),
+        Expr::App(f, a) => get_at(if i == 0 { f } else { a }, rest),
+        Expr::Lam(_, b) => get_at(b, rest),
+        Expr::Let(_, r, b) => get_at(if i == 0 { r } else { b }, rest),
+        Expr::LetRec(binds, b) => {
+            if i < binds.len() {
+                get_at(&binds[i].1, rest)
+            } else {
+                get_at(b, rest)
+            }
+        }
+        Expr::Case(s, alts) => {
+            if i == 0 {
+                get_at(s, rest)
+            } else {
+                get_at(&alts[i - 1].rhs, rest)
+            }
+        }
+        Expr::Prim(_, args) => get_at(&args[i], rest),
+        Expr::Raise(p) => get_at(p, rest),
+        _ => panic!("path into a leaf"),
+    }
+}
+
+/// Rebuilds `e` with the node at `path` replaced by `new`.
+///
+/// # Panics
+///
+/// As [`get_at`], on a path that does not address a node of `e`.
+pub fn replace_at(e: &Expr, path: &[u16], new: Expr) -> Expr {
+    let Some((&step, rest)) = path.split_first() else {
+        return new;
+    };
+    let i = step as usize;
+    let sub = |child: &Rc<Expr>| Rc::new(replace_at(child, rest, new.clone()));
+    match e {
+        Expr::Con(tag, args) => {
+            let mut args = args.clone();
+            args[i] = sub(&args[i]);
+            Expr::Con(*tag, args)
+        }
+        Expr::App(f, a) => {
+            if i == 0 {
+                Expr::App(sub(f), a.clone())
+            } else {
+                Expr::App(f.clone(), sub(a))
+            }
+        }
+        Expr::Lam(x, b) => Expr::Lam(*x, sub(b)),
+        Expr::Let(x, r, b) => {
+            if i == 0 {
+                Expr::Let(*x, sub(r), b.clone())
+            } else {
+                Expr::Let(*x, r.clone(), sub(b))
+            }
+        }
+        Expr::LetRec(binds, b) => {
+            if i < binds.len() {
+                let mut binds = binds.clone();
+                binds[i].1 = sub(&binds[i].1);
+                Expr::LetRec(binds, b.clone())
+            } else {
+                Expr::LetRec(binds.clone(), sub(b))
+            }
+        }
+        Expr::Case(s, alts) => {
+            if i == 0 {
+                Expr::Case(sub(s), alts.clone())
+            } else {
+                let mut alts = alts.clone();
+                alts[i - 1].rhs = sub(&alts[i - 1].rhs);
+                Expr::Case(s.clone(), alts)
+            }
+        }
+        Expr::Prim(op, args) => {
+            let mut args = args.clone();
+            args[i] = sub(&args[i]);
+            Expr::Prim(*op, args)
+        }
+        Expr::Raise(p) => Expr::Raise(sub(p)),
+        _ => panic!("path into a leaf"),
+    }
+}
+
+/// The seeded mutation engine. One instance drives a whole fuzz run; every
+/// choice comes from its [`SmallRng`], so a seed fully determines the
+/// mutant stream given the same inputs.
+pub struct Mutator {
+    rng: SmallRng,
+    gen: TermGen,
+    globals: BTreeSet<Symbol>,
+}
+
+impl Mutator {
+    /// A mutator whose grow/splice subterms come from a generator seeded
+    /// deterministically off `seed`.
+    pub fn new(seed: u64, globals: &[Symbol]) -> Mutator {
+        Mutator {
+            rng: SmallRng::seed_from_u64(seed ^ 0x6d75_7461_7465),
+            gen: TermGen::new(seed ^ 0x7375_6274, 2),
+            globals: globals.iter().copied().collect(),
+        }
+    }
+
+    /// One structural mutation of `e`, or `None` when the drawn operators
+    /// found no applicable site. The caller still owes the mutant a
+    /// fingerprint-change check and the `well_typed` gate.
+    pub fn mutate(&mut self, e: &Expr) -> Option<Expr> {
+        let sites = collect_sites(e);
+        for _ in 0..8 {
+            let out = match self.rng.gen_range(0..7u32) {
+                0 => self.swap_subterms(e, &sites),
+                1 => self.grow(e, &sites),
+                2 => self.shrink_to_leaf(e, &sites),
+                3 => self.perturb_alternatives(e, &sites),
+                4 => self.perturb_raise(e, &sites),
+                5 => self.splice_prelude(e, &sites),
+                _ => self.perturb_literal(e, &sites),
+            };
+            if out.is_some() {
+                return out;
+            }
+        }
+        None
+    }
+
+    fn pick<'a>(&mut self, sites: &'a [Site]) -> Option<&'a Site> {
+        if sites.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..sites.len());
+        Some(&sites[i])
+    }
+
+    fn closed_under(&self, sub: &Expr, scope: &[Symbol]) -> bool {
+        sub.free_vars()
+            .iter()
+            .all(|v| scope.contains(v) || self.globals.contains(v))
+    }
+
+    fn swap_subterms(&mut self, e: &Expr, sites: &Sites) -> Option<Expr> {
+        if sites.ints.len() < 2 {
+            return None;
+        }
+        for _ in 0..6 {
+            let a = self.rng.gen_range(0..sites.ints.len());
+            let b = self.rng.gen_range(0..sites.ints.len());
+            let (sa, sb) = (&sites.ints[a], &sites.ints[b]);
+            if a == b || is_prefix(&sa.path, &sb.path) || is_prefix(&sb.path, &sa.path) {
+                continue;
+            }
+            let ta = get_at(e, &sa.path).clone();
+            let tb = get_at(e, &sb.path).clone();
+            if ta == tb {
+                continue;
+            }
+            if !self.closed_under(&ta, &sb.scope) || !self.closed_under(&tb, &sa.scope) {
+                continue;
+            }
+            let e1 = replace_at(e, &sa.path, tb);
+            return Some(replace_at(&e1, &sb.path, ta));
+        }
+        None
+    }
+
+    fn grow(&mut self, e: &Expr, sites: &Sites) -> Option<Expr> {
+        let site = self.pick(&sites.ints)?.clone();
+        let sub = self.gen.subterm(2, &site.scope);
+        Some(replace_at(e, &site.path, sub))
+    }
+
+    fn shrink_to_leaf(&mut self, e: &Expr, sites: &Sites) -> Option<Expr> {
+        for _ in 0..4 {
+            let site = self.pick(&sites.ints)?;
+            if get_at(e, &site.path).size() <= 2 {
+                continue;
+            }
+            let leaf = if !site.scope.is_empty() && self.rng.gen_bool(0.4) {
+                let i = self.rng.gen_range(0..site.scope.len());
+                Expr::var(site.scope[i])
+            } else {
+                Expr::int(self.rng.gen_range(0..=3i64))
+            };
+            return Some(replace_at(e, &site.path, leaf));
+        }
+        None
+    }
+
+    fn perturb_alternatives(&mut self, e: &Expr, sites: &Sites) -> Option<Expr> {
+        let site = self.pick(&sites.cases)?.clone();
+        let Expr::Case(scrut, alts) = get_at(e, &site.path) else {
+            return None;
+        };
+        let mut alts = alts.clone();
+        let int_case = alts.iter().any(|a| matches!(a.con, AltCon::Int(_)));
+        if int_case && self.rng.gen_bool(0.5) {
+            // Grow: one more literal arm, freshly generated right-hand side.
+            let lit = self.rng.gen_range(0..=4i64);
+            if !alts.iter().any(|a| a.con == AltCon::Int(lit)) {
+                let rhs = self.gen.subterm(1, &site.scope);
+                alts.insert(0, Alt::int(lit, rhs));
+                return Some(replace_at(e, &site.path, Expr::Case(scrut.clone(), alts)));
+            }
+        }
+        // Shrink: drop one arm (a now-unmatched scrutinee raises
+        // PatternMatchFail — well-typed, semantically interesting).
+        if alts.len() >= 2 {
+            let i = self.rng.gen_range(0..alts.len());
+            alts.remove(i);
+            return Some(replace_at(e, &site.path, Expr::Case(scrut.clone(), alts)));
+        }
+        None
+    }
+
+    fn perturb_raise(&mut self, e: &Expr, sites: &Sites) -> Option<Expr> {
+        if sites.raises.is_empty() || self.rng.gen_bool(0.4) {
+            // Plant a new raise at an Int site.
+            let site = self.pick(&sites.ints)?;
+            let exn = ["DivideByZero", "Overflow", "NonTermination"][self.rng.gen_range(0..3usize)];
+            return Some(replace_at(e, &site.path, Expr::raise(Expr::con(exn, []))));
+        }
+        let site = self.pick(&sites.raises)?;
+        if self.rng.gen_bool(0.4) {
+            // Remove the raise site entirely.
+            return Some(replace_at(e, &site.path, Expr::int(7)));
+        }
+        // Swap the raised constructor.
+        let exn = ["DivideByZero", "Overflow", "NonTermination"][self.rng.gen_range(0..3usize)];
+        Some(replace_at(e, &site.path, Expr::raise(Expr::con(exn, []))))
+    }
+
+    fn splice_prelude(&mut self, e: &Expr, sites: &Sites) -> Option<Expr> {
+        let site = self.pick(&sites.ints)?.clone();
+        let inner = get_at(e, &site.path).clone();
+        let spliced = match self.rng.gen_range(0..4u32) {
+            0 => Expr::app(Expr::var("fzsum"), Expr::int(self.rng.gen_range(0..=25i64))),
+            1 => Expr::apps(
+                Expr::var("fzdiv"),
+                [inner, Expr::int(self.rng.gen_range(0..=3i64))],
+            ),
+            2 => Expr::app(Expr::var("fzpick"), inner),
+            _ => {
+                let q = Symbol::intern("q");
+                let body = Expr::add(Expr::var(q), Expr::int(self.rng.gen_range(0..=9i64)));
+                Expr::apps(Expr::var("fztwice"), [Expr::lam(q, body), inner])
+            }
+        };
+        Some(replace_at(e, &site.path, spliced))
+    }
+
+    fn perturb_literal(&mut self, e: &Expr, sites: &Sites) -> Option<Expr> {
+        let site = self.pick(&sites.literals)?;
+        let Expr::Int(n) = get_at(e, &site.path) else {
+            return None;
+        };
+        let n = *n;
+        let tweaked = match self.rng.gen_range(0..5u32) {
+            0 => n + 1,
+            1 => n - 1,
+            2 => -n,
+            3 => 0,
+            // Large enough that products overflow i64's checked range.
+            _ => 3_037_000_499,
+        };
+        if tweaked == n {
+            return None;
+        }
+        Some(replace_at(e, &site.path, Expr::int(tweaked)))
+    }
+}
+
+fn is_prefix(a: &[u16], b: &[u16]) -> bool {
+    a.len() <= b.len() && a.iter().zip(b).all(|(x, y)| x == y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::FuzzCtx;
+    use crate::gen::TermGen;
+
+    #[test]
+    fn mutants_stay_closed_and_mostly_well_typed() {
+        let ctx = FuzzCtx::new();
+        let globals = ctx.global_names();
+        let mut g = TermGen::new(7, 5);
+        let mut m = Mutator::new(7, &globals);
+        let gset: BTreeSet<Symbol> = globals.iter().copied().collect();
+        let mut accepted = 0u32;
+        for _ in 0..150 {
+            let t = g.term();
+            if let Some(mutant) = m.mutate(&t) {
+                assert!(
+                    mutant.free_vars().iter().all(|v| gset.contains(v)),
+                    "mutation opened a free variable: {mutant:?}"
+                );
+                if ctx.well_typed(&mutant) {
+                    accepted += 1;
+                }
+            }
+        }
+        // The typed-site walk should keep the overwhelming majority of
+        // mutants well-typed; the infer gate only mops up corner cases.
+        assert!(accepted > 100, "only {accepted} well-typed mutants");
+    }
+
+    #[test]
+    fn replace_and_get_roundtrip() {
+        let e = Expr::add(Expr::int(1), Expr::div(Expr::int(4), Expr::int(2)));
+        let sites = collect_sites(&e);
+        for s in &sites.ints {
+            let sub = get_at(&e, &s.path).clone();
+            assert_eq!(replace_at(&e, &s.path, sub), e);
+        }
+    }
+}

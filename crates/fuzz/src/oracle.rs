@@ -1,0 +1,541 @@
+//! The cross-product differential oracle for one candidate term.
+//!
+//! Every candidate is evaluated:
+//!
+//! * **denotationally** — the ground truth: a value, or an imprecise
+//!   exception *set*;
+//! * on the **tree machine** and the **compiled backend**, under
+//!   left-to-right, right-to-left, and a seeded order — six machine runs
+//!   whose renderings must agree pairwise (tree vs compiled is the PR 4
+//!   invariant) and individually refine the denotation (§3.5: any member
+//!   of the set is a correct answer);
+//! * under seeded [`FaultPlan`] **chaos** on both backends (the §5.1
+//!   robustness claim, via `urk_io::chaos_run_with_plan*`);
+//! * optionally under a **wall-clock interrupt** delivered from a real
+//!   watchdog thread mid-run.
+//!
+//! Every machine is audited after its episode ([`Machine::audit_heap`]) —
+//! the structured [`urk_machine::HeapAudit`] report lands in the failure
+//! detail. Runs that hit the step limit are *skipped*, not failed: the
+//! two backends count steps differently, so a limit on one side proves
+//! nothing (and the generator's grammar terminates; limits only trip on
+//! pathological mutants).
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use urk_denot::{show_denot, Denot, DenotConfig, DenotEvaluator, Env};
+use urk_io::{chaos_run_with_plan, chaos_run_with_plan_compiled};
+use urk_machine::{Backend, FaultPlan, MEnv, Machine, MachineConfig, MachineError, Outcome};
+use urk_syntax::core::Expr;
+use urk_syntax::Exception;
+
+use crate::coverage::Fingerprint;
+use crate::ctx::FuzzCtx;
+
+/// Which invariant a failing candidate broke. Shrinking preserves the
+/// kind: the minimized term fails the *same* check as the original.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CheckKind {
+    /// Tree and compiled backends disagreed under the same order.
+    BackendDivergence,
+    /// A machine produced a value the denotation does not justify.
+    UnsoundValue,
+    /// A machine raised an exception outside the denoted set.
+    UnsoundException,
+    /// An exception escaped the episode's catch mark.
+    UncaughtEscape,
+    /// `Heap::audit()` found the machine unsafe to reuse after a clean run.
+    AuditFailure,
+    /// A chaos-injected run broke soundness, heap consistency, or
+    /// post-fault re-evaluation (`ChaosReport::passed() == false`).
+    ChaosFailure,
+    /// A wall-clock interrupt produced an unjustified outcome or left the
+    /// machine unusable.
+    InterruptFailure,
+    /// The machine died with an internal error.
+    MachineInternal,
+}
+
+impl std::fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CheckKind::BackendDivergence => "backend-divergence",
+            CheckKind::UnsoundValue => "unsound-value",
+            CheckKind::UnsoundException => "unsound-exception",
+            CheckKind::UncaughtEscape => "uncaught-escape",
+            CheckKind::AuditFailure => "audit-failure",
+            CheckKind::ChaosFailure => "chaos-failure",
+            CheckKind::InterruptFailure => "interrupt-failure",
+            CheckKind::MachineInternal => "machine-internal",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for CheckKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<CheckKind, String> {
+        Ok(match s {
+            "backend-divergence" => CheckKind::BackendDivergence,
+            "unsound-value" => CheckKind::UnsoundValue,
+            "unsound-exception" => CheckKind::UnsoundException,
+            "uncaught-escape" => CheckKind::UncaughtEscape,
+            "audit-failure" => CheckKind::AuditFailure,
+            "chaos-failure" => CheckKind::ChaosFailure,
+            "interrupt-failure" => CheckKind::InterruptFailure,
+            "machine-internal" => CheckKind::MachineInternal,
+            other => return Err(format!("unknown check kind '{other}'")),
+        })
+    }
+}
+
+/// A broken invariant, with enough detail to diagnose without replaying.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: CheckKind,
+    pub detail: String,
+}
+
+/// What one oracle pass concluded.
+#[derive(Clone, Debug, Default)]
+pub struct Verdict {
+    /// The first invariant violation, if any.
+    pub failure: Option<Failure>,
+    /// True when the candidate was inconclusive (step-limit or
+    /// denotational fuel exhaustion) — not counted as covered or failing.
+    pub skipped: bool,
+    /// Coverage features from the compiled runs.
+    pub fingerprint: Fingerprint,
+    /// Compiled left-to-right step count (the coverage-signal run).
+    pub steps: u64,
+}
+
+impl Verdict {
+    fn fail(kind: CheckKind, detail: String) -> Verdict {
+        Verdict {
+            failure: Some(Failure { kind, detail }),
+            ..Verdict::default()
+        }
+    }
+
+    fn skip() -> Verdict {
+        Verdict {
+            skipped: true,
+            ..Verdict::default()
+        }
+    }
+}
+
+/// Oracle tunables. `machine` is the base configuration every run derives
+/// from (order, chaos, coverage, and interrupts are overridden per run).
+#[derive(Clone, Debug)]
+pub struct OracleConfig {
+    pub machine: MachineConfig,
+    pub denot_fuel: u64,
+    /// One chaos round per seed, each run on both backends.
+    pub chaos_seeds: Vec<u64>,
+    /// Arm `FaultPlan::sabotage_async_restore` on every chaos plan (the
+    /// seeded-bug acceptance switch: the audit must catch it).
+    pub sabotage: bool,
+    /// Also run one wall-clock interrupt check (a real watchdog thread;
+    /// the verdict is deterministic — any landing point is acceptable —
+    /// but its timing is not, so it never feeds the fingerprint).
+    pub wallclock_interrupt: bool,
+    /// The seed for the `OrderPolicy::Seeded` run.
+    pub seeded_order: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> OracleConfig {
+        OracleConfig {
+            machine: MachineConfig {
+                max_steps: 400_000,
+                gc_threshold: 20_000,
+                ..MachineConfig::default()
+            },
+            denot_fuel: 2_000_000,
+            chaos_seeds: vec![],
+            sabotage: false,
+            wallclock_interrupt: false,
+            seeded_order: 11,
+        }
+    }
+}
+
+/// Machine and oracle spell buried exceptional fields differently
+/// (`raise {...}` vs `Bad {...}`); compare spines only in that case —
+/// the same normalization `urk_io::chaos` and the soundness suite use.
+pub fn renders_agree(machine: &str, denot: &str) -> bool {
+    if denot.contains("Bad {") {
+        machine.split_whitespace().next() == denot.split_whitespace().next()
+    } else {
+        machine == denot.replace("(Bad {", "(raise {")
+    }
+}
+
+/// One machine episode's observable behaviour, normalized for comparison.
+enum Observed {
+    Rendered(String),
+    Caught(Exception),
+}
+
+/// Runs one backend/order combination; `Err` is a verdict-ending
+/// condition (skip or failure).
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    ctx: &FuzzCtx,
+    query: &Rc<Expr>,
+    base: &MachineConfig,
+    order: urk_machine::OrderPolicy,
+    backend: Backend,
+    with_coverage: bool,
+    fp: &mut Fingerprint,
+    steps_out: &mut u64,
+) -> Result<Observed, Verdict> {
+    let mut m = Machine::new(MachineConfig {
+        order,
+        coverage: with_coverage,
+        ..base.clone()
+    });
+    let out = match backend {
+        Backend::Tree => {
+            let menv = m.bind_recursive(&ctx.binds, &MEnv::empty());
+            m.eval(Rc::clone(query), &menv, true)
+        }
+        Backend::Compiled => {
+            m.link_code(Arc::clone(&ctx.code));
+            m.eval_code_expr(query, true)
+        }
+    };
+    let outcome = match out {
+        Ok(o) => o,
+        Err(MachineError::StepLimit) => return Err(Verdict::skip()),
+        Err(e) => {
+            return Err(Verdict::fail(
+                CheckKind::MachineInternal,
+                format!("{} {}: {e}", backend.name(), order_name(order)),
+            ))
+        }
+    };
+    let observed = match &outcome {
+        Outcome::Value(n) => Observed::Rendered(m.render(*n, 16)),
+        Outcome::Caught(e) => Observed::Caught(e.clone()),
+        Outcome::Uncaught(e) => {
+            return Err(Verdict::fail(
+                CheckKind::UncaughtEscape,
+                format!("{} {}: uncaught {e}", backend.name(), order_name(order)),
+            ))
+        }
+    };
+    let audit = m.audit_heap();
+    if !audit.is_consistent() {
+        return Err(Verdict::fail(
+            CheckKind::AuditFailure,
+            format!("{} {}: {audit}", backend.name(), order_name(order)),
+        ));
+    }
+    if with_coverage {
+        *steps_out = m.stats().steps;
+    }
+    fp.merge(&Fingerprint::collect(
+        m.coverage(),
+        m.stats(),
+        Some(&outcome),
+    ));
+    Ok(observed)
+}
+
+fn order_name(order: urk_machine::OrderPolicy) -> &'static str {
+    match order {
+        urk_machine::OrderPolicy::LeftToRight => "l2r",
+        urk_machine::OrderPolicy::RightToLeft => "r2l",
+        urk_machine::OrderPolicy::Seeded(_) => "seeded",
+    }
+}
+
+fn observed_text(o: &Observed) -> String {
+    match o {
+        Observed::Rendered(s) => format!("value {s}"),
+        Observed::Caught(e) => format!("caught {e}"),
+    }
+}
+
+/// The full cross-product check for one candidate.
+pub fn run_oracle(ctx: &FuzzCtx, query: &Rc<Expr>, cfg: &OracleConfig) -> Verdict {
+    // The ground truth. The depth guard is deliberately lower than the
+    // chaos driver's 2,000: the evaluator recurses on the Rust stack, and
+    // mutants splice in huge literals (`fzsum 3037000499`) that would
+    // blow a 2 MiB test-thread stack before fuel runs out. Exhaustion
+    // denotes ⊥, which the verdict below counts as a skip.
+    let ev = DenotEvaluator::with_config(
+        &ctx.data,
+        DenotConfig {
+            fuel: cfg.denot_fuel,
+            max_depth: 256,
+            ..DenotConfig::default()
+        },
+    );
+    let denv = ev.bind_recursive(&ctx.binds, &Env::empty());
+    let denot = ev.eval(query, &denv);
+    if matches!(&denot, Denot::Bad(s) if s.is_all()) {
+        // Fuel or depth exhaustion approximates from below by ⊥ (the full
+        // set): everything refines it, so the candidate proves nothing.
+        return Verdict::skip();
+    }
+    let oracle = show_denot(&ev, &denot, 16);
+
+    let orders = [
+        urk_machine::OrderPolicy::LeftToRight,
+        urk_machine::OrderPolicy::RightToLeft,
+        urk_machine::OrderPolicy::Seeded(cfg.seeded_order),
+    ];
+    let mut fp = Fingerprint::default();
+    let mut steps = 0u64;
+    let mut tree_steps = 0u64;
+    for order in orders {
+        let tree = match run_one(
+            ctx,
+            query,
+            &cfg.machine,
+            order,
+            Backend::Tree,
+            false,
+            &mut fp,
+            &mut steps,
+        ) {
+            Ok(o) => o,
+            Err(v) => return v,
+        };
+        let compiled = match run_one(
+            ctx,
+            query,
+            &cfg.machine,
+            order,
+            Backend::Compiled,
+            true,
+            &mut fp,
+            &mut steps,
+        ) {
+            Ok(o) => o,
+            Err(v) => return v,
+        };
+        // PR 4's invariant: same order ⇒ byte-identical behaviour across
+        // backends.
+        let (t, c) = (observed_text(&tree), observed_text(&compiled));
+        if t != c {
+            return Verdict::fail(
+                CheckKind::BackendDivergence,
+                format!("{}: tree={t} compiled={c}", order_name(order)),
+            );
+        }
+        // §3.5 refinement against the denoted set.
+        match &tree {
+            Observed::Rendered(r) => {
+                let ok = matches!(&denot, Denot::Ok(_)) && renders_agree(r, &oracle);
+                if !ok {
+                    return Verdict::fail(
+                        CheckKind::UnsoundValue,
+                        format!("{}: machine value {r}, oracle {oracle}", order_name(order)),
+                    );
+                }
+            }
+            Observed::Caught(e) => {
+                let ok = matches!(&denot, Denot::Bad(set) if set.contains(e));
+                if !ok {
+                    return Verdict::fail(
+                        CheckKind::UnsoundException,
+                        format!("{}: caught {e} not in oracle {oracle}", order_name(order)),
+                    );
+                }
+            }
+        }
+        if order == urk_machine::OrderPolicy::LeftToRight {
+            tree_steps = baseline_tree_steps(ctx, query, &cfg.machine);
+        }
+    }
+
+    // Chaos rounds: both backends, per-backend horizons, seeded plans.
+    for &seed in &cfg.chaos_seeds {
+        let mut plan = FaultPlan::generate(seed, tree_steps);
+        plan.sabotage_async_restore = cfg.sabotage;
+        let rep = chaos_run_with_plan(
+            &ctx.data,
+            &ctx.binds,
+            query,
+            &cfg.machine,
+            cfg.denot_fuel,
+            plan,
+        );
+        if !rep.passed() {
+            return Verdict::fail(
+                CheckKind::ChaosFailure,
+                format!(
+                    "tree chaos seed {seed}: sound={} heap={} reeval={} outcome={} oracle={}",
+                    rep.sound, rep.heap_consistent, rep.reeval_ok, rep.outcome, rep.oracle
+                ),
+            );
+        }
+        let mut plan = FaultPlan::generate(seed, steps.max(64));
+        plan.sabotage_async_restore = cfg.sabotage;
+        let rep = chaos_run_with_plan_compiled(
+            &ctx.data,
+            &ctx.binds,
+            &ctx.code,
+            query,
+            &cfg.machine,
+            cfg.denot_fuel,
+            plan,
+        );
+        if !rep.passed() {
+            return Verdict::fail(
+                CheckKind::ChaosFailure,
+                format!(
+                    "compiled chaos seed {seed}: sound={} heap={} reeval={} outcome={} oracle={}",
+                    rep.sound, rep.heap_consistent, rep.reeval_ok, rep.outcome, rep.oracle
+                ),
+            );
+        }
+    }
+
+    if cfg.wallclock_interrupt {
+        if let Some(f) = wallclock_interrupt_check(ctx, query, &cfg.machine, &denot, &oracle) {
+            return Verdict::fail(CheckKind::InterruptFailure, f);
+        }
+    }
+
+    Verdict {
+        failure: None,
+        skipped: false,
+        fingerprint: fp,
+        steps,
+    }
+}
+
+/// Tree-backend step count of one undisturbed run (the tree chaos
+/// horizon; the compiled horizon reuses the coverage run's count).
+fn baseline_tree_steps(ctx: &FuzzCtx, query: &Rc<Expr>, base: &MachineConfig) -> u64 {
+    let mut m = Machine::new(base.clone());
+    let menv = m.bind_recursive(&ctx.binds, &MEnv::empty());
+    let _ = m.eval(Rc::clone(query), &menv, true);
+    m.stats().steps.max(64)
+}
+
+/// Delivers a real wall-clock `Interrupt` mid-run and checks §5.1's
+/// contract: the outcome is either the undisturbed answer or
+/// `Caught(Interrupt)`, the heap audits clean, and the *same machine*
+/// re-evaluates to an oracle-justified answer afterwards.
+fn wallclock_interrupt_check(
+    ctx: &FuzzCtx,
+    query: &Rc<Expr>,
+    base: &MachineConfig,
+    denot: &Denot,
+    oracle: &str,
+) -> Option<String> {
+    let mut m = Machine::new(base.clone());
+    m.link_code(Arc::clone(&ctx.code));
+    let handle = m.interrupt_handle();
+    let watchdog = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_micros(150));
+        handle.deliver(Exception::Interrupt);
+    });
+    let out = m.eval_code_expr(query, true);
+    watchdog.join().ok();
+    // The watchdog may have fired after completion; a pending interrupt
+    // must not bleed into rendering or the re-evaluation.
+    m.interrupt_handle().clear();
+    let ok = match &out {
+        Ok(Outcome::Value(n)) => {
+            let r = m.render(*n, 16);
+            matches!(denot, Denot::Ok(_)) && renders_agree(&r, oracle)
+        }
+        Ok(Outcome::Caught(Exception::Interrupt)) => true,
+        Ok(Outcome::Caught(e)) => matches!(denot, Denot::Bad(set) if set.contains(e)),
+        _ => false,
+    };
+    if !ok {
+        return Some(format!("interrupted run produced {out:?}, oracle {oracle}"));
+    }
+    let audit = m.audit_heap();
+    if !audit.is_consistent() {
+        return Some(format!("after interrupt: {audit}"));
+    }
+    let re = m.eval_code_expr(query, true);
+    let re_ok = match &re {
+        Ok(Outcome::Value(n)) => {
+            let r = m.render(*n, 16);
+            matches!(denot, Denot::Ok(_)) && renders_agree(&r, oracle)
+        }
+        Ok(Outcome::Caught(e)) => matches!(denot, Denot::Bad(set) if set.contains(e)),
+        _ => false,
+    };
+    if !re_ok {
+        return Some(format!(
+            "post-interrupt re-evaluation produced {re:?}, oracle {oracle}"
+        ));
+    }
+    let audit = m.audit_heap();
+    if !audit.is_consistent() {
+        return Some(format!("after re-evaluation: {audit}"));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TermGen;
+
+    #[test]
+    fn generated_terms_pass_the_oracle() {
+        let ctx = FuzzCtx::new();
+        let cfg = OracleConfig {
+            chaos_seeds: vec![3],
+            ..OracleConfig::default()
+        };
+        let mut g = TermGen::new(5, 4);
+        let mut checked = 0;
+        for _ in 0..40 {
+            let t = Rc::new(g.term());
+            let v = run_oracle(&ctx, &t, &cfg);
+            assert!(
+                v.failure.is_none(),
+                "clean oracle failed on {t:?}: {:?}",
+                v.failure
+            );
+            if !v.skipped {
+                checked += 1;
+                assert!(!v.fingerprint.features.is_empty());
+            }
+        }
+        assert!(
+            checked > 20,
+            "too many skipped candidates ({checked} checked)"
+        );
+    }
+
+    #[test]
+    fn sabotage_is_caught_as_a_chaos_failure() {
+        let ctx = FuzzCtx::new();
+        let cfg = OracleConfig {
+            chaos_seeds: (0..8).collect(),
+            sabotage: true,
+            ..OracleConfig::default()
+        };
+        // A shared expensive thunk: injections land mid-update, and the
+        // sabotaged restore must strand a black hole the audit reports.
+        let t = Rc::new(Expr::add(
+            Expr::let_(
+                "s",
+                Expr::app(Expr::var("fzsum"), Expr::int(24)),
+                Expr::add(Expr::var("s"), Expr::var("s")),
+            ),
+            Expr::int(1),
+        ));
+        let v = run_oracle(&ctx, &t, &cfg);
+        match v.failure {
+            Some(f) => assert_eq!(f.kind, CheckKind::ChaosFailure, "{}", f.detail),
+            None => panic!("sabotaged restore was not detected"),
+        }
+    }
+}

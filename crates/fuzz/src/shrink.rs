@@ -1,0 +1,180 @@
+//! Deterministic counterexample minimization.
+//!
+//! Greedy delta-debugging over the typed site map: at each round the
+//! shrinker enumerates strictly-smaller candidate reductions in a fixed
+//! order — hoist a closed subtree to the root (smallest first), collapse a
+//! subtree to a literal, unwrap `let`/`seq`/redex/`case` shells, drop case
+//! alternatives — and keeps the first candidate that still fails the
+//! *same* oracle check. No randomness anywhere: the same failing term,
+//! check kind, and oracle configuration always minimize to the
+//! byte-identical term (the shrinking-determinism suite asserts exactly
+//! this).
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use urk_syntax::core::{Expr, PrimOp};
+use urk_syntax::Symbol;
+
+use crate::ctx::FuzzCtx;
+use crate::mutate::{collect_sites, get_at, replace_at};
+use crate::oracle::{run_oracle, CheckKind, OracleConfig};
+
+/// Minimizes `expr`, preserving failure of `kind` under `cfg`. Each
+/// accepted reduction strictly shrinks the term, so the loop terminates;
+/// `max_attempts` bounds the total number of oracle evaluations spent.
+pub fn shrink(
+    ctx: &FuzzCtx,
+    expr: Rc<Expr>,
+    kind: CheckKind,
+    cfg: &OracleConfig,
+    max_attempts: u64,
+) -> Rc<Expr> {
+    let globals: BTreeSet<Symbol> = ctx.global_names().into_iter().collect();
+    let mut cur = expr;
+    let mut attempts = 0u64;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&cur, &globals) {
+            if attempts >= max_attempts {
+                return cur;
+            }
+            if cand.size() >= cur.size() {
+                continue;
+            }
+            let cand = Rc::new(cand);
+            if !ctx.well_typed(&cand) {
+                continue;
+            }
+            attempts += 1;
+            let v = run_oracle(ctx, &cand, cfg);
+            if v.failure.is_some_and(|f| f.kind == kind) {
+                cur = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+/// All one-step reductions of `e`, most aggressive first.
+fn candidates(e: &Expr, globals: &BTreeSet<Symbol>) -> Vec<Expr> {
+    let sites = collect_sites(e);
+    let mut out: Vec<Expr> = Vec::new();
+
+    // 1. Hoist a closed subtree to the root, smallest first — this is
+    // what collapses a large mutant to its failing core in a few steps.
+    let mut hoists: Vec<Expr> = sites
+        .ints
+        .iter()
+        .filter(|s| !s.path.is_empty())
+        .map(|s| get_at(e, &s.path))
+        .filter(|sub| sub.size() < e.size() && sub.free_vars().iter().all(|v| globals.contains(v)))
+        .cloned()
+        .collect();
+    hoists.sort_by_key(Expr::size);
+    out.extend(hoists);
+
+    // 2. Collapse any compound subtree to a literal.
+    for s in &sites.ints {
+        if get_at(e, &s.path).size() > 1 {
+            out.push(replace_at(e, &s.path, Expr::int(0)));
+            out.push(replace_at(e, &s.path, Expr::int(1)));
+        }
+    }
+
+    // 3. Unwrap structural shells in place.
+    for s in &sites.ints {
+        let scope: BTreeSet<Symbol> = s.scope.iter().copied().collect();
+        match get_at(e, &s.path) {
+            Expr::Let(x, _, b) if b.count_var(*x) == 0 => {
+                out.push(replace_at(e, &s.path, (**b).clone()));
+            }
+            Expr::App(f, _) => {
+                if let Expr::Lam(x, b) = f.as_ref() {
+                    if b.count_var(*x) == 0 {
+                        out.push(replace_at(e, &s.path, (**b).clone()));
+                    }
+                }
+            }
+            Expr::Prim(PrimOp::Seq, args) if args.len() == 2 => {
+                out.push(replace_at(e, &s.path, (*args[1]).clone()));
+            }
+            Expr::Case(_, alts) => {
+                for alt in alts {
+                    let frees = alt.rhs.free_vars();
+                    let escapes = frees.iter().all(|v| {
+                        scope.contains(v) || globals.contains(v) || alt.binders.contains(v)
+                    });
+                    // Binder-using arms cannot replace the whole case.
+                    if escapes && !frees.iter().any(|v| alt.binders.contains(v)) {
+                        out.push(replace_at(e, &s.path, (*alt.rhs).clone()));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // 4. Drop one case alternative at a time.
+    for s in &sites.cases {
+        if let Expr::Case(scrut, alts) = get_at(e, &s.path) {
+            if alts.len() >= 2 {
+                for i in 0..alts.len() {
+                    let mut alts = alts.clone();
+                    alts.remove(i);
+                    out.push(replace_at(e, &s.path, Expr::Case(scrut.clone(), alts)));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urk_syntax::expr_canonical_bytes;
+
+    #[test]
+    fn shrinking_unsound_stub_is_deterministic() {
+        // Use a check that a healthy system *does* fail: sabotage chaos.
+        let ctx = FuzzCtx::new();
+        let cfg = OracleConfig {
+            chaos_seeds: (0..8).collect(),
+            sabotage: true,
+            ..OracleConfig::default()
+        };
+        let big = Rc::new(Expr::add(
+            Expr::let_(
+                "s",
+                Expr::app(Expr::var("fzsum"), Expr::int(24)),
+                Expr::add(Expr::var("s"), Expr::var("s")),
+            ),
+            Expr::prim(
+                PrimOp::Mul,
+                [Expr::int(3), Expr::app(Expr::var("fzpick"), Expr::int(0))],
+            ),
+        ));
+        let v = run_oracle(&ctx, &big, &cfg);
+        let kind = v.failure.expect("sabotage must fail").kind;
+        let s1 = shrink(&ctx, Rc::clone(&big), kind, &cfg, 400);
+        let s2 = shrink(&ctx, Rc::clone(&big), kind, &cfg, 400);
+        assert_eq!(
+            expr_canonical_bytes(&s1),
+            expr_canonical_bytes(&s2),
+            "shrinking must be deterministic"
+        );
+        assert!(s1.size() <= big.size());
+        let v = run_oracle(&ctx, &s1, &cfg);
+        assert_eq!(
+            v.failure.map(|f| f.kind),
+            Some(kind),
+            "minimized term must fail the same check"
+        );
+    }
+}

@@ -114,6 +114,34 @@ pub(crate) enum COp {
     },
 }
 
+impl COp {
+    /// A dense discriminant for the coverage map's op-pair matrix
+    /// (`0..`[`crate::coverage::OP_KINDS`]). Exhaustive so a new variant
+    /// fails to compile until the coverage dimension is reconsidered.
+    pub(crate) fn kind_index(&self) -> u8 {
+        match self {
+            COp::Local(_) => 0,
+            COp::Global(_) => 1,
+            COp::Int(_) => 2,
+            COp::Char(_) => 3,
+            COp::Str(_) => 4,
+            COp::Con { .. } => 5,
+            COp::App { .. } => 6,
+            COp::Lam { .. } => 7,
+            COp::Let { .. } => 8,
+            COp::LetRec { .. } => 9,
+            COp::Case { .. } => 10,
+            COp::Prim1 { .. } => 11,
+            COp::Prim2 { .. } => 12,
+            COp::Seq { .. } => 13,
+            COp::MapExn { .. } => 14,
+            COp::IsExn { .. } => 15,
+            COp::GetExn { .. } => 16,
+            COp::Raise { .. } => 17,
+        }
+    }
+}
+
 /// What one pre-lowered case arm matches. Constructor dispatch is a
 /// `Symbol` compare — an interned `u32` equality, no name scan.
 #[derive(Copy, Clone, Debug)]

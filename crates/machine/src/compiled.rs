@@ -190,6 +190,11 @@ impl Machine {
         if catch {
             stack.push(CFrame::Catch);
         }
+        // A fresh episode: the first op must not pair with the last op of
+        // the previous episode in the coverage map.
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            cov.end_episode();
+        }
         loop {
             // --- step accounting, limits, and asynchronous events -------
             // (kept in lockstep with the tree loop: same order, same
@@ -538,7 +543,11 @@ impl Machine {
     }
 
     fn step_ceval(&mut self, code: CodeId, env: CEnv, stack: &mut Vec<CFrame>) -> CControl {
-        match self.linked().op(code) {
+        let op = self.linked().op(code);
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            cov.hit(op.kind_index());
+        }
+        match op {
             COp::Local(back) => self.enter_fused(env.get_back(back), stack),
             COp::Global(g) => {
                 let node = self.linked().global_nodes[g as usize];
@@ -737,6 +746,13 @@ impl Machine {
         let Some(frame) = stack.pop() else {
             return CStep::Done(Outcome::Value(node));
         };
+        if matches!(frame, CFrame::Catch) {
+            // The answer reached the episode's catch mark: finish now, as
+            // the tree machine does — one more loop iteration with the
+            // mark already popped would let a freshly delivered
+            // asynchronous exception escape as `Uncaught`.
+            return CStep::Done(Outcome::Value(node));
+        }
         CStep::Continue(match frame {
             CFrame::Update(target) => {
                 self.stats.thunk_updates += 1;
@@ -798,7 +814,7 @@ impl Machine {
                 CControl::Return(self.alloc_value(ok))
             }
             CFrame::MapExnCatch { .. } => CControl::Return(node),
-            CFrame::Catch => CControl::Return(node),
+            CFrame::Catch => unreachable!("Catch is finished before the match"),
         })
     }
 
@@ -959,6 +975,38 @@ mod tests {
             compiled_render(prog, query),
             "{query}"
         );
+    }
+
+    #[test]
+    fn async_delivery_at_every_step_of_a_protected_episode_is_caught() {
+        // Regression (found by `urk fuzz`), compiled twin of the tree
+        // machine's test: the catch mark must protect the episode up to
+        // and including the step on which the answer is returned.
+        let data = DataEnv::new();
+        let e = desugar_expr(
+            &parse_expr_src("seq ((\\x -> x) (19 / 28)) (case Just 3 of { Just v -> 21 })")
+                .expect("parses"),
+            &data,
+        )
+        .expect("desugars");
+        for at in 1..=64u64 {
+            let mut m = Machine::new(MachineConfig {
+                event_schedule: vec![(at, Exception::Interrupt)],
+                ..MachineConfig::default()
+            });
+            m.link_code(Arc::new(compile_program(&[])));
+            match m.eval_code_expr(&e, true).expect("no machine error") {
+                // A value means the episode finished before the delivery
+                // point (the event is still pending, so rendering would
+                // absorb it — don't).
+                Outcome::Value(_) => assert!(
+                    m.stats().steps < at,
+                    "episode returned a value past the delivery at step {at}"
+                ),
+                Outcome::Caught(Exception::Interrupt) => {}
+                other => panic!("delivery at step {at} produced {other:?}"),
+            }
+        }
     }
 
     #[test]

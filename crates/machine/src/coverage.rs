@@ -1,0 +1,107 @@
+//! A cheap execution-coverage signal for the fuzzer.
+//!
+//! The compiled backend dispatches one flat [`COp`](crate::code) per
+//! `step_ceval`; recording the *pair* of consecutive op kinds gives an
+//! edge-coverage signal analogous to AFL's branch pairs, but over the
+//! lowered code's control skeleton instead of machine branches. The map is
+//! a dense `KINDS × KINDS` matrix of hit counters — small enough to clear
+//! per candidate and diff against a global "seen" bitmap in microseconds.
+//!
+//! The hook is off by default ([`MachineConfig::coverage`]) and costs one
+//! `Option` test per compiled step when disabled; nothing is recorded for
+//! the tree backend, which shares every semantic decision with the
+//! compiled one anyway (the differential battery proves it).
+//!
+//! [`MachineConfig::coverage`]: crate::MachineConfig::coverage
+
+/// Number of distinct [`COp`](crate::code) kinds (enum variants). Kept in
+/// sync by `COp::kind_index`'s exhaustive match.
+pub const OP_KINDS: usize = 18;
+
+/// Dense op-pair hit counters: `pairs[prev * OP_KINDS + cur]` counts how
+/// often op kind `cur` executed immediately after `prev` within one
+/// episode (the edge cursor resets between episodes, so pairs never span
+/// an episode boundary).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpCoverage {
+    pairs: Vec<u32>,
+    last: Option<u8>,
+}
+
+impl Default for OpCoverage {
+    fn default() -> OpCoverage {
+        OpCoverage::new()
+    }
+}
+
+impl OpCoverage {
+    /// An empty map.
+    pub fn new() -> OpCoverage {
+        OpCoverage {
+            pairs: vec![0; OP_KINDS * OP_KINDS],
+            last: None,
+        }
+    }
+
+    /// Records one executed op kind (the compiled loop calls this once per
+    /// `Eval` dispatch).
+    #[inline]
+    pub(crate) fn hit(&mut self, kind: u8) {
+        if let Some(prev) = self.last {
+            let i = prev as usize * OP_KINDS + kind as usize;
+            self.pairs[i] = self.pairs[i].saturating_add(1);
+        }
+        self.last = Some(kind);
+    }
+
+    /// Ends the current episode: the next recorded op starts a fresh edge
+    /// rather than pairing with the previous episode's last op.
+    pub fn end_episode(&mut self) {
+        self.last = None;
+    }
+
+    /// The raw `OP_KINDS × OP_KINDS` counter matrix, row = previous op.
+    pub fn pairs(&self) -> &[u32] {
+        &self.pairs
+    }
+
+    /// Number of distinct op pairs with a non-zero count.
+    pub fn edges_hit(&self) -> usize {
+        self.pairs.iter().filter(|&&c| c != 0).count()
+    }
+
+    /// Clears all counters and the edge cursor.
+    pub fn clear(&mut self) {
+        self.pairs.fill(0);
+        self.last = None;
+    }
+
+    /// Iterates the non-zero pairs as `(prev_kind, cur_kind, count)`.
+    pub fn iter_hits(&self) -> impl Iterator<Item = (u8, u8, u32)> + '_ {
+        self.pairs.iter().enumerate().filter_map(|(i, &c)| {
+            (c != 0).then_some(((i / OP_KINDS) as u8, (i % OP_KINDS) as u8, c))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_accumulate_and_reset() {
+        let mut cov = OpCoverage::new();
+        cov.hit(1); // no previous op: establishes the cursor only
+        cov.hit(2);
+        cov.hit(2);
+        assert_eq!(cov.edges_hit(), 2);
+        let hits: Vec<_> = cov.iter_hits().collect();
+        assert!(hits.contains(&(1, 2, 1)));
+        assert!(hits.contains(&(2, 2, 1)));
+        cov.end_episode();
+        cov.hit(5); // must not pair with the stale cursor
+        assert_eq!(cov.edges_hit(), 2);
+        cov.clear();
+        assert_eq!(cov.edges_hit(), 0);
+    }
+}

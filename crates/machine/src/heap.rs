@@ -172,12 +172,44 @@ impl Heap {
     pub fn audit(&self) -> HeapAudit {
         let mut blackholes = 0usize;
         let mut free_nodes = 0usize;
-        for node in &self.nodes {
-            match node {
-                Node::Blackhole { .. } | Node::CBlackhole { .. } => blackholes += 1,
-                Node::Free { .. } => free_nodes += 1,
-                _ => {}
+        let mut findings: Vec<AuditFinding> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let (kind, reason) = match node {
+                Node::Blackhole { .. } => (
+                    "Blackhole",
+                    "stranded tree black hole: the in-flight thunk was neither \
+                     updated, poisoned (§3.3), nor restored (§5.1)",
+                ),
+                Node::CBlackhole { .. } => (
+                    "CBlackhole",
+                    "stranded compiled black hole: the in-flight thunk was neither \
+                     updated, poisoned (§3.3), nor restored (§5.1)",
+                ),
+                Node::Free { .. } => {
+                    free_nodes += 1;
+                    continue;
+                }
+                _ => continue,
+            };
+            blackholes += 1;
+            if findings.len() < MAX_AUDIT_FINDINGS {
+                findings.push(AuditFinding {
+                    node: Some(NodeId(i as u32)),
+                    kind,
+                    reason: reason.to_string(),
+                });
             }
+        }
+        if blackholes > MAX_AUDIT_FINDINGS {
+            findings.push(AuditFinding {
+                node: None,
+                kind: "Blackhole",
+                reason: format!(
+                    "… and {} more stranded black holes (report capped at {})",
+                    blackholes - MAX_AUDIT_FINDINGS,
+                    MAX_AUDIT_FINDINGS
+                ),
+            });
         }
         // Walk the free list with a cycle guard: a corrupted list must
         // surface as an inconsistency, not an infinite loop.
@@ -186,19 +218,97 @@ impl Heap {
         while let Some(id) = cursor {
             free_list_len += 1;
             if free_list_len > self.nodes.len() {
+                findings.push(AuditFinding {
+                    node: Some(id),
+                    kind: "Free",
+                    reason: "free-list cycle: the walk revisited cells past the arena size"
+                        .to_string(),
+                });
                 break;
             }
             cursor = match self.get(id) {
                 Node::Free { next } => *next,
-                _ => break,
+                other => {
+                    findings.push(AuditFinding {
+                        node: Some(id),
+                        kind: node_kind_name(other),
+                        reason: "free-list corruption: the list reached a non-free cell"
+                            .to_string(),
+                    });
+                    break;
+                }
             };
+        }
+        let live_actual = self.nodes.len() - free_nodes;
+        if free_nodes != free_list_len {
+            findings.push(AuditFinding {
+                node: None,
+                kind: "Free",
+                reason: format!(
+                    "free-cell mismatch: {free_nodes} free cells in the arena but \
+                     {free_list_len} reachable from the free list"
+                ),
+            });
+        }
+        if self.live != live_actual {
+            findings.push(AuditFinding {
+                node: None,
+                kind: "counter",
+                reason: format!(
+                    "live-counter drift: allocator believes {} live nodes, arena holds \
+                     {live_actual}",
+                    self.live
+                ),
+            });
         }
         HeapAudit {
             blackholes,
             free_nodes,
             free_list_len,
             live_count: self.live,
-            live_actual: self.nodes.len() - free_nodes,
+            live_actual,
+            findings,
+        }
+    }
+}
+
+/// Cap on per-node entries in [`HeapAudit::findings`]; past it a single
+/// summary entry carries the remainder count.
+pub const MAX_AUDIT_FINDINGS: usize = 16;
+
+fn node_kind_name(n: &Node) -> &'static str {
+    match n {
+        Node::Thunk { .. } => "Thunk",
+        Node::Blackhole { .. } => "Blackhole",
+        Node::CThunk { .. } => "CThunk",
+        Node::CBlackhole { .. } => "CBlackhole",
+        Node::Ind(_) => "Ind",
+        Node::Value(_) => "Value",
+        Node::Poisoned(_) => "Poisoned",
+        Node::Free { .. } => "Free",
+    }
+}
+
+/// One concrete inconsistency found by [`Heap::audit`]: which node (when
+/// attributable to one), what kind of cell it was, and why it violates the
+/// invariant — enough to diagnose a fuzz or soak counterexample without a
+/// debugger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// The offending cell, or `None` for whole-heap findings (counter
+    /// drift, aggregate mismatches).
+    pub node: Option<NodeId>,
+    /// The node-kind name (`"Blackhole"`, `"Free"`, ...) or `"counter"`.
+    pub kind: &'static str,
+    /// Human-readable explanation of the violated invariant.
+    pub reason: String,
+}
+
+impl std::fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.node {
+            Some(id) => write!(f, "node {} [{}]: {}", id.0, self.kind, self.reason),
+            None => write!(f, "[{}]: {}", self.kind, self.reason),
         }
     }
 }
@@ -209,7 +319,7 @@ impl Heap {
 /// stranded black hole means an asynchronous trim failed to restore an
 /// in-flight thunk (the §5.1 invariant), and a free-list/live-counter
 /// mismatch means the allocator would misbehave on the next request.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HeapAudit {
     /// `Node::Blackhole` cells present. Must be zero between episodes.
     pub blackholes: usize,
@@ -221,6 +331,10 @@ pub struct HeapAudit {
     pub live_count: usize,
     /// Actual non-free cells in the arena.
     pub live_actual: usize,
+    /// The concrete inconsistencies, one [`AuditFinding`] each (per-node
+    /// entries capped at [`MAX_AUDIT_FINDINGS`]). Empty iff
+    /// [`HeapAudit::is_consistent`] holds.
+    pub findings: Vec<AuditFinding>,
 }
 
 impl HeapAudit {
@@ -231,6 +345,42 @@ impl HeapAudit {
         self.blackholes == 0
             && self.free_nodes == self.free_list_len
             && self.live_count == self.live_actual
+    }
+
+    /// The audit as a `Result`, for callers that want the old
+    /// error-message shape: `Ok` when consistent, otherwise the rendered
+    /// report (`Display`) as the error.
+    ///
+    /// # Errors
+    ///
+    /// The full multi-line report when any invariant is violated.
+    pub fn into_result(self) -> Result<(), String> {
+        if self.is_consistent() {
+            Ok(())
+        } else {
+            Err(self.to_string())
+        }
+    }
+}
+
+/// Renders the structured report: one summary line with the counts, then
+/// one line per finding. A consistent audit renders as a single line.
+impl std::fmt::Display for HeapAudit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "heap audit: {} ({} blackholes, {} free / {} on free list, live {} counted / {} actual)",
+            if self.is_consistent() { "consistent" } else { "INCONSISTENT" },
+            self.blackholes,
+            self.free_nodes,
+            self.free_list_len,
+            self.live_count,
+            self.live_actual,
+        )?;
+        for finding in &self.findings {
+            write!(f, "\n  - {finding}")?;
+        }
+        Ok(())
     }
 }
 

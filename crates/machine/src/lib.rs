@@ -32,6 +32,7 @@
 pub mod chaos;
 pub mod code;
 pub mod compiled;
+pub mod coverage;
 pub mod env;
 pub mod gc;
 pub mod heap;
@@ -40,8 +41,9 @@ pub mod machine;
 
 pub use chaos::FaultPlan;
 pub use code::{compile_program, Code, CodeVerifyError};
+pub use coverage::{OpCoverage, OP_KINDS};
 pub use env::{CEnv, MEnv};
-pub use heap::{HValue, Heap, HeapAudit, Node, NodeId};
+pub use heap::{AuditFinding, HValue, Heap, HeapAudit, Node, NodeId, MAX_AUDIT_FINDINGS};
 pub use interrupt::InterruptHandle;
 pub use machine::{
     Backend, BlackholeMode, Machine, MachineConfig, MachineError, OrderPolicy, Outcome, Stats,
@@ -371,6 +373,38 @@ mod tests {
             .eval(slow_expr(), &MEnv::empty(), false)
             .expect("no machine error");
         assert!(matches!(out, Outcome::Uncaught(Exception::Interrupt)));
+    }
+
+    #[test]
+    fn async_delivery_at_every_step_of_a_protected_episode_is_caught() {
+        // Regression (found by `urk fuzz`): the catch mark used to be
+        // popped one step before the episode returned, so an asynchronous
+        // exception delivered on that exact step escaped as `Uncaught`
+        // from a catch=true episode. Sweep the delivery point across every
+        // step of a small run: the only legal outcomes are the value or
+        // `Caught(Interrupt)`.
+        let src = "seq ((\\x -> x) (19 / 28)) (case Just 3 of { Just v -> 21 })";
+        for at in 1..=64u64 {
+            let (m, out) = eval_with(
+                MachineConfig {
+                    event_schedule: vec![(at, Exception::Interrupt)],
+                    ..MachineConfig::default()
+                },
+                src,
+                true,
+            );
+            match out {
+                // A value means the episode finished before the delivery
+                // point (the event is still pending, so rendering would
+                // absorb it — don't).
+                Outcome::Value(_) => assert!(
+                    m.stats().steps < at,
+                    "episode returned a value past the delivery at step {at}"
+                ),
+                Outcome::Caught(Exception::Interrupt) => {}
+                other => panic!("delivery at step {at} produced {other:?}"),
+            }
+        }
     }
 
     // ------------------------------------------------------------------

@@ -117,6 +117,12 @@ pub struct MachineConfig {
     /// plumbing: deliberately excluded from pool cache keys, like
     /// `interrupt` and `chaos`.
     pub verify_code: bool,
+    /// Record compiled-op pair coverage ([`crate::OpCoverage`]) while the
+    /// compiled backend runs. Off by default: the disabled cost is one
+    /// `Option` test per compiled dispatch. Run-only plumbing like
+    /// `interrupt`/`chaos`/`verify_code` — never part of a cache key, and
+    /// it cannot change any observable outcome or `Stats` counter.
+    pub coverage: bool,
 }
 
 impl Default for MachineConfig {
@@ -134,6 +140,7 @@ impl Default for MachineConfig {
             interrupt: None,
             chaos: None,
             verify_code: false,
+            coverage: false,
         }
     }
 }
@@ -322,6 +329,9 @@ pub struct Machine {
     /// The linked compiled program + query extension, once
     /// [`Machine::link_code`] has run (the compiled backend's state).
     pub(crate) code: Option<LinkedCode>,
+    /// The op-pair coverage map, when [`MachineConfig::coverage`] is on.
+    /// Boxed so the disabled case costs one word in the machine.
+    pub(crate) coverage: Option<Box<crate::coverage::OpCoverage>>,
 }
 
 /// The range of integers interned at construction (covers loop counters
@@ -386,6 +396,9 @@ impl Machine {
         let pool = InternPool::build(&mut heap);
         let interrupt = config.interrupt.clone().unwrap_or_default();
         let chaos = config.chaos.clone().map(ChaosState::new);
+        let coverage = config
+            .coverage
+            .then(|| Box::new(crate::coverage::OpCoverage::new()));
         Machine {
             config,
             heap,
@@ -399,6 +412,7 @@ impl Machine {
             interrupt,
             chaos,
             code: None,
+            coverage,
         }
     }
 
@@ -426,6 +440,27 @@ impl Machine {
     /// (re-entering it misreports `NonTermination`).
     pub fn audit_heap(&self) -> HeapAudit {
         self.heap.audit()
+    }
+
+    /// The op-pair coverage map, when [`MachineConfig::coverage`] armed
+    /// one. Call [`crate::OpCoverage::end_episode`] (or
+    /// [`Machine::end_coverage_episode`]) between episodes so edges never
+    /// pair ops across an episode boundary.
+    pub fn coverage(&self) -> Option<&crate::coverage::OpCoverage> {
+        self.coverage.as_deref()
+    }
+
+    /// Mutable access to the coverage map (to `clear` it between fuzz
+    /// candidates without rebuilding the machine).
+    pub fn coverage_mut(&mut self) -> Option<&mut crate::coverage::OpCoverage> {
+        self.coverage.as_deref_mut()
+    }
+
+    /// Resets the coverage edge cursor at an episode boundary.
+    pub fn end_coverage_episode(&mut self) {
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            cov.end_episode();
+        }
     }
 
     /// The interned node for an integer value (allocated on first use,
@@ -989,6 +1024,14 @@ impl Machine {
         let Some(frame) = stack.pop() else {
             return StepResult::Done(Outcome::Value(node));
         };
+        if matches!(frame, Frame::Catch) {
+            // The answer reached the episode's catch mark: finish now.
+            // Re-entering the loop with the mark already popped would open
+            // a one-step window in which a freshly delivered asynchronous
+            // exception finds an empty stack and escapes as `Uncaught`
+            // from a fully protected episode.
+            return StepResult::Done(Outcome::Value(node));
+        }
         StepResult::Continue(match frame {
             Frame::Update(target) => {
                 self.stats.thunk_updates += 1;
@@ -1057,7 +1100,7 @@ impl Machine {
                 Control::Return(self.alloc_value(ok))
             }
             Frame::MapExnCatch { .. } => Control::Return(node),
-            Frame::Catch => Control::Return(node),
+            Frame::Catch => unreachable!("Catch is finished before the match"),
         })
     }
 

@@ -1,0 +1,165 @@
+//! The coverage-guided differential fuzzer, held to its own contracts:
+//! byte-for-byte determinism per seed, a clean replay of the checked-in
+//! minimized corpus, and the seeded-bug acceptance criterion — arming
+//! `sabotage_async_restore` must produce a found, shrunk, replayable
+//! counterexample whose minimized form fails the *same* check.
+//!
+//! Determinism is the property that makes a fuzzer a regression tool
+//! rather than a slot machine: every number in the summary line and
+//! every byte of the persisted corpus is a function of the seed alone.
+
+use std::fs;
+use std::path::PathBuf;
+
+use urk_fuzz::{list_cases, load_case, run_fuzz, run_oracle, CheckKind, FuzzConfig, OracleConfig};
+
+/// A fresh per-test scratch directory (removed and recreated on entry,
+/// so reruns never see stale cases).
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("urk-fuzz-it-{}-{}", tag, std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).expect("create scratch dir");
+    d
+}
+
+/// Sorted `(name, bytes)` snapshot of a directory.
+fn dir_snapshot(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                fs::read(e.path()).expect("read file"),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn two_campaigns_with_one_seed_agree_byte_for_byte() {
+    let mut runs = Vec::new();
+    for tag in ["a", "b"] {
+        let dir = scratch(&format!("det-{tag}"));
+        let cfg = FuzzConfig {
+            seed: 7,
+            execs: 160,
+            corpus_dir: Some(dir.clone()),
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg).expect("campaign runs");
+        runs.push((report.deterministic_summary(), dir_snapshot(&dir)));
+    }
+    assert_eq!(runs[0].0, runs[1].0, "summary lines differ across runs");
+    assert_eq!(runs[0].1, runs[1].1, "persisted corpora differ across runs");
+    assert!(!runs[0].1.is_empty(), "campaign persisted no corpus");
+}
+
+#[test]
+fn checked_in_corpus_replays_clean() {
+    let corpus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let cases = list_cases(&corpus);
+    assert!(!cases.is_empty(), "no checked-in corpus at {corpus:?}");
+    let cfg = OracleConfig {
+        chaos_seeds: vec![3],
+        ..OracleConfig::default()
+    };
+    for path in cases {
+        let src = fs::read_to_string(&path).expect("read case");
+        let case = load_case(&src).expect("load case");
+        let v = run_oracle(&case.ctx, &case.query, &cfg);
+        assert!(v.failure.is_none(), "{}: {:?}", path.display(), v.failure);
+    }
+}
+
+#[test]
+fn sabotage_is_found_shrunk_and_replayable() {
+    let out = scratch("sabotage");
+    let cfg = FuzzConfig {
+        sabotage: true,
+        execs: 400,
+        out_dir: Some(out.clone()),
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&cfg).expect("campaign runs");
+    let cx = report
+        .counterexample
+        .expect("the seeded sabotage bug was not found");
+    assert_eq!(cx.kind, CheckKind::ChaosFailure, "{}", cx.detail);
+    assert!(
+        cx.minimized.len() <= cx.original.len(),
+        "shrinking grew the term:\n  original:  {}\n  minimized: {}",
+        cx.original,
+        cx.minimized
+    );
+
+    // The persisted counterexample replays self-contained and still
+    // fails the same check under the same oracle settings.
+    let path = cx.path.expect("counterexample was not persisted");
+    let src = fs::read_to_string(&path).expect("read counterexample");
+    let case = load_case(&src).expect("load counterexample");
+    let oracle_cfg = OracleConfig {
+        chaos_seeds: vec![1u64.wrapping_mul(0x9E37_79B9_7F4A_7C15)],
+        sabotage: true,
+        ..OracleConfig::default()
+    };
+    let v = run_oracle(&case.ctx, &case.query, &oracle_cfg);
+    match v.failure {
+        Some(f) => assert_eq!(f.kind, CheckKind::ChaosFailure, "{}", f.detail),
+        None => panic!("minimized counterexample no longer fails"),
+    }
+
+    // Shrinking itself is deterministic: a second identical campaign
+    // minimizes to the identical term.
+    let out2 = scratch("sabotage-2");
+    let report2 = run_fuzz(&FuzzConfig {
+        out_dir: Some(out2),
+        ..cfg
+    })
+    .expect("second campaign runs");
+    let cx2 = report2.counterexample.expect("second run found nothing");
+    assert_eq!(cx.minimized, cx2.minimized, "shrinking is nondeterministic");
+}
+
+#[test]
+fn a_campaign_exercises_both_failure_free_paths() {
+    // No sabotage, modest budget: the report's accounting must add up
+    // and coverage must be non-trivial (features strictly exceed the
+    // op-pair edge subset because stats buckets and outcomes count too).
+    let report = run_fuzz(&FuzzConfig {
+        seed: 5,
+        execs: 120,
+        ..FuzzConfig::default()
+    })
+    .expect("campaign runs");
+    assert!(report.counterexample.is_none(), "clean campaign failed");
+    assert_eq!(report.execs, 120);
+    assert!(report.features > report.edges, "no non-edge features seen");
+    assert!(report.plateau_at <= report.execs);
+    let line = report.deterministic_summary();
+    assert!(line.contains("failure=none"), "{line}");
+}
+
+#[test]
+fn corpus_case_files_round_trip_through_their_own_prelude() {
+    // A case file embeds its prelude; loading must succeed even if the
+    // ambient fuzzer prelude later drifts. Take one checked-in case and
+    // verify the query's pretty form survives a save/load cycle.
+    let corpus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let first = list_cases(&corpus)
+        .into_iter()
+        .next()
+        .expect("at least one case");
+    let src = fs::read_to_string(&first).expect("read case");
+    let case = load_case(&src).expect("load case");
+    let text = urk_syntax::pretty::pretty(&case.query);
+    let rendered = urk_fuzz::render_case(&case.query, &[]);
+    let reloaded = load_case(&rendered).expect("reload rendered case");
+    assert_eq!(
+        text,
+        urk_syntax::pretty::pretty(&reloaded.query),
+        "query text drifted through render/load"
+    );
+}

@@ -1,0 +1,131 @@
+//! Wire-level fuzzing of `urk serve`: a seeded [`FrameMutator`] stream
+//! is thrown at a live server while a well-behaved client shares the
+//! pool, and every attack is held to the two-tier failure policy —
+//! malformed payloads cost one error response and nothing else,
+//! untrustworthy length prefixes cost the connection, and mid-frame
+//! hangups cost nobody anything. The good client's answers must stay
+//! byte-identical throughout: abuse on one connection is invisible on
+//! another.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use urk::{Client, Options, PoolConfig, RemoteOutcome, ServeConfig, Server};
+use urk_fuzz::{Expectation, FrameMutator};
+use urk_io::wire::Request;
+use urk_io::{read_frame, Response};
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one attack on a fresh connection and asserts the policy tier
+/// the mutator tagged it with.
+fn deliver(addr: std::net::SocketAddr, attack: &urk_fuzz::FrameAttack) {
+    let mut stream = TcpStream::connect(addr).expect("attack connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("set timeout");
+    stream.write_all(&attack.bytes).expect("attack writes");
+    stream.flush().expect("attack flushes");
+    match attack.expect {
+        Expectation::ErrorAndKeep => {
+            let reply = read_frame(&mut stream)
+                .expect("a frame comes back")
+                .expect("not EOF");
+            match Response::decode(&reply).expect("decodes") {
+                Response::Error { .. } => {}
+                other => panic!("{}: expected an error response, got {other:?}", attack.name),
+            }
+            assert_keeps_serving(&mut stream, attack.name);
+        }
+        Expectation::AnswerAndKeep => {
+            let reply = read_frame(&mut stream)
+                .expect("a frame comes back")
+                .expect("not EOF");
+            Response::decode(&reply).expect("a well-formed response");
+            assert_keeps_serving(&mut stream, attack.name);
+        }
+        Expectation::Disconnect => {
+            // The server may write one final error frame before hanging
+            // up, but the stream must reach EOF without further service.
+            while let Ok(Some(reply)) = read_frame(&mut stream) {
+                Response::decode(&reply).expect("a well-formed response");
+            }
+        }
+        Expectation::ClientCloses => {
+            // Hang up mid-frame; the server just reaps us. The shared
+            // pool assertions below prove nobody else noticed.
+            drop(stream);
+        }
+    }
+}
+
+/// The surviving-connection check: a fresh ping on the same stream still
+/// gets a well-formed answer.
+fn assert_keeps_serving(stream: &mut TcpStream, attack: &str) {
+    let ping = Request::Ping { id: 999_999 }.encode();
+    stream.write_all(&frame(&ping)).expect("ping writes");
+    stream.flush().expect("ping flushes");
+    let reply = read_frame(stream)
+        .unwrap_or_else(|e| panic!("{attack}: connection died after attack: {e:?}"))
+        .unwrap_or_else(|| panic!("{attack}: connection closed after attack"));
+    Response::decode(&reply).expect("ping answer decodes");
+}
+
+#[test]
+fn frame_attacks_never_disturb_a_well_behaved_neighbour() {
+    let server = Server::start(
+        &[],
+        Options::default(),
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            pool: PoolConfig {
+                workers: 2,
+                ..PoolConfig::default()
+            },
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let mut good = Client::connect(addr).expect("good client connects");
+    let mut mutator = FrameMutator::new(11);
+    let mut seen = std::collections::BTreeSet::new();
+    for i in 0..48 {
+        let attack = mutator.next_attack();
+        seen.insert(attack.name);
+        deliver(addr, &attack);
+        if i % 8 == 7 {
+            // The well-behaved neighbour: byte-identical answers, no
+            // matter what the attack stream did meanwhile.
+            let got = good
+                .eval_batch(&["6 * 7", "1 / 0"], None)
+                .expect("good client still serves");
+            let rendered: Vec<&str> = got
+                .iter()
+                .map(|o| match o {
+                    RemoteOutcome::Done { rendered, .. } => rendered.as_str(),
+                    other => panic!("good client got {other:?}"),
+                })
+                .collect();
+            assert_eq!(rendered, ["42", "(raise DivideByZero)"]);
+        }
+    }
+    // A 48-attack stream at this seed must have exercised every tier.
+    for want in [
+        "garbage-payload",
+        "wrong-shape-json",
+        "truncated-json",
+        "bitflip",
+        "oversized-length",
+        "midframe-close",
+        "valid-request",
+    ] {
+        assert!(seen.contains(want), "attack class {want} never generated");
+    }
+}
