@@ -6,7 +6,8 @@
 //! ```
 
 use urk_bench::{
-    apply_cbv, compile, deep_propagate, deep_raise, encode, run, run_caught, workloads,
+    apply_cbv, compile, deep_propagate, deep_raise, encode, lower, pipeline_workload, run,
+    run_caught, run_flat, workloads,
 };
 use urk_machine::{MachineConfig, OrderPolicy};
 use urk_transform::{classify_all, render_table};
@@ -197,6 +198,37 @@ fn main() {
             before.allocations,
             after.allocations,
         );
+    }
+    println!();
+
+    // ------------------------------------------------------------------
+    // E19: the generational nursery heap and tagged unboxed values.
+    // ------------------------------------------------------------------
+    println!("## E19 — generational heap: allocations and collection gauges");
+    println!();
+    println!("| workload | backend | allocations | unboxed hits | steps | minor gcs | promoted |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut suite = workloads();
+    suite.push(pipeline_workload());
+    for w in suite {
+        let c = compile(&w);
+        let code = lower(&c);
+        let (got, tree) = run(&c, MachineConfig::default());
+        assert_eq!(got, w.expected);
+        let (fgot, flat) = run_flat(&c, &code, MachineConfig::default());
+        assert_eq!(fgot, w.expected);
+        for (backend, s) in [("tree", &tree), ("flat", &flat)] {
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                w.name,
+                backend,
+                s.allocations,
+                s.unboxed_hits,
+                s.steps,
+                s.minor_gcs,
+                s.nodes_promoted,
+            );
+        }
     }
     println!();
     println!(

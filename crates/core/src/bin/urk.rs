@@ -640,6 +640,13 @@ fn main() -> ExitCode {
                         r.stats.gc_runs,
                         r.stats.gc_freed,
                     );
+                    eprintln!(
+                        "heap: {} minor-gcs  {} major-gcs  {} promoted  {} unboxed-hits",
+                        r.stats.minor_gcs,
+                        r.stats.major_gcs,
+                        r.stats.nodes_promoted,
+                        r.stats.unboxed_hits,
+                    );
                     if r.stats.backend == Backend::Compiled {
                         eprintln!(
                             "compile: {} ops in {}µs (program + query lowering)",

@@ -114,6 +114,7 @@ fn config_slice_bytes(
     out.push(u8::from(machine.timeout_on_step_limit));
     out.push(u8::from(machine.gc));
     out.extend_from_slice(&(machine.gc_threshold as u64).to_le_bytes());
+    out.extend_from_slice(&(machine.nursery_size as u64).to_le_bytes());
     out.extend_from_slice(&(machine.event_schedule.len() as u64).to_le_bytes());
     for (step, exn) in &machine.event_schedule {
         out.extend_from_slice(&step.to_le_bytes());

@@ -101,7 +101,7 @@ struct Counters {
     protocol_errors: AtomicU64,
     total_jobs: AtomicU64,
     total_steps: AtomicU64,
-    total_interned_hits: AtomicU64,
+    total_unboxed_hits: AtomicU64,
     total_compile_micros: AtomicU64,
     total_cache_hits: AtomicU64,
     total_cache_misses: AtomicU64,
@@ -441,8 +441,8 @@ fn serve_batch(
                         .total_steps
                         .fetch_add(out.stats.steps, Ordering::Relaxed);
                     counters
-                        .total_interned_hits
-                        .fetch_add(out.stats.interned_hits, Ordering::Relaxed);
+                        .total_unboxed_hits
+                        .fetch_add(out.stats.unboxed_hits, Ordering::Relaxed);
                     counters
                         .total_compile_micros
                         .fetch_add(out.stats.compile_micros, Ordering::Relaxed);
@@ -463,7 +463,7 @@ fn serve_batch(
                         stats: WireStats {
                             steps: out.stats.steps,
                             allocations: out.stats.allocations,
-                            interned_hits: out.stats.interned_hits,
+                            unboxed_hits: out.stats.unboxed_hits,
                             compile_ops: out.stats.compile_ops,
                             compile_micros: out.stats.compile_micros,
                             cache_hits: out.stats.cache_hits,
@@ -531,7 +531,7 @@ fn stats_response(shared: &Shared, id: u64) -> Response {
         totals: WireTotals {
             jobs: counters.total_jobs.load(Ordering::Relaxed),
             steps: counters.total_steps.load(Ordering::Relaxed),
-            interned_hits: counters.total_interned_hits.load(Ordering::Relaxed),
+            unboxed_hits: counters.total_unboxed_hits.load(Ordering::Relaxed),
             compile_micros: counters.total_compile_micros.load(Ordering::Relaxed),
             cache_hits: counters.total_cache_hits.load(Ordering::Relaxed),
             cache_misses: counters.total_cache_misses.load(Ordering::Relaxed),

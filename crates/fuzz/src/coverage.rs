@@ -62,7 +62,7 @@ impl Fingerprint {
 /// Log₂-bucketed stats features. Counter identity lives in bits 6+, the
 /// bucket in bits 0–5, so every (counter, magnitude) pair is one id.
 pub fn stats_features(stats: &Stats) -> Vec<u32> {
-    let counters: [(u32, u64); 10] = [
+    let counters: [(u32, u64); 12] = [
         (0, stats.steps),
         (1, stats.allocations),
         (2, stats.thunk_updates),
@@ -72,7 +72,9 @@ pub fn stats_features(stats: &Stats) -> Vec<u32> {
         (6, stats.thunks_restored),
         (7, stats.blackholes_detected),
         (8, stats.gc_runs),
-        (9, stats.interned_hits),
+        (9, stats.unboxed_hits),
+        (10, stats.minor_gcs),
+        (11, stats.nodes_promoted),
     ];
     counters
         .iter()

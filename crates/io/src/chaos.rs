@@ -329,4 +329,28 @@ mod tests {
             "a deliberately-broken restore must fail the audit: {r:?}"
         );
     }
+
+    #[test]
+    fn sabotaged_forwarding_is_caught_by_the_generational_audit() {
+        let data = DataEnv::new();
+        let query = core_of(
+            &data,
+            "let g = \\n -> if n == 0 then 0 else n + g (n - 1) in g 300",
+        );
+        // Force a minor collection mid-run; the armed sabotage then plants
+        // a stale Forwarded cell in the tenured space. The cell is
+        // unreachable, so soundness holds — but the audit must fail.
+        let plan = FaultPlan {
+            horizon: 50_000,
+            force_minor_at: vec![150],
+            sabotage_forwarding: true,
+            ..FaultPlan::default()
+        };
+        let r = chaos_run_with_plan(&data, &[], &query, &MachineConfig::default(), 400_000, plan);
+        assert!(
+            !r.heap_consistent,
+            "a planted stale forwarding pointer must fail the audit: {r:?}"
+        );
+        assert!(r.sound, "the planted cell is unreachable: {r:?}");
+    }
 }

@@ -21,7 +21,7 @@
 //!   full — and a thread the scheduler can prove will never wake dies with
 //!   `BlockedIndefinitely` (GHC's `BlockedIndefinitelyOnMVar`).
 
-use urk_machine::{HValue, Machine, MachineError, NodeId, Outcome};
+use urk_machine::{HValue, Machine, MachineError, NodeId, Outcome, Whnf};
 use urk_syntax::{Exception, Symbol};
 
 use crate::machine_run::IoResult;
@@ -56,10 +56,14 @@ impl ConcurrentOutcome {
     }
 }
 
+/// A cooperative thread. `current` and `konts` are *root indices* into
+/// the machine's root set, not raw node ids: a minor collection rewrites
+/// root slots in place when nursery cells move, so every id held across
+/// an evaluation is re-read through its slot.
 struct Thread {
     tid: u64,
-    current: NodeId,
-    konts: Vec<NodeId>,
+    current: usize,
+    konts: Vec<usize>,
 }
 
 /// Why a thread is parked.
@@ -82,21 +86,23 @@ pub fn run_concurrent(
     let mut next_tid: u64 = 1;
     let mut total_rooted = 0usize;
 
-    let push_root = |machine: &mut Machine, n: NodeId, total: &mut usize| {
-        machine.push_root(n);
+    let push_root = |machine: &mut Machine, n: NodeId, total: &mut usize| -> usize {
         *total += 1;
+        machine.push_root(n)
     };
 
     let mut ready: std::collections::VecDeque<Thread> = std::collections::VecDeque::new();
+    // MVar slots are tenured cells (allocated with `alloc_hvalue`), so the
+    // parked-on id is stable and raw.
     let mut blocked: Vec<(Thread, NodeId, BlockKind)> = Vec::new();
     // Exceptions thrown at threads with `throwTo` (§5.1 directed at the
     // §4.4 threads), delivered at the target's next scheduling point.
     let mut pending_exn: std::collections::HashMap<u64, Exception> =
         std::collections::HashMap::new();
-    push_root(machine, root, &mut total_rooted);
+    let root_idx = push_root(machine, root, &mut total_rooted);
     ready.push_back(Thread {
         tid: 0,
-        current: root,
+        current: root_idx,
         konts: Vec::new(),
     });
 
@@ -111,7 +117,8 @@ pub fn run_concurrent(
         let mut thrown = thrown; // consumed below
                                  // Perform ONE effectful action (unwinding Binds does not count).
         loop {
-            let whnf = match machine.eval_node(t.current, false) {
+            let cur = machine.root(t.current);
+            let whnf = match machine.eval_node(cur, false) {
                 Ok(Outcome::Value(n)) => n,
                 Ok(Outcome::Uncaught(e)) | Ok(Outcome::Caught(e)) => {
                     if t.tid == 0 {
@@ -126,10 +133,10 @@ pub fn run_concurrent(
                     break 'scheduler;
                 }
             };
-            let Some(HValue::Con(con, fields)) = machine.heap().value(whnf) else {
+            let Some(Whnf::Con(con, fields)) = machine.heap().whnf(whnf) else {
                 panic!("performed a non-IO value (ill-typed program)");
             };
-            let (con, fields) = (con.as_str(), fields.clone());
+            let (con, fields) = (con.as_str(), fields.to_vec());
 
             if let Some(exn) = thrown.take() {
                 if con != "GetException" && con != "Bind" {
@@ -147,9 +154,9 @@ pub fn run_concurrent(
             }
             let produced: NodeId = match con.as_str() {
                 "Bind" => {
-                    t.konts.push(fields[1]);
-                    t.current = fields[0];
-                    push_root(machine, t.current, &mut total_rooted);
+                    t.konts
+                        .push(push_root(machine, fields[1], &mut total_rooted));
+                    t.current = push_root(machine, fields[0], &mut total_rooted);
                     continue; // unwinding is not an action
                 }
                 "Return" => fields[0],
@@ -174,10 +181,10 @@ pub fn run_concurrent(
                 },
                 "PutChar" => match force_payload(machine, fields[0]) {
                     Ok(n) => {
-                        let Some(HValue::Char(c)) = machine.heap().value(n) else {
+                        let Some(Whnf::Char(c)) = machine.heap().whnf(n) else {
                             panic!("putChar of a non-character");
                         };
-                        trace.push(Event::Output(*c));
+                        trace.push(Event::Output(c));
                         machine.alloc_hvalue(HValue::Con(Symbol::intern("Unit"), vec![]))
                     }
                     Err(Died::Exception(e)) => {
@@ -195,7 +202,7 @@ pub fn run_concurrent(
                 },
                 "PutStr" => match force_payload(machine, fields[0]) {
                     Ok(n) => {
-                        let Some(HValue::Str(s)) = machine.heap().value(n) else {
+                        let Some(Whnf::Str(s)) = machine.heap().whnf(n) else {
                             panic!("putStr of a non-string");
                         };
                         trace.push(Event::OutputStr(s.to_string()));
@@ -242,10 +249,10 @@ pub fn run_concurrent(
                     let tid = next_tid;
                     next_tid += 1;
                     trace.push(Event::Forked(tid));
-                    push_root(machine, fields[0], &mut total_rooted);
+                    let action_idx = push_root(machine, fields[0], &mut total_rooted);
                     ready.push_back(Thread {
                         tid,
-                        current: fields[0],
+                        current: action_idx,
                         konts: Vec::new(),
                     });
                     machine.alloc_hvalue(HValue::Int(tid as i64))
@@ -253,11 +260,16 @@ pub fn run_concurrent(
                 "Yield" => machine.alloc_hvalue(HValue::Con(Symbol::intern("Unit"), vec![])),
                 "ThrowTo" => match force_payload(machine, fields[0]) {
                     Ok(tid_node) => {
-                        let Some(HValue::Int(target)) = machine.heap().value(tid_node) else {
+                        let Some(Whnf::Int(target)) = machine.heap().whnf(tid_node) else {
                             panic!("throwTo of a non-Int thread id");
                         };
-                        let target = *target as u64;
-                        match force_payload(machine, fields[1]) {
+                        let target = target as u64;
+                        // Re-read the second field through the (tenured)
+                        // action cell: forcing the first field may have
+                        // run a minor collection that moved it, and the
+                        // remembered set rewrote the parent's slot.
+                        let exn_field = con_field(machine, whnf, 1);
+                        match force_payload(machine, exn_field) {
                             Ok(exn_node) => {
                                 let exn = node_to_exception(machine, exn_node);
                                 // Wake the target if it is parked so the
@@ -316,11 +328,12 @@ pub fn run_concurrent(
                 "TakeMVar" => match force_payload(machine, fields[0]) {
                     Ok(n) => {
                         let slot = machine.resolve_node(n);
-                        let Some(HValue::Con(state, contents)) = machine.heap().value(slot) else {
-                            panic!("takeMVar of a non-MVar (ill-typed program)");
+                        let (state, first) = match machine.heap().whnf(slot) {
+                            Some(Whnf::Con(state, contents)) => (state, contents.first().copied()),
+                            _ => panic!("takeMVar of a non-MVar (ill-typed program)"),
                         };
                         if state.as_str() == "MVarFull" {
-                            let v = contents[0];
+                            let v = first.expect("a full MVar holds its contents");
                             machine.overwrite_hvalue(
                                 slot,
                                 HValue::Con(Symbol::intern("MVarEmpty"), vec![]),
@@ -349,13 +362,17 @@ pub fn run_concurrent(
                 "PutMVar" => match force_payload(machine, fields[0]) {
                     Ok(n) => {
                         let slot = machine.resolve_node(n);
-                        let Some(HValue::Con(state, _)) = machine.heap().value(slot) else {
-                            panic!("putMVar of a non-MVar (ill-typed program)");
+                        let state = match machine.heap().whnf(slot) {
+                            Some(Whnf::Con(state, _)) => state,
+                            _ => panic!("putMVar of a non-MVar (ill-typed program)"),
                         };
                         if state.as_str() == "MVarEmpty" {
+                            // As in ThrowTo: re-read the value field after
+                            // the force above.
+                            let v = con_field(machine, whnf, 1);
                             machine.overwrite_hvalue(
                                 slot,
-                                HValue::Con(Symbol::intern("MVarFull"), vec![fields[1]]),
+                                HValue::Con(Symbol::intern("MVarFull"), vec![v]),
                             );
                             wake(&mut blocked, &mut ready, slot);
                             machine.alloc_hvalue(HValue::Con(Symbol::intern("Unit"), vec![]))
@@ -391,9 +408,10 @@ pub fn run_concurrent(
                     results.push((t.tid, ThreadResult::Done(rendered)));
                     continue 'scheduler;
                 }
-                Some(k) => {
-                    t.current = apply_node(machine, k, produced);
-                    push_root(machine, t.current, &mut total_rooted);
+                Some(k_idx) => {
+                    let k = machine.root(k_idx);
+                    let next = apply_node(machine, k, produced);
+                    t.current = push_root(machine, next, &mut total_rooted);
                     // One effectful action performed: rotate.
                     ready.push_back(t);
                     break;
@@ -454,16 +472,26 @@ fn wake(
     }
 }
 
+/// Reads field `i` of the constructor value at `node` (a tenured cell —
+/// an evaluation result — whose slots the minor collector keeps current
+/// through the remembered set).
+fn con_field(machine: &Machine, node: NodeId, i: usize) -> NodeId {
+    match machine.heap().whnf(node) {
+        Some(Whnf::Con(_, fields)) => fields[i],
+        _ => panic!("expected a constructor value"),
+    }
+}
+
 /// Converts a WHNF in-language `Exception` value to the runtime type,
 /// forcing the payload if present.
 fn node_to_exception(machine: &mut Machine, node: NodeId) -> Exception {
-    let Some(HValue::Con(name, fields)) = machine.heap().value(node) else {
-        panic!("throwTo of a non-Exception value");
+    let (name, payload_node) = match machine.heap().whnf(node) {
+        Some(Whnf::Con(name, fields)) => (name, fields.first().copied()),
+        _ => panic!("throwTo of a non-Exception value"),
     };
-    let (name, fields) = (*name, fields.clone());
-    let payload = fields.first().map(|f| match machine.eval_node(*f, false) {
-        Ok(Outcome::Value(n)) => match machine.heap().value(n) {
-            Some(HValue::Str(s)) => s.to_string(),
+    let payload = payload_node.map(|f| match machine.eval_node(f, false) {
+        Ok(Outcome::Value(n)) => match machine.heap().whnf(n) {
+            Some(Whnf::Str(s)) => s.to_string(),
             _ => panic!("exception payload is not a string"),
         },
         _ => String::new(),

@@ -10,7 +10,7 @@
 
 use std::rc::Rc;
 
-use urk_machine::{HValue, MEnv, Machine, MachineError, NodeId, Outcome};
+use urk_machine::{HValue, MEnv, Machine, MachineError, NodeId, Outcome, Whnf};
 use urk_syntax::core::Expr;
 use urk_syntax::{Exception, Symbol};
 
@@ -80,37 +80,36 @@ pub fn run_machine(
 /// Performs an `IO` action already in the heap.
 pub fn run_machine_node(machine: &mut Machine, root: NodeId, input: &mut dyn Input) -> RunOutcome {
     let mut trace = Trace::new();
-    // Pending continuations from `Bind` (innermost last). Every action
-    // node that becomes `current` is registered as a GC root (and stays
-    // rooted until the run ends — the continuations hang off these nodes,
-    // and a collection may trigger inside any evaluation episode below).
-    let mut konts: Vec<NodeId> = Vec::new();
+    // Pending continuations from `Bind` (innermost last), held as *root
+    // indices*: a minor collection rewrites the machine's root slots in
+    // place when nursery cells move, so the runner re-reads each node
+    // through its index instead of caching a raw id across evaluations.
+    let mut konts: Vec<usize> = Vec::new();
+    let mut current = machine.push_root(root);
     let mut rooted: usize = 1;
-    machine.push_root(root);
-    let mut current = root;
 
     loop {
         // Force the action itself to WHNF. An exception *here* means the
         // action value was exceptional (e.g. `main = raise E`): uncaught.
-        let whnf = match machine.eval_node(current, false) {
+        let cur = machine.root(current);
+        let whnf = match machine.eval_node(cur, false) {
             Ok(Outcome::Value(n)) => n,
             Ok(Outcome::Uncaught(e)) | Ok(Outcome::Caught(e)) => {
                 return finish(machine, rooted, IoResult::Uncaught(e), trace)
             }
             Err(e) => return finish(machine, rooted, IoResult::MachineError(e), trace),
         };
-        let Some(HValue::Con(con, fields)) = machine.heap().value(whnf) else {
+        let Some(Whnf::Con(con, fields)) = machine.heap().whnf(whnf) else {
             panic!("performed a non-IO value (ill-typed program)");
         };
-        let (con, fields) = (con.as_str(), fields.clone());
+        let (con, fields) = (con.as_str(), fields.to_vec());
 
         // The value an action step produced, handed to the continuation.
         let produced: NodeId = match con.as_str() {
             "Bind" => {
-                konts.push(fields[1]);
-                current = fields[0];
-                machine.push_root(current);
-                rooted += 1;
+                konts.push(machine.push_root(fields[1]));
+                current = machine.push_root(fields[0]);
+                rooted += 2;
                 continue;
             }
             "Return" => fields[0],
@@ -126,10 +125,10 @@ pub fn run_machine_node(machine: &mut Machine, root: NodeId, input: &mut dyn Inp
                 // sight, that is an uncaught exception.
                 match machine.eval_node(fields[0], false) {
                     Ok(Outcome::Value(n)) => {
-                        let Some(HValue::Char(c)) = machine.heap().value(n) else {
+                        let Some(Whnf::Char(c)) = machine.heap().whnf(n) else {
                             panic!("putChar of a non-character (ill-typed program)");
                         };
-                        trace.push(Event::Output(*c));
+                        trace.push(Event::Output(c));
                         alloc_value(machine, HValue::Con(Symbol::intern("Unit"), vec![]))
                     }
                     Ok(Outcome::Uncaught(e)) | Ok(Outcome::Caught(e)) => {
@@ -140,7 +139,7 @@ pub fn run_machine_node(machine: &mut Machine, root: NodeId, input: &mut dyn Inp
             }
             "PutStr" => match machine.eval_node(fields[0], false) {
                 Ok(Outcome::Value(n)) => {
-                    let Some(HValue::Str(s)) = machine.heap().value(n) else {
+                    let Some(Whnf::Str(s)) = machine.heap().whnf(n) else {
                         panic!("putStr of a non-string (ill-typed program)");
                     };
                     trace.push(Event::OutputStr(s.to_string()));
@@ -182,9 +181,13 @@ pub fn run_machine_node(machine: &mut Machine, root: NodeId, input: &mut dyn Inp
                 let rendered = machine.render(produced, 32);
                 return finish(machine, rooted, IoResult::Done(rendered), trace);
             }
-            Some(k) => {
-                current = apply_node(machine, k, produced);
-                machine.push_root(current);
+            Some(k_idx) => {
+                // Re-read the continuation through its root slot: the id
+                // cached at push time may have been rewritten by a minor
+                // collection during the evaluations above.
+                let k = machine.root(k_idx);
+                let next = apply_node(machine, k, produced);
+                current = machine.push_root(next);
                 rooted += 1;
             }
         }

@@ -146,7 +146,7 @@ pub enum Request {
 pub struct WireStats {
     pub steps: u64,
     pub allocations: u64,
-    pub interned_hits: u64,
+    pub unboxed_hits: u64,
     pub compile_ops: u64,
     pub compile_micros: u64,
     pub cache_hits: u64,
@@ -172,7 +172,7 @@ pub struct WireCacheStats {
 pub struct WireTotals {
     pub jobs: u64,
     pub steps: u64,
-    pub interned_hits: u64,
+    pub unboxed_hits: u64,
     pub compile_micros: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
@@ -326,7 +326,7 @@ impl WireStats {
         Json::Obj(vec![
             ("steps".to_string(), Json::int(self.steps)),
             ("allocations".to_string(), Json::int(self.allocations)),
-            ("interned_hits".to_string(), Json::int(self.interned_hits)),
+            ("unboxed_hits".to_string(), Json::int(self.unboxed_hits)),
             ("compile_ops".to_string(), Json::int(self.compile_ops)),
             ("compile_micros".to_string(), Json::int(self.compile_micros)),
             ("cache_hits".to_string(), Json::int(self.cache_hits)),
@@ -339,7 +339,7 @@ impl WireStats {
         Ok(WireStats {
             steps: need_u64(json, "steps")?,
             allocations: need_u64(json, "allocations")?,
-            interned_hits: need_u64(json, "interned_hits")?,
+            unboxed_hits: need_u64(json, "unboxed_hits")?,
             compile_ops: need_u64(json, "compile_ops")?,
             compile_micros: need_u64(json, "compile_micros")?,
             cache_hits: need_u64(json, "cache_hits")?,
@@ -383,7 +383,7 @@ impl WireTotals {
         Json::Obj(vec![
             ("jobs".to_string(), Json::int(self.jobs)),
             ("steps".to_string(), Json::int(self.steps)),
-            ("interned_hits".to_string(), Json::int(self.interned_hits)),
+            ("unboxed_hits".to_string(), Json::int(self.unboxed_hits)),
             ("compile_micros".to_string(), Json::int(self.compile_micros)),
             ("cache_hits".to_string(), Json::int(self.cache_hits)),
             ("cache_misses".to_string(), Json::int(self.cache_misses)),
@@ -394,7 +394,7 @@ impl WireTotals {
         Ok(WireTotals {
             jobs: need_u64(json, "jobs")?,
             steps: need_u64(json, "steps")?,
-            interned_hits: need_u64(json, "interned_hits")?,
+            unboxed_hits: need_u64(json, "unboxed_hits")?,
             compile_micros: need_u64(json, "compile_micros")?,
             cache_hits: need_u64(json, "cache_hits")?,
             cache_misses: need_u64(json, "cache_misses")?,
@@ -677,7 +677,7 @@ mod tests {
             stats: WireStats {
                 steps: 42,
                 allocations: 17,
-                interned_hits: 3,
+                unboxed_hits: 3,
                 compile_ops: 0,
                 compile_micros: 0,
                 cache_hits: 0,
@@ -729,7 +729,7 @@ mod tests {
             totals: WireTotals {
                 jobs: 100,
                 steps: 12345,
-                interned_hits: 678,
+                unboxed_hits: 678,
                 compile_micros: 90,
                 cache_hits: 90,
                 cache_misses: 10,

@@ -45,8 +45,12 @@ pub struct FaultPlan {
     pub horizon: u64,
     /// Asynchronous exceptions delivered at these steps (sorted).
     pub injections: Vec<(u64, Exception)>,
-    /// Full collections forced at these steps (sorted).
+    /// Full (major) collections forced at these steps (sorted).
     pub force_gc_at: Vec<u64>,
+    /// Minor (nursery-evacuating) collections forced at these steps
+    /// (sorted) — races the copying collector against every phase of
+    /// evaluation without paying for a full mark-sweep.
+    pub force_minor_at: Vec<u64>,
     /// Shrinking live-heap caps: entry `(step, cap)` applies from `step`
     /// until the next entry (or the horizon). Sorted by step, caps
     /// non-increasing. Exceeding the active cap delivers `HeapOverflow`.
@@ -57,6 +61,14 @@ pub struct FaultPlan {
     /// is actually violated; never set outside tests.
     #[doc(hidden)]
     pub sabotage_async_restore: bool,
+    /// Test-only sabotage: after each *forced* collection, plant a stale
+    /// forwarding pointer in the tenured arena. The planted cell is
+    /// unreachable (execution stays sound), but a correct generational
+    /// audit must flag it. Exists so the nursery audit can be shown to
+    /// fail when evacuation bookkeeping is actually corrupted; never set
+    /// outside tests.
+    #[doc(hidden)]
+    pub sabotage_forwarding: bool,
 }
 
 impl FaultPlan {
@@ -86,6 +98,10 @@ impl FaultPlan {
         let mut force_gc_at: Vec<u64> = (0..n_gc).map(|_| step(&mut rng)).collect();
         force_gc_at.sort_unstable();
 
+        let n_minor = rng.gen_range(0..4u32);
+        let mut force_minor_at: Vec<u64> = (0..n_minor).map(|_| step(&mut rng)).collect();
+        force_minor_at.sort_unstable();
+
         // A shrinking budget in roughly half the plans: one to three caps,
         // each tighter than the last. The floor keeps the interned pool and
         // a small top-level program representable, so the fault is "your
@@ -108,8 +124,10 @@ impl FaultPlan {
             horizon,
             injections,
             force_gc_at,
+            force_minor_at,
             heap_budget,
             sabotage_async_restore: false,
+            sabotage_forwarding: false,
         }
     }
 
@@ -133,7 +151,10 @@ impl FaultPlan {
 
     /// True if the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        self.injections.is_empty() && self.force_gc_at.is_empty() && self.heap_budget.is_empty()
+        self.injections.is_empty()
+            && self.force_gc_at.is_empty()
+            && self.force_minor_at.is_empty()
+            && self.heap_budget.is_empty()
     }
 }
 
@@ -144,6 +165,7 @@ pub(crate) struct ChaosState {
     pub(crate) plan: FaultPlan,
     pub(crate) next_injection: usize,
     pub(crate) next_gc: usize,
+    pub(crate) next_minor: usize,
     pub(crate) next_budget: usize,
     pub(crate) active_cap: Option<usize>,
 }
@@ -154,6 +176,7 @@ impl ChaosState {
             plan,
             next_injection: 0,
             next_gc: 0,
+            next_minor: 0,
             next_budget: 0,
             active_cap: None,
         }
@@ -183,7 +206,7 @@ mod tests {
                 assert!(*at < p.horizon);
                 assert!(e.is_asynchronous());
             }
-            for at in &p.force_gc_at {
+            for at in p.force_gc_at.iter().chain(&p.force_minor_at) {
                 assert!(*at < p.horizon);
             }
             assert!(
@@ -204,9 +227,8 @@ mod tests {
             seed: 0,
             horizon: 100,
             injections: vec![(10, Exception::Interrupt)],
-            force_gc_at: vec![],
             heap_budget: vec![(50, 1_000)],
-            sabotage_async_restore: false,
+            ..FaultPlan::default()
         };
         assert!(p.allows(&Exception::Interrupt));
         assert!(p.allows(&Exception::HeapOverflow));

@@ -31,7 +31,7 @@ use urk_syntax::{Exception, Symbol};
 
 use crate::code::{compile_query, COp, CPat, Code, CodeId, LinkedCode};
 use crate::env::CEnv;
-use crate::heap::{HValue, Node, NodeId};
+use crate::heap::{HValue, Node, NodeId, Whnf};
 use crate::machine::{Backend, BlackholeMode, Machine, MachineError, Outcome, PrimResult};
 use crate::OrderPolicy;
 
@@ -109,8 +109,10 @@ impl Machine {
         for entry in entries {
             // Global rhs code resolves cross-references through the
             // global node table itself, so the environment stays empty —
-            // this *is* the recursive knot, tied by indices.
-            let node = self.alloc(Node::CThunk {
+            // this *is* the recursive knot, tied by indices. Tenured: the
+            // global node table is a plain `Vec<NodeId>` the minor
+            // collector never rewrites, so the ids must be stable.
+            let node = self.alloc_tenured(Node::CThunk {
                 code: entry,
                 env: CEnv::empty(),
             });
@@ -159,7 +161,9 @@ impl Machine {
         }
         self.stats.compile_ops += ops;
         self.stats.compile_micros += t0.elapsed().as_micros() as u64;
-        self.alloc(Node::CThunk {
+        // Tenured: the caller holds the id across evaluations, and nursery
+        // ids move at every minor collection.
+        self.alloc_tenured(Node::CThunk {
             code: entry,
             env: CEnv::empty(),
         })
@@ -216,7 +220,7 @@ impl Machine {
                 }
             }
             if self.chaos.is_some() {
-                if let Some(next) = self.chaos_ctick(&control, &stack) {
+                if let Some(next) = self.chaos_ctick(&mut control, &mut stack) {
                     control = next;
                 }
             }
@@ -233,11 +237,13 @@ impl Machine {
             if stack.len() >= self.config.max_stack && !matches!(control, CControl::Raising(_)) {
                 control = CControl::Raising(Exception::StackOverflow);
             }
-            if self.config.gc
-                && self.heap.live() >= self.next_gc_at
-                && self.heap.live() < self.config.max_heap
-            {
-                self.collect_during_crun(&control, &stack);
+            if self.config.gc {
+                if self.heap.nursery_len() >= self.config.nursery_size {
+                    self.minor_ccollect(&mut control, &mut stack);
+                }
+                if self.heap.live() >= self.next_gc_at && self.heap.live() < self.config.max_heap {
+                    self.collect_during_crun(&mut control, &mut stack);
+                }
             }
             if self.heap.live() >= self.config.max_heap && !matches!(control, CControl::Raising(_))
             {
@@ -251,7 +257,7 @@ impl Machine {
                 CControl::Return(node) => CControl::Return(node),
                 CControl::Raising(exn) => match self.step_craise(exn, &mut stack) {
                     CStep::Continue(c) => c,
-                    CStep::Done(outcome) => return Ok(outcome),
+                    CStep::Done(outcome) => return Ok(self.tenure_outcome(outcome)),
                 },
             };
             // Return-processing is fused into the producing step: frames
@@ -265,7 +271,7 @@ impl Machine {
             while let CControl::Return(node) = control {
                 match self.step_creturn(node, &mut stack) {
                     CStep::Continue(c) => control = c,
-                    CStep::Done(outcome) => return Ok(outcome),
+                    CStep::Done(outcome) => return Ok(self.tenure_outcome(outcome)),
                 }
             }
         }
@@ -274,12 +280,30 @@ impl Machine {
     /// The compiled chaos step: identical decisions to the tree loop's
     /// `chaos_tick` (shared via [`Machine::chaos_decide`]), applied with
     /// this loop's control/stack types for GC rooting.
-    fn chaos_ctick(&mut self, control: &CControl, stack: &[CFrame]) -> Option<CControl> {
-        let raising = matches!(control, CControl::Raising(_));
+    fn chaos_ctick(&mut self, control: &mut CControl, stack: &mut [CFrame]) -> Option<CControl> {
+        let raising = matches!(&*control, CControl::Raising(_));
         let d = self.chaos_decide(raising)?;
+        let sabotage = self
+            .chaos
+            .as_ref()
+            .is_some_and(|st| st.plan.sabotage_forwarding);
+        if d.force_minor {
+            self.stats.forced_gcs += 1;
+            self.minor_ccollect(control, stack);
+            if sabotage {
+                // Test-only sabotage: strand a stale forwarding pointer
+                // to prove the generational audit catches evacuation
+                // corruption (the planted cell is unreachable, so
+                // execution and re-evaluation stay sound).
+                self.heap.plant_stale_forwarding();
+            }
+        }
         if d.force_gc {
             self.stats.forced_gcs += 1;
             self.collect_during_crun(control, stack);
+            if sabotage {
+                self.heap.plant_stale_forwarding();
+            }
         }
         if let Some(exn) = d.inject {
             self.stats.async_injected += 1;
@@ -293,16 +317,41 @@ impl Machine {
         None
     }
 
-    /// Mid-run collection rooted at the compiled loop's transient state.
-    fn collect_during_crun(&mut self, control: &CControl, stack: &[CFrame]) {
-        let mut c = crate::gc::Collector::new(self.heap.len());
-        self.pool.mark(&mut c);
-        match control {
+    /// A minor collection mid-run: evacuates the live nursery into the
+    /// tenured space, rewriting the registered roots, the current control,
+    /// and every compiled stack frame (the compiled twin of the tree
+    /// loop's `minor_collect`).
+    fn minor_ccollect(&mut self, control: &mut CControl, stack: &mut [CFrame]) {
+        let reuses_before = self.heap.reuses();
+        let Machine { heap, roots, .. } = self;
+        let outcome = heap.collect_minor(&mut |f| {
+            for r in roots.iter_mut() {
+                *r = f(*r);
+            }
+            rewrite_ccontrol(control, f);
+            for frame in stack.iter_mut() {
+                rewrite_cframe(frame, f);
+            }
+        });
+        self.stats.minor_gcs += 1;
+        self.stats.gc_runs += 1;
+        self.stats.nodes_promoted += outcome.promoted;
+        self.stats.gc_freed += outcome.freed;
+        self.stats.freelist_reuses += self.heap.reuses() - reuses_before;
+    }
+
+    /// Mid-run major collection rooted at the compiled loop's transient
+    /// state. Evacuates the nursery first, so the mark table only has to
+    /// cover the tenured arena.
+    fn collect_during_crun(&mut self, control: &mut CControl, stack: &mut [CFrame]) {
+        self.minor_ccollect(control, stack);
+        let mut c = crate::gc::Collector::new(self.heap.tenured_len());
+        match &*control {
             CControl::Eval(_, env) => c.mark_cenv(env),
             CControl::Enter(n) | CControl::Return(n) => c.mark_root(*n),
             CControl::Raising(_) => {}
         }
-        for f in stack {
+        for f in stack.iter() {
             match f {
                 CFrame::Update(n) | CFrame::Apply(n) => c.mark_root(*n),
                 CFrame::Select { env, .. }
@@ -331,6 +380,7 @@ impl Machine {
         let (freed, head) = c.sweep(&mut self.heap, prev_free);
         self.heap.set_free_list(head, freed);
         self.stats.gc_runs += 1;
+        self.stats.major_gcs += 1;
         self.stats.gc_freed += freed;
         let live = self.heap.live();
         self.next_gc_at = (live + live / 2).max(self.config.gc_threshold);
@@ -338,8 +388,9 @@ impl Machine {
 
     /// Allocates a node for an operand op — the compiled counterpart of
     /// `alloc_expr`, with the same fast paths: slot loads reuse the bound
-    /// node (sharing preserved), literals go straight to (interned) WHNF,
-    /// everything else suspends as a `CThunk`.
+    /// node (sharing preserved), literals go straight to WHNF (a tagged
+    /// immediate where possible), everything else suspends as a `CThunk`
+    /// in the nursery.
     fn alloc_code(&mut self, code: CodeId, env: &CEnv) -> NodeId {
         match self.linked().op(code) {
             COp::Local(back) => env.get_back(back),
@@ -368,6 +419,11 @@ impl Machine {
     /// detection — must observe the prologue's state).
     fn enter_fused(&mut self, node: NodeId, stack: &mut Vec<CFrame>) -> CControl {
         let node = self.heap.resolve(node);
+        // Tagged immediates are their own weak-head normal form — there is
+        // no cell to enter.
+        if node.is_imm() {
+            return CControl::Return(node);
+        }
         match self.heap.get(node) {
             Node::Value(_) => CControl::Return(node),
             Node::CThunk { code, env } => {
@@ -438,9 +494,8 @@ impl Machine {
                         _ => None,
                     };
                     if let Some(node) = callee {
-                        let node = self.heap.resolve(node);
-                        if let Some(HValue::CFun { body, env: fenv }) = self.heap.value(node) {
-                            let (body, fenv) = (*body, fenv.clone());
+                        if let Some(Whnf::CFun { body, env: fenv }) = self.heap.whnf(node) {
+                            let fenv = fenv.clone();
                             return CControl::Eval(body, fenv.push(arg));
                         }
                     }
@@ -529,11 +584,11 @@ impl Machine {
         match self.linked().op(code) {
             COp::Local(back) => {
                 let n = self.heap.resolve(env.get_back(back));
-                matches!(self.heap.get(n), Node::Value(_)).then_some(n)
+                (n.is_imm() || matches!(self.heap.get(n), Node::Value(_))).then_some(n)
             }
             COp::Global(g) => {
                 let n = self.heap.resolve(self.linked().global_nodes[g as usize]);
-                matches!(self.heap.get(n), Node::Value(_)).then_some(n)
+                (n.is_imm() || matches!(self.heap.get(n), Node::Value(_))).then_some(n)
             }
             COp::Int(n) => Some(self.int_node(n)),
             COp::Char(c) => Some(self.alloc_value(HValue::Char(c))),
@@ -705,11 +760,17 @@ impl Machine {
 
     fn step_center(&mut self, node: NodeId, stack: &mut Vec<CFrame>) -> CControl {
         let node = self.heap.resolve(node);
+        if node.is_imm() {
+            return CControl::Return(node);
+        }
         match self.heap.get(node) {
             Node::Value(_) => CControl::Return(node),
             Node::Ind(_) => unreachable!("resolved"),
             Node::Free { .. } => {
                 panic!("entered a freed node — a live node escaped the GC roots")
+            }
+            Node::Forwarded(_) => {
+                panic!("entered a stale forwarding pointer — evacuation corruption")
             }
             Node::Poisoned(exn) => CControl::Raising(exn.clone()),
             // §5.2: a black hole of either representation is the same
@@ -760,10 +821,10 @@ impl Machine {
                 CControl::Return(node)
             }
             CFrame::Apply(arg) => {
-                let Some(HValue::CFun { body, env }) = self.heap.value(node) else {
-                    panic!("application of a non-function (ill-typed program)");
+                let (body, env) = match self.heap.whnf(node) {
+                    Some(Whnf::CFun { body, env }) => (body, env.clone()),
+                    _ => panic!("application of a non-function (ill-typed program)"),
                 };
-                let (body, env) = (*body, env.clone());
                 // The compiler reserved the top slot for the argument.
                 CControl::Eval(body, env.push(arg))
             }
@@ -801,11 +862,11 @@ impl Machine {
             CFrame::SeqSecond { code, env } => self.eval_code_fused(code, &env, stack),
             CFrame::RaiseEval => self.convert_and_craise(node, stack),
             CFrame::RaisePayload { con } => {
-                let Some(HValue::Str(s)) = self.heap.value(node) else {
-                    panic!("exception payload is not a string (ill-typed program)");
+                let exn = match self.heap.whnf(node) {
+                    Some(Whnf::Str(s)) => Exception::from_constructor(con, Some(s))
+                        .unwrap_or_else(|| panic!("unknown exception constructor '{con}'")),
+                    _ => panic!("exception payload is not a string (ill-typed program)"),
                 };
-                let exn = Exception::from_constructor(con, Some(s))
-                    .unwrap_or_else(|| panic!("unknown exception constructor '{con}'"));
                 CControl::Raising(exn)
             }
             CFrame::IsExnCatch => CControl::Return(self.bool_node(false)),
@@ -822,21 +883,21 @@ impl Machine {
     /// machine's `select` over the dispatch table, with constructor match
     /// an interned-tag compare and binders pushed positionally.
     fn select_arms(&mut self, node: NodeId, arms_at: u32, n: u16, env: &CEnv) -> CControl {
-        let v = self.heap.value(node).expect("select on a non-value");
+        let v = self.heap.whnf(node).expect("select on a non-value");
         for i in 0..u32::from(n) {
             let arm = self.linked().arm(arms_at + i);
-            let matched = match (arm.pat, v) {
+            let matched = match (arm.pat, &v) {
                 (CPat::Default, _) => Some(if arm.bind_scrut {
                     env.push(node)
                 } else {
                     env.clone()
                 }),
-                (CPat::Int(a), HValue::Int(b)) if a == *b => Some(env.clone()),
-                (CPat::Char(a), HValue::Char(b)) if a == *b => Some(env.clone()),
-                (CPat::Str(si), HValue::Str(s)) if self.linked().str_ref(si) == &**s => {
+                (CPat::Int(a), Whnf::Int(b)) if a == *b => Some(env.clone()),
+                (CPat::Char(a), Whnf::Char(b)) if a == *b => Some(env.clone()),
+                (CPat::Str(si), Whnf::Str(s)) if self.linked().str_ref(si) == &***s => {
                     Some(env.clone())
                 }
-                (CPat::Con(c), HValue::Con(d, fields)) if c == *d => {
+                (CPat::Con(c), Whnf::Con(d, fields)) if c == *d => {
                     let mut env2 = env.clone();
                     for f in fields.iter().take(arm.binders as usize) {
                         env2 = env2.push(*f);
@@ -855,11 +916,11 @@ impl Machine {
     /// Converts a WHNF `Exception` constructor value into a raise (the
     /// compiled counterpart of `convert_and_raise`).
     fn convert_and_craise(&mut self, node: NodeId, stack: &mut Vec<CFrame>) -> CControl {
-        let Some(HValue::Con(name, fields)) = self.heap.value(node) else {
-            panic!("raise applied to a non-Exception value (ill-typed program)");
+        let (name, payload) = match self.heap.whnf(node) {
+            Some(Whnf::Con(name, fields)) => (name, fields.first().copied()),
+            _ => panic!("raise applied to a non-Exception value (ill-typed program)"),
         };
-        let (name, fields) = (*name, fields.clone());
-        match fields.first() {
+        match payload {
             None => {
                 let exn = Exception::from_constructor(name, None)
                     .unwrap_or_else(|| panic!("unknown exception constructor '{name}'"));
@@ -867,7 +928,7 @@ impl Machine {
             }
             Some(payload) => {
                 stack.push(CFrame::RaisePayload { con: name });
-                CControl::Enter(*payload)
+                CControl::Enter(payload)
             }
         }
     }
@@ -930,6 +991,37 @@ impl Machine {
                 }
             }
         }
+    }
+}
+
+/// Rewrites every node reference the compiled control register holds —
+/// the minor collector's evacuation hook (`f` is idempotent).
+fn rewrite_ccontrol(control: &mut CControl, f: &mut dyn FnMut(NodeId) -> NodeId) {
+    match control {
+        CControl::Eval(_, env) => env.update_nodes(f),
+        CControl::Enter(n) | CControl::Return(n) => *n = f(*n),
+        CControl::Raising(_) => {}
+    }
+}
+
+/// Rewrites every node reference a compiled stack frame holds.
+fn rewrite_cframe(frame: &mut CFrame, f: &mut dyn FnMut(NodeId) -> NodeId) {
+    match frame {
+        CFrame::Update(n) | CFrame::Apply(n) => *n = f(*n),
+        CFrame::Select { env, .. }
+        | CFrame::SeqSecond { env, .. }
+        | CFrame::MapExnCatch { env, .. } => env.update_nodes(f),
+        CFrame::PrimArgs { env, results, .. } => {
+            env.update_nodes(f);
+            for r in results.iter_mut().flatten() {
+                *r = f(*r);
+            }
+        }
+        CFrame::RaiseEval
+        | CFrame::RaisePayload { .. }
+        | CFrame::IsExnCatch
+        | CFrame::UnsafeGetExnCatch
+        | CFrame::Catch => {}
     }
 }
 

@@ -117,6 +117,25 @@ impl MEnv {
             len = c.parent.len as usize;
         }
     }
+
+    /// Rewrites every bound node in place through `f`. Used by the copying
+    /// minor collector to redirect nursery references to their tenured
+    /// copies. `f` must be idempotent: shared chunks are reachable from
+    /// several views and are rewritten once per view.
+    pub fn update_nodes(&self, f: &mut dyn FnMut(NodeId) -> NodeId) {
+        let mut chunk = self.chunk.as_ref();
+        let mut len = self.len as usize;
+        while let Some(c) = chunk {
+            {
+                let mut entries = c.entries.borrow_mut();
+                for (_, id) in entries[..len].iter_mut() {
+                    *id = f(*id);
+                }
+            }
+            chunk = c.parent.chunk.as_ref();
+            len = c.parent.len as usize;
+        }
+    }
 }
 
 impl std::fmt::Debug for MEnv {
@@ -228,6 +247,22 @@ impl CEnv {
             let entries = c.entries.borrow();
             for id in entries[..len].iter().rev() {
                 f(*id);
+            }
+            chunk = c.parent.chunk.as_ref();
+            len = c.parent.len as usize;
+        }
+    }
+
+    /// Rewrites every slot in place through `f`, as [`MEnv::update_nodes`].
+    pub fn update_nodes(&self, f: &mut dyn FnMut(NodeId) -> NodeId) {
+        let mut chunk = self.chunk.as_ref();
+        let mut len = self.len as usize;
+        while let Some(c) = chunk {
+            {
+                let mut entries = c.entries.borrow_mut();
+                for id in entries[..len].iter_mut() {
+                    *id = f(*id);
+                }
             }
             chunk = c.parent.chunk.as_ref();
             len = c.parent.len as usize;

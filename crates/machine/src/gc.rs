@@ -1,10 +1,16 @@
-//! A stop-the-world mark-sweep garbage collector for the machine heap.
+//! The stop-the-world mark-sweep collector for the *tenured* region.
 //!
-//! Node identifiers are stable across collections (environments hold
-//! `NodeId`s inside shared persistent lists, so a compacting collector
-//! would have to rewrite aliased structures). Swept nodes become
-//! [`Node::Free`] links in a free list and are reused by subsequent
-//! allocations.
+//! Minor collections (the copying nursery evacuation) live in
+//! [`crate::heap::Heap::collect_minor`]; this module is the major-collection
+//! fallback that reclaims tenured garbage. Tenured identifiers are stable
+//! across collections (environments hold `NodeId`s inside shared persistent
+//! lists, so a compacting old space would have to rewrite aliased
+//! structures). Swept cells become [`Node::Free`] links in a free list and
+//! are reused by subsequent tenured allocations.
+//!
+//! A major collection always runs *after* a minor one, so the nursery is
+//! empty and every reachable reference is an immediate or a tenured id —
+//! the mark table is indexed by tenured index alone.
 //!
 //! Roots come from three places:
 //!
@@ -27,15 +33,22 @@ pub(crate) struct Collector {
 }
 
 impl Collector {
-    pub(crate) fn new(heap_len: usize) -> Collector {
+    /// `tenured_len` is [`Heap::tenured_len`]: the mark table covers the
+    /// tenured arena only.
+    pub(crate) fn new(tenured_len: usize) -> Collector {
         Collector {
-            marks: vec![false; heap_len],
+            marks: vec![false; tenured_len],
             worklist: Vec::with_capacity(256),
         }
     }
 
     pub(crate) fn mark_root(&mut self, id: NodeId) {
-        let i = id.0 as usize;
+        // Immediates have no cell; nursery ids cannot occur (a major
+        // collection runs against an evacuated, empty nursery).
+        if !id.is_tenured() {
+            return;
+        }
+        let i = id.index();
         if i < self.marks.len() && !self.marks[i] {
             self.marks[i] = true;
             self.worklist.push(id);
@@ -66,7 +79,10 @@ impl Collector {
                     let env = env.clone();
                     self.mark_cenv(&env);
                 }
-                Node::Ind(t) => {
+                // A reachable Forwarded cell is corruption (the audit
+                // reports it), but the collector still traces through it
+                // rather than freeing the target out from under the graph.
+                Node::Ind(t) | Node::Forwarded(t) => {
                     let t = *t;
                     self.mark_root(t);
                 }
@@ -91,8 +107,8 @@ impl Collector {
         }
     }
 
-    /// Sweeps unmarked nodes into the free list; returns the number freed
-    /// and the new free-list head.
+    /// Sweeps unmarked tenured cells into the free list; returns the
+    /// number freed and the new free-list head.
     pub(crate) fn sweep(
         self,
         heap: &mut Heap,
@@ -104,7 +120,7 @@ impl Collector {
             if *marked || matches!(heap.get(id), Node::Free { .. }) {
                 continue;
             }
-            heap.set(id, Node::Free { next: free_head });
+            heap.set_swept(id, free_head);
             free_head = Some(id);
             freed += 1;
         }
@@ -122,12 +138,13 @@ mod tests {
     #[test]
     fn unreachable_nodes_are_swept_and_reused() {
         let mut heap = Heap::new();
-        let keep = heap.alloc(Node::Value(HValue::Int(1)));
-        let drop1 = heap.alloc(Node::Value(HValue::Int(2)));
-        let drop2 = heap.alloc(Node::Value(HValue::Str(Rc::from("bye"))));
-        let kept_con = heap.alloc(Node::Value(HValue::Con(Symbol::intern("Just"), vec![keep])));
+        let keep = heap.alloc_tenured(Node::Value(HValue::Int(1)));
+        let drop1 = heap.alloc_tenured(Node::Value(HValue::Int(2)));
+        let drop2 = heap.alloc_tenured(Node::Value(HValue::Str(Rc::from("bye"))));
+        let kept_con =
+            heap.alloc_tenured(Node::Value(HValue::Con(Symbol::intern("Just"), vec![keep])));
 
-        let mut c = Collector::new(heap.len());
+        let mut c = Collector::new(heap.tenured_len());
         c.mark_root(kept_con);
         c.trace(&heap);
         let (freed, free_head) = c.sweep(&mut heap, None);
@@ -141,13 +158,13 @@ mod tests {
     #[test]
     fn environments_keep_their_bindings_alive() {
         let mut heap = Heap::new();
-        let bound = heap.alloc(Node::Value(HValue::Int(9)));
+        let bound = heap.alloc_tenured(Node::Value(HValue::Int(9)));
         let env = MEnv::empty().bind(Symbol::intern("x"), bound);
-        let thunk = heap.alloc(Node::Thunk {
+        let thunk = heap.alloc_tenured(Node::Thunk {
             expr: Rc::new(Expr::var("x")),
             env,
         });
-        let mut c = Collector::new(heap.len());
+        let mut c = Collector::new(heap.tenured_len());
         c.mark_root(thunk);
         c.trace(&heap);
         let (freed, _) = c.sweep(&mut heap, None);
@@ -157,13 +174,26 @@ mod tests {
     #[test]
     fn indirection_targets_survive() {
         let mut heap = Heap::new();
-        let v = heap.alloc(Node::Value(HValue::Int(3)));
-        let ind = heap.alloc(Node::Ind(v));
-        let mut c = Collector::new(heap.len());
+        let v = heap.alloc_tenured(Node::Value(HValue::Int(3)));
+        let ind = heap.alloc_tenured(Node::Ind(v));
+        let mut c = Collector::new(heap.tenured_len());
         c.mark_root(ind);
         c.trace(&heap);
         let (freed, _) = c.sweep(&mut heap, None);
         assert_eq!(freed, 0);
-        assert!(matches!(heap.value(ind), Some(HValue::Int(3))));
+        assert!(matches!(heap.whnf(ind), Some(crate::heap::Whnf::Int(3))));
+    }
+
+    #[test]
+    fn immediates_and_evacuated_nurseries_are_no_ops_for_the_marker() {
+        let mut heap = Heap::new();
+        let t = heap.alloc_tenured(Node::Value(HValue::Int(5)));
+        let mut c = Collector::new(heap.tenured_len());
+        c.mark_root(NodeId::imm_int(7).unwrap());
+        c.mark_root(NodeId::imm_con(Symbol::intern("True")).unwrap());
+        c.mark_root(t);
+        c.trace(&heap);
+        let (freed, _) = c.sweep(&mut heap, None);
+        assert_eq!(freed, 0);
     }
 }

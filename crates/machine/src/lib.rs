@@ -43,7 +43,9 @@ pub use chaos::FaultPlan;
 pub use code::{compile_program, Code, CodeVerifyError};
 pub use coverage::{OpCoverage, OP_KINDS};
 pub use env::{CEnv, MEnv};
-pub use heap::{AuditFinding, HValue, Heap, HeapAudit, Node, NodeId, MAX_AUDIT_FINDINGS};
+pub use heap::{
+    AuditFinding, HValue, Heap, HeapAudit, MinorOutcome, Node, NodeId, Whnf, MAX_AUDIT_FINDINGS,
+};
 pub use interrupt::InterruptHandle;
 pub use machine::{
     Backend, BlackholeMode, Machine, MachineConfig, MachineError, OrderPolicy, Outcome, Stats,
@@ -531,25 +533,29 @@ mod tests {
             "arena should stay bounded, got {} nodes",
             m.heap().len()
         );
-        // Cells were reused: total allocations exceed the (non-interned)
-        // arena, and the free list fed a large share of them. The interned
-        // pool is permanent and never churns, so it is excluded from the
-        // occupancy side of the comparison.
-        let churned = m.heap().len() - m.interned_len();
+        // Cells were recycled: total allocations far exceed the arena that
+        // remains, because churned list cells died in the nursery (minor
+        // collections dropped them without ever tenuring them).
+        let churned = m.heap().len();
         assert!(
             m.stats().allocations as usize > churned,
-            "allocations={} should exceed churned arena {churned}",
+            "allocations={} should exceed the remaining arena {churned}",
             m.stats().allocations,
         );
         assert!(
-            m.stats().freelist_reuses * 2 > m.stats().gc_freed,
-            "most GC-freed cells should be reused: {:?}",
+            m.stats().minor_gcs >= 1,
+            "nursery collections should have run: {:?}",
+            m.stats()
+        );
+        assert!(
+            m.stats().nodes_promoted > 0,
+            "live survivors should have been tenured: {:?}",
             m.stats()
         );
     }
 
     #[test]
-    fn interned_values_are_shared_across_evaluations_and_survive_gc() {
+    fn unboxed_values_are_shared_across_evaluations_and_survive_gc() {
         let mut m = Machine::new(MachineConfig::default());
         let a = m
             .eval(core_of("1 + 2"), &MEnv::empty(), false)
@@ -560,11 +566,13 @@ mod tests {
         let (Outcome::Value(a), Outcome::Value(b)) = (a, b) else {
             panic!("expected values")
         };
-        // Both results are the single interned node for 3.
-        assert_eq!(a, b, "small-int results should be the same interned node");
-        assert!(m.stats().interned_hits >= 2, "{:?}", m.stats());
-        // A full collection (with no roots holding the node) must not
-        // reclaim pool nodes: they stay valid for the embedder.
+        // Both results are the same tagged immediate word for 3 — no heap
+        // cell at all.
+        assert_eq!(a, b, "small-int results should be the same tagged word");
+        assert_eq!(a, NodeId::imm_int(3).unwrap());
+        assert!(m.stats().unboxed_hits >= 2, "{:?}", m.stats());
+        // A full collection cannot touch an immediate (it has no cell):
+        // the id stays valid for the embedder.
         m.collect_with(&[]);
         assert_eq!(m.render(a, 4), "3");
         let t = m
@@ -577,24 +585,36 @@ mod tests {
     }
 
     #[test]
-    fn interned_pool_is_not_counted_as_evaluation_allocations() {
-        // A fresh machine has a populated pool but zero recorded
-        // allocations: `Stats::allocations` measures evaluation work only.
-        let m = Machine::new(MachineConfig::default());
-        assert!(m.interned_len() > 0);
-        assert!(m.heap().len() >= m.interned_len());
+    fn unboxed_literals_are_not_heap_allocations() {
+        // Small integers and nullary constructors live in the tagged id
+        // word itself: a fresh machine has an *empty* heap (the PR 1
+        // intern pool is gone), and arithmetic over small ints produces an
+        // immediate result, not a cell.
+        let mut m = Machine::new(MachineConfig::default());
+        assert_eq!(m.heap().len(), 0);
         assert_eq!(m.stats().allocations, 0);
+        let out = m
+            .eval(core_of("(1 + 2) * 4"), &MEnv::empty(), false)
+            .expect("no machine error");
+        let Outcome::Value(n) = out else {
+            panic!("{out:?}")
+        };
+        assert_eq!(n, NodeId::imm_int(12).unwrap());
+        assert!(m.stats().unboxed_hits >= 1, "{:?}", m.stats());
     }
 
     #[test]
     fn free_list_reuse_keeps_the_arena_at_its_high_water_mark() {
-        // Two identical churn-heavy runs: the second is served largely from
-        // the free list, so the arena must not grow between them.
+        // Two identical churn-heavy runs: the second one's promotions are
+        // served from the free list, so the tenured arena must not grow
+        // between them. The tiny nursery forces minor collections (and
+        // promotions) that the default sizing would absorb entirely.
         let src = "let { mk = \\n -> if n == 0 then [] else n : mk (n - 1)
                        ; len = \\xs -> case xs of { [] -> 0; y:ys -> 1 + len ys } }
                    in len (mk 400)";
         let mut m = Machine::new(MachineConfig {
             gc_threshold: 2_000,
+            nursery_size: 256,
             ..MachineConfig::default()
         });
         let run = |m: &mut Machine| {
@@ -608,13 +628,13 @@ mod tests {
         };
         run(&mut m);
         m.collect_with(&[]);
-        let high_water = m.heap().len();
+        let high_water = m.heap().tenured_len();
         let reuses_before = m.stats().freelist_reuses;
         run(&mut m);
         assert_eq!(
-            m.heap().len(),
+            m.heap().tenured_len(),
             high_water,
-            "second run should be served from the free list"
+            "the second run's promotions should be served from the free list"
         );
         assert!(m.stats().freelist_reuses > reuses_before, "{:?}", m.stats());
     }

@@ -30,7 +30,7 @@ use urk_syntax::{Exception, Symbol};
 use crate::chaos::{ChaosState, FaultPlan};
 use crate::code::LinkedCode;
 use crate::env::MEnv;
-use crate::heap::{HValue, Heap, HeapAudit, Node, NodeId};
+use crate::heap::{HValue, Heap, HeapAudit, Node, NodeId, Whnf};
 use crate::interrupt::InterruptHandle;
 
 /// In which order the machine evaluates the operands of a binary primitive.
@@ -96,9 +96,14 @@ pub struct MachineConfig {
     /// Asynchronous events to inject: `(at_step, exception)`, sorted by
     /// step. Events are global across episodes (steps accumulate).
     pub event_schedule: Vec<(u64, Exception)>,
-    /// Run the mark-sweep collector when the live node count reaches this
-    /// threshold (checked periodically during evaluation).
+    /// Run the major (mark-sweep) collector when the live node count
+    /// reaches this threshold (checked periodically during evaluation).
     pub gc_threshold: usize,
+    /// Nursery capacity in cells: a minor (copying) collection evacuates
+    /// the nursery into the tenured space when it reaches this size. This
+    /// bounds the work per minor collection; the nursery buffer itself is
+    /// reused in place.
+    pub nursery_size: usize,
     /// Enable the garbage collector.
     pub gc: bool,
     /// An externally shared asynchronous-exception cell. When set, the
@@ -136,6 +141,7 @@ impl Default for MachineConfig {
             timeout_on_step_limit: false,
             event_schedule: Vec::new(),
             gc_threshold: 1_000_000,
+            nursery_size: 8_192,
             gc: true,
             interrupt: None,
             chaos: None,
@@ -147,21 +153,22 @@ impl Default for MachineConfig {
 
 /// Counters exposed for the benchmark harness and tests.
 ///
-/// `allocations` counts heap nodes allocated *during evaluation*; the
-/// interned literal pool (small integers, `True`/`False`, nullary
-/// constructors) allocates each entry at most once — on first use — and
-/// hands it out without allocating thereafter (those hits count in
-/// `interned_hits`, not here).
+/// `allocations` counts heap cells allocated *during evaluation* (nursery
+/// and tenured together). Small integers and nullary constructors are
+/// *unboxed*: they are packed into tagged immediate `NodeId` words and
+/// never touch the heap at all — those requests count in `unboxed_hits`,
+/// not here. (The tagged words supersede the old interned literal pool and
+/// its `interned_hits` counter.)
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     pub steps: u64,
     pub allocations: u64,
-    /// Allocations served by reusing a cell the collector reclaimed
-    /// (a subset of `allocations`).
+    /// Tenured allocations served by reusing a cell the major collector
+    /// reclaimed (a subset of `allocations` plus evacuation copies).
     pub freelist_reuses: u64,
-    /// Requests satisfied by the interned literal pool instead of a fresh
-    /// allocation.
-    pub interned_hits: u64,
+    /// Value requests answered with a tagged immediate word (a small
+    /// integer or a nullary constructor) instead of a heap cell.
+    pub unboxed_hits: u64,
     pub thunk_updates: u64,
     pub max_stack_depth: usize,
     /// Frames discarded while trimming for a raise.
@@ -172,10 +179,18 @@ pub struct Stats {
     pub thunks_restored: u64,
     /// Black holes detected (§5.2).
     pub blackholes_detected: u64,
-    /// Garbage collections performed.
+    /// Garbage collections performed (minor and major together).
     pub gc_runs: u64,
-    /// Nodes reclaimed by the collector.
+    /// Minor (copying nursery) collections (a subset of `gc_runs`).
+    pub minor_gcs: u64,
+    /// Major (full mark-sweep) collections (a subset of `gc_runs`).
+    pub major_gcs: u64,
+    /// Nodes reclaimed by the collector (both generations).
     pub gc_freed: u64,
+    /// Nursery cells copied into the tenured space — by minor-collection
+    /// evacuation or by tenuring an evaluation result that escapes to the
+    /// embedder.
+    pub nodes_promoted: u64,
     /// Asynchronous exceptions delivered from outside the step schedule
     /// (interrupt handle or chaos plan).
     pub async_injected: u64,
@@ -250,6 +265,7 @@ enum Control {
 /// backends' run loops; see [`Machine::chaos_decide`]).
 pub(crate) struct ChaosDecision {
     pub(crate) force_gc: bool,
+    pub(crate) force_minor: bool,
     pub(crate) inject: Option<Exception>,
     pub(crate) cap: Option<usize>,
 }
@@ -317,11 +333,13 @@ pub struct Machine {
     /// Registered roots: nodes the embedder still needs across GC (the
     /// top-level program environment, the IO runner's continuations, ...).
     pub(crate) roots: Vec<NodeId>,
-    /// The collector re-arms at this live count (grows if a collection
-    /// fails to get below the configured threshold).
+    /// The major collector re-arms at this live count (grows if a
+    /// collection fails to get below the configured threshold).
     pub(crate) next_gc_at: usize,
-    /// Interned WHNF nodes handed out instead of fresh allocations.
-    pub(crate) pool: InternPool,
+    /// The tagged immediate words for `True`/`False`, cached because
+    /// `Symbol::intern` takes a global lock.
+    pub(crate) true_node: NodeId,
+    pub(crate) false_node: NodeId,
     /// The wall-clock asynchronous delivery cell, polled every step.
     pub(crate) interrupt: InterruptHandle,
     /// Progress through the chaos fault plan, if one is armed.
@@ -334,55 +352,6 @@ pub struct Machine {
     pub(crate) coverage: Option<Box<crate::coverage::OpCoverage>>,
 }
 
-/// The range of integers interned at construction (covers loop counters
-/// and arithmetic results of the common workloads; anything outside is
-/// allocated normally).
-const INT_POOL_MIN: i64 = -128;
-const INT_POOL_MAX: i64 = 4095;
-
-/// Interned immutable value nodes, filled in on first use. These are only
-/// ever *read*: update frames target thunks, and `overwrite_hvalue` targets
-/// embedder-allocated cells, so sharing one node for every occurrence of
-/// `42` or `True` is observationally invisible. All pool nodes are
-/// permanent GC roots. Filling lazily keeps `Machine::new` cheap for
-/// short-lived machines (the oracle builds thousands of them).
-pub(crate) struct InternPool {
-    /// Slot `i` caches the node for `INT_POOL_MIN + i` once allocated.
-    ints: Vec<Option<NodeId>>,
-    ints_filled: usize,
-    true_node: NodeId,
-    false_node: NodeId,
-    /// Lazily interned zero-field constructor values (`Nothing`, `Nil`,
-    /// nullary `Exception` constructors, ...).
-    cons: std::collections::HashMap<Symbol, NodeId>,
-}
-
-impl InternPool {
-    fn build(heap: &mut Heap) -> InternPool {
-        let t = Symbol::intern("True");
-        let f = Symbol::intern("False");
-        let true_node = heap.alloc(Node::Value(HValue::Con(t, vec![])));
-        let false_node = heap.alloc(Node::Value(HValue::Con(f, vec![])));
-        let cons = std::collections::HashMap::from([(t, true_node), (f, false_node)]);
-        InternPool {
-            ints: vec![None; (INT_POOL_MAX - INT_POOL_MIN + 1) as usize],
-            ints_filled: 0,
-            true_node,
-            false_node,
-            cons,
-        }
-    }
-
-    pub(crate) fn mark(&self, c: &mut crate::gc::Collector) {
-        for id in self.ints.iter().flatten() {
-            c.mark_root(*id);
-        }
-        for id in self.cons.values() {
-            c.mark_root(*id);
-        }
-    }
-}
-
 impl Machine {
     /// Creates a machine.
     pub fn new(config: MachineConfig) -> Machine {
@@ -392,8 +361,11 @@ impl Machine {
         };
         let next_timeout_at = config.max_steps;
         let next_gc_at = config.gc_threshold;
-        let mut heap = Heap::new();
-        let pool = InternPool::build(&mut heap);
+        let heap = Heap::new();
+        let true_node =
+            NodeId::imm_con(Symbol::intern("True")).expect("interner index fits a tagged word");
+        let false_node =
+            NodeId::imm_con(Symbol::intern("False")).expect("interner index fits a tagged word");
         let interrupt = config.interrupt.clone().unwrap_or_default();
         let chaos = config.chaos.clone().map(ChaosState::new);
         let coverage = config
@@ -408,7 +380,8 @@ impl Machine {
             next_timeout_at,
             roots: Vec::new(),
             next_gc_at,
-            pool,
+            true_node,
+            false_node,
             interrupt,
             chaos,
             code: None,
@@ -463,43 +436,39 @@ impl Machine {
         }
     }
 
-    /// The interned node for an integer value (allocated on first use,
-    /// shared ever after).
+    /// The node for an integer value: a tagged immediate word for the
+    /// 30-bit range (no allocation at all), a boxed nursery cell otherwise.
     pub(crate) fn int_node(&mut self, n: i64) -> NodeId {
-        if (INT_POOL_MIN..=INT_POOL_MAX).contains(&n) {
-            let slot = (n - INT_POOL_MIN) as usize;
-            if let Some(id) = self.pool.ints[slot] {
-                self.stats.interned_hits += 1;
-                return id;
+        match NodeId::imm_int(n) {
+            Some(id) => {
+                self.stats.unboxed_hits += 1;
+                id
             }
-            let id = self.alloc_value(HValue::Int(n));
-            self.pool.ints[slot] = Some(id);
-            self.pool.ints_filled += 1;
-            return id;
+            None => self.alloc_value(HValue::Int(n)),
         }
-        self.alloc_value(HValue::Int(n))
     }
 
-    /// The interned `True`/`False` node.
+    /// The tagged immediate for `True`/`False`.
     pub(crate) fn bool_node(&mut self, b: bool) -> NodeId {
-        self.stats.interned_hits += 1;
+        self.stats.unboxed_hits += 1;
         if b {
-            self.pool.true_node
+            self.true_node
         } else {
-            self.pool.false_node
+            self.false_node
         }
     }
 
-    /// The interned node for a zero-field constructor value (allocated on
-    /// first use, shared ever after).
+    /// The node for a zero-field constructor value: a tagged immediate
+    /// word (the symbol's interner index is the payload), boxed only in
+    /// the astronomically unlikely case the index overflows the payload.
     pub(crate) fn nullary_con_node(&mut self, c: Symbol) -> NodeId {
-        if let Some(id) = self.pool.cons.get(&c) {
-            self.stats.interned_hits += 1;
-            return *id;
+        match NodeId::imm_con(c) {
+            Some(id) => {
+                self.stats.unboxed_hits += 1;
+                id
+            }
+            None => self.alloc_value(HValue::Con(c, vec![])),
         }
-        let id = self.alloc_value(HValue::Con(c, vec![]));
-        self.pool.cons.insert(c, id);
-        id
     }
 
     /// The accumulated statistics.
@@ -521,19 +490,28 @@ impl Machine {
         &self.heap
     }
 
-    /// Number of permanently interned nodes (small ints, booleans, nullary
-    /// constructors). These live in the heap but are allocated once at
-    /// startup (or on first use) and never churn, so diagnostics comparing
-    /// `stats().allocations` against heap occupancy should subtract this.
-    pub fn interned_len(&self) -> usize {
-        self.pool.ints_filled + self.pool.cons.len()
+    /// Registers a node as a GC root (stack discipline with
+    /// [`Machine::pop_root`]) and returns its index in the root stack.
+    /// The top-level program environment and any node the embedder holds
+    /// across evaluations must be rooted. Minor collections *rewrite*
+    /// registered roots in place (the nursery is a copying space), so an
+    /// embedder that holds a rooted node across evaluations must re-read
+    /// it through [`Machine::root`] with the returned index.
+    pub fn push_root(&mut self, id: NodeId) -> usize {
+        self.roots.push(id);
+        self.roots.len() - 1
     }
 
-    /// Registers a node as a GC root (stack discipline with
-    /// [`Machine::pop_root`]). The top-level program environment and any
-    /// node the embedder holds across evaluations must be rooted.
-    pub fn push_root(&mut self, id: NodeId) {
-        self.roots.push(id);
+    /// The current id of the registered root at `idx` (see
+    /// [`Machine::push_root`] for why ids must be re-read).
+    pub fn root(&self, idx: usize) -> NodeId {
+        self.roots[idx]
+    }
+
+    /// Replaces the registered root at `idx` (the IO runner steers its
+    /// continuation roots through this instead of popping and re-pushing).
+    pub fn set_root(&mut self, idx: usize, id: NodeId) {
+        self.roots[idx] = id;
     }
 
     /// Unregisters the most recently pushed root.
@@ -541,12 +519,32 @@ impl Machine {
         self.roots.pop()
     }
 
-    /// Runs a collection now with the registered roots plus `extra`.
-    /// Returns the number of nodes reclaimed.
+    /// Runs a full collection now (minor evacuation, then a major
+    /// mark-sweep) with the registered roots plus `extra`. Returns the
+    /// number of cells reclaimed across both generations.
+    ///
+    /// Registered roots are rewritten in place; the caller's copies of
+    /// `extra` are kept *alive* but nursery ids among them are not
+    /// rewritten — hold evaluation results (always tenured or immediate)
+    /// across this call, not raw nursery ids.
     pub fn collect_with(&mut self, extra: &[NodeId]) -> u64 {
-        let mut c = crate::gc::Collector::new(self.heap.len());
-        self.pool.mark(&mut c);
-        for r in self.roots.iter().chain(extra) {
+        let reuses_before = self.heap.reuses();
+        let mut extras: Vec<NodeId> = extra.to_vec();
+        let Machine { heap, roots, .. } = self;
+        let outcome = heap.collect_minor(&mut |f| {
+            for r in roots.iter_mut() {
+                *r = f(*r);
+            }
+            for r in extras.iter_mut() {
+                *r = f(*r);
+            }
+        });
+        self.stats.minor_gcs += 1;
+        self.stats.gc_runs += 1;
+        self.stats.nodes_promoted += outcome.promoted;
+        self.stats.freelist_reuses += self.heap.reuses() - reuses_before;
+        let mut c = crate::gc::Collector::new(self.heap.tenured_len());
+        for r in self.roots.iter().chain(&extras) {
             c.mark_root(*r);
         }
         c.trace(&self.heap);
@@ -554,21 +552,46 @@ impl Machine {
         let (freed, head) = c.sweep(&mut self.heap, prev_free);
         self.heap.set_free_list(head, freed);
         self.stats.gc_runs += 1;
-        self.stats.gc_freed += freed;
-        freed
+        self.stats.major_gcs += 1;
+        self.stats.gc_freed += freed + outcome.freed;
+        freed + outcome.freed
     }
 
-    /// Collects mid-run: marks the transient roots of the current control
-    /// and stack, then the registered roots.
-    fn collect_during_run(&mut self, control: &Control, stack: &[Frame]) {
-        let mut c = crate::gc::Collector::new(self.heap.len());
-        self.pool.mark(&mut c);
-        match control {
+    /// A minor collection mid-run: evacuates the live nursery into the
+    /// tenured space, rewriting every root the run loop holds — the
+    /// registered roots, the current control, and every stack frame.
+    fn minor_collect(&mut self, control: &mut Control, stack: &mut [Frame]) {
+        let reuses_before = self.heap.reuses();
+        let Machine { heap, roots, .. } = self;
+        let outcome = heap.collect_minor(&mut |f| {
+            for r in roots.iter_mut() {
+                *r = f(*r);
+            }
+            rewrite_control(control, f);
+            for frame in stack.iter_mut() {
+                rewrite_frame(frame, f);
+            }
+        });
+        self.stats.minor_gcs += 1;
+        self.stats.gc_runs += 1;
+        self.stats.nodes_promoted += outcome.promoted;
+        self.stats.gc_freed += outcome.freed;
+        self.stats.freelist_reuses += self.heap.reuses() - reuses_before;
+    }
+
+    /// A major collection mid-run: evacuates the nursery first (so every
+    /// live reference is immediate or tenured), then marks the transient
+    /// roots of the current control and stack plus the registered roots
+    /// and sweeps the tenured arena.
+    fn collect_during_run(&mut self, control: &mut Control, stack: &mut [Frame]) {
+        self.minor_collect(control, stack);
+        let mut c = crate::gc::Collector::new(self.heap.tenured_len());
+        match &*control {
             Control::Eval(_, env) => c.mark_env(env),
             Control::Enter(n) | Control::Return(n) => c.mark_root(*n),
             Control::Raising(_) => {}
         }
-        for f in stack {
+        for f in stack.iter() {
             match f {
                 Frame::Update(n) | Frame::Apply(n) => c.mark_root(*n),
                 Frame::Select { env, .. }
@@ -595,6 +618,7 @@ impl Machine {
         let (freed, head) = c.sweep(&mut self.heap, prev_free);
         self.heap.set_free_list(head, freed);
         self.stats.gc_runs += 1;
+        self.stats.major_gcs += 1;
         self.stats.gc_freed += freed;
         // Re-arm: if the collection did not reclaim much, back off so we
         // do not thrash.
@@ -604,9 +628,22 @@ impl Machine {
 
     /// Allocates a thunk for `expr` — except that variables reuse their
     /// bound node (preserving sharing) and literals go straight to a WHNF
-    /// value node (interned where possible), skipping the thunk/update
-    /// round trip entirely.
+    /// value (a tagged immediate where possible), skipping the
+    /// thunk/update round trip entirely.
+    ///
+    /// Public entry point for embedders: anything allocated is *tenured*,
+    /// so the returned id stays valid across collections (nursery cells
+    /// move). The run loop's internal allocations use the nursery variant.
     pub fn alloc_expr(&mut self, expr: &Rc<Expr>, env: &MEnv) -> NodeId {
+        let id = self.alloc_expr_nursery(expr, env);
+        self.tenure_result(id)
+    }
+
+    /// The run loop's allocator for `alloc_expr`: fresh cells go to the
+    /// bump-allocated nursery (ids are rewritten by minor collections, so
+    /// only the run loop — whose roots the collector rewrites — may hold
+    /// them).
+    pub(crate) fn alloc_expr_nursery(&mut self, expr: &Rc<Expr>, env: &MEnv) -> NodeId {
         match &**expr {
             Expr::Var(v) => {
                 if let Some(n) = env.lookup(*v) {
@@ -626,14 +663,16 @@ impl Machine {
     }
 
     /// Allocates a WHNF value node (used by the IO layer to feed results
-    /// back into the graph).
+    /// back into the graph). Tenured: the caller holds the id across
+    /// evaluations.
     pub fn alloc_hvalue(&mut self, v: HValue) -> NodeId {
-        self.alloc(Node::Value(v))
+        self.alloc_tenured(Node::Value(v))
     }
 
-    /// Allocates an explicit thunk node.
+    /// Allocates an explicit thunk node. Tenured, like
+    /// [`Machine::alloc_hvalue`].
     pub fn alloc_thunk(&mut self, expr: Rc<Expr>, env: MEnv) -> NodeId {
-        self.alloc(Node::Thunk { expr, env })
+        self.alloc_tenured(Node::Thunk { expr, env })
     }
 
     /// Overwrites a node (resolving indirections first) with a new WHNF
@@ -648,37 +687,87 @@ impl Machine {
         self.heap.resolve(id)
     }
 
+    /// A nursery (bump) allocation — run-loop internal only.
     pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
         self.stats.allocations += 1;
-        if self.heap.free_list().is_some() {
-            self.stats.freelist_reuses += 1;
-        }
         self.heap.alloc(node)
+    }
+
+    /// A tenured allocation — for cells the embedder holds across
+    /// evaluations (ids are stable; nursery ids move).
+    pub(crate) fn alloc_tenured(&mut self, node: Node) -> NodeId {
+        self.stats.allocations += 1;
+        let before = self.heap.reuses();
+        let id = self.heap.alloc_tenured(node);
+        self.stats.freelist_reuses += self.heap.reuses() - before;
+        id
     }
 
     pub(crate) fn alloc_value(&mut self, v: HValue) -> NodeId {
         self.alloc(Node::Value(v))
     }
 
+    /// Resolves `id` to a stable handle: immediates and tenured ids pass
+    /// through; a nursery representative is copied into the tenured space
+    /// (leaving an indirection behind, so sharing is preserved). Every
+    /// evaluation result returned to an embedder goes through this.
+    pub(crate) fn tenure_result(&mut self, id: NodeId) -> NodeId {
+        let r = self.heap.resolve(id);
+        if !r.is_nursery() {
+            return r;
+        }
+        self.stats.nodes_promoted += 1;
+        let before = self.heap.reuses();
+        let t = self.heap.promote(r);
+        self.stats.freelist_reuses += self.heap.reuses() - before;
+        t
+    }
+
+    pub(crate) fn tenure_outcome(&mut self, outcome: Outcome) -> Outcome {
+        match outcome {
+            Outcome::Value(id) => Outcome::Value(self.tenure_result(id)),
+            other => other,
+        }
+    }
+
     /// Ties the knot for a recursive binding group at the *top level*,
     /// registering the bound nodes as GC roots, and returns the extended
-    /// environment.
+    /// environment. The thunks are tenured: the returned environment is
+    /// held by the embedder, and its entries must survive minor
+    /// collections unmoved.
     pub fn bind_recursive(&mut self, binds: &[(Symbol, Rc<Expr>)], env: &MEnv) -> MEnv {
-        let env2 = self.bind_recursive_inner(binds, env);
-        env2.for_each_node(|n| self.roots.push(n));
+        let env2 = self.bind_recursive_with(binds, env, true);
+        env2.for_each_node(|n| {
+            self.roots.push(n);
+        });
         env2
     }
 
     /// Ties the knot for a `letrec` group without rooting (the bindings
-    /// are reachable from the enclosing environment).
+    /// are reachable from the enclosing environment); the run loop's
+    /// nursery-allocating path.
     fn bind_recursive_inner(&mut self, binds: &[(Symbol, Rc<Expr>)], env: &MEnv) -> MEnv {
+        self.bind_recursive_with(binds, env, false)
+    }
+
+    fn bind_recursive_with(
+        &mut self,
+        binds: &[(Symbol, Rc<Expr>)],
+        env: &MEnv,
+        tenured: bool,
+    ) -> MEnv {
         let nodes: Vec<NodeId> = binds
             .iter()
             .map(|(_, rhs)| {
-                self.alloc(Node::Thunk {
+                let node = Node::Thunk {
                     expr: rhs.clone(),
                     env: MEnv::empty(),
-                })
+                };
+                if tenured {
+                    self.alloc_tenured(node)
+                } else {
+                    self.alloc(node)
+                }
             })
             .collect();
         let mut env2 = env.clone();
@@ -713,6 +802,10 @@ impl Machine {
     /// built by either backend just works.
     pub fn eval_node(&mut self, node: NodeId, catch: bool) -> Result<Outcome, MachineError> {
         let r = self.heap.resolve(node);
+        if r.is_imm() {
+            // Tagged immediates are already WHNF — nothing to run.
+            return Ok(Outcome::Value(r));
+        }
         if matches!(
             self.heap.get(r),
             Node::CThunk { .. } | Node::CBlackhole { .. }
@@ -752,7 +845,7 @@ impl Machine {
                 }
             }
             if self.chaos.is_some() {
-                if let Some(next) = self.chaos_tick(&control, &stack) {
+                if let Some(next) = self.chaos_tick(&mut control, &mut stack) {
                     control = next;
                 }
             }
@@ -770,11 +863,13 @@ impl Machine {
             if stack.len() >= self.config.max_stack && !matches!(control, Control::Raising(_)) {
                 control = Control::Raising(Exception::StackOverflow);
             }
-            if self.config.gc
-                && self.heap.live() >= self.next_gc_at
-                && self.heap.live() < self.config.max_heap
-            {
-                self.collect_during_run(&control, &stack);
+            if self.config.gc {
+                if self.heap.nursery_len() >= self.config.nursery_size {
+                    self.minor_collect(&mut control, &mut stack);
+                }
+                if self.heap.live() >= self.next_gc_at && self.heap.live() < self.config.max_heap {
+                    self.collect_during_run(&mut control, &mut stack);
+                }
             }
             if self.heap.live() >= self.config.max_heap && !matches!(control, Control::Raising(_)) {
                 control = Control::Raising(Exception::HeapOverflow);
@@ -786,11 +881,11 @@ impl Machine {
                 Control::Enter(node) => self.step_enter(node, &mut stack),
                 Control::Return(node) => match self.step_return(node, &mut stack) {
                     StepResult::Continue(c) => c,
-                    StepResult::Done(outcome) => return Ok(outcome),
+                    StepResult::Done(outcome) => return Ok(self.tenure_outcome(outcome)),
                 },
                 Control::Raising(exn) => match self.step_raise(exn, &mut stack) {
                     StepResult::Continue(c) => c,
-                    StepResult::Done(outcome) => return Ok(outcome),
+                    StepResult::Done(outcome) => return Ok(self.tenure_outcome(outcome)),
                 },
             };
         }
@@ -803,14 +898,32 @@ impl Machine {
     /// undisturbed behaviour. Returns the replacement control when a fault
     /// fires, `None` when this step is undisturbed (the common case — kept
     /// out of the return value so the hot loop never moves `Control`).
-    fn chaos_tick(&mut self, control: &Control, stack: &[Frame]) -> Option<Control> {
-        let raising = matches!(control, Control::Raising(_));
+    fn chaos_tick(&mut self, control: &mut Control, stack: &mut [Frame]) -> Option<Control> {
+        let raising = matches!(&*control, Control::Raising(_));
         let d = self.chaos_decide(raising)?;
+        let sabotage = self
+            .chaos
+            .as_ref()
+            .is_some_and(|st| st.plan.sabotage_forwarding);
+        if d.force_minor {
+            self.stats.forced_gcs += 1;
+            self.minor_collect(control, stack);
+            if sabotage {
+                // Test-only sabotage: strand a stale forwarding pointer
+                // to prove the generational audit catches evacuation
+                // corruption (the planted cell is unreachable, so
+                // execution and re-evaluation stay sound).
+                self.heap.plant_stale_forwarding();
+            }
+        }
         if d.force_gc {
             // Rooted at the pre-fault control: conservative (keeps at most
             // one extra node alive for one cycle) and correct either way.
             self.stats.forced_gcs += 1;
             self.collect_during_run(control, stack);
+            if sabotage {
+                self.heap.plant_stale_forwarding();
+            }
         }
         if let Some(exn) = d.inject {
             self.stats.async_injected += 1;
@@ -842,6 +955,7 @@ impl Machine {
         }
         let mut inject: Option<Exception> = None;
         let mut force_gc = false;
+        let mut force_minor = false;
         if let Some((at, e)) = st.plan.injections.get(st.next_injection) {
             if step >= *at && !raising {
                 st.next_injection += 1;
@@ -854,6 +968,12 @@ impl Machine {
                 force_gc = true;
             }
         }
+        if let Some(at) = st.plan.force_minor_at.get(st.next_minor) {
+            if step >= *at {
+                st.next_minor += 1;
+                force_minor = true;
+            }
+        }
         while let Some((at, c)) = st.plan.heap_budget.get(st.next_budget) {
             if step >= *at {
                 st.active_cap = Some(*c);
@@ -864,6 +984,7 @@ impl Machine {
         }
         Some(ChaosDecision {
             force_gc,
+            force_minor,
             inject,
             cap: st.active_cap,
         })
@@ -884,7 +1005,10 @@ impl Machine {
                 if args.is_empty() {
                     return Control::Return(self.nullary_con_node(*c));
                 }
-                let fields = args.iter().map(|a| self.alloc_expr(a, &env)).collect();
+                let fields = args
+                    .iter()
+                    .map(|a| self.alloc_expr_nursery(a, &env))
+                    .collect();
                 Control::Return(self.alloc_value(HValue::Con(*c, fields)))
             }
             Expr::Lam(x, b) => Control::Return(self.alloc_value(HValue::Fun {
@@ -893,12 +1017,12 @@ impl Machine {
                 env,
             })),
             Expr::App(f, x) => {
-                let arg = self.alloc_expr(x, &env);
+                let arg = self.alloc_expr_nursery(x, &env);
                 stack.push(Frame::Apply(arg));
                 Control::Eval(f.clone(), env)
             }
             Expr::Let(x, rhs, body) => {
-                let t = self.alloc_expr(rhs, &env);
+                let t = self.alloc_expr_nursery(rhs, &env);
                 Control::Eval(body.clone(), env.bind(*x, t))
             }
             Expr::LetRec(binds, body) => {
@@ -982,9 +1106,16 @@ impl Machine {
 
     fn step_enter(&mut self, node: NodeId, stack: &mut Vec<Frame>) -> Control {
         let node = self.heap.resolve(node);
+        if node.is_imm() {
+            // Tagged immediates are WHNF already.
+            return Control::Return(node);
+        }
         match self.heap.get(node) {
             Node::Value(_) => Control::Return(node),
             Node::Ind(_) => unreachable!("resolved"),
+            Node::Forwarded(_) => {
+                panic!("entered a stale forwarding pointer — evacuation corruption")
+            }
             Node::Free { .. } => {
                 panic!("entered a freed node — a live node escaped the GC roots")
             }
@@ -1039,10 +1170,10 @@ impl Machine {
                 Control::Return(node)
             }
             Frame::Apply(arg) => {
-                let Some(HValue::Fun { param, body, env }) = self.heap.value(node) else {
-                    panic!("application of a non-function (ill-typed program)");
+                let (param, body, env) = match self.heap.whnf(node) {
+                    Some(Whnf::Fun { param, body, env }) => (param, body.clone(), env.clone()),
+                    _ => panic!("application of a non-function (ill-typed program)"),
                 };
-                let (param, body, env) = (*param, body.clone(), env.clone());
                 Control::Eval(body, env.bind(param, arg))
             }
             Frame::Select { case, env } => {
@@ -1084,11 +1215,11 @@ impl Machine {
             Frame::SeqSecond { expr, env } => Control::Eval(expr, env),
             Frame::RaiseEval => self.convert_and_raise(node, stack),
             Frame::RaisePayload { con } => {
-                let Some(HValue::Str(s)) = self.heap.value(node) else {
-                    panic!("exception payload is not a string (ill-typed program)");
+                let exn = match self.heap.whnf(node) {
+                    Some(Whnf::Str(s)) => Exception::from_constructor(con, Some(s))
+                        .unwrap_or_else(|| panic!("unknown exception constructor '{con}'")),
+                    _ => panic!("exception payload is not a string (ill-typed program)"),
                 };
-                let exn = Exception::from_constructor(con, Some(s))
-                    .unwrap_or_else(|| panic!("unknown exception constructor '{con}'"));
                 Control::Raising(exn)
             }
             Frame::IsExnCatch => {
@@ -1106,11 +1237,7 @@ impl Machine {
 
     /// Matches a WHNF value against case alternatives.
     fn select(&mut self, node: NodeId, alts: &[Alt], env: &MEnv) -> Control {
-        let v = self
-            .heap
-            .value(node)
-            .expect("select on a non-value")
-            .clone();
+        let v = self.heap.whnf(node).expect("select on a non-value");
         for alt in alts {
             let matched = match (&alt.con, &v) {
                 // A default alternative may bind the forced scrutinee.
@@ -1121,12 +1248,12 @@ impl Machine {
                     }
                     Some(env2)
                 }
-                (AltCon::Int(n), HValue::Int(m)) if n == m => Some(env.clone()),
-                (AltCon::Char(a), HValue::Char(b)) if a == b => Some(env.clone()),
-                (AltCon::Str(a), HValue::Str(b)) if **a == **b => Some(env.clone()),
-                (AltCon::Con(c), HValue::Con(d, fields)) if c == d => {
+                (AltCon::Int(n), Whnf::Int(m)) if n == m => Some(env.clone()),
+                (AltCon::Char(a), Whnf::Char(b)) if a == b => Some(env.clone()),
+                (AltCon::Str(a), Whnf::Str(b)) if **a == ***b => Some(env.clone()),
+                (AltCon::Con(c), Whnf::Con(d, fields)) if c == d => {
                     let mut env2 = env.clone();
-                    for (b, f) in alt.binders.iter().zip(fields) {
+                    for (b, f) in alt.binders.iter().zip(fields.iter()) {
                         env2 = env2.bind(*b, *f);
                     }
                     Some(env2)
@@ -1143,11 +1270,11 @@ impl Machine {
     /// Converts a WHNF `Exception` constructor value into a raise,
     /// forcing the string payload first if there is one.
     fn convert_and_raise(&mut self, node: NodeId, stack: &mut Vec<Frame>) -> Control {
-        let Some(HValue::Con(name, fields)) = self.heap.value(node) else {
-            panic!("raise applied to a non-Exception value (ill-typed program)");
+        let (name, payload) = match self.heap.whnf(node) {
+            Some(Whnf::Con(name, fields)) => (name, fields.first().copied()),
+            _ => panic!("raise applied to a non-Exception value (ill-typed program)"),
         };
-        let (name, fields) = (*name, fields.clone());
-        match fields.first() {
+        match payload {
             None => {
                 let exn = Exception::from_constructor(name, None)
                     .unwrap_or_else(|| panic!("unknown exception constructor '{name}'"));
@@ -1155,7 +1282,7 @@ impl Machine {
             }
             Some(payload) => {
                 stack.push(Frame::RaisePayload { con: name });
-                Control::Enter(*payload)
+                Control::Enter(payload)
             }
         }
     }
@@ -1223,20 +1350,20 @@ impl Machine {
     pub(crate) fn apply_prim(&mut self, op: PrimOp, nodes: &[NodeId]) -> PrimResult {
         use PrimOp::*;
         let int = |m: &Machine, i: usize| -> i64 {
-            match m.heap.value(nodes[i]) {
-                Some(HValue::Int(n)) => *n,
+            match m.heap.whnf(nodes[i]) {
+                Some(Whnf::Int(n)) => n,
                 other => panic!("primop {op:?} expected Int, got {other:?}"),
             }
         };
         let chr = |m: &Machine, i: usize| -> char {
-            match m.heap.value(nodes[i]) {
-                Some(HValue::Char(c)) => *c,
+            match m.heap.whnf(nodes[i]) {
+                Some(Whnf::Char(c)) => c,
                 other => panic!("primop {op:?} expected Char, got {other:?}"),
             }
         };
         let string = |m: &Machine, i: usize| -> Rc<str> {
-            match m.heap.value(nodes[i]) {
-                Some(HValue::Str(s)) => s.clone(),
+            match m.heap.whnf(nodes[i]) {
+                Some(Whnf::Str(s)) => s.clone(),
                 other => panic!("primop {op:?} expected Str, got {other:?}"),
             }
         };
@@ -1322,33 +1449,68 @@ impl Machine {
     }
 
     fn render_value(&mut self, node: NodeId, depth: u32) -> String {
-        let v = self
-            .heap
-            .value(node)
-            .expect("rendered node in WHNF")
-            .clone();
-        match v {
-            HValue::Int(n) => n.to_string(),
-            HValue::Char(c) => format!("{c:?}"),
-            HValue::Str(s) => format!("{s:?}"),
-            HValue::Fun { .. } | HValue::CFun { .. } => "<function>".into(),
-            HValue::Con(c, fields) if fields.is_empty() => c.to_string(),
-            HValue::Con(c, fields) => {
-                if depth == 0 {
-                    return format!("{c} ...");
-                }
-                let mut out = c.to_string();
-                for f in fields {
-                    let inner = self.render(f, depth - 1);
-                    if inner.contains(' ') && !inner.starts_with('(') && !inner.starts_with('"') {
-                        out.push_str(&format!(" ({inner})"));
-                    } else {
-                        out.push_str(&format!(" {inner}"));
-                    }
-                }
-                out
+        // `node` is an episode result: immediate or tenured (results are
+        // promoted on return), so it is stable across the collections that
+        // rendering a field may trigger.
+        let (con, n_fields) = match self.heap.whnf(node).expect("rendered node in WHNF") {
+            Whnf::Int(n) => return n.to_string(),
+            Whnf::Char(c) => return format!("{c:?}"),
+            Whnf::Str(s) => return format!("{s:?}"),
+            Whnf::Fun { .. } | Whnf::CFun { .. } => return "<function>".into(),
+            Whnf::Con(c, []) => return c.to_string(),
+            Whnf::Con(c, fields) => (c, fields.len()),
+        };
+        if depth == 0 {
+            return format!("{con} ...");
+        }
+        let mut out = con.to_string();
+        for i in 0..n_fields {
+            // Re-read the field from the stable parent each time:
+            // rendering the previous field may have run a minor collection
+            // that rewrote the remaining fields' nursery ids.
+            let f = match self.heap.whnf(node) {
+                Some(Whnf::Con(_, fields)) => fields[i],
+                _ => unreachable!("constructor scrutinised above"),
+            };
+            let inner = self.render(f, depth - 1);
+            if inner.contains(' ') && !inner.starts_with('(') && !inner.starts_with('"') {
+                out.push_str(&format!(" ({inner})"));
+            } else {
+                out.push_str(&format!(" {inner}"));
             }
         }
+        out
+    }
+}
+
+/// Rewrites every node reference the run loop's control holds through `f`
+/// (the minor collector's evacuation function).
+fn rewrite_control(control: &mut Control, f: &mut dyn FnMut(NodeId) -> NodeId) {
+    match control {
+        Control::Eval(_, env) => env.update_nodes(f),
+        Control::Enter(n) | Control::Return(n) => *n = f(*n),
+        Control::Raising(_) => {}
+    }
+}
+
+/// Rewrites every node reference a stack frame holds through `f`.
+fn rewrite_frame(frame: &mut Frame, f: &mut dyn FnMut(NodeId) -> NodeId) {
+    match frame {
+        Frame::Update(n) | Frame::Apply(n) => *n = f(*n),
+        Frame::Select { env, .. }
+        | Frame::SeqSecond { env, .. }
+        | Frame::MapExnCatch { env, .. } => env.update_nodes(f),
+        Frame::PrimArgs { env, results, .. } => {
+            env.update_nodes(f);
+            for r in results.iter_mut().flatten() {
+                *r = f(*r);
+            }
+        }
+        Frame::RaiseEval
+        | Frame::RaisePayload { .. }
+        | Frame::IsExnCatch
+        | Frame::UnsafeGetExnCatch
+        | Frame::Catch => {}
     }
 }
 

@@ -77,6 +77,19 @@ impl Symbol {
     pub fn is_generated(self) -> bool {
         self.as_str().starts_with('$')
     }
+
+    /// The raw interner index, for embedders that pack symbols into tagged
+    /// words. Only meaningful when round-tripped through
+    /// [`Symbol::from_raw`] in the same process.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a symbol from [`Symbol::raw`]. The index must have come
+    /// from `raw` in this process; anything else may panic on use.
+    pub fn from_raw(raw: u32) -> Symbol {
+        Symbol(raw)
+    }
 }
 
 impl fmt::Debug for Symbol {

@@ -1,0 +1,144 @@
+//! Regression battery over the checked-in fuzz corpus.
+//!
+//! Every `corpus/*.urk` case was admitted for coverage novelty by a past
+//! fuzz campaign — each one is a shape (raises buried under laziness,
+//! order-dependent exception sets, partial matches, deep recursion) that
+//! once exercised a distinct machine path. This suite promotes the whole
+//! corpus to a standing differential battery: each case must evaluate
+//! identically on the tree and compiled backends under both deterministic
+//! order policies, and the outcome must refine the denotational semantics
+//! (§3.5: a raised exception is a member of the denoted set; a value is
+//! *the* denoted value).
+//!
+//! The corpus is auto-discovered, so newly admitted cases join the
+//! battery without edits here.
+
+use std::fs;
+use std::path::PathBuf;
+
+use urk::{Backend, OrderPolicy, Session};
+
+fn corpus_cases() -> Vec<(PathBuf, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("corpus dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "urk"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let src = fs::read_to_string(&p).expect("read case");
+            (p, src)
+        })
+        .collect()
+}
+
+/// A loaded session pair (tree, compiled) with the given order policy.
+fn backend_pair(src: &str, order: OrderPolicy) -> (Session, Session) {
+    let mut tree = Session::new();
+    tree.options.machine.order = order;
+    tree.load(src).expect("corpus case loads on tree session");
+    let mut compiled = Session::new();
+    compiled.options.machine.order = order;
+    compiled.options.backend = Backend::Compiled;
+    compiled
+        .load(src)
+        .expect("corpus case loads on compiled session");
+    (tree, compiled)
+}
+
+/// Machine and oracle spell buried exceptional fields differently
+/// (`raise {...}` vs `Bad {...}`); compare spines only in that case, full
+/// renderings otherwise — the same normalization the chaos driver and the
+/// fuzz oracle use.
+fn renders_agree(machine: &str, denot: &str) -> bool {
+    if denot.contains("Bad {") {
+        machine.split_whitespace().next() == denot.split_whitespace().next()
+    } else {
+        machine == denot.replace("(Bad {", "(raise {")
+    }
+}
+
+#[test]
+fn every_corpus_case_agrees_across_backends_and_orders() {
+    let cases = corpus_cases();
+    assert!(
+        cases.len() >= 30,
+        "expected the checked-in corpus, found {} cases",
+        cases.len()
+    );
+    for (path, src) in &cases {
+        let name = path.file_name().unwrap().to_string_lossy();
+        for order in [OrderPolicy::LeftToRight, OrderPolicy::RightToLeft] {
+            let (tree, compiled) = backend_pair(src, order);
+            let a = tree
+                .eval("counterexample")
+                .unwrap_or_else(|e| panic!("{name} ({order:?}): tree: {e}"));
+            let b = compiled
+                .eval("counterexample")
+                .unwrap_or_else(|e| panic!("{name} ({order:?}): compiled: {e}"));
+            assert_eq!(
+                a.rendered, b.rendered,
+                "{name} ({order:?}): rendered outcome diverged"
+            );
+            assert_eq!(
+                a.exception, b.exception,
+                "{name} ({order:?}): representative exception diverged"
+            );
+
+            // Refinement against the denotational oracle.
+            match &a.exception {
+                Some(exn) => {
+                    let set = tree
+                        .exception_set("counterexample")
+                        .unwrap_or_else(|e| panic!("{name}: denotation: {e}"))
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "{name} ({order:?}): machine raised {exn} but the denotation is Ok"
+                            )
+                        });
+                    assert!(
+                        set.contains(exn),
+                        "{name} ({order:?}): {exn} outside the denoted set {set}"
+                    );
+                }
+                None => {
+                    let oracle = tree
+                        .denot_show("counterexample", 32)
+                        .unwrap_or_else(|e| panic!("{name}: denotation: {e}"));
+                    assert!(
+                        renders_agree(&a.rendered, &oracle),
+                        "{name} ({order:?}): machine value {} disagrees with oracle {oracle}",
+                        a.rendered
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_outcomes_are_stable_across_repeated_evaluation() {
+    // Same session, evaluated twice: generational collections between
+    // episodes must never change an answer (thunks promoted by the first
+    // evaluation are reused by the second).
+    for (path, src) in &corpus_cases() {
+        let name = path.file_name().unwrap().to_string_lossy();
+        let (tree, compiled) = backend_pair(src, OrderPolicy::LeftToRight);
+        for s in [&tree, &compiled] {
+            let first = s
+                .eval("counterexample")
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let second = s
+                .eval("counterexample")
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(first.rendered, second.rendered, "{name}: unstable value");
+            assert_eq!(
+                first.exception, second.exception,
+                "{name}: unstable exception"
+            );
+        }
+    }
+}
