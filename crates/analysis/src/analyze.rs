@@ -89,6 +89,57 @@ impl Analysis {
             summaries: &self.summaries,
         }
     }
+
+    /// Exports the summaries in *binding order* — the same program order
+    /// `urk-machine`'s `compile_program` assigns global indices in — so a
+    /// tier-2 optimiser can index facts by global number. Shadowed names
+    /// repeat the surviving summary (their earlier entries are dead code
+    /// in the compiled image anyway). Known constants are only exported
+    /// for arity-0 bindings: a lambda's "value" is not a literal.
+    pub fn binding_facts(&self, binds: &[(Symbol, Rc<Expr>)]) -> Vec<BindingFact> {
+        binds
+            .iter()
+            .map(|(name, _)| {
+                let Some(s) = self.summaries.get(name) else {
+                    return BindingFact {
+                        name: *name,
+                        arity: 0,
+                        whnf_safe: false,
+                        must_raise: false,
+                        val: None,
+                    };
+                };
+                BindingFact {
+                    name: *name,
+                    arity: s.arity,
+                    whnf_safe: s.body_effect.whnf_safe(),
+                    must_raise: s.body_effect.must_raise,
+                    val: if s.arity == 0 {
+                        s.body_effect.val.clone()
+                    } else {
+                        None
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+/// One binding's facts in positional (global-index) form, for consumers
+/// that address code by index instead of name — see
+/// [`Analysis::binding_facts`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BindingFact {
+    /// The binding's name (diagnostics; position carries the identity).
+    pub name: Symbol,
+    /// Manifest arity of the right-hand side.
+    pub arity: usize,
+    /// Forcing the binding to WHNF provably cannot raise or diverge.
+    pub whnf_safe: bool,
+    /// Forcing the binding certainly raises (or diverges).
+    pub must_raise: bool,
+    /// Known WHNF constant, for arity-0 bindings only.
+    pub val: Option<Val>,
 }
 
 /// Analyse a whole binding group.

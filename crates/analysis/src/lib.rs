@@ -38,7 +38,7 @@ pub mod analyze;
 pub mod effect;
 pub mod lint;
 
-pub use analyze::{analyze_program, Analysis, Summary};
+pub use analyze::{analyze_program, Analysis, BindingFact, Summary};
 pub use effect::{Effect, Val};
 pub use lint::{lint_expr, lint_program, Diagnostic, LintCode};
 
@@ -242,6 +242,31 @@ mod tests {
         let e = urk_syntax::desugar_expr(&e, &data).expect("desugar");
         let eff = an.effect_of(&e, &data);
         assert!(eff.predicted().is_all(), "unknown application must be ⊥");
+    }
+
+    #[test]
+    fn binding_facts_export_in_program_order_with_constants_for_arity_zero() {
+        let (an, _, prog) = analyze_src(
+            "k = 42\n\
+             boom = 1 / 0\n\
+             inc x = x + 1",
+        );
+        let facts = an.binding_facts(&prog.binds);
+        assert_eq!(facts.len(), 3);
+        assert_eq!(facts[0].name, urk_syntax::Symbol::intern("k"));
+        assert!(facts[0].whnf_safe);
+        assert_eq!(facts[0].val, Some(Val::Int(42)));
+        assert!(facts[1].must_raise);
+        assert!(!facts[1].whnf_safe);
+        assert_eq!(facts[1].val, None);
+        // Arity-positive bindings never export a constant: the "value"
+        // of a lambda is not a literal.
+        assert_eq!(facts[2].arity, 1);
+        assert_eq!(facts[2].val, None);
+        // A lambda is itself a WHNF — forcing it cannot raise — but its
+        // body may; whnf_safe reports the *body* effect under opaque
+        // arguments, which is the conservative direction for a licence.
+        assert!(!facts[2].whnf_safe || facts[2].arity > 0);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! E20 — tier-2 superinstruction codegen vs direct tier-1 lowering.
+//!
+//! Both sides execute the same flat `Code` arena on the same machine;
+//! the only difference is the image. Tier 2 reruns the exception-effect
+//! analysis over the workload program and uses it as a licence to fuse
+//! call-free prim regions into atomic superinstructions, speculate lazy
+//! value forms and regions at allocation time (raises stored as poison,
+//! §3.3), substitute proven constants, fold known cases, and install
+//! monomorphic inline caches at known-global call sites. So the delta is
+//! pure administrative-transition count: thunk/Update round-trips and
+//! per-op step prologues the licence proved away.
+//!
+//! The differential battery (`tests/tier2.rs`) proves the two images
+//! agree observationally before this harness times them; the bench
+//! re-asserts the expected answer on both sides anyway.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urk_bench::{compile, lower, lower_t2, pipeline_workload, run_flat, workloads};
+use urk_machine::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codegen/exec");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+
+    let mut suite = workloads();
+    suite.push(pipeline_workload());
+    for w in suite {
+        let compiled = compile(&w);
+        let t1 = lower(&compiled);
+        let t2 = lower_t2(&compiled);
+        // Guard: both images must produce the expected answer before
+        // either is timed, and the tier-2 gauges must show the
+        // optimisations actually fired.
+        assert_eq!(
+            run_flat(&compiled, &t1, MachineConfig::default()).0,
+            w.expected
+        );
+        let (got, stats) = run_flat(&compiled, &t2, MachineConfig::default());
+        assert_eq!(got, w.expected);
+        assert!(
+            stats.fused_steps > 0 && stats.ic_hits > 0,
+            "{}: {stats:?}",
+            w.name
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("tier1", w.name),
+            &(&compiled, &t1),
+            |b, (c, code)| b.iter(|| run_flat(c, code, MachineConfig::default())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tier2", w.name),
+            &(&compiled, &t2),
+            |b, (c, code)| b.iter(|| run_flat(c, code, MachineConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,8 +6,8 @@
 //! ```
 
 use urk_bench::{
-    apply_cbv, compile, deep_propagate, deep_raise, encode, lower, pipeline_workload, run,
-    run_caught, run_flat, workloads,
+    apply_cbv, compile, deep_propagate, deep_raise, encode, lower, lower_t2, pipeline_workload,
+    run, run_caught, run_flat, workloads,
 };
 use urk_machine::{MachineConfig, OrderPolicy};
 use urk_transform::{classify_all, render_table};
@@ -234,4 +234,36 @@ fn main() {
     println!(
         "(Step/allocation counts are deterministic; wall-clock equivalents live in `cargo bench`.)"
     );
+
+    // ------------------------------------------------------------------
+    // E20: tier-2 superinstruction codegen vs direct lowering.
+    // ------------------------------------------------------------------
+    println!();
+    println!("## E20 — tier-2 codegen: steps retired and optimisation gauges");
+    println!();
+    println!("| workload | t1 steps | t2 steps | step delta | fused steps | ic hits | ic misses |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut suite = workloads();
+    suite.push(pipeline_workload());
+    for w in suite {
+        let c = compile(&w);
+        let t1 = lower(&c);
+        let t2 = lower_t2(&c);
+        let (got1, s1) = run_flat(&c, &t1, MachineConfig::default());
+        assert_eq!(got1, w.expected);
+        let (got2, s2) = run_flat(&c, &t2, MachineConfig::default());
+        assert_eq!(got2, w.expected);
+        println!(
+            "| {} | {} | {} | {:+.1}% | {} | {} | {} |",
+            w.name,
+            s1.steps,
+            s2.steps,
+            100.0 * (s2.steps as f64 - s1.steps as f64) / s1.steps as f64,
+            s2.fused_steps,
+            s2.ic_hits,
+            s2.ic_misses,
+        );
+    }
+    println!();
+    println!("(Same machine, same flat executor; only the image differs. Wall-clock medians live in `BENCH_codegen.json`.)");
 }

@@ -158,6 +158,16 @@ pub fn lower(c: &Compiled) -> Arc<Code> {
     Arc::new(compile_program(&c.program.binds))
 }
 
+/// Lowers a workload at tier 2: the exception-effect analysis run over
+/// the program and handed to the superinstruction pass as its licence —
+/// the same pipeline `urk --tier 2` drives.
+pub fn lower_t2(c: &Compiled) -> Arc<Code> {
+    let base = compile_program(&c.program.binds);
+    let analysis = urk::analyze_program(&c.program, &c.data);
+    let facts = urk::tier2_facts_for(analysis, &c.program.binds);
+    Arc::new(urk::tier2_optimize(&base, &facts))
+}
+
 /// Runs a workload through the flat-code executor. The image is linked
 /// per run (cheap: an `Arc` clone plus the query lowering), mirroring a
 /// pool worker picking up a job.

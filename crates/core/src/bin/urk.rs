@@ -16,6 +16,7 @@
 //! urk --jobs 4 --batch exprs.txt       # pooled evaluation, one expr per line
 //! urk --jobs 4 --batch exprs.txt --cache-cap 1024 --stats
 //! urk --expr "f 9" --backend compiled  # run on the flat-code backend
+//! urk --expr "f 9" --backend compiled --tier 2   # superinstruction codegen
 //! urk lint program.urk                 # static exception-effect lint
 //! urk lint --expr "head []"            # lint one expression
 //! urk program.urk --backend compiled --verify-code   # check arenas in release
@@ -31,7 +32,7 @@ use std::process::ExitCode;
 
 use urk::{
     Backend, EvalPool, Exception, IoResult, OrderPolicy, PoolConfig, SemIoResult, ServeConfig,
-    Server, Session, Supervisor,
+    Server, Session, Supervisor, Tier,
 };
 
 struct Args {
@@ -41,6 +42,7 @@ struct Args {
     denot: Option<String>,
     order: OrderPolicy,
     backend: Backend,
+    tier: Tier,
     optimize: bool,
     dump_core: bool,
     stats: bool,
@@ -67,14 +69,15 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: urk [FILE.urk] [--expr E | --type E | --denot E]\n\
-         \x20          [--order l|r|s[:SEED]] [--backend tree|compiled] [--optimize] [--input STR]\n\
+         \x20          [--order l|r|s[:SEED]] [--backend tree|compiled] [--tier 1|2]\n\
+         \x20          [--optimize] [--input STR]\n\
          \x20          [--semantic|--concurrent] [--seed N] [--trace] [--dump-core] [--stats]\n\
          \x20          [--max-steps N] [--max-heap N] [--max-stack N]\n\
          \x20          [--timeout-ms N] [--chaos SEED] [--verify-code]\n\
          \x20          [--batch FILE] [--jobs N] [--cache-cap N]\n\
          \x20      urk lint [FILE.urk] [--expr E] [--optimize]\n\
          \x20      urk serve [FILE.urk] --listen ADDR [--jobs N] [--queue-cap N]\n\
-         \x20          [--cache-cap N] [--timeout-ms N] [--backend tree|compiled]\n\
+         \x20          [--cache-cap N] [--timeout-ms N] [--backend tree|compiled] [--tier 1|2]\n\
          \x20      urk fuzz [--seed N] [--execs N] [--max-depth N] [--chaos-rounds N]\n\
          \x20          [--sabotage] [--interrupt-every N] [--corpus DIR] [--out DIR]\n\
          \x20          [--replay FILE]\n\
@@ -232,6 +235,7 @@ fn parse_args() -> Args {
         denot: None,
         order: OrderPolicy::LeftToRight,
         backend: Backend::Tree,
+        tier: Tier::One,
         optimize: false,
         dump_core: false,
         stats: false,
@@ -309,6 +313,14 @@ fn parse_args() -> Args {
                     _ => usage(),
                 };
             }
+            "--tier" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                out.tier = match v.as_str() {
+                    "1" => Tier::One,
+                    "2" => Tier::Two,
+                    _ => usage(),
+                };
+            }
             "--verify-code" => out.verify_code = true,
             "--help" | "-h" => usage(),
             // The `lint`/`serve` subcommands, intercepted before the
@@ -336,6 +348,7 @@ fn main() -> ExitCode {
     session.options.machine.order = args.order;
     session.options.machine.verify_code = args.verify_code;
     session.options.backend = args.backend;
+    session.options.tier = args.tier;
     if let Some(n) = args.max_steps {
         session.options.machine.max_steps = n;
     }
@@ -651,6 +664,13 @@ fn main() -> ExitCode {
                         eprintln!(
                             "compile: {} ops in {}µs (program + query lowering)",
                             r.stats.compile_ops, r.stats.compile_micros,
+                        );
+                        eprintln!(
+                            "tier: {}  fused-steps: {}  ic-hits: {}  ic-misses: {}",
+                            r.stats.tier.name(),
+                            r.stats.fused_steps,
+                            r.stats.ic_hits,
+                            r.stats.ic_misses,
                         );
                     }
                     if let Ok(set) = session.predicted_exceptions(e) {

@@ -18,8 +18,10 @@
 //!   semantics-relevant slice of the configuration — evaluation order,
 //!   blackhole mode, budgets, the async event schedule, GC policy, the
 //!   denotational fuel/depth/`unsafeIsException` settings, the render
-//!   depth (the rendered string is part of the cached answer), and the
-//!   executing backend (tree-walker vs compiled code). Run-only
+//!   depth (the rendered string is part of the cached answer), the
+//!   executing backend (tree-walker vs compiled code), and the
+//!   execution tier (direct lowering vs the analysis-licensed
+//!   superinstruction image). Run-only
 //!   plumbing (the interrupt handle, the chaos plan, and the
 //!   `verify_code` arena check — a pure pass/panic gate that cannot
 //!   change an answer) is deliberately excluded from the key.
@@ -34,7 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use urk_denot::DenotConfig;
-use urk_machine::{Backend, BlackholeMode, MachineConfig, OrderPolicy, Stats};
+use urk_machine::{Backend, BlackholeMode, MachineConfig, OrderPolicy, Stats, Tier};
 use urk_syntax::core::Expr;
 use urk_syntax::{expr_canonical_bytes, fnv1a, Exception};
 
@@ -73,9 +75,10 @@ pub fn cache_key(
     denot: &DenotConfig,
     render_depth: u32,
     backend: Backend,
+    tier: Tier,
 ) -> CacheKey {
     let expr_bytes = expr_canonical_bytes(expr);
-    let config = config_slice_bytes(machine, denot, render_depth, backend);
+    let config = config_slice_bytes(machine, denot, render_depth, backend, tier);
     let mut all = Vec::with_capacity(expr_bytes.len() + config.len());
     all.extend_from_slice(&expr_bytes);
     all.extend_from_slice(&config);
@@ -94,6 +97,7 @@ fn config_slice_bytes(
     denot: &DenotConfig,
     render_depth: u32,
     backend: Backend,
+    tier: Tier,
 ) -> Vec<u8> {
     let mut out = Vec::with_capacity(96);
     match machine.order {
@@ -131,6 +135,13 @@ fn config_slice_bytes(
     out.push(match backend {
         Backend::Tree => 0x01,
         Backend::Compiled => 0x02,
+    });
+    // Likewise for the execution tier: tier 2 must agree with tier 1 on
+    // every outcome, but keying them apart means a codegen bug degrades
+    // to a duplicated entry instead of cross-tier answer pollution.
+    out.push(match tier {
+        Tier::One => 0x01,
+        Tier::Two => 0x02,
     });
     out
 }

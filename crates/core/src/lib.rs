@@ -64,18 +64,18 @@ pub use cache::{cache_key, CacheKey, CacheStats, CachedEval, ResultCache};
 pub use error::Error;
 pub use pool::{EvalPool, JobLimits, JobOutcome, JobResult, PoolConfig, PoolError, SubmitError};
 pub use serve::{Client, RemoteOutcome, ServeConfig, ServeError, Server};
-pub use session::{EvalResult, Options, Session};
+pub use session::{tier2_facts_for, EvalResult, Options, Session};
 pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use supervise::{SupervisedResult, Supervisor};
 
 // The vocabulary users need, re-exported.
-pub use urk_analysis::{Analysis, Diagnostic, Effect, LintCode};
+pub use urk_analysis::{analyze_program, Analysis, Diagnostic, Effect, LintCode};
 pub use urk_denot::{Denot, DenotConfig, ExnSet, Verdict};
 pub use urk_io::ChaosReport;
 pub use urk_io::{Event, IoResult, RunOutcome, SemIoResult, SemRunOutcome, Trace};
 pub use urk_machine::{
-    Backend, BlackholeMode, Code, FaultPlan, InterruptHandle, MachineConfig, MachineError,
-    OrderPolicy, Stats,
+    tier2_optimize, Backend, BlackholeMode, Code, FaultPlan, InterruptHandle, MachineConfig,
+    MachineError, OrderPolicy, Stats, Tier, Tier2Facts,
 };
 pub use urk_syntax::Exception;
 pub use urk_transform::{classify_all, render_table, LawReport};

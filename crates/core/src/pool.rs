@@ -584,6 +584,7 @@ fn handle_job(
         &session.options.denot,
         session.options.render_depth,
         session.options.backend,
+        session.options.tier,
     );
 
     if let Some(hit) = cache.get(&key) {

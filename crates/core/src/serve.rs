@@ -102,6 +102,9 @@ struct Counters {
     total_jobs: AtomicU64,
     total_steps: AtomicU64,
     total_unboxed_hits: AtomicU64,
+    total_fused_steps: AtomicU64,
+    total_ic_hits: AtomicU64,
+    total_ic_misses: AtomicU64,
     total_compile_micros: AtomicU64,
     total_cache_hits: AtomicU64,
     total_cache_misses: AtomicU64,
@@ -444,6 +447,15 @@ fn serve_batch(
                         .total_unboxed_hits
                         .fetch_add(out.stats.unboxed_hits, Ordering::Relaxed);
                     counters
+                        .total_fused_steps
+                        .fetch_add(out.stats.fused_steps, Ordering::Relaxed);
+                    counters
+                        .total_ic_hits
+                        .fetch_add(out.stats.ic_hits, Ordering::Relaxed);
+                    counters
+                        .total_ic_misses
+                        .fetch_add(out.stats.ic_misses, Ordering::Relaxed);
+                    counters
                         .total_compile_micros
                         .fetch_add(out.stats.compile_micros, Ordering::Relaxed);
                     counters
@@ -464,11 +476,15 @@ fn serve_batch(
                             steps: out.stats.steps,
                             allocations: out.stats.allocations,
                             unboxed_hits: out.stats.unboxed_hits,
+                            fused_steps: out.stats.fused_steps,
+                            ic_hits: out.stats.ic_hits,
+                            ic_misses: out.stats.ic_misses,
                             compile_ops: out.stats.compile_ops,
                             compile_micros: out.stats.compile_micros,
                             cache_hits: out.stats.cache_hits,
                             cache_misses: out.stats.cache_misses,
                             backend: out.stats.backend.name().to_string(),
+                            tier: out.stats.tier.name().to_string(),
                         },
                     }
                 }
@@ -532,6 +548,9 @@ fn stats_response(shared: &Shared, id: u64) -> Response {
             jobs: counters.total_jobs.load(Ordering::Relaxed),
             steps: counters.total_steps.load(Ordering::Relaxed),
             unboxed_hits: counters.total_unboxed_hits.load(Ordering::Relaxed),
+            fused_steps: counters.total_fused_steps.load(Ordering::Relaxed),
+            ic_hits: counters.total_ic_hits.load(Ordering::Relaxed),
+            ic_misses: counters.total_ic_misses.load(Ordering::Relaxed),
             compile_micros: counters.total_compile_micros.load(Ordering::Relaxed),
             cache_hits: counters.total_cache_hits.load(Ordering::Relaxed),
             cache_misses: counters.total_cache_misses.load(Ordering::Relaxed),

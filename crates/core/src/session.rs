@@ -17,7 +17,10 @@ use urk_io::{
     run_denot, run_machine, AsyncSchedule, ExceptionOracle, RunOutcome, SeededOracle,
     SemRunOutcome, StringInput,
 };
-use urk_machine::{compile_program, Backend, Code, MEnv, Machine, MachineConfig, Outcome, Stats};
+use urk_machine::{
+    compile_program, tier2_optimize, Backend, Code, FactVal, GlobalFact, MEnv, Machine,
+    MachineConfig, Outcome, Stats, Tier, Tier2Facts,
+};
 use urk_syntax::core::{CoreProgram, Expr};
 use urk_syntax::{
     desugar_expr, desugar_program, parse_expr_src, parse_program, DataEnv, Exception, Symbol,
@@ -50,6 +53,13 @@ pub struct Options {
     /// trades a one-time lowering of the program for cheaper dispatch
     /// on every step.
     pub backend: Backend,
+    /// Which optimisation tier the compiled backend runs at. Tier 1 is
+    /// the direct lowering; tier 2 reruns the exception-effect analysis
+    /// and uses its summaries as a *license* to fuse WHNF-safe regions
+    /// into superinstructions, speculate lazy bindings, and patch
+    /// monomorphic inline caches into known-global call sites. Ignored
+    /// by the tree backend.
+    pub tier: Tier,
 }
 
 impl Default for Options {
@@ -60,6 +70,7 @@ impl Default for Options {
             typecheck: true,
             render_depth: 32,
             backend: Backend::Tree,
+            tier: Tier::One,
         }
     }
 }
@@ -82,9 +93,11 @@ pub struct Session {
     program: CoreProgram,
     types: HashMap<Symbol, Scheme>,
     /// The program lowered to flat code, compiled on first use and
-    /// invalidated whenever the program changes. Shared (`Arc`) so the
-    /// pool can hand one compiled image to every worker.
-    compiled: RefCell<Option<Arc<Code>>>,
+    /// invalidated whenever the program changes — tagged with the tier
+    /// it was compiled at, so switching [`Options::tier`] between calls
+    /// recompiles instead of serving the other tier's image. Shared
+    /// (`Arc`) so the pool can hand one compiled image to every worker.
+    compiled: RefCell<Option<(Tier, Arc<Code>)>>,
     /// How many leading bindings are the Prelude's, so user-facing
     /// diagnostics ([`Session::lint`]) skip them.
     prelude_len: usize,
@@ -207,28 +220,50 @@ impl Session {
     /// The returned `Arc` is the image every compiled-backend machine
     /// links; the pool shares one across all workers.
     pub fn compiled_code(&self) -> Arc<Code> {
-        if let Some(code) = self.compiled.borrow().as_ref() {
-            return Arc::clone(code);
+        let tier = self.options.tier;
+        if let Some((cached_tier, code)) = self.compiled.borrow().as_ref() {
+            if *cached_tier == tier {
+                return Arc::clone(code);
+            }
         }
-        let code = Arc::new(compile_program(&self.program.binds));
-        self.compiled.replace(Some(Arc::clone(&code)));
+        let base = compile_program(&self.program.binds);
+        let code = match tier {
+            Tier::One => Arc::new(base),
+            Tier::Two => Arc::new(tier2_optimize(&base, &self.tier2_facts())),
+        };
+        self.compiled.replace(Some((tier, Arc::clone(&code))));
         code
     }
 
-    /// Whether the program is already lowered — i.e. whether the next
-    /// compiled-backend evaluation will reuse a cached image rather than
-    /// paying the lowering cost.
+    /// The analysis summaries of the session program in the shape the
+    /// tier-2 pass consumes: one fact per global, in program order.
+    fn tier2_facts(&self) -> Tier2Facts {
+        tier2_facts_for(self.analyze(), &self.program.binds)
+    }
+
+    /// Whether the program is already lowered *at the current tier* —
+    /// i.e. whether the next compiled-backend evaluation will reuse a
+    /// cached image rather than paying the lowering cost.
     pub fn has_compiled_code(&self) -> bool {
-        self.compiled.borrow().is_some()
+        self.compiled
+            .borrow()
+            .as_ref()
+            .is_some_and(|(tier, _)| *tier == self.options.tier)
     }
 
     /// Installs an already-compiled image of the session program, so
     /// pool workers reuse the probe session's single `Arc<Code>` instead
     /// of each lowering the same program again. The caller must ensure
     /// `code` was compiled from an identical program (the pool loads
-    /// every worker from the same sources).
+    /// every worker from the same sources); the image carries its own
+    /// tier tag.
     pub fn set_compiled_code(&self, code: Arc<Code>) {
-        self.compiled.replace(Some(code));
+        let tier = if code.is_tier2() {
+            Tier::Two
+        } else {
+            Tier::One
+        };
+        self.compiled.replace(Some((tier, code)));
     }
 
     /// A fresh machine with the compiled program linked (globals
@@ -250,8 +285,7 @@ impl Session {
         let e = self.compile_expr(src)?;
         // If this evaluation is the one that pays the program's one-time
         // lowering cost, stamp that cost onto its stats below.
-        let first_compile =
-            self.options.backend == Backend::Compiled && self.compiled.borrow().is_none();
+        let first_compile = self.options.backend == Backend::Compiled && !self.has_compiled_code();
         let (mut m, out) = match self.options.backend {
             Backend::Tree => {
                 let (mut m, env) = self.machine();
@@ -560,5 +594,33 @@ impl Session {
             self.compiled.replace(None);
         }
         Ok(report)
+    }
+}
+
+/// Reshapes an exception-effect [`Analysis`](urk_analysis::Analysis) of
+/// `binds` into the machine's tier-2 licence — the mapping every tier-2
+/// consumer (the session, the fuzz context, the bench harness) applies.
+/// `whnf_safe` (empty exception set, no divergence, no opacity) is the
+/// license to substitute an arity-0 binding's constant value; `Con`
+/// constants are dropped because the flat image only carries literal
+/// operands.
+pub fn tier2_facts_for(
+    analysis: urk_analysis::Analysis,
+    binds: &[(Symbol, Rc<Expr>)],
+) -> Tier2Facts {
+    Tier2Facts {
+        globals: analysis
+            .binding_facts(binds)
+            .into_iter()
+            .map(|f| GlobalFact {
+                whnf_safe: f.whnf_safe,
+                value: f.val.and_then(|v| match v {
+                    urk_analysis::Val::Int(i) => Some(FactVal::Int(i)),
+                    urk_analysis::Val::Char(c) => Some(FactVal::Char(c)),
+                    urk_analysis::Val::Str(s) => Some(FactVal::Str(s.to_string())),
+                    urk_analysis::Val::Con(_) => None,
+                }),
+            })
+            .collect(),
     }
 }

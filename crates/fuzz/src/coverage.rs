@@ -8,18 +8,29 @@
 //!   (steps, allocations, stack depth, trims, restores, ...), so a mutant
 //!   that makes the machine work an order of magnitude harder — or poison
 //!   or restore thunks for the first time — counts as new coverage even
-//!   when it runs the same op edges.
+//!   when it runs the same op edges;
+//! * **prim operand classes** — which (primitive, position,
+//!   operand-class) triples the run exercised ([`OpCoverage`]'s prim
+//!   profile), so a mutant that first feeds, say, a boxed negative into
+//!   the divisor slot counts as novel even on familiar op edges;
+//! * **exception-set shapes** — the membership mask of the candidate's
+//!   *denoted* exception set, so terms whose imprecise sets combine
+//!   differently (div-by-zero alone, div-by-zero ∪ user-error, ⊥) are
+//!   all kept around as corpus seeds.
 //!
 //! A candidate is admitted to the corpus iff its feature set contains an
 //! id the whole run has not seen before (classic coverage-guided
 //! admission).
 
+use urk_denot::ExnSet;
 use urk_machine::{OpCoverage, Outcome, Stats, OP_KINDS};
 use urk_syntax::Exception;
 
 /// Feature-id namespaces (op-pair edges occupy `0..OP_KINDS²`).
 const STATS_BASE: u32 = 0x1000;
 const OUTCOME_BASE: u32 = 0x2000;
+const PRIM_BASE: u32 = 0x3000;
+const EXNSET_BASE: u32 = 0x4000;
 
 /// A candidate's deduplicated, sorted feature set.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -40,6 +51,9 @@ impl Fingerprint {
             for (prev, cur, _count) in cov.iter_hits() {
                 features.push(u32::from(prev) * OP_KINDS as u32 + u32::from(cur));
             }
+            for (flat, _count) in cov.iter_prim_hits() {
+                features.push(PRIM_BASE + flat);
+            }
         }
         features.extend(stats_features(stats));
         if let Some(o) = outcome {
@@ -57,6 +71,30 @@ impl Fingerprint {
         self.features.sort_unstable();
         self.features.dedup();
     }
+
+    /// Adds the shape of the candidate's *denoted* exception set: the
+    /// membership mask over the ten concrete exception kinds, with ⊥
+    /// (the full set) as its own bit. A value denotation contributes the
+    /// zero mask, which is still one feature — "denotes a value" is a
+    /// shape too.
+    pub fn add_exn_set_shape(&mut self, set: Option<&ExnSet>) {
+        let feature = EXNSET_BASE + exn_set_mask(set);
+        if let Err(at) = self.features.binary_search(&feature) {
+            self.features.insert(at, feature);
+        }
+    }
+}
+
+/// The membership bitmask of a denoted exception set (`None` = the term
+/// denotes an ordinary value). Bit `exn_id - 1` per concrete member; bit
+/// 15 for ⊥, whose set contains every member and would otherwise alias
+/// the all-concrete mask.
+fn exn_set_mask(set: Option<&ExnSet>) -> u32 {
+    let Some(set) = set else { return 0 };
+    if set.is_all() {
+        return 1 << 15;
+    }
+    set.iter().fold(0u32, |m, e| m | (1 << (exn_id(&e) - 1)))
 }
 
 /// Log₂-bucketed stats features. Counter identity lives in bits 6+, the

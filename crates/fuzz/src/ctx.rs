@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use urk_machine::{compile_program, Code};
+use urk_machine::{compile_program, tier2_optimize, Code, FactVal, GlobalFact, Tier2Facts};
 use urk_syntax::{desugar_program, parse_program, DataEnv, Symbol};
 use urk_types::{infer_expr, infer_program, Scheme};
 
@@ -35,6 +35,11 @@ pub struct FuzzCtx {
     pub binds: Vec<(Symbol, Rc<Expr>)>,
     pub globals: HashMap<Symbol, Scheme>,
     pub code: Arc<Code>,
+    /// The same program at tier 2: the exception-effect analysis run over
+    /// the binds and used as a license for superinstruction fusion,
+    /// speculation, and inline caches. A third execution-engine column in
+    /// the cross-product oracle.
+    pub code_t2: Arc<Code>,
 }
 
 use urk_syntax::core::Expr;
@@ -63,12 +68,15 @@ impl FuzzCtx {
         let mut data = DataEnv::new();
         let prog = desugar_program(&surface, &mut data).map_err(|e| format!("desugar: {e}"))?;
         let globals = infer_program(&prog, &data).map_err(|e| format!("typecheck: {e}"))?;
-        let code = Arc::new(compile_program(&prog.binds));
+        let base = compile_program(&prog.binds);
+        let code_t2 = Arc::new(tier2_optimize(&base, &tier2_facts(&prog, &data)));
+        let code = Arc::new(base);
         Ok(FuzzCtx {
             data,
             binds: prog.binds,
             globals,
             code,
+            code_t2,
         })
     }
 
@@ -98,12 +106,15 @@ impl FuzzCtx {
             sigs: Vec::new(),
         };
         let globals = infer_program(&prog, &self.data).map_err(|e| format!("typecheck: {e}"))?;
-        let code = Arc::new(compile_program(&prog.binds));
+        let base = compile_program(&prog.binds);
+        let code_t2 = Arc::new(tier2_optimize(&base, &tier2_facts(&prog, &self.data)));
+        let code = Arc::new(base);
         Ok(FuzzCtx {
             data: self.data.clone(),
             binds: prog.binds,
             globals,
             code,
+            code_t2,
         })
     }
 
@@ -113,6 +124,30 @@ impl FuzzCtx {
     /// design).
     pub fn well_typed(&self, e: &Expr) -> bool {
         infer_expr(e, &self.data, &self.globals).is_ok()
+    }
+}
+
+/// Runs the exception-effect analysis over the program and reshapes its
+/// per-binding summaries into the machine's tier-2 license (the same
+/// mapping the `urk` session applies: `whnf_safe` gates constant
+/// substitution; `Con` constants are dropped because the flat image only
+/// carries literal operands).
+fn tier2_facts(prog: &urk_syntax::core::CoreProgram, data: &DataEnv) -> Tier2Facts {
+    let analysis = urk_analysis::analyze_program(prog, data);
+    Tier2Facts {
+        globals: analysis
+            .binding_facts(&prog.binds)
+            .into_iter()
+            .map(|f| GlobalFact {
+                whnf_safe: f.whnf_safe,
+                value: f.val.and_then(|v| match v {
+                    urk_analysis::Val::Int(i) => Some(FactVal::Int(i)),
+                    urk_analysis::Val::Char(c) => Some(FactVal::Char(c)),
+                    urk_analysis::Val::Str(s) => Some(FactVal::Str(s.to_string())),
+                    urk_analysis::Val::Con(_) => None,
+                }),
+            })
+            .collect(),
     }
 }
 

@@ -4,13 +4,16 @@
 //!
 //! * **denotationally** — the ground truth: a value, or an imprecise
 //!   exception *set*;
-//! * on the **tree machine** and the **compiled backend**, under
-//!   left-to-right, right-to-left, and a seeded order — six machine runs
-//!   whose renderings must agree pairwise (tree vs compiled is the PR 4
-//!   invariant) and individually refine the denotation (§3.5: any member
-//!   of the set is a correct answer);
-//! * under seeded [`FaultPlan`] **chaos** on both backends (the §5.1
-//!   robustness claim, via `urk_io::chaos_run_with_plan*`);
+//! * on the **tree machine** and the **compiled backend at both tiers**
+//!   (direct lowering and the analysis-licensed tier-2 image), under
+//!   left-to-right, right-to-left, and a seeded order — nine machine
+//!   runs whose renderings must agree pairwise (tree vs compiled is the
+//!   PR 4 invariant; tree vs tier 2 is the tier-2 license check) and
+//!   individually refine the denotation (§3.5: any member of the set is
+//!   a correct answer);
+//! * under seeded [`FaultPlan`] **chaos** on the tree backend and both
+//!   compiled tiers (the §5.1 robustness claim, via
+//!   `urk_io::chaos_run_with_plan*`);
 //! * optionally under a **wall-clock interrupt** delivered from a real
 //!   watchdog thread mid-run.
 //!
@@ -26,7 +29,7 @@ use std::sync::Arc;
 
 use urk_denot::{show_denot, Denot, DenotConfig, DenotEvaluator, Env};
 use urk_io::{chaos_run_with_plan, chaos_run_with_plan_compiled};
-use urk_machine::{Backend, FaultPlan, MEnv, Machine, MachineConfig, MachineError, Outcome};
+use urk_machine::{FaultPlan, MEnv, Machine, MachineConfig, MachineError, Outcome};
 use urk_syntax::core::Expr;
 use urk_syntax::Exception;
 
@@ -180,7 +183,26 @@ enum Observed {
     Caught(Exception),
 }
 
-/// Runs one backend/order combination; `Err` is a verdict-ending
+/// Which execution engine one oracle run drives: the tree walker, or the
+/// compiled backend linked with the tier-1 or tier-2 image.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Engine {
+    Tree,
+    Tier1,
+    Tier2,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Tree => "tree",
+            Engine::Tier1 => "compiled",
+            Engine::Tier2 => "compiled-t2",
+        }
+    }
+}
+
+/// Runs one engine/order combination; `Err` is a verdict-ending
 /// condition (skip or failure).
 #[allow(clippy::too_many_arguments)]
 fn run_one(
@@ -188,7 +210,7 @@ fn run_one(
     query: &Rc<Expr>,
     base: &MachineConfig,
     order: urk_machine::OrderPolicy,
-    backend: Backend,
+    engine: Engine,
     with_coverage: bool,
     fp: &mut Fingerprint,
     steps_out: &mut u64,
@@ -198,13 +220,17 @@ fn run_one(
         coverage: with_coverage,
         ..base.clone()
     });
-    let out = match backend {
-        Backend::Tree => {
+    let out = match engine {
+        Engine::Tree => {
             let menv = m.bind_recursive(&ctx.binds, &MEnv::empty());
             m.eval(Rc::clone(query), &menv, true)
         }
-        Backend::Compiled => {
+        Engine::Tier1 => {
             m.link_code(Arc::clone(&ctx.code));
+            m.eval_code_expr(query, true)
+        }
+        Engine::Tier2 => {
+            m.link_code(Arc::clone(&ctx.code_t2));
             m.eval_code_expr(query, true)
         }
     };
@@ -214,7 +240,7 @@ fn run_one(
         Err(e) => {
             return Err(Verdict::fail(
                 CheckKind::MachineInternal,
-                format!("{} {}: {e}", backend.name(), order_name(order)),
+                format!("{} {}: {e}", engine.name(), order_name(order)),
             ))
         }
     };
@@ -224,7 +250,7 @@ fn run_one(
         Outcome::Uncaught(e) => {
             return Err(Verdict::fail(
                 CheckKind::UncaughtEscape,
-                format!("{} {}: uncaught {e}", backend.name(), order_name(order)),
+                format!("{} {}: uncaught {e}", engine.name(), order_name(order)),
             ))
         }
     };
@@ -232,7 +258,7 @@ fn run_one(
     if !audit.is_consistent() {
         return Err(Verdict::fail(
             CheckKind::AuditFailure,
-            format!("{} {}: {audit}", backend.name(), order_name(order)),
+            format!("{} {}: {audit}", engine.name(), order_name(order)),
         ));
     }
     if with_coverage {
@@ -299,7 +325,7 @@ pub fn run_oracle(ctx: &FuzzCtx, query: &Rc<Expr>, cfg: &OracleConfig) -> Verdic
             query,
             &cfg.machine,
             order,
-            Backend::Tree,
+            Engine::Tree,
             false,
             &mut fp,
             &mut steps,
@@ -312,7 +338,7 @@ pub fn run_oracle(ctx: &FuzzCtx, query: &Rc<Expr>, cfg: &OracleConfig) -> Verdic
             query,
             &cfg.machine,
             order,
-            Backend::Compiled,
+            Engine::Tier1,
             true,
             &mut fp,
             &mut steps,
@@ -320,13 +346,34 @@ pub fn run_oracle(ctx: &FuzzCtx, query: &Rc<Expr>, cfg: &OracleConfig) -> Verdic
             Ok(o) => o,
             Err(v) => return v,
         };
+        let tier2 = match run_one(
+            ctx,
+            query,
+            &cfg.machine,
+            order,
+            Engine::Tier2,
+            false,
+            &mut fp,
+            &mut steps,
+        ) {
+            Ok(o) => o,
+            Err(v) => return v,
+        };
         // PR 4's invariant: same order ⇒ byte-identical behaviour across
-        // backends.
+        // backends. Tier 2 must preserve it too — the analysis license
+        // never buys observable divergence, only fewer steps.
         let (t, c) = (observed_text(&tree), observed_text(&compiled));
         if t != c {
             return Verdict::fail(
                 CheckKind::BackendDivergence,
                 format!("{}: tree={t} compiled={c}", order_name(order)),
+            );
+        }
+        let c2 = observed_text(&tier2);
+        if t != c2 {
+            return Verdict::fail(
+                CheckKind::BackendDivergence,
+                format!("{}: tree={t} compiled-t2={c2}", order_name(order)),
             );
         }
         // §3.5 refinement against the denoted set.
@@ -396,6 +443,30 @@ pub fn run_oracle(ctx: &FuzzCtx, query: &Rc<Expr>, cfg: &OracleConfig) -> Verdic
                 ),
             );
         }
+        // The tier-2 image under the same plan: fused regions must leave
+        // every suspension restorable (§5.1), so asynchronous injection
+        // mid-superinstruction has to behave exactly like injection at
+        // the equivalent unfused step boundary.
+        let mut plan = FaultPlan::generate(seed, steps.max(64));
+        plan.sabotage_async_restore = cfg.sabotage;
+        let rep = chaos_run_with_plan_compiled(
+            &ctx.data,
+            &ctx.binds,
+            &ctx.code_t2,
+            query,
+            &cfg.machine,
+            cfg.denot_fuel,
+            plan,
+        );
+        if !rep.passed() {
+            return Verdict::fail(
+                CheckKind::ChaosFailure,
+                format!(
+                    "compiled-t2 chaos seed {seed}: sound={} heap={} reeval={} outcome={} oracle={}",
+                    rep.sound, rep.heap_consistent, rep.reeval_ok, rep.outcome, rep.oracle
+                ),
+            );
+        }
     }
 
     if cfg.wallclock_interrupt {
@@ -403,6 +474,13 @@ pub fn run_oracle(ctx: &FuzzCtx, query: &Rc<Expr>, cfg: &OracleConfig) -> Verdic
             return Verdict::fail(CheckKind::InterruptFailure, f);
         }
     }
+
+    // Value-profile feature: the shape of the candidate's denoted
+    // exception set (which imprecise members combined, or "a value").
+    fp.add_exn_set_shape(match &denot {
+        Denot::Ok(_) => None,
+        Denot::Bad(set) => Some(set),
+    });
 
     Verdict {
         failure: None,

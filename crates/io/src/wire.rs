@@ -147,12 +147,17 @@ pub struct WireStats {
     pub steps: u64,
     pub allocations: u64,
     pub unboxed_hits: u64,
+    pub fused_steps: u64,
+    pub ic_hits: u64,
+    pub ic_misses: u64,
     pub compile_ops: u64,
     pub compile_micros: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     /// Which backend produced the answer (`"tree"` or `"compiled"`).
     pub backend: String,
+    /// Which execution tier produced the answer (`"1"` or `"2"`).
+    pub tier: String,
 }
 
 /// The shared result cache's counters as served by a `stats` request.
@@ -173,6 +178,9 @@ pub struct WireTotals {
     pub jobs: u64,
     pub steps: u64,
     pub unboxed_hits: u64,
+    pub fused_steps: u64,
+    pub ic_hits: u64,
+    pub ic_misses: u64,
     pub compile_micros: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
@@ -327,11 +335,15 @@ impl WireStats {
             ("steps".to_string(), Json::int(self.steps)),
             ("allocations".to_string(), Json::int(self.allocations)),
             ("unboxed_hits".to_string(), Json::int(self.unboxed_hits)),
+            ("fused_steps".to_string(), Json::int(self.fused_steps)),
+            ("ic_hits".to_string(), Json::int(self.ic_hits)),
+            ("ic_misses".to_string(), Json::int(self.ic_misses)),
             ("compile_ops".to_string(), Json::int(self.compile_ops)),
             ("compile_micros".to_string(), Json::int(self.compile_micros)),
             ("cache_hits".to_string(), Json::int(self.cache_hits)),
             ("cache_misses".to_string(), Json::int(self.cache_misses)),
             ("backend".to_string(), Json::str(&self.backend)),
+            ("tier".to_string(), Json::str(&self.tier)),
         ])
     }
 
@@ -340,11 +352,15 @@ impl WireStats {
             steps: need_u64(json, "steps")?,
             allocations: need_u64(json, "allocations")?,
             unboxed_hits: need_u64(json, "unboxed_hits")?,
+            fused_steps: need_u64(json, "fused_steps")?,
+            ic_hits: need_u64(json, "ic_hits")?,
+            ic_misses: need_u64(json, "ic_misses")?,
             compile_ops: need_u64(json, "compile_ops")?,
             compile_micros: need_u64(json, "compile_micros")?,
             cache_hits: need_u64(json, "cache_hits")?,
             cache_misses: need_u64(json, "cache_misses")?,
             backend: need_str(json, "backend")?,
+            tier: need_str(json, "tier")?,
         })
     }
 }
@@ -384,6 +400,9 @@ impl WireTotals {
             ("jobs".to_string(), Json::int(self.jobs)),
             ("steps".to_string(), Json::int(self.steps)),
             ("unboxed_hits".to_string(), Json::int(self.unboxed_hits)),
+            ("fused_steps".to_string(), Json::int(self.fused_steps)),
+            ("ic_hits".to_string(), Json::int(self.ic_hits)),
+            ("ic_misses".to_string(), Json::int(self.ic_misses)),
             ("compile_micros".to_string(), Json::int(self.compile_micros)),
             ("cache_hits".to_string(), Json::int(self.cache_hits)),
             ("cache_misses".to_string(), Json::int(self.cache_misses)),
@@ -395,6 +414,9 @@ impl WireTotals {
             jobs: need_u64(json, "jobs")?,
             steps: need_u64(json, "steps")?,
             unboxed_hits: need_u64(json, "unboxed_hits")?,
+            fused_steps: need_u64(json, "fused_steps")?,
+            ic_hits: need_u64(json, "ic_hits")?,
+            ic_misses: need_u64(json, "ic_misses")?,
             compile_micros: need_u64(json, "compile_micros")?,
             cache_hits: need_u64(json, "cache_hits")?,
             cache_misses: need_u64(json, "cache_misses")?,
@@ -678,11 +700,15 @@ mod tests {
                 steps: 42,
                 allocations: 17,
                 unboxed_hits: 3,
+                fused_steps: 7,
+                ic_hits: 5,
+                ic_misses: 2,
                 compile_ops: 0,
                 compile_micros: 0,
                 cache_hits: 0,
                 cache_misses: 1,
                 backend: "tree".into(),
+                tier: "1".into(),
             },
         });
         round_trip_response(&Response::Result {
@@ -730,6 +756,9 @@ mod tests {
                 jobs: 100,
                 steps: 12345,
                 unboxed_hits: 678,
+                fused_steps: 345,
+                ic_hits: 21,
+                ic_misses: 8,
                 compile_micros: 90,
                 cache_hits: 90,
                 cache_misses: 10,

@@ -69,6 +69,14 @@ pub struct FaultPlan {
     /// outside tests.
     #[doc(hidden)]
     pub sabotage_forwarding: bool,
+    /// Test-only sabotage: let a poisoned speculation *propagate* at its
+    /// binding site instead of staying stored in the node — the
+    /// "unlicensed fusion" that treats a lazy binding as strict. Exists so
+    /// the tier-2 differential battery can prove the §3.3 poisoning
+    /// discipline is load-bearing (with this set, `let x = 1/0 in 42`
+    /// wrongly raises); never set outside tests.
+    #[doc(hidden)]
+    pub sabotage_spec_propagate: bool,
 }
 
 impl FaultPlan {
@@ -128,6 +136,7 @@ impl FaultPlan {
             heap_budget,
             sabotage_async_restore: false,
             sabotage_forwarding: false,
+            sabotage_spec_propagate: false,
         }
     }
 

@@ -112,6 +112,30 @@ pub(crate) enum COp {
     Raise {
         a: CodeId,
     },
+    /// Tier-2: a call-free straight-line region (primitives over
+    /// locals/globals/literals) executed atomically in one step when every
+    /// variable leaf is already forced; otherwise evaluation bails out to
+    /// the stepped path through `body`. Emitted only by
+    /// [`crate::tier2_optimize`], in strict positions.
+    Fused {
+        body: CodeId,
+    },
+    /// Tier-2: a lazy-position right-hand side licensed for speculative
+    /// evaluation. Allocation evaluates `body` eagerly when it is a ready
+    /// region (or a constructor/lambda to build), storing a synchronous
+    /// raise as a *poisoned* node — §3.3's `raise ex` overwrite, which is
+    /// observationally identical to the thunk it replaces.
+    Spec {
+        body: CodeId,
+    },
+    /// Tier-2: an application whose callee op (`f`) is a `Global`, with a
+    /// monomorphic inline-cache slot caching the resolved callee value
+    /// per machine.
+    AppG {
+        f: CodeId,
+        ic: u32,
+        a: CodeId,
+    },
 }
 
 impl COp {
@@ -138,6 +162,9 @@ impl COp {
             COp::IsExn { .. } => 15,
             COp::GetExn { .. } => 16,
             COp::Raise { .. } => 17,
+            COp::Fused { .. } => 18,
+            COp::Spec { .. } => 19,
+            COp::AppG { .. } => 20,
         }
     }
 }
@@ -209,12 +236,28 @@ pub struct Code {
     pub(crate) compile_ops: u64,
     /// Wall-clock microseconds spent compiling the program.
     pub(crate) compile_micros: u64,
+    /// True when [`crate::tier2_optimize`] produced this image (the
+    /// machine tags its stats with [`crate::Tier::Two`] on link).
+    pub(crate) tier2: bool,
+    /// Number of `AppG` inline-cache slots the image allocates (the
+    /// machine sizes its per-machine cache table from this on link).
+    pub(crate) ic_slots: u32,
 }
 
 impl Code {
     /// Number of ops in the program arena.
     pub fn op_count(&self) -> usize {
         self.buf.ops.len()
+    }
+
+    /// True when this image was produced by the tier-2 pass.
+    pub fn is_tier2(&self) -> bool {
+        self.tier2
+    }
+
+    /// Number of inline-cache slots the image's `AppG` call sites use.
+    pub fn ic_slot_count(&self) -> u32 {
+        self.ic_slots
     }
 
     /// Ops emitted compiling the program (same as [`Code::op_count`],
@@ -261,7 +304,14 @@ struct VerifyView<'a> {
     base: &'a CodeBuf,
     ext: Option<&'a CodeBuf>,
     globals_len: usize,
+    ic_slots: u32,
 }
+
+/// Upper bound on ops in one tier-2 fused region — keeps the atomic
+/// in-step evaluation (a bounded recursive walk) small, so a region can
+/// never turn one machine step into unbounded work. The tier-2 pass never
+/// emits a larger region and [`Code::verify`] rejects one.
+pub(crate) const MAX_REGION_OPS: usize = 64;
 
 impl VerifyView<'_> {
     fn ops_total(&self) -> usize {
@@ -321,6 +371,7 @@ impl Code {
             base: &self.buf,
             ext: None,
             globals_len: self.globals.len(),
+            ic_slots: self.ic_slots,
         };
         for (_, entry) in &self.globals {
             verify_entry(&view, *entry, 0)?;
@@ -339,6 +390,7 @@ pub(crate) fn verify_query(
         base: &base.buf,
         ext: Some(ext),
         globals_len: base.globals.len(),
+        ic_slots: base.ic_slots,
     };
     verify_entry(&view, entry, 0)
 }
@@ -478,9 +530,95 @@ fn verify_entry(view: &VerifyView<'_>, entry: CodeId, depth: u32) -> Result<(), 
             COp::Prim1 { a, .. } | COp::IsExn { a } | COp::GetExn { a } | COp::Raise { a } => {
                 kid(a, depth, &mut work)?;
             }
+            COp::Fused { body } => {
+                kid(body, depth, &mut work)?;
+                verify_region(view, id, body)?;
+            }
+            COp::Spec { body } => {
+                kid(body, depth, &mut work)?;
+                verify_spec(view, id, body)?;
+            }
+            COp::AppG { f, ic, a } => {
+                kid(f, depth, &mut work)?;
+                kid(a, depth, &mut work)?;
+                match view.op(f.0 as usize) {
+                    Some(COp::Global(_)) => {}
+                    _ => {
+                        return Err(err(id, format!("AppG callee op {} is not a Global", f.0)));
+                    }
+                }
+                if ic >= view.ic_slots {
+                    return Err(err(
+                        id,
+                        format!("inline-cache slot {ic} out of range ({})", view.ic_slots),
+                    ));
+                }
+            }
         }
     }
     Ok(())
+}
+
+/// Checks that the tree rooted at `root` is a legal fused region: only
+/// WHNF-transparent ops (locals, globals, literals, nullary constructors)
+/// and strict primitive combinators, at most [`MAX_REGION_OPS`] ops, and
+/// at least one primitive (a region with none would be a pointless
+/// wrapper the pass never emits). The size budget doubles as a cycle
+/// bound on corrupted arenas.
+fn verify_region(view: &VerifyView<'_>, at: CodeId, root: CodeId) -> Result<(), CodeVerifyError> {
+    let err = |message: String| CodeVerifyError { at: at.0, message };
+    let mut work = vec![root];
+    let mut size = 0usize;
+    let mut prims = 0usize;
+    while let Some(id) = work.pop() {
+        size += 1;
+        if size > MAX_REGION_OPS {
+            return Err(err(format!(
+                "fused region exceeds {MAX_REGION_OPS} ops (or is cyclic)"
+            )));
+        }
+        let Some(op) = view.op(id.0 as usize) else {
+            return Err(err(format!("op index out of range ({})", view.ops_total())));
+        };
+        match op {
+            COp::Local(_) | COp::Global(_) | COp::Int(_) | COp::Char(_) | COp::Str(_) => {}
+            COp::Con { n: 0, .. } => {}
+            COp::Prim1 { a, .. } => {
+                prims += 1;
+                work.push(a);
+            }
+            COp::Prim2 { a, b, .. } => {
+                prims += 1;
+                work.push(a);
+                work.push(b);
+            }
+            COp::Seq { a, b } => {
+                prims += 1;
+                work.push(a);
+                work.push(b);
+            }
+            other => {
+                return Err(err(format!(
+                    "unfusable op kind {} in region",
+                    other.kind_index()
+                )));
+            }
+        }
+    }
+    if prims == 0 {
+        return Err(err("fused region contains no primitive".into()));
+    }
+    Ok(())
+}
+
+/// Checks a speculation body: either an eagerly buildable value form
+/// (lambda, constructor, string literal) or a legal fused region whose
+/// raises the executor stores as poison (§3.3) instead of propagating.
+fn verify_spec(view: &VerifyView<'_>, at: CodeId, body: CodeId) -> Result<(), CodeVerifyError> {
+    match view.op(body.0 as usize) {
+        Some(COp::Lam { .. } | COp::Con { .. } | COp::Str(_)) => Ok(()),
+        _ => verify_region(view, at, body),
+    }
 }
 
 /// Compiles a desugared top-level binding group into one flat [`Code`]
@@ -516,6 +654,8 @@ pub fn compile_program(binds: &[(Symbol, Rc<Expr>)]) -> Code {
         global_index,
         compile_ops,
         compile_micros: t0.elapsed().as_micros() as u64,
+        tier2: false,
+        ic_slots: 0,
     }
 }
 
@@ -925,6 +1065,166 @@ mod tests {
         code.buf.ops[0] = COp::Global(42);
         let err = code.verify().expect_err("dangling global index");
         assert!(err.message.contains("global index"), "{err}");
+    }
+
+    fn tier2_of(src: &str) -> Code {
+        crate::tier2::tier2_optimize(&compiled(src), &crate::tier2::Tier2Facts::empty())
+    }
+
+    fn find_op(code: &Code, pred: impl Fn(&COp) -> bool) -> usize {
+        code.buf
+            .ops
+            .iter()
+            .position(pred)
+            .expect("expected op kind present")
+    }
+
+    #[test]
+    fn verify_rejects_a_fused_region_wrapping_a_raise() {
+        // §3.3 discipline: a Raise inside an atomic region would skip the
+        // per-frame trim; the region grammar excludes it.
+        let mut code = tier2_of("f x = x + x\nmain = f 1");
+        let at = find_op(&code, |op| matches!(op, COp::Fused { .. }));
+        let raise_at = code.buf.ops.len() as u32;
+        let COp::Fused { body } = code.buf.ops[at] else {
+            unreachable!()
+        };
+        code.buf.ops.push(COp::Raise { a: body });
+        code.buf.ops[at] = COp::Fused {
+            body: CodeId(raise_at),
+        };
+        // Re-point: child must stay strictly before the parent, so move
+        // the Fused op itself past the new Raise.
+        let fused = code.buf.ops[at];
+        code.buf.ops[at] = COp::Int(0);
+        code.buf.ops.push(fused);
+        let entry_global = code
+            .globals
+            .iter_mut()
+            .find(|(_, e)| e.0 == at as u32)
+            .map(|(_, e)| e);
+        if let Some(e) = entry_global {
+            *e = CodeId(code.buf.ops.len() as u32 - 1);
+        } else {
+            // The Fused op was not a global entry; reach it through a new
+            // synthetic global so the walk visits it.
+            code.globals.push((
+                Symbol::intern("sabotaged"),
+                CodeId(code.buf.ops.len() as u32 - 1),
+            ));
+        }
+        let err = code.verify().expect_err("raise inside a region");
+        assert!(err.message.contains("unfusable op kind"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_a_fused_region_wrapping_an_application() {
+        // Calls are unbounded work: a region containing one would turn a
+        // single step into arbitrary evaluation.
+        let mut code = tier2_of("f x = x + x\nmain = f 1");
+        let app_at = find_op(&code, |op| matches!(op, COp::App { .. } | COp::AppG { .. }));
+        code.buf.ops.push(COp::Fused {
+            body: CodeId(app_at as u32),
+        });
+        code.globals.push((
+            Symbol::intern("sabotaged"),
+            CodeId(code.buf.ops.len() as u32 - 1),
+        ));
+        let err = code.verify().expect_err("application inside a region");
+        assert!(err.message.contains("unfusable op kind"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_a_region_with_no_primitive() {
+        let mut code = tier2_of("main = 2 * 3 + 1");
+        let int_at = find_op(&code, |op| matches!(op, COp::Int(_)));
+        let fused_at = find_op(&code, |op| matches!(op, COp::Fused { .. }));
+        code.buf.ops[fused_at] = COp::Fused {
+            body: CodeId(int_at as u32),
+        };
+        let err = code.verify().expect_err("pointless region");
+        assert!(err.message.contains("no primitive"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_a_speculation_wrapping_an_application() {
+        let mut code = tier2_of("f x = x + x\nmain = let s = 2 * 3 in f s");
+        let app_at = find_op(&code, |op| matches!(op, COp::App { .. } | COp::AppG { .. }));
+        let spec_at = find_op(&code, |op| matches!(op, COp::Spec { .. }));
+        // Only sabotage if the App precedes the Spec (child ordering);
+        // otherwise synthesize a fresh Spec past the App.
+        if app_at < spec_at {
+            code.buf.ops[spec_at] = COp::Spec {
+                body: CodeId(app_at as u32),
+            };
+        } else {
+            code.buf.ops.push(COp::Spec {
+                body: CodeId(app_at as u32),
+            });
+            code.globals.push((
+                Symbol::intern("sabotaged"),
+                CodeId(code.buf.ops.len() as u32 - 1),
+            ));
+        }
+        let err = code.verify().expect_err("unbounded speculation");
+        assert!(err.message.contains("unfusable op kind"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_an_inline_cache_slot_out_of_range() {
+        let mut code = tier2_of("f x = x + x\nmain = f 1");
+        let at = find_op(&code, |op| matches!(op, COp::AppG { .. }));
+        let COp::AppG { f, a, .. } = code.buf.ops[at] else {
+            unreachable!()
+        };
+        code.buf.ops[at] = COp::AppG { f, ic: 99, a };
+        let err = code.verify().expect_err("dangling cache slot");
+        assert!(err.message.contains("inline-cache slot"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_an_inline_cached_call_on_a_non_global() {
+        let mut code = tier2_of("f x = x + x\nmain = f 1");
+        let at = find_op(&code, |op| matches!(op, COp::AppG { .. }));
+        let COp::AppG { ic, a, .. } = code.buf.ops[at] else {
+            unreachable!()
+        };
+        let int_at = find_op(&code, |op| matches!(op, COp::Int(_)));
+        code.buf.ops[at] = COp::AppG {
+            f: CodeId(int_at as u32),
+            ic,
+            a,
+        };
+        let err = code.verify().expect_err("cached callee must be a global");
+        assert!(err.message.contains("not a Global"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_an_oversized_region() {
+        // Chain MAX_REGION_OPS + 1 negations: every op is region-legal,
+        // but the size cap (the single-step work bound) must reject it.
+        let mut code = compiled("seed = 0");
+        let mut cur = CodeId(
+            code.buf
+                .ops
+                .iter()
+                .position(|op| matches!(op, COp::Int(_)))
+                .expect("the literal") as u32,
+        );
+        for _ in 0..MAX_REGION_OPS {
+            code.buf.ops.push(COp::Prim1 {
+                op: urk_syntax::core::PrimOp::Neg,
+                a: cur,
+            });
+            cur = CodeId(code.buf.ops.len() as u32 - 1);
+        }
+        code.buf.ops.push(COp::Fused { body: cur });
+        code.globals.push((
+            Symbol::intern("oversized"),
+            CodeId(code.buf.ops.len() as u32 - 1),
+        ));
+        let err = code.verify().expect_err("region past the size cap");
+        assert!(err.message.contains("exceeds"), "{err}");
     }
 
     #[test]

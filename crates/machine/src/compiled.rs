@@ -32,7 +32,7 @@ use urk_syntax::{Exception, Symbol};
 use crate::code::{compile_query, COp, CPat, Code, CodeId, LinkedCode};
 use crate::env::CEnv;
 use crate::heap::{HValue, Node, NodeId, Whnf};
-use crate::machine::{Backend, BlackholeMode, Machine, MachineError, Outcome, PrimResult};
+use crate::machine::{Backend, BlackholeMode, Machine, MachineError, Outcome, PrimResult, Tier};
 use crate::OrderPolicy;
 
 /// The compiled loop's control register (the tree loop's `Control` with
@@ -105,6 +105,8 @@ impl Machine {
             }
         }
         let entries: Vec<CodeId> = base.globals.iter().map(|(_, e)| *e).collect();
+        let tier2 = base.is_tier2();
+        let ic_slots = base.ic_slot_count() as usize;
         let mut linked = LinkedCode::new(base);
         for entry in entries {
             // Global rhs code resolves cross-references through the
@@ -120,7 +122,14 @@ impl Machine {
             linked.global_nodes.push(node);
         }
         self.code = Some(linked);
+        // Inline-cache slots are per-machine and per-link: relinking is
+        // impossible (the assert above), so a populated slot can never
+        // point at a stale program's callee.
+        self.ics = vec![None; ic_slots];
         self.stats.backend = Backend::Compiled;
+        if tier2 {
+            self.stats.tier = Tier::Two;
+        }
     }
 
     /// Compiles a query expression against the linked program (into the
@@ -323,10 +332,15 @@ impl Machine {
     /// loop's `minor_collect`).
     fn minor_ccollect(&mut self, control: &mut CControl, stack: &mut [CFrame]) {
         let reuses_before = self.heap.reuses();
-        let Machine { heap, roots, .. } = self;
+        let Machine {
+            heap, roots, ics, ..
+        } = self;
         let outcome = heap.collect_minor(&mut |f| {
             for r in roots.iter_mut() {
                 *r = f(*r);
+            }
+            for slot in ics.iter_mut().flatten() {
+                *slot = f(*slot);
             }
             rewrite_ccontrol(control, f);
             for frame in stack.iter_mut() {
@@ -375,6 +389,13 @@ impl Machine {
         for r in &self.roots {
             c.mark_root(*r);
         }
+        // Inline-cache entries are kept live defensively: a cached callee
+        // is always reachable through its global thunk anyway, but marking
+        // it here means a slot can never hold a freed node even if that
+        // invariant is ever weakened.
+        for slot in self.ics.iter().flatten() {
+            c.mark_root(*slot);
+        }
         c.trace(&self.heap);
         let prev_free = self.heap.free_list();
         let (freed, head) = c.sweep(&mut self.heap, prev_free);
@@ -402,11 +423,194 @@ impl Machine {
                 self.alloc_value(HValue::Str(s))
             }
             COp::Con { tag, n: 0, .. } => self.nullary_con_node(tag),
+            COp::Spec { body } => self.alloc_spec(body, env),
             _ => self.alloc(Node::CThunk {
                 code,
                 env: env.clone(),
             }),
         }
+    }
+
+    /// Allocates a tier-2 speculation site: builds the value eagerly when
+    /// the body is a value form or a ready fused region, falling back to a
+    /// plain thunk otherwise. The paper's license (§4–§5) is exactly what
+    /// makes the region case sound: a synchronous raise during speculative
+    /// evaluation of a *lazy* position is stored as poison — the same
+    /// `raise ex` overwrite §3.3 trimming would eventually perform — so
+    /// demand that never arrives never observes the exception, and demand
+    /// that does arrive raises the same member of the denoted set.
+    fn alloc_spec(&mut self, body: CodeId, env: &CEnv) -> NodeId {
+        match self.linked().op(body) {
+            COp::Lam { body: lam_body } => {
+                self.stats.fused_steps += 1;
+                self.alloc_value(HValue::CFun {
+                    body: lam_body,
+                    env: env.clone(),
+                })
+            }
+            COp::Con { tag, args, n } => {
+                self.stats.fused_steps += 1;
+                let mut fields = Vec::with_capacity(usize::from(n));
+                for i in 0..u32::from(n) {
+                    let k = self.linked().kid(args + i);
+                    fields.push(self.alloc_code(k, env));
+                }
+                self.alloc_value(HValue::Con(tag, fields))
+            }
+            COp::Str(i) => {
+                self.stats.fused_steps += 1;
+                let s = self.linked().str_at(i);
+                self.alloc_value(HValue::Str(s))
+            }
+            _ => {
+                // A prim region. Under a Seeded order policy the region
+                // stays a thunk: the tree backend draws from the §3.5
+                // stream when the binding is *demanded*, and evaluating
+                // here would move (or drop) those draws and desync the
+                // per-seed lockstep the differential battery checks.
+                if !matches!(self.config.order, OrderPolicy::Seeded(_)) {
+                    if let Some(result) = self.exec_region(body, env) {
+                        return match result {
+                            Ok(v) => v,
+                            Err(exn) => self.alloc(Node::Poisoned(exn)),
+                        };
+                    }
+                }
+                self.alloc(Node::CThunk {
+                    code: body,
+                    env: env.clone(),
+                })
+            }
+        }
+    }
+
+    /// Evaluates a fused region atomically if every leaf is already a
+    /// value (`None` = not ready, caller falls back to stepped
+    /// evaluation). Ready regions run as one bounded recursive walk —
+    /// verified ≤ [`crate::code::MAX_REGION_OPS`] ops, call-free, so
+    /// termination is syntactic and no asynchronous delivery point is
+    /// lost: the whole region occupies a single step, exactly like a
+    /// tier-1 primitive over immediates.
+    fn exec_region(&mut self, root: CodeId, env: &CEnv) -> Option<Result<NodeId, Exception>> {
+        if !self.region_ready(root, env) {
+            return None;
+        }
+        self.stats.fused_steps += 1;
+        Some(self.region_eval(root, env))
+    }
+
+    /// True if every leaf of the region is already in WHNF — a draw-free
+    /// pre-scan, so a bail-out to stepped evaluation never perturbs the
+    /// §3.5 Seeded stream.
+    fn region_ready(&self, code: CodeId, env: &CEnv) -> bool {
+        match self.linked().op(code) {
+            COp::Local(back) => {
+                let n = self.heap.resolve(env.get_back(back));
+                n.is_imm() || matches!(self.heap.get(n), Node::Value(_))
+            }
+            COp::Global(g) => {
+                let n = self.heap.resolve(self.linked().global_nodes[g as usize]);
+                n.is_imm() || matches!(self.heap.get(n), Node::Value(_))
+            }
+            COp::Int(_) | COp::Char(_) | COp::Str(_) => true,
+            COp::Con { n: 0, .. } => true,
+            COp::Prim1 { a, .. } => self.region_ready(a, env),
+            COp::Prim2 { a, b, .. } | COp::Seq { a, b } => {
+                self.region_ready(a, env) && self.region_ready(b, env)
+            }
+            // Defensive: `Code::verify` already rejects anything else
+            // inside a region.
+            _ => false,
+        }
+    }
+
+    /// Evaluates a ready region. Raises propagate as `Err` — the caller
+    /// decides whether that poisons (speculation) or raises (strict
+    /// position), which is the entire §3.3 discipline in one line. The
+    /// §3.5 Seeded draw advances exactly once per binary primitive, and
+    /// the chosen-first operand's subtree evaluates first, so the draw
+    /// *sequence* matches the stepped loops op for op.
+    fn region_eval(&mut self, code: CodeId, env: &CEnv) -> Result<NodeId, Exception> {
+        match self.linked().op(code) {
+            COp::Local(back) => Ok(self.heap.resolve(env.get_back(back))),
+            COp::Global(g) => Ok(self.heap.resolve(self.linked().global_nodes[g as usize])),
+            COp::Int(n) => Ok(self.int_node(n)),
+            COp::Char(c) => Ok(self.alloc_value(HValue::Char(c))),
+            COp::Str(i) => {
+                let s = self.linked().str_at(i);
+                Ok(self.alloc_value(HValue::Str(s)))
+            }
+            COp::Con { tag, .. } => Ok(self.nullary_con_node(tag)),
+            COp::Prim1 { op, a } => {
+                let na = self.region_eval(a, env)?;
+                match self.apply_prim(op, &[na]) {
+                    PrimResult::Value(v) => Ok(v),
+                    PrimResult::Raise(exn) => Err(exn),
+                }
+            }
+            COp::Prim2 { op, a, b } => {
+                let left_first = match self.config.order {
+                    OrderPolicy::LeftToRight => true,
+                    OrderPolicy::RightToLeft => false,
+                    OrderPolicy::Seeded(_) => self.rng.gen_bool(0.5),
+                };
+                let (na, nb) = if left_first {
+                    let na = self.region_eval(a, env)?;
+                    (na, self.region_eval(b, env)?)
+                } else {
+                    let nb = self.region_eval(b, env)?;
+                    (self.region_eval(a, env)?, nb)
+                };
+                match self.apply_prim(op, &[na, nb]) {
+                    PrimResult::Value(v) => Ok(v),
+                    PrimResult::Raise(exn) => Err(exn),
+                }
+            }
+            COp::Seq { a, b } => {
+                self.region_eval(a, env)?;
+                self.region_eval(b, env)
+            }
+            other => unreachable!("op kind {} in a verified fused region", other.kind_index()),
+        }
+    }
+
+    /// Applies a global through its monomorphic inline cache: a hit jumps
+    /// straight into the cached callee's body, a miss resolves through the
+    /// global node table and caches the result if it is already a
+    /// function value. The cache is per-machine (GC rewrites and marks
+    /// the slots) and per-link (relinking panics), so a populated slot is
+    /// always the current program's callee.
+    fn eval_appg(
+        &mut self,
+        f: CodeId,
+        ic: u32,
+        a: CodeId,
+        env: &CEnv,
+        stack: &mut Vec<CFrame>,
+    ) -> CControl {
+        let arg = self.alloc_code(a, env);
+        if let Some(cached) = self.ics[ic as usize] {
+            if let Some(Whnf::CFun { body, env: fenv }) = self.heap.whnf(cached) {
+                self.stats.ic_hits += 1;
+                let fenv = fenv.clone();
+                return CControl::Eval(body, fenv.push(arg));
+            }
+            self.ics[ic as usize] = None;
+        }
+        self.stats.ic_misses += 1;
+        let g = match self.linked().op(f) {
+            COp::Global(g) => g,
+            _ => unreachable!("verified: AppG callee is a Global"),
+        };
+        let node = self.linked().global_nodes[g as usize];
+        let resolved = self.heap.resolve(node);
+        if let Some(Whnf::CFun { body, env: fenv }) = self.heap.whnf(resolved) {
+            let fenv = fenv.clone();
+            self.ics[ic as usize] = Some(resolved);
+            return CControl::Eval(body, fenv.push(arg));
+        }
+        stack.push(CFrame::Apply(arg));
+        self.enter_fused(node, stack)
     }
 
     /// Entering a node without paying a separate `Enter` step: values
@@ -502,6 +706,7 @@ impl Machine {
                     stack.push(CFrame::Apply(arg));
                     code = f;
                 }
+                COp::AppG { f, ic, a } => return self.eval_appg(f, ic, a, env, stack),
                 _ => {
                     // Anything already in WHNF — a literal, constructor,
                     // lambda, or primitive over immediates — returns (or
@@ -542,6 +747,7 @@ impl Machine {
                 env: env.clone(),
             }))),
             COp::Prim1 { .. } | COp::Prim2 { .. } => self.immediate_prim(code, env),
+            COp::Fused { body } => self.exec_region(body, env),
             _ => self.immediate_node(code, env).map(Ok),
         }
     }
@@ -629,6 +835,20 @@ impl Machine {
             COp::App { .. } => self.eval_code_fused(code, &env, stack),
             COp::Let { rhs, body } => {
                 let t = self.alloc_code(rhs, &env);
+                // Test-only sabotage: propagate a speculation's stored
+                // poison at the binding site — the "unlicensed fusion"
+                // that treats a lazy binding as strict. The differential
+                // battery proves the oracle catches it.
+                if !t.is_imm()
+                    && self
+                        .chaos
+                        .as_ref()
+                        .is_some_and(|st| st.plan.sabotage_spec_propagate)
+                {
+                    if let Node::Poisoned(exn) = self.heap.get(t) {
+                        return CControl::Raising(exn.clone());
+                    }
+                }
                 CControl::Eval(body, env.push(t))
             }
             COp::LetRec { rhss, n, body } => {
@@ -755,6 +975,21 @@ impl Machine {
                 stack.push(CFrame::RaiseEval);
                 CControl::Eval(a, env)
             }
+            COp::Fused { body } => match self.exec_region(body, &env) {
+                Some(Ok(v)) => CControl::Return(v),
+                Some(Err(exn)) => CControl::Raising(exn),
+                // Not every leaf is forced yet: fall back to stepped
+                // evaluation of the region body, which is ordinary code.
+                None => CControl::Eval(body, env),
+            },
+            COp::Spec { body } => {
+                // Defensive: the pass only emits `Spec` in operand
+                // positions (handled by `alloc_code`), but evaluating one
+                // directly is still well-defined — build and enter.
+                let node = self.alloc_spec(body, &env);
+                self.enter_fused(node, stack)
+            }
+            COp::AppG { f, ic, a } => self.eval_appg(f, ic, a, &env, stack),
         }
     }
 

@@ -38,18 +38,20 @@ pub mod gc;
 pub mod heap;
 pub mod interrupt;
 pub mod machine;
+pub mod tier2;
 
 pub use chaos::FaultPlan;
 pub use code::{compile_program, Code, CodeVerifyError};
-pub use coverage::{OpCoverage, OP_KINDS};
+pub use coverage::{OpCoverage, OPERAND_CLASSES, OP_KINDS, PRIM_OPS};
 pub use env::{CEnv, MEnv};
 pub use heap::{
     AuditFinding, HValue, Heap, HeapAudit, MinorOutcome, Node, NodeId, Whnf, MAX_AUDIT_FINDINGS,
 };
 pub use interrupt::InterruptHandle;
 pub use machine::{
-    Backend, BlackholeMode, Machine, MachineConfig, MachineError, OrderPolicy, Outcome, Stats,
+    Backend, BlackholeMode, Machine, MachineConfig, MachineError, OrderPolicy, Outcome, Stats, Tier,
 };
+pub use tier2::{tier2_optimize, FactVal, GlobalFact, Tier2Facts};
 
 #[cfg(test)]
 mod tests {

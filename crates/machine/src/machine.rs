@@ -67,6 +67,29 @@ impl Backend {
     }
 }
 
+/// Which compilation tier produced the linked [`crate::Code`] image.
+/// Tier 1 is the direct lowering of Core; tier 2 runs the
+/// analysis-licensed superinstruction pass ([`crate::tier2_optimize`])
+/// over it. Part of cache keys (a tier byte, like the backend byte) —
+/// the two tiers denote the same sets but take different step/alloc
+/// paths to them.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Tier {
+    #[default]
+    One,
+    Two,
+}
+
+impl Tier {
+    /// The CLI/stats spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::One => "1",
+            Tier::Two => "2",
+        }
+    }
+}
+
 /// What entering a black hole does (§5.2: implementations are "permitted,
 /// but not required" to detect them).
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -215,6 +238,20 @@ pub struct Stats {
     /// Which execution mode this machine ran (`Tree` until compiled code
     /// is linked).
     pub backend: Backend,
+    /// Which compilation tier the linked code image was built at (`One`
+    /// until a tier-2 image is linked). Like `backend`, a mode tag: it
+    /// survives [`Machine::reset_stats`].
+    pub tier: Tier,
+    /// Fused superinstruction executions: straight-line regions (tier-2
+    /// `Fused` ops and licensed speculations) evaluated atomically inside
+    /// one step, without thunk/Update/blackhole round-trips.
+    pub fused_steps: u64,
+    /// Tier-2 inline-cache hits: global call sites whose cached callee was
+    /// still the resolved function value.
+    pub ic_hits: u64,
+    /// Tier-2 inline-cache misses (cold sites and callees not yet forced
+    /// to a function value).
+    pub ic_misses: u64,
 }
 
 /// How an evaluation episode ended.
@@ -350,6 +387,13 @@ pub struct Machine {
     /// The op-pair coverage map, when [`MachineConfig::coverage`] is on.
     /// Boxed so the disabled case costs one word in the machine.
     pub(crate) coverage: Option<Box<crate::coverage::OpCoverage>>,
+    /// Tier-2 monomorphic inline caches, one slot per `AppG` call site in
+    /// the linked image (sized by [`Machine::link_code`], so a relink —
+    /// which panics — trivially invalidates them). Each entry caches the
+    /// *resolved* callee node once it is a function value; minor
+    /// collections rewrite the entries (cached nodes may live in the
+    /// nursery) and major collections mark them.
+    pub(crate) ics: Vec<Option<NodeId>>,
 }
 
 impl Machine {
@@ -386,6 +430,7 @@ impl Machine {
             chaos,
             code: None,
             coverage,
+            ics: Vec::new(),
         }
     }
 
@@ -476,11 +521,12 @@ impl Machine {
         &self.stats
     }
 
-    /// Resets counters (the heap is kept, and so is the backend tag — it
-    /// describes the machine's mode, not one episode's work).
+    /// Resets counters (the heap is kept, and so are the backend and tier
+    /// tags — they describe the machine's mode, not one episode's work).
     pub fn reset_stats(&mut self) {
         self.stats = Stats {
             backend: self.stats.backend,
+            tier: self.stats.tier,
             ..Stats::default()
         };
     }
@@ -530,13 +576,18 @@ impl Machine {
     pub fn collect_with(&mut self, extra: &[NodeId]) -> u64 {
         let reuses_before = self.heap.reuses();
         let mut extras: Vec<NodeId> = extra.to_vec();
-        let Machine { heap, roots, .. } = self;
+        let Machine {
+            heap, roots, ics, ..
+        } = self;
         let outcome = heap.collect_minor(&mut |f| {
             for r in roots.iter_mut() {
                 *r = f(*r);
             }
             for r in extras.iter_mut() {
                 *r = f(*r);
+            }
+            for slot in ics.iter_mut().flatten() {
+                *slot = f(*slot);
             }
         });
         self.stats.minor_gcs += 1;
@@ -546,6 +597,9 @@ impl Machine {
         let mut c = crate::gc::Collector::new(self.heap.tenured_len());
         for r in self.roots.iter().chain(&extras) {
             c.mark_root(*r);
+        }
+        for slot in self.ics.iter().flatten() {
+            c.mark_root(*slot);
         }
         c.trace(&self.heap);
         let prev_free = self.heap.free_list();
@@ -562,10 +616,15 @@ impl Machine {
     /// registered roots, the current control, and every stack frame.
     fn minor_collect(&mut self, control: &mut Control, stack: &mut [Frame]) {
         let reuses_before = self.heap.reuses();
-        let Machine { heap, roots, .. } = self;
+        let Machine {
+            heap, roots, ics, ..
+        } = self;
         let outcome = heap.collect_minor(&mut |f| {
             for r in roots.iter_mut() {
                 *r = f(*r);
+            }
+            for slot in ics.iter_mut().flatten() {
+                *slot = f(*slot);
             }
             rewrite_control(control, f);
             for frame in stack.iter_mut() {
@@ -612,6 +671,9 @@ impl Machine {
         }
         for r in &self.roots {
             c.mark_root(*r);
+        }
+        for slot in self.ics.iter().flatten() {
+            c.mark_root(*slot);
         }
         c.trace(&self.heap);
         let prev_free = self.heap.free_list();
@@ -1347,8 +1409,44 @@ impl Machine {
         }
     }
 
+    /// Value-profile hook for the fuzzer: classifies each operand of a
+    /// primitive into a coarse shape class and records it in the coverage
+    /// map. Classes: 0 tagged-immediate int, 1 boxed int, 2 zero,
+    /// 3 negative int, 4 char, 5 string, 6 constructor, 7 other.
+    fn profile_prim_operands(&mut self, op: PrimOp, nodes: &[NodeId]) {
+        let mut classes = [None::<usize>; 2];
+        for (i, slot) in classes.iter_mut().enumerate() {
+            let Some(&n) = nodes.get(i) else { break };
+            *slot = Some(match self.heap.whnf(n) {
+                Some(Whnf::Int(0)) => 2,
+                Some(Whnf::Int(v)) if v < 0 => 3,
+                Some(Whnf::Int(_)) => {
+                    if n.is_imm() {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                Some(Whnf::Char(_)) => 4,
+                Some(Whnf::Str(_)) => 5,
+                Some(Whnf::Con(..)) => 6,
+                _ => 7,
+            });
+        }
+        if let Some(cov) = self.coverage.as_deref_mut() {
+            for (i, class) in classes.into_iter().enumerate() {
+                if let Some(class) = class {
+                    cov.hit_prim(op as usize, i, class);
+                }
+            }
+        }
+    }
+
     pub(crate) fn apply_prim(&mut self, op: PrimOp, nodes: &[NodeId]) -> PrimResult {
         use PrimOp::*;
+        if self.coverage.is_some() {
+            self.profile_prim_operands(op, nodes);
+        }
         let int = |m: &Machine, i: usize| -> i64 {
             match m.heap.whnf(nodes[i]) {
                 Some(Whnf::Int(n)) => n,

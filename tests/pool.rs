@@ -355,6 +355,7 @@ fn verify_code_does_not_perturb_the_cache_key() {
         &options.denot,
         options.render_depth,
         urk::Backend::Compiled,
+        options.tier,
     );
     let verifying = urk::cache::cache_key(
         &expr,
@@ -365,6 +366,7 @@ fn verify_code_does_not_perturb_the_cache_key() {
         &options.denot,
         options.render_depth,
         urk::Backend::Compiled,
+        options.tier,
     );
     assert_eq!(
         plain, verifying,

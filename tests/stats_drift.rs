@@ -42,11 +42,15 @@ fn wire_results_carry_unboxed_hits_and_round_trip() {
             steps: 42,
             allocations: 17,
             unboxed_hits: 9,
+            fused_steps: 3,
+            ic_hits: 2,
+            ic_misses: 1,
             compile_ops: 0,
             compile_micros: 0,
             cache_hits: 0,
             cache_misses: 1,
             backend: "tree".into(),
+            tier: "1".into(),
         },
     };
     let payload = resp.encode();
@@ -77,6 +81,9 @@ fn wire_totals_carry_unboxed_hits_and_round_trip() {
             jobs: 3,
             steps: 123,
             unboxed_hits: 45,
+            fused_steps: 12,
+            ic_hits: 4,
+            ic_misses: 2,
             compile_micros: 6,
             cache_hits: 1,
             cache_misses: 2,

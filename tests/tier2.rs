@@ -1,0 +1,490 @@
+//! The tier-2 differential battery: the analysis-licensed
+//! superinstruction image must be observationally indistinguishable from
+//! the tree-walker *and* the tier-1 image on every corpus the repo
+//! trusts, under every order policy, chaos plan, and interrupt sweep —
+//! while actually being faster (the perf claim lives in
+//! `benches/codegen.rs` and `BENCH_codegen.json`; this file proves the
+//! speed is not bought with wrong answers).
+//!
+//! Layers of evidence:
+//!
+//! * the soundness corpus and the paper's worked examples agree across
+//!   all three engines under both deterministic orders, with every
+//!   exceptional outcome a member of the denoted set (§3.5 refinement);
+//! * the seeded order stays in per-seed lockstep across tiers, so the
+//!   §3.5 "pick any member" draw stream is preserved by fusion;
+//! * the bench workloads agree and the tier-2 gauges (`fused_steps`,
+//!   `ic_hits`) prove the optimisations actually fired — agreement via
+//!   the unoptimised path would be vacuous;
+//! * the chaos corpus holds §5.1's invariants when the faulted machine
+//!   executes the tier-2 image, and a deterministic interrupt sweep
+//!   races delivery against a deliberately tiny nursery;
+//! * a corrupted licence (a fact claiming a wrong constant) produces an
+//!   observably wrong answer — proving the differential comparison is
+//!   load-bearing, and that unlicensed speculation (propagating instead
+//!   of storing a speculative raise) would be caught the same way.
+
+use std::sync::Arc;
+
+use urk::{Backend, EvalPool, Options, PoolConfig, Session, Tier};
+use urk_bench::{compile, lower, lower_t2, pipeline_workload, run, run_flat, workloads, Workload};
+use urk_machine::{
+    compile_program, tier2_optimize, FactVal, GlobalFact, Machine, MachineConfig, OrderPolicy,
+    Outcome, Tier2Facts,
+};
+use urk_syntax::{desugar_program, parse_program, DataEnv, Exception};
+
+/// The closed-term corpus from `tests/soundness.rs` (same list the
+/// tier-1 battery in `tests/compiled.rs` pins).
+const CORPUS: &[&str] = &[
+    "42",
+    "1 + 2 * 3 - 4",
+    "7 / 2 + 7 % 2",
+    "'x'",
+    "\"hello\"",
+    "[1, 2, 3]",
+    "(1, (2, 3))",
+    "Just (Just 0)",
+    r"(\x -> 3) (1/0)",
+    "let x = raise Overflow in 42",
+    "case 1 : raise Overflow of { x : xs -> x; [] -> 0 }",
+    "fst (1, 1/0)",
+    "1/0",
+    "raise Overflow",
+    r#"raise (UserError "Urk")"#,
+    r#"(1/0) + raise (UserError "Urk")"#,
+    "case raise Overflow of { True -> 1; False -> 2 }",
+    "case Nothing of { Just n -> n }",
+    "raise (raise DivideByZero)",
+    "seq (1/0) 2",
+    "seq 2 (1/0)",
+    r#"mapException (\e -> Overflow) (1/0)"#,
+    "unsafeIsException (1/0)",
+    "unsafeIsException [1]",
+    "case unsafeGetException (1/0) of { OK v -> 0; Bad e -> 1 }",
+    "case unsafeGetException 9 of { OK v -> v; Bad e -> 0 }",
+    "let m = raise DivideByZero in seq (raise Overflow) ((case 0 < m of { True -> 0; False -> m }) + 0)",
+    "9223372036854775807 + 1",
+    "chr 97",
+    "ord 'a' + 1",
+    "let f = \\n -> if n == 0 then 1 else n * f (n - 1) in f 10",
+    "case (1/0, 5) of { (a, b) -> b }",
+    "case (1/0, 5) of { (a, b) -> a }",
+];
+
+/// The chaos corpus from `tests/chaos.rs`.
+const CHAOS_PROGRAMS: &[(&str, &str)] = &[
+    (
+        "fib",
+        "let f = \\n -> if n < 2 then n else f (n - 1) + f (n - 2) in f 14",
+    ),
+    (
+        "sum-buried-thunk",
+        "let s = (let g = \\n -> if n == 0 then 0 else n + g (n - 1) in g 250) in s + 1",
+    ),
+    (
+        "divide-by-zero-at-depth",
+        "let g = \\n -> if n == 0 then 1 / 0 else n + g (n - 1) in g 120",
+    ),
+    (
+        "order-dependent-set",
+        r#"(1/0) + (raise (UserError "Urk") + raise Overflow)"#,
+    ),
+    (
+        "match-failure-at-depth",
+        "let g = \\n -> if n == 0 then (case [] of { y : ys -> y }) else n + g (n - 1) in g 100",
+    ),
+];
+
+/// Tree, tier-1, and tier-2 sessions with identical options otherwise.
+fn engine_triple(order: OrderPolicy) -> (Session, Session, Session) {
+    let mut tree = Session::new();
+    tree.options.machine.order = order;
+    let mut t1 = Session::new();
+    t1.options.machine.order = order;
+    t1.options.backend = Backend::Compiled;
+    let mut t2 = Session::new();
+    t2.options.machine.order = order;
+    t2.options.backend = Backend::Compiled;
+    t2.options.tier = Tier::Two;
+    (tree, t1, t2)
+}
+
+/// Asserts all three engines agree on `src`, the tier-2 run is tagged as
+/// tier 2, and any exceptional outcome is inside the denoted set.
+fn assert_three_way(tree: &Session, t1: &Session, t2: &Session, src: &str) {
+    let a = tree
+        .eval(src)
+        .unwrap_or_else(|e| panic!("{src}: tree: {e}"));
+    let b = t1
+        .eval(src)
+        .unwrap_or_else(|e| panic!("{src}: tier 1: {e}"));
+    let c = t2
+        .eval(src)
+        .unwrap_or_else(|e| panic!("{src}: tier 2: {e}"));
+    assert_eq!(a.rendered, b.rendered, "{src}: tree vs tier 1");
+    assert_eq!(a.rendered, c.rendered, "{src}: tree vs tier 2");
+    assert_eq!(a.exception, c.exception, "{src}: representative exception");
+    assert_eq!(c.stats.tier.name(), "2", "{src}: stats must carry the tier");
+    assert_eq!(b.stats.tier.name(), "1", "{src}");
+    if let Some(exn) = &c.exception {
+        let set = t2
+            .exception_set(src)
+            .expect("denotes")
+            .unwrap_or_else(|| panic!("{src}: tier 2 raised {exn} but the denotation is Ok"));
+        assert!(
+            set.contains(exn),
+            "{src}: tier 2 chose {exn} outside the denoted set {set}"
+        );
+    }
+}
+
+#[test]
+fn the_soundness_corpus_agrees_across_engines_under_both_orders() {
+    for order in [OrderPolicy::LeftToRight, OrderPolicy::RightToLeft] {
+        let (tree, t1, t2) = engine_triple(order);
+        for src in CORPUS {
+            assert_three_way(&tree, &t1, &t2, src);
+        }
+    }
+}
+
+#[test]
+fn paper_examples_agree_through_loaded_definitions_at_tier_2() {
+    // Loaded definitions are where the tier-2 ops actually live (query
+    // extensions lower at tier 1), so these exercise `Fused`, `Spec`,
+    // and `AppG` through the global table.
+    let program = "safeDiv a b = if b == 0 then Bad DivideByZero else OK (a / b)\n\
+                   useIt a b = case safeDiv a b of { OK v -> v; Bad ex -> 0 - 1 }\n\
+                   sumTo n = if n == 0 then 0 else n + sumTo (n - 1)";
+    let (mut tree, mut t1, mut t2) = engine_triple(OrderPolicy::LeftToRight);
+    tree.load(program).expect("loads");
+    t1.load(program).expect("loads");
+    t2.load(program).expect("loads");
+    for src in [
+        "useIt 10 2",
+        "useIt 10 0",
+        "sumTo 100",
+        "zipWith (/) [1, 2] [1, 0]",
+        "seq (forceList (zipWith (/) [1] [0])) 5",
+        "take 5 (iterate (\\x -> x * 2) 1)",
+        "head []",
+        "map (\\x -> x * x) [1, 2, 3]",
+    ] {
+        assert_three_way(&tree, &t1, &t2, src);
+    }
+}
+
+#[test]
+fn seeded_orders_stay_in_lockstep_across_all_three_engines() {
+    // §3.5's seeded draw stream must survive fusion: the pass disables
+    // prim-region speculation under Seeded and region-evaluates
+    // chosen-first, so each seed picks the same member everywhere.
+    let src = r#"(1/0) + (raise (UserError "a") + raise Overflow)"#;
+    for seed in 0..16u64 {
+        let (tree, t1, t2) = engine_triple(OrderPolicy::Seeded(seed));
+        let a = tree.eval(src).expect("tree evals");
+        let b = t1.eval(src).expect("tier 1 evals");
+        let c = t2.eval(src).expect("tier 2 evals");
+        assert_eq!(a.rendered, b.rendered, "seed {seed}: tree vs tier 1");
+        assert_eq!(a.rendered, c.rendered, "seed {seed}: tree vs tier 2");
+    }
+}
+
+#[test]
+fn bench_workloads_agree_and_the_tier2_gauges_prove_the_claim() {
+    let mut all = workloads();
+    all.push(pipeline_workload());
+    for w in &all {
+        let c = compile(w);
+        let (tree, _) = run(&c, MachineConfig::default());
+        let code1 = lower(&c);
+        let (t1, s1) = run_flat(&c, &code1, MachineConfig::default());
+        let code2 = lower_t2(&c);
+        assert!(code2.is_tier2());
+        code2.verify().expect("tier-2 image verifies");
+        let (t2, s2) = run_flat(&c, &code2, MachineConfig::default());
+        assert_eq!(tree, w.expected, "workload {}", w.name);
+        assert_eq!(t1, w.expected, "workload {}", w.name);
+        assert_eq!(t2, w.expected, "workload {}", w.name);
+        // The gauges: agreement is only meaningful if the tier-2 ops ran.
+        assert!(
+            s2.fused_steps > 0,
+            "workload {}: no fused regions executed: {s2:?}",
+            w.name
+        );
+        assert!(
+            s2.ic_hits > 0,
+            "workload {}: inline caches never hit: {s2:?}",
+            w.name
+        );
+        assert!(
+            s2.ic_hits > s2.ic_misses,
+            "workload {}: monomorphic call sites must be cache-friendly",
+            w.name
+        );
+        // Fused regions collapse step sequences, so the tier-2 image
+        // must take strictly fewer machine steps.
+        assert!(
+            s2.steps < s1.steps,
+            "workload {}: tier 2 took {} steps, tier 1 {}",
+            w.name,
+            s2.steps,
+            s1.steps
+        );
+    }
+}
+
+#[test]
+fn the_chaos_corpus_holds_the_invariants_on_the_tier2_image() {
+    let mut session = Session::new();
+    session.options.backend = Backend::Compiled;
+    session.options.tier = Tier::Two;
+    let mut injected_runs = 0u32;
+    let mut runs = 0u32;
+    for (name, src) in CHAOS_PROGRAMS {
+        for seed in 0..10u64 {
+            let r = session
+                .chaos_check(src, seed)
+                .unwrap_or_else(|e| panic!("{name}: front-end error: {e}"));
+            assert!(
+                r.sound,
+                "{name} seed {seed}: unsound under tier 2 — outcome {} not in oracle {} ∪ {:?}",
+                r.outcome,
+                r.oracle,
+                r.plan.injectable()
+            );
+            assert!(
+                r.heap_consistent,
+                "{name} seed {seed}: heap audit failed after faulted tier-2 run ({})",
+                r.outcome
+            );
+            assert!(
+                r.reeval_ok,
+                "{name} seed {seed}: tier-2 re-evaluation after disarming disagrees with {}",
+                r.oracle
+            );
+            runs += 1;
+            if r.faults_fired > 0 {
+                injected_runs += 1;
+            }
+        }
+    }
+    assert!(
+        injected_runs >= runs / 3,
+        "too few tier-2 runs actually injected faults: {injected_runs}/{runs}"
+    );
+}
+
+#[test]
+fn interrupt_sweeps_race_delivery_against_a_tiny_nursery() {
+    // An allocating workload on the tier-2 image with a nursery small
+    // enough that minor collections run constantly, sweeping a
+    // deterministic Interrupt across the run: §5.1 demands every landing
+    // point either completes or catches, audits clean, and the same
+    // machine re-evaluates correctly afterwards.
+    let w = Workload {
+        query: "pipe 60".into(),
+        ..pipeline_workload()
+    };
+    let c = compile(&w);
+    let code = lower_t2(&c);
+    let base = MachineConfig {
+        nursery_size: 64,
+        gc_threshold: 256,
+        ..MachineConfig::default()
+    };
+    let (undisturbed, baseline) = run_flat(&c, &code, base.clone());
+    assert!(
+        baseline.minor_gcs > 0,
+        "the sweep must actually race minor GC: {baseline:?}"
+    );
+    let horizon = baseline.steps;
+    let stride = (horizon / 40).max(1);
+    let mut interrupted = 0u32;
+    for at in (1..horizon).step_by(stride as usize) {
+        let mut m = Machine::new(MachineConfig {
+            event_schedule: vec![(at, Exception::Interrupt)],
+            ..base.clone()
+        });
+        m.link_code(Arc::clone(&code));
+        let out = m
+            .eval_code_expr(&c.query, true)
+            .unwrap_or_else(|e| panic!("step {at}: machine error {e}"));
+        match out {
+            Outcome::Value(n) => assert_eq!(m.render(n, 16), undisturbed, "step {at}"),
+            Outcome::Caught(Exception::Interrupt) => interrupted += 1,
+            other => panic!("step {at}: unjustified outcome {other:?}"),
+        }
+        let audit = m.audit_heap();
+        assert!(audit.is_consistent(), "step {at}: {audit}");
+        // The schedule is exhausted; the same machine must recover.
+        let re = m
+            .eval_code_expr(&c.query, true)
+            .unwrap_or_else(|e| panic!("step {at}: re-eval error {e}"));
+        match re {
+            Outcome::Value(n) => assert_eq!(m.render(n, 16), undisturbed, "step {at}: re-eval"),
+            other => panic!("step {at}: re-eval produced {other:?}"),
+        }
+        let audit = m.audit_heap();
+        assert!(audit.is_consistent(), "step {at}: after re-eval: {audit}");
+    }
+    assert!(
+        interrupted > 5,
+        "the sweep never landed mid-run ({interrupted} interrupts)"
+    );
+}
+
+#[test]
+fn speculative_raises_are_stored_not_propagated() {
+    // §3.3's discipline at the speculation site: `main` denotes {42} —
+    // the poisoned binding is never demanded. An unlicensed
+    // implementation that *propagates* the speculative raise would
+    // answer `(raise DivideByZero)` and this differential would catch
+    // it; the fused_steps gauge proves the speculation actually ran.
+    let mut data = DataEnv::new();
+    let prog = desugar_program(
+        &parse_program(
+            "main = let x = 1/0 in 42\n\
+             demand = let y = 2/0 in y + 1",
+        )
+        .expect("parses"),
+        &mut data,
+    )
+    .expect("desugars");
+    let base = compile_program(&prog.binds);
+    let t2 = Arc::new(tier2_optimize(&base, &Tier2Facts::empty()));
+    let eval = |query: &str| {
+        let mut m = Machine::new(MachineConfig::default());
+        m.link_code(Arc::clone(&t2));
+        let e =
+            urk_syntax::desugar_expr(&urk_syntax::parse_expr_src(query).expect("parses"), &data)
+                .expect("desugars");
+        let out = m.eval_code_expr(&e, true).expect("no machine error");
+        let rendered = match out {
+            Outcome::Value(n) => m.render(n, 16),
+            Outcome::Caught(e) | Outcome::Uncaught(e) => format!("(raise {e})"),
+        };
+        (rendered, m.stats().clone())
+    };
+    let (undemanded, stats) = eval("main");
+    assert_eq!(undemanded, "42", "a stored speculative raise is invisible");
+    assert!(
+        stats.fused_steps > 0,
+        "speculation must have run: {stats:?}"
+    );
+    let (demanded, _) = eval("demand");
+    assert_eq!(
+        demanded, "(raise DivideByZero)",
+        "a demanded poisoned binding raises the stored member"
+    );
+}
+
+#[test]
+fn a_corrupted_licence_is_caught_by_the_differential_battery() {
+    // Facts are a licence, not a proof: the constant-substitution pass
+    // emits the *fact's* value, so a corrupted analysis produces an
+    // observably wrong image. This is the acceptance sabotage for the
+    // licence path — the same comparison every test above runs is what
+    // catches it.
+    let src = "k = 42\nmain = k + 1";
+    let mut data = DataEnv::new();
+    let prog = desugar_program(&parse_program(src).expect("parses"), &mut data).expect("desugars");
+    let base = compile_program(&prog.binds);
+    let honest = Tier2Facts {
+        globals: vec![
+            GlobalFact {
+                whnf_safe: true,
+                value: Some(FactVal::Int(42)),
+            },
+            GlobalFact::default(),
+        ],
+    };
+    let corrupted = Tier2Facts {
+        globals: vec![
+            GlobalFact {
+                whnf_safe: true,
+                value: Some(FactVal::Int(7)),
+            },
+            GlobalFact::default(),
+        ],
+    };
+    let eval = |code: Arc<urk::Code>| {
+        let mut m = Machine::new(MachineConfig::default());
+        m.link_code(code);
+        let e =
+            urk_syntax::desugar_expr(&urk_syntax::parse_expr_src("main").expect("parses"), &data)
+                .expect("desugars");
+        match m.eval_code_expr(&e, false).expect("no machine error") {
+            Outcome::Value(n) => m.render(n, 16),
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    let good = eval(Arc::new(tier2_optimize(&base, &honest)));
+    assert_eq!(good, "43", "an honest licence preserves the answer");
+    let bad = eval(Arc::new(tier2_optimize(&base, &corrupted)));
+    assert_eq!(
+        bad, "8",
+        "the corrupted fact's constant must flow to the answer (making \
+         the licence load-bearing and the differential check decisive)"
+    );
+    assert_ne!(good, bad, "the battery's comparison catches the sabotage");
+}
+
+#[test]
+fn pools_at_tier_2_agree_with_the_tree_backend_on_one_shared_image() {
+    let sources: &[&str] = &["double x = x + x\nsquare x = x * x"];
+    let exprs: Vec<String> = (0..8)
+        .map(|i| format!("double (square {i}) + {i}"))
+        .chain(["zipWith (/) [1, 2] [1, 0]".to_string(), "1/0".to_string()])
+        .collect();
+    let run = |backend, tier| {
+        let pool = EvalPool::start(
+            sources,
+            Options {
+                backend,
+                tier,
+                ..Options::default()
+            },
+            PoolConfig {
+                workers: 3,
+                cache_cap: 64,
+                ..PoolConfig::default()
+            },
+        )
+        .expect("pool starts");
+        pool.eval_batch(&exprs)
+    };
+    let tree = run(Backend::Tree, Tier::One);
+    let t2 = run(Backend::Compiled, Tier::Two);
+    for ((src, a), b) in exprs.iter().zip(&tree).zip(&t2) {
+        let a = a.as_ref().expect("tree evals");
+        let b = b.as_ref().expect("tier 2 evals");
+        assert_eq!(a.rendered, b.rendered, "{src}");
+        assert_eq!(a.exception, b.exception, "{src}");
+        assert_eq!(b.stats.tier.name(), "2", "{src}");
+    }
+}
+
+#[test]
+fn tier_switches_invalidate_the_session_image() {
+    let mut s = Session::new();
+    s.options.backend = Backend::Compiled;
+    s.load("inc x = x + 1").expect("loads");
+    let first = s.eval("inc 1").expect("evals");
+    assert_eq!(first.rendered, "2");
+    assert_eq!(first.stats.tier.name(), "1");
+    s.options.tier = Tier::Two;
+    let second = s.eval("inc 2").expect("evals");
+    assert_eq!(second.rendered, "3");
+    assert_eq!(second.stats.tier.name(), "2");
+    assert!(
+        second.stats.compile_ops > 0,
+        "the tier switch must re-lower the program: {:?}",
+        second.stats
+    );
+    s.options.tier = Tier::One;
+    let third = s.eval("inc 3").expect("evals");
+    assert_eq!(third.rendered, "4");
+    assert_eq!(third.stats.tier.name(), "1");
+}
