@@ -46,6 +46,12 @@ pub struct Summary {
     /// forced (nor embedded in the result), so a saturated call only
     /// unions the effects of the `true` positions.
     pub uses: Vec<bool>,
+    /// Must-demand per parameter: `true` guarantees that an exceptional
+    /// argument in that position makes the saturated call's own result
+    /// exceptional — per §4 the licence for evaluating the argument
+    /// eagerly without changing the denoted exception set. `false` is
+    /// always sound.
+    pub demands: Vec<bool>,
 }
 
 /// The result of [`analyze_program`].
@@ -107,6 +113,7 @@ impl Analysis {
                         whnf_safe: false,
                         must_raise: false,
                         val: None,
+                        demands: Vec::new(),
                     };
                 };
                 BindingFact {
@@ -119,6 +126,7 @@ impl Analysis {
                     } else {
                         None
                     },
+                    demands: s.demands.clone(),
                 }
             })
             .collect()
@@ -140,6 +148,9 @@ pub struct BindingFact {
     pub must_raise: bool,
     /// Known WHNF constant, for arity-0 bindings only.
     pub val: Option<Val>,
+    /// Must-demand per parameter (see [`Summary::demands`]); empty for
+    /// bindings without a summary.
+    pub demands: Vec<bool>,
 }
 
 /// Analyse a whole binding group.
@@ -194,6 +205,10 @@ pub fn analyze_program(prog: &CoreProgram, data: &DataEnv) -> Analysis {
                     arity: params.len(),
                     body_effect: Effect::bottom(),
                     uses: vec![true; params.len()],
+                    // A must-property cannot be discovered optimistically
+                    // on a cycle: pinned to all-false, which is always
+                    // sound.
+                    demands: vec![false; params.len()],
                 },
             );
         } else {
@@ -204,6 +219,9 @@ pub fn analyze_program(prog: &CoreProgram, data: &DataEnv) -> Analysis {
                     arity: params.len(),
                     body_effect: Effect::pure(),
                     uses: params.iter().map(|p| fv.contains(p)).collect(),
+                    // Pessimistic start: demand grows monotonically as the
+                    // rounds fill in callee demands (false stays sound).
+                    demands: vec![false; params.len()],
                 },
             );
         }
@@ -216,7 +234,7 @@ pub fn analyze_program(prog: &CoreProgram, data: &DataEnv) -> Analysis {
     let mut stable = false;
     while rounds < max_rounds && !stable {
         rounds += 1;
-        let mut next: Vec<(Symbol, Effect)> = Vec::new();
+        let mut next: Vec<(Symbol, Effect, Vec<bool>)> = Vec::new();
         {
             let an = Analyzer {
                 data,
@@ -228,15 +246,19 @@ pub fn analyze_program(prog: &CoreProgram, data: &DataEnv) -> Analysis {
                 }
                 let mut env: Vec<(Symbol, Effect)> =
                     params.iter().map(|p| (*p, Effect::opaque_arg())).collect();
-                next.push((*name, an.effect(body, &mut env).normalize()));
+                let be = an.effect(body, &mut env).normalize();
+                let dset = an.demanded(body, &mut Vec::new(), params);
+                let demands: Vec<bool> = params.iter().map(|p| dset.contains(p)).collect();
+                next.push((*name, be, demands));
             }
         }
         stable = true;
-        for (name, be) in next {
+        for (name, be, demands) in next {
             let slot = summaries.get_mut(&name).expect("summary exists");
-            if slot.body_effect != be {
+            if slot.body_effect != be || slot.demands != demands {
                 stable = false;
                 slot.body_effect = be;
+                slot.demands = demands;
             }
         }
     }
@@ -249,6 +271,7 @@ pub fn analyze_program(prog: &CoreProgram, data: &DataEnv) -> Analysis {
                 let slot = summaries.get_mut(name).expect("summary exists");
                 slot.body_effect = Effect::bottom();
                 slot.uses = vec![true; params.len()];
+                slot.demands = vec![false; params.len()];
             }
         }
     }
@@ -733,6 +756,132 @@ impl Analyzer<'_> {
             }
         }
         raise_of(ExnSet::bottom(), ie.diverges)
+    }
+
+    /// The parameters of `params` *certainly demanded* by forcing `e` to
+    /// WHNF: an exceptional value in any returned position makes `e`'s
+    /// own result exceptional, whichever §3.5 order the machine runs in.
+    /// `env` carries let-bound locals with the demand set of their
+    /// right-hand sides (forcing the local forces the rhs); any binder
+    /// shadows an outer parameter of the same name.
+    ///
+    /// Under-approximation is the soundness direction: every case that is
+    /// not provable returns the empty set.
+    pub(crate) fn demanded(
+        &self,
+        e: &Expr,
+        env: &mut Vec<(Symbol, HashSet<Symbol>)>,
+        params: &[Symbol],
+    ) -> HashSet<Symbol> {
+        match e {
+            Expr::Var(x) => {
+                if let Some((_, d)) = env.iter().rev().find(|(y, _)| *y == *x) {
+                    return d.clone();
+                }
+                if params.contains(x) {
+                    return HashSet::from([*x]);
+                }
+                HashSet::new() // globals never carry a parameter
+            }
+            // Values: nothing inside is forced.
+            Expr::Int(_) | Expr::Char(_) | Expr::Str(_) | Expr::Con(_, _) | Expr::Lam(_, _) => {
+                HashSet::new()
+            }
+            Expr::Let(x, r, b) => {
+                let rd = self.demanded(r, env, params);
+                env.push((*x, rd));
+                let out = self.demanded(b, env, params);
+                env.pop();
+                out
+            }
+            Expr::LetRec(binds, b) => {
+                for (x, _) in binds {
+                    env.push((*x, HashSet::new()));
+                }
+                let out = self.demanded(b, env, params);
+                env.truncate(env.len() - binds.len());
+                out
+            }
+            // The scrutinee is always forced; beyond it, only what every
+            // alternative agrees on. An empty alternative list always
+            // raises PatternMatchFail, so the result is exceptional
+            // regardless of any argument: every parameter vacuously
+            // qualifies.
+            Expr::Case(s, alts) => {
+                let mut out = self.demanded(s, env, params);
+                let mut branches: Option<HashSet<Symbol>> = None;
+                for alt in alts {
+                    let pushed = alt.binders.len();
+                    for b in &alt.binders {
+                        env.push((*b, HashSet::new()));
+                    }
+                    let d = self.demanded(&alt.rhs, env, params);
+                    env.truncate(env.len() - pushed);
+                    branches = Some(match branches {
+                        None => d,
+                        Some(prev) => prev.intersection(&d).copied().collect(),
+                    });
+                }
+                match branches {
+                    Some(b) => out.extend(b),
+                    None => out.extend(params.iter().copied()),
+                }
+                out
+            }
+            Expr::Prim(op, args) => match op {
+                // §5.4: the observers swallow the subject's exception.
+                PrimOp::UnsafeIsException | PrimOp::UnsafeGetException => HashSet::new(),
+                // mapException transforms the subject's exception but an
+                // exceptional subject still yields an exceptional result.
+                PrimOp::MapExn => self.demanded(&args[1], env, params),
+                // Seq and the strict primitives force every operand; an
+                // exceptional operand surfaces whichever §3.5 order runs
+                // first (the result is exceptional either way).
+                _ => {
+                    let mut out = HashSet::new();
+                    for a in args {
+                        out.extend(self.demanded(a, env, params));
+                    }
+                    out
+                }
+            },
+            // The result is exceptional no matter what: vacuously demands
+            // everything.
+            Expr::Raise(_) => params.iter().copied().collect(),
+            Expr::App(_, _) => {
+                // Only a saturated call to a known global propagates
+                // demand through the callee's own demand vector; every
+                // other head shape is opaque.
+                let mut rev_args: Vec<&Rc<Expr>> = Vec::new();
+                let mut head = e;
+                while let Expr::App(f, a) = head {
+                    rev_args.push(a);
+                    head = f;
+                }
+                let Expr::Var(f) = head else {
+                    return HashSet::new();
+                };
+                if env.iter().any(|(y, _)| *y == *f) || params.contains(f) {
+                    return HashSet::new(); // locally-bound head
+                }
+                let Some(sum) = self.summaries.get(f) else {
+                    return HashSet::new();
+                };
+                if sum.arity == 0 || rev_args.len() < sum.arity {
+                    return HashSet::new(); // CAF head or partial application
+                }
+                // Oversaturation keeps exceptionality (§4.3: Bad(s) a =
+                // Bad(s ∪ S(a))), so the saturated prefix's demand stands.
+                let args: Vec<&Rc<Expr>> = rev_args.into_iter().rev().collect();
+                let mut out = HashSet::new();
+                for (i, a) in args.iter().take(sum.arity).enumerate() {
+                    if sum.demands.get(i).copied().unwrap_or(false) {
+                        out.extend(self.demanded(a, env, params));
+                    }
+                }
+                out
+            }
+        }
     }
 }
 

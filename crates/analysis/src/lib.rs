@@ -37,10 +37,12 @@
 pub mod analyze;
 pub mod effect;
 pub mod lint;
+pub mod validate;
 
 pub use analyze::{analyze_program, Analysis, BindingFact, Summary};
 pub use effect::{Effect, Val};
 pub use lint::{lint_expr, lint_program, Diagnostic, LintCode};
+pub use validate::{audit_binding_facts, audit_binds, FactAudit, FactAuditError};
 
 #[cfg(test)]
 mod tests {
@@ -267,6 +269,81 @@ mod tests {
         // body may; whnf_safe reports the *body* effect under opaque
         // arguments, which is the conservative direction for a licence.
         assert!(!facts[2].whnf_safe || facts[2].arity > 0);
+    }
+
+    #[test]
+    fn demand_analysis_proves_strict_parameters() {
+        let (an, _, _) = analyze_src(
+            "sq x = x * x\n\
+             konst x y = x\n\
+             choose c a b = case c of { True -> a; False -> b }\n\
+             both p q = seq p (q + 1)\n\
+             discard d = let u = d in 42",
+        );
+        let s = |n: &str| an.summary(urk_syntax::Symbol::intern(n)).expect("summary");
+        // A strict prim demands its operand.
+        assert_eq!(s("sq").demands, vec![true]);
+        // A discarded parameter is not demanded.
+        assert_eq!(s("konst").demands, vec![true, false]);
+        // The scrutinee is demanded; the branches disagree on a/b.
+        assert_eq!(s("choose").demands, vec![true, false, false]);
+        // seq forces both sides.
+        assert_eq!(s("both").demands, vec![true, true]);
+        // Binding without forcing is not a demand.
+        assert_eq!(s("discard").demands, vec![false]);
+    }
+
+    #[test]
+    fn demand_flows_through_saturated_calls_and_lets() {
+        let (an, _, _) = analyze_src(
+            "sq x = x * x\n\
+             viaCall a = sq a\n\
+             viaLet b = let t = b + 1 in t * 2\n\
+             lazyCon c = Pair c 1",
+        );
+        let s = |n: &str| an.summary(urk_syntax::Symbol::intern(n)).expect("summary");
+        // sq demands its parameter, so a saturated call transfers demand.
+        assert_eq!(s("viaCall").demands, vec![true]);
+        // Forcing a let-bound local forces its right-hand side.
+        assert_eq!(s("viaLet").demands, vec![true]);
+        // Constructor fields are lazy (§4.2): no demand.
+        assert_eq!(s("lazyCon").demands, vec![false]);
+    }
+
+    #[test]
+    fn demand_is_pinned_false_on_cycles_and_implies_uses() {
+        let (an, _, prog) = analyze_src(
+            "loop x = if x == 0 then 0 else loop (x - 1)\n\
+             sq y = y * y",
+        );
+        let s = |n: &str| an.summary(urk_syntax::Symbol::intern(n)).expect("summary");
+        assert_eq!(s("loop").demands, vec![false]);
+        let facts = an.binding_facts(&prog.binds);
+        for (f, name) in facts.iter().zip(["loop", "sq"]) {
+            let sum = an
+                .summary(urk_syntax::Symbol::intern(name))
+                .expect("summary");
+            assert_eq!(f.demands.len(), f.arity);
+            for (i, d) in f.demands.iter().enumerate() {
+                assert!(!*d || sum.uses[i], "demanded ⇒ used for {name}[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn exception_observers_swallow_demand() {
+        let (an, _, _) = analyze_src(
+            "probe x = case unsafeIsException x of { True -> 1; False -> 0 }\n\
+             mapped m = mapException (\\e -> Overflow) (m + 1)\n\
+             thrown t = raise (UserError \"boom\")",
+        );
+        let s = |n: &str| an.summary(urk_syntax::Symbol::intern(n)).expect("summary");
+        // The observer never lets the subject's exception escape.
+        assert_eq!(s("probe").demands, vec![false]);
+        // mapException keeps the subject exceptional (with a new tag).
+        assert_eq!(s("mapped").demands, vec![true]);
+        // An always-raising body is vacuously exceptional whatever t is.
+        assert_eq!(s("thrown").demands, vec![true]);
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //!   reachable (no default and the patterns do not exhaust the
 //!   constructor family), as compiled by the `matchc` pattern-match
 //!   compiler.
+//! * **URK005** — a `let` binding that is never demanded but whose
+//!   evaluation may raise: under the lazy semantics the right-hand side
+//!   is never forced, so the imprecise exception it denotes is silently
+//!   discarded (§4's denotation makes the program's *value* independent
+//!   of it — which is exactly why it is invisible without a lint).
+//! * **URK006** — a `mapException` handler whose subject's predicted
+//!   exception set is provably empty: the transformer can never fire
+//!   (§5.4) — a dead handler.
 //!
 //! Core expressions carry no source spans, so positions are a *path*:
 //! the binding name plus a dotted breadcrumb from its right-hand side
@@ -42,6 +50,10 @@ pub enum LintCode {
     DeadExceptionBranch,
     /// URK004: reachable pattern-match failure.
     MatchMayFail,
+    /// URK005: a never-demanded binding whose evaluation may raise.
+    DiscardedException,
+    /// URK006: a `mapException` handler that can never fire.
+    DeadHandler,
 }
 
 impl LintCode {
@@ -52,6 +64,8 @@ impl LintCode {
             LintCode::UnreachableAlt => "URK002",
             LintCode::DeadExceptionBranch => "URK003",
             LintCode::MatchMayFail => "URK004",
+            LintCode::DiscardedException => "URK005",
+            LintCode::DeadHandler => "URK006",
         }
     }
 }
@@ -170,6 +184,39 @@ impl Walker<'_, '_> {
 
         if let Expr::Case(s, alts) = e {
             self.lint_case(s, alts, env);
+        }
+
+        // URK005: a lazily-bound right-hand side that may raise but is
+        // never demanded — the strictness facts prove the body cannot
+        // force it, so its imprecise exception is silently discarded.
+        if let Expr::Let(x, r, b) = e {
+            let re = self.an.effect(r, env);
+            let may_raise = re.must_raise || !re.exns.is_empty();
+            if may_raise && !b.free_vars().contains(x) {
+                self.report(
+                    LintCode::DiscardedException,
+                    format!(
+                        "binding `{x}` is never demanded but may raise {}; the imprecise \
+                         exception is silently discarded",
+                        re.predicted()
+                    ),
+                );
+            }
+        }
+
+        // URK006: the §5.4 exception transformer over a subject whose
+        // predicted exception set is empty — the handler is dead.
+        if let Expr::Prim(PrimOp::MapExn, args) = e {
+            if let Some(subj) = args.get(1) {
+                if self.an.effect(subj, env).whnf_safe() {
+                    self.report(
+                        LintCode::DeadHandler,
+                        "dead handler: the subject's predicted exception set is empty, \
+                         so mapException can never fire"
+                            .into(),
+                    );
+                }
+            }
         }
 
         self.walk_children(e, env);

@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("lint", |b| {
         b.iter(|| {
             let findings = session.lint();
-            assert_eq!(findings.len(), 6, "the demo's finding count is fixed");
+            assert_eq!(findings.len(), 9, "the demo's finding count is fixed");
             findings
         })
     });

@@ -1,0 +1,63 @@
+//! E21 — cost of tier-2 translation validation (DESIGN.md §16).
+//!
+//! The validation gate is three one-shot passes, all off the evaluation
+//! hot path; this bench prices each against the certifying compilation
+//! itself so the overhead claim ("validation costs about as much as the
+//! compilation it checks") stays measured, not asserted:
+//!
+//! * `certify`: `tier2_optimize_certified` — the tier-2 pass emitting
+//!   its rewrite certificate alongside the image;
+//! * `validate`: `validate_tier2` — the independent lockstep walk
+//!   discharging every certificate entry against re-derived
+//!   obligations;
+//! * `audit`: `audit_binding_facts` — the analysis-side fresh
+//!   recomputation refusing non-reproducible facts (dominated by
+//!   `analyze_program`, cf. `analysis_cost/analyze`).
+//!
+//! The subject is the Prelude plus `examples/lint_demo.urk`, the same
+//! program `analysis_cost` prices, so the two recorded runs
+//! (`BENCH_analysis.json`, `BENCH_validate.json`) compare directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use urk::{tier2_facts_for, Session};
+use urk_analysis::audit_binding_facts;
+use urk_machine::{compile_program, tier2_optimize_certified, validate_tier2};
+
+const DEMO: &str = include_str!("../../../examples/lint_demo.urk");
+
+fn bench(c: &mut Criterion) {
+    let mut session = Session::new();
+    session.load(DEMO).expect("lint demo loads");
+    let binds = session.program().binds.clone();
+    let base = compile_program(&binds);
+    let facts = tier2_facts_for(session.analyze(), &binds);
+    let (t2, cert) = tier2_optimize_certified(&base, &facts);
+    assert!(
+        !cert.entries.is_empty(),
+        "the subject must produce rewrites"
+    );
+    let claimed = session.analyze().binding_facts(&binds);
+
+    let mut group = c.benchmark_group("validator_cost");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+
+    group.bench_function("certify", |b| {
+        b.iter(|| tier2_optimize_certified(&base, &facts))
+    });
+
+    group.bench_function("validate", |b| {
+        b.iter(|| validate_tier2(&base, &t2, &cert, &facts).expect("validates"))
+    });
+
+    group.bench_function("audit", |b| {
+        b.iter(|| audit_binding_facts(session.program(), session.data(), &claimed).expect("audits"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

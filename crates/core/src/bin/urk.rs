@@ -60,7 +60,9 @@ struct Args {
     batch: Option<String>,
     cache_cap: Option<usize>,
     lint: bool,
+    json: bool,
     verify_code: bool,
+    validate_tier2: bool,
     serve: bool,
     listen: Option<String>,
     queue_cap: Option<usize>,
@@ -73,9 +75,9 @@ fn usage() -> ! {
          \x20          [--optimize] [--input STR]\n\
          \x20          [--semantic|--concurrent] [--seed N] [--trace] [--dump-core] [--stats]\n\
          \x20          [--max-steps N] [--max-heap N] [--max-stack N]\n\
-         \x20          [--timeout-ms N] [--chaos SEED] [--verify-code]\n\
+         \x20          [--timeout-ms N] [--chaos SEED] [--verify-code] [--validate-tier2]\n\
          \x20          [--batch FILE] [--jobs N] [--cache-cap N]\n\
-         \x20      urk lint [FILE.urk] [--expr E] [--optimize]\n\
+         \x20      urk lint [FILE.urk] [--expr E] [--optimize] [--json]\n\
          \x20      urk serve [FILE.urk] --listen ADDR [--jobs N] [--queue-cap N]\n\
          \x20          [--cache-cap N] [--timeout-ms N] [--backend tree|compiled] [--tier 1|2]\n\
          \x20      urk fuzz [--seed N] [--execs N] [--max-depth N] [--chaos-rounds N]\n\
@@ -253,7 +255,9 @@ fn parse_args() -> Args {
         batch: None,
         cache_cap: None,
         lint: false,
+        json: false,
         verify_code: false,
+        validate_tier2: false,
         serve: false,
         listen: None,
         queue_cap: None,
@@ -322,6 +326,8 @@ fn parse_args() -> Args {
                 };
             }
             "--verify-code" => out.verify_code = true,
+            "--validate-tier2" => out.validate_tier2 = true,
+            "--json" => out.json = true,
             "--help" | "-h" => usage(),
             // The `lint`/`serve` subcommands, intercepted before the
             // bare positional is taken as a file name.
@@ -347,6 +353,7 @@ fn main() -> ExitCode {
     let mut session = Session::new();
     session.options.machine.order = args.order;
     session.options.machine.verify_code = args.verify_code;
+    session.options.validate_tier2 |= args.validate_tier2;
     session.options.backend = args.backend;
     session.options.tier = args.tier;
     if let Some(n) = args.max_steps {
@@ -455,8 +462,35 @@ fn main() -> ExitCode {
                 }
             }
         }
-        for d in &diags {
-            println!("{d}");
+        if args.json {
+            // Machine-readable findings: a stable array-of-objects schema
+            // (`rule`, `binding`, `path`, `message`) for editor and CI
+            // integration. The schema is pinned by a golden test.
+            let arr = urk_io::Json::Arr(
+                diags
+                    .iter()
+                    .map(|d| {
+                        urk_io::Json::Obj(vec![
+                            ("rule".into(), urk_io::Json::str(d.code.to_string())),
+                            ("binding".into(), urk_io::Json::str(d.binding.to_string())),
+                            (
+                                "path".into(),
+                                urk_io::Json::str(if d.path.is_empty() {
+                                    "rhs".to_string()
+                                } else {
+                                    d.path.clone()
+                                }),
+                            ),
+                            ("message".into(), urk_io::Json::str(d.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            );
+            println!("{arr}");
+        } else {
+            for d in &diags {
+                println!("{d}");
+            }
         }
         eprintln!("urk: lint reported {} finding(s)", diags.len());
         return if diags.is_empty() {

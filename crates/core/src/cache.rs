@@ -22,9 +22,10 @@
 //!   executing backend (tree-walker vs compiled code), and the
 //!   execution tier (direct lowering vs the analysis-licensed
 //!   superinstruction image). Run-only
-//!   plumbing (the interrupt handle, the chaos plan, and the
-//!   `verify_code` arena check — a pure pass/panic gate that cannot
-//!   change an answer) is deliberately excluded from the key.
+//!   plumbing (the interrupt handle, the chaos plan, and the pure
+//!   pass/panic gates that cannot change an answer — the `verify_code`
+//!   arena check and the `validate_tier2` translation validator) is
+//!   deliberately excluded from the key.
 //!
 //! Keys carry the *full* canonical bytes, not just a hash, so a
 //! fingerprint collision degrades to a missed sharing opportunity rather
@@ -387,6 +388,44 @@ mod tests {
             exception: None,
             stats: Stats::default(),
         }
+    }
+
+    #[test]
+    fn pass_panic_gates_stay_out_of_the_key() {
+        // `verify_code` is an arena check and `validate_tier2` a
+        // translation-validation gate: both can only pass or panic, never
+        // change an answer, so flipping them must not split the cache.
+        // `validate_tier2` lives on `Options` (not `MachineConfig`) and is
+        // structurally excluded; `verify_code` is on `MachineConfig` and
+        // its exclusion is behavioral — pin both here.
+        let e = Expr::int(42);
+        let mk = |verify: bool| {
+            let machine = MachineConfig {
+                verify_code: verify,
+                ..MachineConfig::default()
+            };
+            cache_key(
+                &e,
+                &machine,
+                &DenotConfig::default(),
+                8,
+                Backend::Compiled,
+                Tier::Two,
+            )
+        };
+        assert_eq!(mk(false), mk(true));
+        let off = crate::session::Options {
+            validate_tier2: false,
+            ..Default::default()
+        };
+        let on = crate::session::Options {
+            validate_tier2: true,
+            ..off.clone()
+        };
+        assert_eq!(
+            cache_key(&e, &off.machine, &off.denot, 8, off.backend, off.tier),
+            cache_key(&e, &on.machine, &on.denot, 8, on.backend, on.tier),
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@ use urk_io::{
     SemRunOutcome, StringInput,
 };
 use urk_machine::{
-    compile_program, tier2_optimize, Backend, Code, FactVal, GlobalFact, MEnv, Machine,
-    MachineConfig, Outcome, Stats, Tier, Tier2Facts,
+    compile_program, tier2_optimize_certified, validate_tier2, Backend, Code, FactVal, GlobalFact,
+    MEnv, Machine, MachineConfig, Outcome, Stats, Tier, Tier2Facts,
 };
 use urk_syntax::core::{CoreProgram, Expr};
 use urk_syntax::{
@@ -60,6 +60,13 @@ pub struct Options {
     /// monomorphic inline caches into known-global call sites. Ignored
     /// by the tree backend.
     pub tier: Tier,
+    /// Translation-validate every tier-2 compilation before linking it:
+    /// audit the analysis facts against a fresh recomputation, then walk
+    /// the tier-1/tier-2 arenas in lockstep discharging the certificate.
+    /// On by default in debug builds, opt-in (`--validate-tier2`) in
+    /// release. Like `verify_code`, a pure pass/panic gate that cannot
+    /// change an answer — excluded from serving-cache keys.
+    pub validate_tier2: bool,
 }
 
 impl Default for Options {
@@ -71,6 +78,7 @@ impl Default for Options {
             render_depth: 32,
             backend: Backend::Tree,
             tier: Tier::One,
+            validate_tier2: cfg!(debug_assertions),
         }
     }
 }
@@ -229,7 +237,26 @@ impl Session {
         let base = compile_program(&self.program.binds);
         let code = match tier {
             Tier::One => Arc::new(base),
-            Tier::Two => Arc::new(tier2_optimize(&base, &self.tier2_facts())),
+            Tier::Two => {
+                let facts = self.tier2_facts();
+                let (t2, cert) = tier2_optimize_certified(&base, &facts);
+                if self.options.validate_tier2 {
+                    // Audit the facts against a fresh analysis, then
+                    // discharge the certificate against freshly reshaped
+                    // facts — nothing the optimiser consumed is trusted.
+                    let claimed = self.analyze().binding_facts(&self.program.binds);
+                    if let Err(e) =
+                        urk_analysis::audit_binding_facts(&self.program, &self.data, &claimed)
+                    {
+                        panic!("refusing to link an unvalidated tier-2 image: {e}");
+                    }
+                    let fresh = tier2_facts_for(self.analyze(), &self.program.binds);
+                    if let Err(e) = validate_tier2(&base, &t2, &cert, &fresh) {
+                        panic!("refusing to link an unvalidated tier-2 image: {e}");
+                    }
+                }
+                Arc::new(t2)
+            }
         };
         self.compiled.replace(Some((tier, Arc::clone(&code))));
         code
@@ -620,6 +647,7 @@ pub fn tier2_facts_for(
                     urk_analysis::Val::Str(s) => Some(FactVal::Str(s.to_string())),
                     urk_analysis::Val::Con(_) => None,
                 }),
+                demands: f.demands,
             })
             .collect(),
     }

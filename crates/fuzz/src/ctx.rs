@@ -146,6 +146,7 @@ fn tier2_facts(prog: &urk_syntax::core::CoreProgram, data: &DataEnv) -> Tier2Fac
                     urk_analysis::Val::Str(s) => Some(FactVal::Str(s.to_string())),
                     urk_analysis::Val::Con(_) => None,
                 }),
+                demands: f.demands,
             })
             .collect(),
     }

@@ -84,7 +84,8 @@ pub struct Counterexample {
     pub original: String,
     /// The minimized term's pretty text.
     pub minimized: String,
-    /// Where the replayable case was written (when `out_dir` was set).
+    /// Where the replayable case was written (the `out_dir` copy when
+    /// set, else the promoted `corpus_dir` copy).
     pub path: Option<PathBuf>,
 }
 
@@ -288,25 +289,31 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> Result<FuzzReport, String> {
             &oracle_cfg,
             cfg.shrink_attempts,
         );
-        let path = match &cfg.out_dir {
-            None => None,
-            Some(dir) => {
-                std::fs::create_dir_all(dir)
-                    .map_err(|e| format!("create {}: {e}", dir.display()))?;
-                let path = dir.join(counterexample_filename(&minimized));
-                let text = render_case(
-                    &minimized,
-                    &[
-                        format!("seed: {}", cfg.seed),
-                        format!("check: {kind}"),
-                        format!("detail: {detail}"),
-                    ],
-                );
-                std::fs::write(&path, text)
-                    .map_err(|e| format!("write {}: {e}", path.display()))?;
-                Some(path)
-            }
-        };
+        // The minimized case goes to the --out directory *and* is
+        // promoted into the replayed corpus: `tests/corpus_regress.rs`
+        // auto-discovers `corpus/*.urk`, and the next campaign's phase-1
+        // replay runs `cx-*` files first, so a found bug becomes a
+        // differential regression test with no manual step.
+        let name = counterexample_filename(&minimized);
+        let text = render_case(
+            &minimized,
+            &[
+                format!("seed: {}", cfg.seed),
+                format!("check: {kind}"),
+                format!("detail: {detail}"),
+            ],
+        );
+        let mut dirs: Vec<&PathBuf> = Vec::new();
+        dirs.extend(&cfg.out_dir);
+        dirs.extend(&cfg.corpus_dir);
+        dirs.dedup();
+        let mut path = None;
+        for dir in dirs {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            let file = dir.join(&name);
+            std::fs::write(&file, &text).map_err(|e| format!("write {}: {e}", file.display()))?;
+            path.get_or_insert(file);
+        }
         report.counterexample = Some(Counterexample {
             kind,
             detail,
@@ -420,6 +427,38 @@ mod tests {
         assert!(!persists_faithfully(&bad));
         let good = Expr::add(Expr::int(1), Expr::int(2));
         assert!(persists_faithfully(&good));
+    }
+
+    #[test]
+    fn a_counterexample_is_promoted_into_the_replayed_corpus() {
+        // A campaign that finds a bug (the seeded §5.1 sabotage) must
+        // leave its minimized case in the corpus directory, so the
+        // differential regression suite and the next campaign's phase-1
+        // replay pick it up automatically.
+        let dir = std::env::temp_dir().join(format!("urk-fuzz-promote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = FuzzConfig {
+            seed: 5,
+            execs: 60,
+            chaos_rounds: 2,
+            interrupt_every: 0,
+            sabotage: true,
+            corpus_dir: Some(dir.clone()),
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg).expect("fuzz run");
+        let cx = report
+            .counterexample
+            .expect("the armed sabotage bug must be found");
+        let path = cx.path.expect("the case must be persisted");
+        assert_eq!(path.parent(), Some(dir.as_path()), "promoted into corpus");
+        assert!(path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("cx-") && n.ends_with(".urk")));
+        let text = std::fs::read_to_string(&path).expect("replayable case exists");
+        assert!(text.contains("counterexample ="), "case file is replayable");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod heap;
 pub mod interrupt;
 pub mod machine;
 pub mod tier2;
+pub mod validate;
 
 pub use chaos::FaultPlan;
 pub use code::{compile_program, Code, CodeVerifyError};
@@ -51,7 +52,11 @@ pub use interrupt::InterruptHandle;
 pub use machine::{
     Backend, BlackholeMode, Machine, MachineConfig, MachineError, OrderPolicy, Outcome, Stats, Tier,
 };
-pub use tier2::{tier2_optimize, FactVal, GlobalFact, Tier2Facts};
+pub use tier2::{
+    tier2_optimize, tier2_optimize_certified, CertEntry, CertKind, FactVal, GlobalFact, Tier2Cert,
+    Tier2Facts,
+};
+pub use validate::{validate_tier2, ValidationError, ValidationReport};
 
 #[cfg(test)]
 mod tests {

@@ -63,6 +63,13 @@ pub struct GlobalFact {
     /// The global's proven WHNF value, when it is a literal the analysis
     /// could determine (arity-0 bindings only).
     pub value: Option<FactVal>,
+    /// Must-demand per parameter: `demands[i]` proves that an exceptional
+    /// `i`-th argument makes a saturated call's result exceptional, which
+    /// per §4 licenses evaluating that argument eagerly (the denoted
+    /// exception set is unchanged — only *which* member surfaces moves,
+    /// and that is exactly the imprecision the semantics grants). Length
+    /// equals the binding's manifest arity; empty licenses nothing.
+    pub demands: Vec<bool>,
 }
 
 /// A literal value an analysis fact can prove (the `Send + Sync` subset
@@ -91,6 +98,76 @@ impl Tier2Facts {
     pub fn empty() -> Tier2Facts {
         Tier2Facts::default()
     }
+}
+
+/// What licensed one emitted transform, recorded by the optimiser for the
+/// translation validator. One entry per site, keyed by the *pair* of the
+/// source-arena op and the emitted destination-arena op it maps to — the
+/// validator walks both arenas in lockstep and refuses any structural
+/// divergence it cannot find a discharged certificate for.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CertKind {
+    /// `dst` is `COp::Fused` wrapping a verbatim copy of the call-free
+    /// prim region rooted at `src` (demanded position: a raise inside
+    /// raises anyway).
+    Fused,
+    /// `dst` is `COp::Spec` wrapping a lazy *value form* (lambda or
+    /// constructor) — building it early is draw-free and cannot raise.
+    SpecValue,
+    /// `dst` is `COp::Spec` wrapping a call-free prim region evaluated at
+    /// allocation time; a raise is stored as §3.3 poison.
+    SpecRegion,
+    /// `dst` is `COp::Spec` wrapping the callee's body with the argument
+    /// beta-substituted for its parameter — licensed by the strictness
+    /// fact `demands == [true]` on `callee`: the call's result is
+    /// exceptional whenever the argument is, so evaluating eagerly keeps
+    /// the denoted set.
+    SpecCall {
+        /// Global index of the inlined callee.
+        callee: u32,
+    },
+    /// `dst` is a literal op substituted for `COp::Global(global)` under
+    /// the constant-substitution licence (WHNF-safe fact with a proven
+    /// literal value matching the source body's own literal kind).
+    ConstSubst {
+        /// Global index whose fact supplied the literal.
+        global: u32,
+    },
+    /// The `COp::Case` at `src` was folded to the right-hand side of arm
+    /// `arm` (first match on a static scrutinee, no binders).
+    CaseFold {
+        /// Index of the selected arm within the case's arm block.
+        arm: u32,
+    },
+    /// `dst` is `COp::AppG` replacing a `COp::App` whose callee is
+    /// `COp::Global(callee)`, with inline-cache slot `ic`.
+    AppG {
+        /// Global index of the cached callee.
+        callee: u32,
+        /// The monomorphic inline-cache slot patched into the site.
+        ic: u32,
+    },
+}
+
+/// One certificate entry: source op, destination op, and the claimed
+/// licence connecting them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CertEntry {
+    /// Op index in the tier-1 (source) arena.
+    pub src: u32,
+    /// Op index in the tier-2 (destination) arena.
+    pub dst: u32,
+    /// The transform kind and the facts it claims.
+    pub kind: CertKind,
+}
+
+/// The full certificate for one tier-2 compilation: every transform the
+/// pass performed, in emission order. [`crate::validate::validate_tier2`]
+/// independently re-derives and discharges each entry.
+#[derive(Clone, Debug, Default)]
+pub struct Tier2Cert {
+    /// All recorded transform sites.
+    pub entries: Vec<CertEntry>,
 }
 
 /// The evaluation context a source op is being copied under, which
@@ -122,12 +199,19 @@ enum StaticVal {
 /// global table (names and order), marked [`Code::is_tier2`], carrying
 /// the number of inline-cache slots its `AppG` sites use.
 pub fn tier2_optimize(base: &Code, facts: &Tier2Facts) -> Code {
+    tier2_optimize_certified(base, facts).0
+}
+
+/// [`tier2_optimize`], but also returning the certificate recording which
+/// fact licensed each transform — the input to the translation validator.
+pub fn tier2_optimize_certified(base: &Code, facts: &Tier2Facts) -> (Code, Tier2Cert) {
     let t0 = std::time::Instant::now();
     let mut rw = Rewriter {
         src: base,
         facts,
         out: CodeBuf::default(),
         ic_slots: 0,
+        cert: Tier2Cert::default(),
     };
     let mut globals = Vec::with_capacity(base.globals.len());
     for (name, entry) in &base.globals {
@@ -136,10 +220,11 @@ pub fn tier2_optimize(base: &Code, facts: &Tier2Facts) -> Code {
         globals.push((*name, rw.go(*entry, Ctx::Strict)));
     }
     let ic_slots = rw.ic_slots;
+    let cert = rw.cert;
     let out = rw.out;
     let compile_ops = out.ops.len() as u64;
     let global_index: HashMap<Symbol, u32> = base.global_index.clone();
-    Code {
+    let code = Code {
         buf: out,
         globals,
         global_index,
@@ -147,7 +232,8 @@ pub fn tier2_optimize(base: &Code, facts: &Tier2Facts) -> Code {
         compile_micros: base.compile_micros() + t0.elapsed().as_micros() as u64,
         tier2: true,
         ic_slots,
-    }
+    };
+    (code, cert)
 }
 
 struct Rewriter<'a> {
@@ -155,6 +241,7 @@ struct Rewriter<'a> {
     facts: &'a Tier2Facts,
     out: CodeBuf,
     ic_slots: u32,
+    cert: Tier2Cert,
 }
 
 impl Rewriter<'_> {
@@ -177,6 +264,16 @@ impl Rewriter<'_> {
     fn emit(&mut self, op: COp) -> CodeId {
         self.out.ops.push(op);
         CodeId(self.out.ops.len() as u32 - 1)
+    }
+
+    /// Records one certificate entry for the transform that mapped the
+    /// source op `src` to the emitted op `dst`.
+    fn certify(&mut self, src: CodeId, dst: CodeId, kind: CertKind) {
+        self.cert.entries.push(CertEntry {
+            src: src.0,
+            dst: dst.0,
+            kind,
+        });
     }
 
     /// Interns a string in the output table (linear scan — the table is
@@ -249,15 +346,19 @@ impl Rewriter<'_> {
     fn go(&mut self, id: CodeId, ctx: Ctx) -> CodeId {
         if let COp::Global(g) = self.src_op(id) {
             if let Some(lit) = self.const_literal(g) {
-                return self.emit(lit);
+                let dst = self.emit(lit);
+                self.certify(id, dst, CertKind::ConstSubst { global: g });
+                return dst;
             }
         }
         if let COp::Case { .. } = self.src_op(id) {
-            if let Some(rhs) = self.try_fold_case(id) {
+            if let Some((arm, rhs)) = self.try_fold_case(id) {
                 // The folded arm has no binders, so its rhs was compiled
                 // at the same depth as the case — substitute in place,
                 // in the same context.
-                return self.go(rhs, ctx);
+                let dst = self.go(rhs, ctx);
+                self.certify(id, dst, CertKind::CaseFold { arm });
+                return dst;
             }
         }
         match ctx {
@@ -265,7 +366,9 @@ impl Rewriter<'_> {
             Ctx::Strict => {
                 if self.regionable(id) {
                     let body = self.copy_op(id, Ctx::Region);
-                    self.emit(COp::Fused { body })
+                    let dst = self.emit(COp::Fused { body });
+                    self.certify(id, dst, CertKind::Fused);
+                    dst
                 } else {
                     self.copy_op(id, Ctx::Strict)
                 }
@@ -275,18 +378,134 @@ impl Rewriter<'_> {
                 // draw-free, so sound under every order policy.
                 COp::Lam { .. } => {
                     let body = self.copy_op(id, Ctx::Lazy);
-                    self.emit(COp::Spec { body })
+                    let dst = self.emit(COp::Spec { body });
+                    self.certify(id, dst, CertKind::SpecValue);
+                    dst
                 }
                 COp::Con { n, .. } if n >= 1 => {
                     let body = self.copy_op(id, Ctx::Lazy);
-                    self.emit(COp::Spec { body })
+                    let dst = self.emit(COp::Spec { body });
+                    self.certify(id, dst, CertKind::SpecValue);
+                    dst
                 }
                 _ if self.regionable(id) => {
                     let body = self.copy_op(id, Ctx::Region);
-                    self.emit(COp::Spec { body })
+                    let dst = self.emit(COp::Spec { body });
+                    self.certify(id, dst, CertKind::SpecRegion);
+                    dst
                 }
+                COp::App { .. } => match self.try_spec_call(id) {
+                    Some(dst) => dst,
+                    None => self.copy_op(id, Ctx::Lazy),
+                },
                 _ => self.copy_op(id, Ctx::Lazy),
             },
+        }
+    }
+
+    /// The strictness-licensed call speculation: a lazily-bound saturated
+    /// call `g a` to a known unary global whose fact proves its parameter
+    /// *demanded* may be beta-inlined into one prim region and evaluated
+    /// at allocation time (`Spec`). The demand fact is what makes this
+    /// sound where the WHNF-only rule rejects it: if `a` raises, the call
+    /// would have raised too, so storing the raise as §3.3 poison denotes
+    /// the same set.
+    ///
+    /// Structural side-conditions (all validator-re-proved):
+    /// * the callee body and the argument are both region-legal (so the
+    ///   inlined result is one call-free prim region);
+    /// * every `Local` in the callee body is `Local(0)` (the parameter);
+    /// * if the parameter occurs **more than once**, the argument must be
+    ///   a single draw-free leaf — duplicating a prim subtree would fork
+    ///   the §3.5 Seeded draw stream;
+    /// * the substituted region keeps ≥ 1 prim and fits `MAX_REGION_OPS`.
+    fn try_spec_call(&mut self, id: CodeId) -> Option<CodeId> {
+        let COp::App { f, a } = self.src_op(id) else {
+            return None;
+        };
+        let COp::Global(g) = self.src_op(f) else {
+            return None;
+        };
+        let fact = self.facts.globals.get(g as usize)?;
+        if fact.demands.as_slice() != [true] {
+            return None;
+        }
+        let (_, entry) = self.src.globals[g as usize];
+        let COp::Lam { body } = self.src_op(entry) else {
+            return None;
+        };
+        let (bsize, bprims) = self.region_scan(body)?;
+        let (asize, aprims) = self.region_scan(a)?;
+        let occ = self.count_param_leaves(body)?;
+        if occ >= 2 && !self.is_draw_free_leaf(a) {
+            return None;
+        }
+        let size = bsize - occ + occ * asize;
+        let prims = bprims + occ * aprims;
+        if size < 2 || prims < 1 || size > MAX_REGION_OPS {
+            return None;
+        }
+        let region = self.inline_call_region(body, a);
+        let dst = self.emit(COp::Spec { body: region });
+        self.certify(id, dst, CertKind::SpecCall { callee: g });
+        Some(dst)
+    }
+
+    /// Counts `Local(0)` leaves in a region-legal callee body; `None` if
+    /// any other `Local` appears (the body would capture an environment
+    /// the call site does not have).
+    fn count_param_leaves(&self, id: CodeId) -> Option<usize> {
+        match self.src_op(id) {
+            COp::Local(0) => Some(1),
+            COp::Local(_) => None,
+            COp::Global(_) | COp::Int(_) | COp::Char(_) | COp::Str(_) | COp::Con { n: 0, .. } => {
+                Some(0)
+            }
+            COp::Prim1 { a, .. } => self.count_param_leaves(a),
+            COp::Prim2 { a, b, .. } | COp::Seq { a, b } => {
+                Some(self.count_param_leaves(a)? + self.count_param_leaves(b)?)
+            }
+            _ => None,
+        }
+    }
+
+    /// A draw-free leaf: safe to duplicate without touching the §3.5
+    /// Seeded draw stream (no prim inside, so no draws ever).
+    fn is_draw_free_leaf(&self, id: CodeId) -> bool {
+        matches!(
+            self.src_op(id),
+            COp::Local(_)
+                | COp::Global(_)
+                | COp::Int(_)
+                | COp::Char(_)
+                | COp::Str(_)
+                | COp::Con { n: 0, .. }
+        )
+    }
+
+    /// Copies the callee body into the output arena with every `Local(0)`
+    /// replaced by a fresh copy of the argument subtree. Both sides are
+    /// region-legal, so plain structural recursion suffices; the argument
+    /// keeps its own `Local` indices (it executes in the allocation-site
+    /// environment, which is exactly the suspended thunk's).
+    fn inline_call_region(&mut self, body: CodeId, arg: CodeId) -> CodeId {
+        match self.src_op(body) {
+            COp::Local(0) => self.go(arg, Ctx::Region),
+            COp::Prim1 { op, a } => {
+                let a2 = self.inline_call_region(a, arg);
+                self.emit(COp::Prim1 { op, a: a2 })
+            }
+            COp::Prim2 { op, a, b } => {
+                let a2 = self.inline_call_region(a, arg);
+                let b2 = self.inline_call_region(b, arg);
+                self.emit(COp::Prim2 { op, a: a2, b: b2 })
+            }
+            COp::Seq { a, b } => {
+                let a2 = self.inline_call_region(a, arg);
+                let b2 = self.inline_call_region(b, arg);
+                self.emit(COp::Seq { a: a2, b: b2 })
+            }
+            _ => self.go(body, Ctx::Region),
         }
     }
 
@@ -322,7 +541,7 @@ impl Rewriter<'_> {
     /// scrutinee is licensed because static values cannot raise (and a
     /// constant global is WHNF-safe by its fact). A non-matching sweep
     /// stays dynamic so the runtime `PatternMatchFail` survives.
-    fn try_fold_case(&self, id: CodeId) -> Option<CodeId> {
+    fn try_fold_case(&self, id: CodeId) -> Option<(u32, CodeId)> {
         let COp::Case { scrut, arms_at, n } = self.src_op(id) else {
             return None;
         };
@@ -341,7 +560,7 @@ impl Rewriter<'_> {
                 // An arm that binds (scrutinee fields or the scrutinee
                 // itself) would change the rhs's environment depth —
                 // keep the dispatch dynamic.
-                return (arm.binders == 0 && !arm.bind_scrut).then_some(arm.rhs);
+                return (arm.binders == 0 && !arm.bind_scrut).then_some((i, arm.rhs));
             }
         }
         None
@@ -386,7 +605,9 @@ impl Rewriter<'_> {
                     let a2 = self.go(a, Ctx::Lazy);
                     let ic = self.ic_slots;
                     self.ic_slots += 1;
-                    self.emit(COp::AppG { f: f2, ic, a: a2 })
+                    let dst = self.emit(COp::AppG { f: f2, ic, a: a2 });
+                    self.certify(id, dst, CertKind::AppG { callee: g, ic });
+                    dst
                 } else {
                     let f2 = self.go(f, Ctx::Strict);
                     let a2 = self.go(a, Ctx::Lazy);
@@ -579,6 +800,7 @@ mod tests {
                 GlobalFact {
                     whnf_safe: true,
                     value: Some(FactVal::Int(42)),
+                    demands: Vec::new(),
                 },
                 GlobalFact::default(),
             ],
@@ -598,6 +820,7 @@ mod tests {
             globals: vec![GlobalFact {
                 whnf_safe: false,
                 value: Some(FactVal::Int(42)),
+                demands: Vec::new(),
             }],
         };
         let t2 = tier2_optimize(&code, &unsafe_facts);

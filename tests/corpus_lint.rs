@@ -75,6 +75,8 @@ fn every_corpus_case_lints_deterministically() {
                         | LintCode::UnreachableAlt
                         | LintCode::DeadExceptionBranch
                         | LintCode::MatchMayFail
+                        | LintCode::DiscardedException
+                        | LintCode::DeadHandler
                 ),
                 "{}: unexpected code {:?}",
                 path.display(),
@@ -122,5 +124,12 @@ fn corpus_lint_histogram_matches_the_snapshot() {
 
 /// The pinned aggregate findings for `corpus/` — see the test above.
 fn corpus_lint_snapshot() -> Vec<String> {
-    vec!["URK001x4".to_string(), "URK002x14".to_string()]
+    // URK005 lights up heavily here by design: the fuzzer keeps terms
+    // that bury raises under laziness, and a never-demanded binding with
+    // a raising right-hand side is the canonical such shape.
+    vec![
+        "URK001x4".to_string(),
+        "URK002x14".to_string(),
+        "URK005x14".to_string(),
+    ]
 }

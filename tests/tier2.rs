@@ -396,6 +396,7 @@ fn a_corrupted_licence_is_caught_by_the_differential_battery() {
             GlobalFact {
                 whnf_safe: true,
                 value: Some(FactVal::Int(42)),
+                demands: Vec::new(),
             },
             GlobalFact::default(),
         ],
@@ -405,6 +406,7 @@ fn a_corrupted_licence_is_caught_by_the_differential_battery() {
             GlobalFact {
                 whnf_safe: true,
                 value: Some(FactVal::Int(7)),
+                demands: Vec::new(),
             },
             GlobalFact::default(),
         ],
